@@ -1,0 +1,87 @@
+"""Ablation benchmarks: the design choices DESIGN.md calls out.
+
+Not paper figures -- these quantify the choices the paper makes
+implicitly: the split-axis ordering, the sqrt(2) trigger, the TTL of the
+remote search, the secondary replication cost, and what the remote
+mechanisms (f)-(h) buy over the local ones.
+"""
+
+from repro.experiments.ablations import (
+    ablate_mechanism_sets,
+    ablate_replication_fraction,
+    ablate_search_ttl,
+    ablate_split_policy,
+    ablate_trigger_ratio,
+    render_adaptation_report,
+    render_split_policy_report,
+)
+
+
+def test_ablation_split_policy(benchmark, bench_config, save_report):
+    rows = benchmark.pedantic(
+        lambda: ablate_split_policy(bench_config, population=1_000),
+        rounds=1, iterations=1,
+    )
+    save_report("ablation_split_policy", render_split_policy_report(rows))
+    by_name = {row.name: row for row in rows}
+    default = by_name["longest-side (default)"]
+    fixed = by_name["fixed vertical (baseline)"]
+    assert default.max_aspect_ratio <= 2.0
+    assert fixed.max_aspect_ratio > 100.0
+    assert default.mean_hops < fixed.mean_hops / 2
+
+
+def test_ablation_trigger_ratio(benchmark, bench_config, save_report):
+    rows = benchmark.pedantic(
+        lambda: ablate_trigger_ratio(bench_config, population=1_000),
+        rounds=1, iterations=1,
+    )
+    save_report(
+        "ablation_trigger_ratio",
+        render_adaptation_report("trigger ratio", rows),
+    )
+    # All ratios converge to a balanced state; under hot-spot workloads the
+    # lowest neighbor index is usually ~0, so the ratio mostly provides
+    # hysteresis rather than changing the fixed point.
+    for row in rows:
+        assert row.final.std < 0.1
+
+
+def test_ablation_search_ttl(benchmark, bench_config, save_report):
+    rows = benchmark.pedantic(
+        lambda: ablate_search_ttl(bench_config, population=1_000),
+        rounds=1, iterations=1,
+    )
+    save_report(
+        "ablation_search_ttl",
+        render_adaptation_report("search TTL", rows),
+    )
+    messages = [row.search_messages for row in rows]
+    assert messages == sorted(messages)  # deeper searches cost more
+    # TTL 1 cannot reach beyond the (skipped) immediate neighborhood.
+    assert rows[0].remote_usage == 0
+
+
+def test_ablation_mechanism_sets(benchmark, bench_config, save_report):
+    rows = benchmark.pedantic(
+        lambda: ablate_mechanism_sets(bench_config, population=1_000),
+        rounds=1, iterations=1,
+    )
+    save_report(
+        "ablation_mechanism_sets",
+        render_adaptation_report("mechanism sets", rows),
+    )
+    local, full = rows
+    assert full.final.std < local.final.std
+
+
+def test_ablation_replication_fraction(benchmark, bench_config, save_report):
+    rows = benchmark.pedantic(
+        lambda: ablate_replication_fraction(bench_config, population=1_000),
+        rounds=1, iterations=1,
+    )
+    save_report(
+        "ablation_replication_fraction",
+        render_adaptation_report("replication fraction", rows),
+    )
+    assert rows[-1].final.mean >= rows[0].final.mean

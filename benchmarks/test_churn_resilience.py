@@ -1,0 +1,30 @@
+"""Churn-resilience benchmark: GeoGrid under sustained membership change.
+
+Quantifies the design goal the paper states up front -- handling an
+"unpredictable rate of node join, departure and failure" -- by comparing
+basic and dual-peer networks under identical Poisson churn schedules.
+"""
+
+from repro.experiments import SystemVariant
+from repro.experiments.fig_churn import render_report, run_churn_comparison
+
+
+def test_churn_resilience(benchmark, bench_config, save_report):
+    results = benchmark.pedantic(
+        lambda: run_churn_comparison(
+            bench_config, population=1_000, duration=200.0,
+            events_per_unit=2.0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("churn_resilience", render_report(results))
+
+    basic = results[SystemVariant.BASIC]
+    dual = results[SystemVariant.DUAL_PEER]
+    # Same schedule, very different outcomes:
+    assert basic.churn_events == dual.churn_events
+    assert dual.failover_fraction > 0.5 and basic.failover_fraction == 0.0
+    assert dual.merges < basic.merges
+    # The dual-peer network routes with fewer hops throughout.
+    assert dual.hops_after < basic.hops_after

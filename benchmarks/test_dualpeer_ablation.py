@@ -1,0 +1,26 @@
+"""Regenerates the dual-peer ablation: Section 2.3's three claims.
+
+1. fault resilience (failures absorbed by secondary promotion),
+2. fewer region split operations,
+3. better load balance,
+measured against the basic system on identical node populations.
+"""
+
+from repro.experiments import SystemVariant
+from repro.experiments.fig_dualpeer_ablation import render_report, run_ablation
+
+
+def test_dualpeer_ablation(benchmark, bench_config, save_report):
+    results = benchmark.pedantic(
+        lambda: run_ablation(bench_config, population=1_000, failures=100),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("dualpeer_ablation", render_report(results))
+
+    basic = results[SystemVariant.BASIC]
+    dual = results[SystemVariant.DUAL_PEER]
+    assert dual.splits < basic.splits
+    assert basic.failover_fraction == 0.0
+    assert dual.failover_fraction > 0.25
+    assert dual.index_summary.std < basic.index_summary.std

@@ -1,0 +1,25 @@
+"""Regenerates Figures 2 and 3: region size & load maps at 500 nodes."""
+
+from repro.experiments import SystemVariant
+from repro.experiments.fig_region_maps import render_report, run_fig2_fig3
+
+
+def test_fig2_fig3_region_maps(benchmark, bench_config, save_report):
+    results = benchmark.pedantic(
+        lambda: run_fig2_fig3(bench_config, population=500),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig2_fig3_region_maps", render_report(results))
+
+    basic = results[SystemVariant.BASIC]
+    dual = results[SystemVariant.DUAL_PEER]
+    # Paper: 500 basic nodes -> 500 regions; dual peer -> "fewer regions".
+    assert basic.region_count == 500
+    assert dual.region_count < basic.region_count
+    # "the sizes of them are distributed in less uniform manner,
+    # conforming to the capacity distribution of owner nodes"
+    assert dual.region_area.std > basic.region_area.std
+    assert dual.area_capacity_correlation > basic.area_capacity_correlation
+    # "fewer heavily loaded regions, although a few still exist"
+    assert 0 < dual.heavily_loaded_regions < basic.heavily_loaded_regions

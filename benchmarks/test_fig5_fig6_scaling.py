@@ -1,0 +1,30 @@
+"""Regenerates Figures 5 and 6: workload-index std-dev and mean vs N.
+
+Paper series: basic GeoGrid, GeoGrid + dual peer, GeoGrid + dual peer +
+adaptation, for N in {1000, 2000, 4000, 8000, 16000}.  The headline claim
+is a constant order-of-magnitude gap between the basic and the full
+system, in both metrics.
+"""
+
+from repro.experiments.fig_scaling import render_report, run_scaling
+from benchmarks.conftest import bench_populations
+
+
+def test_fig5_fig6_scaling(benchmark, bench_config, save_report):
+    populations = bench_populations()
+    result = benchmark.pedantic(
+        lambda: run_scaling(bench_config, populations=populations),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig5_fig6_scaling", render_report(result))
+
+    for population in populations:
+        basic, dual, adapted = result.row(population)
+        # Figure 5/6 ordering of the three curves.
+        assert basic.std > dual.std > adapted.std
+        assert basic.mean > dual.mean > adapted.mean
+        # "constantly beat the basic GeoGrid system by one order of
+        # magnitude in both metrics"
+        assert result.improvement_factor(population, "std") >= 10.0
+        assert result.improvement_factor(population, "mean") >= 10.0

@@ -1,0 +1,59 @@
+"""Regenerates Figures 9 and 10: convergence by number of adaptations.
+
+Same setup as Figures 7/8, but the workload-index summary is recorded
+after each *individual* adaptation, up to 500, which is how the paper
+shows that the moving-hot-spot scenario needs more adaptations (with
+surges when hot spots land somewhere new) before the system stabilizes.
+"""
+
+from repro.experiments import PAPER_CONVERGENCE_POPULATION
+from repro.experiments.fig_convergence import (
+    MOVING,
+    STATIC,
+    merged_by_adaptation,
+    run_all_scenarios,
+    thin_collector,
+)
+
+
+def test_fig9_fig10_convergence_by_adaptation(
+    benchmark, bench_config, save_report
+):
+    results = benchmark.pedantic(
+        lambda: run_all_scenarios(
+            bench_config,
+            population=PAPER_CONVERGENCE_POPULATION,
+            rounds=200,  # adaptations bound this experiment
+            max_adaptations=500,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    ops = thin_collector(merged_by_adaptation(results), step=25)
+    save_report(
+        "fig9_fig10_convergence_ops",
+        "\n\n".join(
+            [
+                "Figure 9: std-dev of workload index by number of adaptations\n\n"
+                + ops.render_table("std", x_label="adaptations"),
+                "Figure 10: mean workload index by number of adaptations\n\n"
+                + ops.render_table("mean", x_label="adaptations"),
+            ]
+        ),
+    )
+
+    static = [
+        p.summary for p in results[STATIC].by_adaptation.get(STATIC)
+    ]
+    moving = [
+        p.summary for p in results[MOVING].by_adaptation.get(MOVING)
+    ]
+    # Both scenarios end up better balanced than they started.
+    assert static[-1].std < static[0].std
+    assert moving[-1].std < moving[0].std
+    assert static[-1].mean < static[0].mean
+    assert moving[-1].mean < moving[0].mean
+    # The moving scenario shows surges: it is not monotonically
+    # decreasing the way the static one (nearly) is.
+    moving_stds = [s.std for s in moving]
+    assert any(b > a for a, b in zip(moving_stds, moving_stds[1:]))

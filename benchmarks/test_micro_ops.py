@@ -1,0 +1,128 @@
+"""Micro-benchmarks of the core operations (proper pytest-benchmark use).
+
+These measure the building blocks the macro experiments are made of:
+joins, point location, region-load queries, routing, query fan-out, and
+one full adaptation round.  Useful for spotting performance regressions in
+the substrate.
+"""
+
+import random
+
+import pytest
+
+from repro.core.overlay import BasicGeoGrid
+from repro.core.query import LocationQuery
+from repro.dualpeer import DualPeerGeoGrid
+from repro.geometry import Point, Rect
+from repro.core.node import Node
+from repro.loadbalance import AdaptationEngine, WorkloadIndexCalculator
+from repro.workload import GnutellaCapacityDistribution, HotspotField
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+def build(n, dual=True, seed=1):
+    rng = random.Random(seed)
+    field = HotspotField.random(BOUNDS, count=10, rng=rng)
+    cls = DualPeerGeoGrid if dual else BasicGeoGrid
+    grid = cls(BOUNDS, rng=random.Random(seed + 1), load_fn=field.region_load)
+    capacities = GnutellaCapacityDistribution()
+    for i in range(n):
+        grid.join(
+            Node(
+                i,
+                Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64)),
+                capacity=capacities.sample(rng),
+            )
+        )
+    return grid, field, rng
+
+
+def test_bench_join_1000_nodes(benchmark):
+    def build_network():
+        grid, _, _ = build(1_000)
+        return grid
+
+    grid = benchmark.pedantic(build_network, rounds=3, iterations=1)
+    assert grid.member_count() == 1_000
+
+
+def test_bench_locate(benchmark):
+    grid, _, rng = build(2_000)
+    points = [
+        Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+        for _ in range(256)
+    ]
+
+    def locate_batch():
+        for point in points:
+            grid.space.locate(point)
+
+    benchmark(locate_batch)
+
+
+def test_bench_region_load(benchmark):
+    grid, field, _ = build(2_000)
+    regions = list(grid.space.regions)
+
+    def load_all():
+        return sum(field.region_load(region) for region in regions)
+
+    total = benchmark(load_all)
+    assert total >= 0.0
+
+
+def test_bench_route(benchmark):
+    grid, _, rng = build(2_000)
+    pairs = [
+        (
+            grid.random_node(),
+            Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64)),
+        )
+        for _ in range(128)
+    ]
+
+    def route_batch():
+        for source, target in pairs:
+            grid.route_from(source, target)
+
+    benchmark(route_batch)
+
+
+def test_bench_query_fanout(benchmark):
+    grid, _, rng = build(2_000)
+    queries = [
+        LocationQuery.around(
+            Point(rng.uniform(4, 60), rng.uniform(4, 60)),
+            rng.uniform(1.0, 4.0),
+            focal=grid.random_node(),
+        )
+        for _ in range(64)
+    ]
+
+    def query_batch():
+        for query in queries:
+            grid.submit_query(query)
+
+    benchmark(query_batch)
+
+
+def test_bench_adaptation_round(benchmark):
+    def one_round():
+        grid, field, _ = build(1_000)
+        calc = WorkloadIndexCalculator(grid, field.region_load)
+        engine = AdaptationEngine(grid, calc)
+        return engine.run_round()
+
+    report = benchmark.pedantic(one_round, rounds=3, iterations=1)
+    assert report.round_number == 1
+
+
+def test_bench_hotspot_refresh(benchmark):
+    rng = random.Random(3)
+    field = HotspotField.random(BOUNDS, count=10, rng=rng)
+
+    def migrate_and_refresh():
+        field.migrate(rng, steps=1)
+
+    benchmark(migrate_and_refresh)

@@ -1,0 +1,32 @@
+"""Regenerates the routing-cost claim: O(2*sqrt(N)) hops (Section 2.2).
+
+Not a figure in the paper (the claim is analytical), but part of the
+evaluation story: without bounded routing the load-balance results would
+be moot.  Also reports geographic path stretch, the "physical proximity
+approximates network proximity" quality.
+"""
+
+from repro.experiments.fig_routing import render_report, run_routing
+from benchmarks.conftest import bench_populations
+
+
+def test_routing_hop_scaling(benchmark, bench_config, save_report):
+    populations = tuple(p for p in bench_populations() if p <= 8_000)
+    cells = benchmark.pedantic(
+        lambda: run_routing(
+            bench_config, populations=populations, samples=300
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("routing_hops", render_report(cells))
+
+    for cell in cells:
+        assert cell.within_bound, (
+            f"mean hops {cell.hops.mean:.1f} exceeded the 2*sqrt(N) bound "
+            f"{cell.bound:.1f} at N={cell.population}"
+        )
+        assert cell.mean_stretch < 2.5
+    # Sub-linear growth: 8x the nodes needs < 4x the hops.
+    if len(cells) >= 2:
+        assert cells[-1].hops.mean < 4 * cells[0].hops.mean

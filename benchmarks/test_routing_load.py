@@ -1,0 +1,28 @@
+"""Regenerates the routing-workload balance claim.
+
+"Its dynamic load balancing algorithms can efficiently utilize the
+heterogeneous capacities of end systems and balance both the location
+query workload and **the routing workload**" (Abstract / Section 5).
+"""
+
+from repro.experiments import SystemVariant
+from repro.experiments.fig_routing_load import render_report, run_routing_load
+
+
+def test_routing_load_balance(benchmark, bench_config, save_report):
+    results = benchmark.pedantic(
+        lambda: run_routing_load(bench_config, population=1_000, queries=1_000),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("routing_load", render_report(results))
+
+    basic = results[SystemVariant.BASIC]
+    dual = results[SystemVariant.DUAL_PEER]
+    adapted = results[SystemVariant.DUAL_PEER_ADAPTATION]
+    # Dual peer flattens the per-capacity routing load...
+    assert dual.index_summary.std < basic.index_summary.std
+    # ...and shortens routes (fewer regions).
+    assert dual.mean_hops < basic.mean_hops
+    # Adaptation keeps the routing balance in the same ballpark.
+    assert adapted.index_summary.std < basic.index_summary.std

@@ -1,0 +1,33 @@
+"""Rush-hour benchmark: the paper's motivating scenario, end to end.
+
+Directional hot-spot drift (inbound mornings, outbound afternoons) is
+harder than the paper's random walk -- the load keeps marching into fresh
+territory -- and the adaptation engine must still keep the system
+balanced versus the frozen baseline on an identical commute.
+"""
+
+from repro.experiments.fig_rushhour import (
+    ADAPTIVE,
+    FROZEN,
+    render_report,
+    run_rushhour,
+)
+
+
+def test_rushhour_commute(benchmark, bench_config, save_report):
+    results = benchmark.pedantic(
+        lambda: run_rushhour(bench_config, population=1_000),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("rushhour", render_report(results))
+
+    adaptive = [
+        p.summary.std for p in results[ADAPTIVE].by_round.get(ADAPTIVE)
+    ]
+    frozen = [
+        p.summary.std for p in results[FROZEN].by_round.get(FROZEN)
+    ]
+    assert sum(adaptive[1:]) < sum(frozen[1:])
+    assert results[ADAPTIVE].adaptations > 0
+    assert results[FROZEN].adaptations == 0

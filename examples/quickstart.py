@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: build a small GeoGrid and route location queries.
+
+Reproduces the flavor of the paper's Figure 1: a ~15-node GeoGrid over a
+64 mi x 64 mi plane, a request routed along the straight-line path toward
+its destination region, and a rectangular location query fanned out to
+every region it overlaps.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import BasicGeoGrid, LocationQuery, Node, Point, Rect
+from repro.core.routing import path_length_miles, stretch
+from repro.viz import render_boundary_map, render_owner_map
+
+
+def main() -> None:
+    bounds = Rect(0, 0, 64, 64)
+    grid = BasicGeoGrid(bounds, rng=random.Random(1))
+
+    # Fifteen proxies scattered over the metro area.  Each join routes to
+    # the region covering the node's coordinate and splits it.
+    rng = random.Random(42)
+    nodes = []
+    for node_id in range(15):
+        node = Node(
+            node_id=node_id,
+            coord=Point(rng.uniform(1, 63), rng.uniform(1, 63)),
+            capacity=rng.choice([1, 10, 100]),
+        )
+        grid.join(node)
+        nodes.append(node)
+    grid.check_invariants()
+
+    print(f"GeoGrid with {grid.member_count()} nodes / "
+          f"{grid.space.region_count()} regions")
+    print()
+    print(render_boundary_map(grid.space, width=64, height=20, interior=" "))
+    print()
+    print(render_owner_map(grid.space, width=64, height=20))
+    print()
+
+    # Route a point request, like region 13 -> region 5 in Figure 1.
+    source = nodes[0]
+    destination = Point(50.0, 50.0)
+    result = grid.route_from(source, destination)
+    print(f"routing {source.coord} -> {destination}:")
+    print(f"  {result.hops} hops via regions "
+          f"{[region.region_id for region in result.path]}")
+    print(f"  path length {path_length_miles(result):.1f} mi, "
+          f"stretch {stretch(result):.2f}")
+    print()
+
+    # A location query: "inform me about traffic around (30, 30)" over a
+    # 10 mi x 6 mi rectangle; it reaches the region covering the center,
+    # then fans out to every region overlapping the rectangle.
+    query = LocationQuery(
+        query_rect=Rect(25, 27, 10, 6),
+        focal=nodes[3],
+        payload="traffic around exit 89 on I-85, next 30 minutes",
+    )
+    outcome = grid.submit_query(query)
+    print(f"query over {query.query_rect}:")
+    print(f"  routed in {outcome.route.hops} hops to region "
+          f"{outcome.executor.region_id}")
+    print(f"  fan-out covered {len(outcome.covered)} regions: "
+          f"{sorted(region.region_id for region in outcome.covered)}")
+
+
+if __name__ == "__main__":
+    main()

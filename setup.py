@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .`` with pyproject-only
+metadata) fail with ``invalid command 'bdist_wheel'``.  This shim lets pip
+fall back to the classic ``setup.py develop`` code path.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""GeoGrid: a scalable geographical location service overlay network.
+
+A faithful, from-scratch Python reproduction of
+
+    Jianjun Zhang, Gong Zhang, Ling Liu.
+    "GeoGrid: A Scalable Location Service Network." ICDCS 2007.
+
+The public API re-exports the pieces a downstream user needs most:
+
+* the geometric substrate (:mod:`repro.geometry`),
+* the basic overlay (:class:`repro.core.BasicGeoGrid`),
+* the dual-peer overlay (:class:`repro.dualpeer.DualPeerGeoGrid`),
+* the load-balance adaptation engine
+  (:class:`repro.loadbalance.AdaptationEngine`),
+* the workload models of the paper's evaluation (:mod:`repro.workload`),
+* the experiment drivers that regenerate every figure
+  (:mod:`repro.experiments`).
+
+See ``README.md`` for a quickstart and ``DESIGN.md`` for the system
+inventory and the per-figure experiment index.
+"""
+
+from repro.errors import (
+    AdaptationError,
+    BootstrapError,
+    ConfigurationError,
+    GeoGridError,
+    GeometryError,
+    MembershipError,
+    OwnershipError,
+    PartitionError,
+    RoutingError,
+    SimulationError,
+    TransportError,
+)
+from repro.geometry import CellGrid, Circle, Point, Rect, SplitAxis
+from repro.core import (
+    BasicGeoGrid,
+    LocationQuery,
+    Node,
+    NodeAddress,
+    Region,
+    RouteResult,
+    Space,
+    Subscription,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "GeoGridError",
+    "GeometryError",
+    "PartitionError",
+    "RoutingError",
+    "MembershipError",
+    "OwnershipError",
+    "AdaptationError",
+    "BootstrapError",
+    "TransportError",
+    "SimulationError",
+    "ConfigurationError",
+    # geometry
+    "Point",
+    "Rect",
+    "SplitAxis",
+    "Circle",
+    "CellGrid",
+    # core
+    "Node",
+    "NodeAddress",
+    "Region",
+    "Space",
+    "BasicGeoGrid",
+    "LocationQuery",
+    "Subscription",
+    "RouteResult",
+]

@@ -1,0 +1,18 @@
+"""Application services built on the GeoGrid middleware.
+
+The paper positions GeoGrid as "an infrastructure for publish-subscribe
+applications in mobile environments" (Section 4): subscriptions like
+"inform me of the traffic around Exit 89 on I-85 in the next 30 minutes"
+are location queries registered at the regions they cover, and
+geo-tagged publications are routed to the covering region, matched, and
+delivered.
+
+:class:`~repro.apps.pubsub.GeoPubSub` implements that service on top of
+any overlay, staying consistent across region splits and merges through
+the overlay's structural-change listeners.
+"""
+
+from repro.apps.pubsub import GeoPubSub, Notification
+from repro.apps.tracking import RouteTracker, TrackerStep
+
+__all__ = ["GeoPubSub", "Notification", "RouteTracker", "TrackerStep"]

@@ -1,0 +1,23 @@
+"""Bootstrapping (Section 2.1, step 2).
+
+A joining node "obtains a list of existing nodes in GeoGrid from a
+bootstrapping server or a local host cache carried from its last session
+of activity", then contacts an entry node selected randomly from that
+list.  Both sources are implemented here.
+"""
+
+from repro.bootstrap.server import BootstrapServer
+from repro.bootstrap.hostcache import HostCache
+from repro.bootstrap.geolocation import (
+    ConstraintBasedLocator,
+    GeoLocator,
+    GpsLocator,
+)
+
+__all__ = [
+    "BootstrapServer",
+    "HostCache",
+    "GeoLocator",
+    "GpsLocator",
+    "ConstraintBasedLocator",
+]

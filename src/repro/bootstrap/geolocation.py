@@ -1,0 +1,103 @@
+"""Geolocation services for the join bootstrap (Section 2.1, step 1).
+
+"Node p obtains its geographical coordinate by using services like GeoLIM
+[5] of GPS (Global Positioning System)."  Both flavors are modeled:
+
+* :class:`GpsLocator` -- high-accuracy positioning with small Gaussian
+  noise (consumer GPS: a few meters, i.e. ~0.002 mi);
+* :class:`ConstraintBasedLocator` -- coarse network-measurement-based
+  geolocation in the spirit of GeoLIM/CBG: the estimate falls in a
+  city-block-scale cell around the true position.
+
+GeoGrid only needs the coordinate to map a node to a region, so position
+error merely makes a node join a *nearby* region -- the locators let
+tests quantify how much error the geographic mapping tolerates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.geometry import Point, Rect
+
+
+class GeoLocator(Protocol):
+    """Estimates a node's coordinate from its true physical position."""
+
+    def locate(self, true_position: Point, rng: random.Random) -> Point:
+        """Return the estimated coordinate (inside the service area)."""
+        ...
+
+
+class GpsLocator:
+    """GPS positioning: unbiased Gaussian error of a few meters.
+
+    ``sigma_miles`` defaults to 0.003 mi (~5 m), typical consumer GPS.
+    """
+
+    def __init__(self, bounds: Rect, sigma_miles: float = 0.003) -> None:
+        if sigma_miles < 0:
+            raise ValueError(f"sigma_miles must be >= 0, got {sigma_miles!r}")
+        self.bounds = bounds
+        self.sigma_miles = sigma_miles
+
+    def locate(self, true_position: Point, rng: random.Random) -> Point:
+        """The true position plus isotropic Gaussian noise, clamped."""
+        if self.sigma_miles == 0.0:
+            return true_position
+        estimate = Point(
+            rng.gauss(true_position.x, self.sigma_miles),
+            rng.gauss(true_position.y, self.sigma_miles),
+        )
+        return self._clamp(estimate)
+
+    def _clamp(self, point: Point) -> Point:
+        inset = min(self.bounds.width, self.bounds.height) * 1e-9
+        return point.clamped(
+            self.bounds.x + inset,
+            self.bounds.y + inset,
+            self.bounds.x2,
+            self.bounds.y2,
+        )
+
+
+class ConstraintBasedLocator:
+    """Coarse constraint-based geolocation (GeoLIM/CBG style).
+
+    Network-delay triangulation localizes a host to a region of a few
+    miles, not a few meters; this model snaps the true position to the
+    center of a ``cell_miles``-sized cell and adds uniform jitter within
+    half a cell, bounding the error by ``cell_miles / sqrt(2)``.
+    """
+
+    def __init__(self, bounds: Rect, cell_miles: float = 2.0) -> None:
+        if cell_miles <= 0:
+            raise ValueError(f"cell_miles must be positive, got {cell_miles!r}")
+        self.bounds = bounds
+        self.cell_miles = cell_miles
+
+    def locate(self, true_position: Point, rng: random.Random) -> Point:
+        """Cell-center snap plus uniform in-cell jitter, clamped."""
+        half = self.cell_miles / 2.0
+        snapped_x = (
+            self.bounds.x
+            + (int((true_position.x - self.bounds.x) / self.cell_miles) + 0.5)
+            * self.cell_miles
+        )
+        snapped_y = (
+            self.bounds.y
+            + (int((true_position.y - self.bounds.y) / self.cell_miles) + 0.5)
+            * self.cell_miles
+        )
+        estimate = Point(
+            snapped_x + rng.uniform(-half, half),
+            snapped_y + rng.uniform(-half, half),
+        )
+        inset = min(self.bounds.width, self.bounds.height) * 1e-9
+        return estimate.clamped(
+            self.bounds.x + inset,
+            self.bounds.y + inset,
+            self.bounds.x2,
+            self.bounds.y2,
+        )

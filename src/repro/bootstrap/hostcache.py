@@ -1,0 +1,58 @@
+"""The local host cache: entry candidates from a node's last session."""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Iterable, List, Optional
+
+from repro.core.node import NodeAddress
+
+
+class HostCache:
+    """A bounded, recency-ordered cache of previously seen member addresses.
+
+    A returning node can bootstrap from this cache without contacting the
+    bootstrap server at all; stale entries are tolerated (the join simply
+    tries the next candidate).
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[NodeAddress, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, address: NodeAddress) -> bool:
+        return address in self._entries
+
+    def remember(self, address: NodeAddress) -> None:
+        """Record ``address`` as most-recently seen, evicting the oldest."""
+        if address in self._entries:
+            self._entries.move_to_end(address)
+            return
+        self._entries[address] = None
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def remember_all(self, addresses: Iterable[NodeAddress]) -> None:
+        """Record a batch of addresses (e.g. a received neighbor list)."""
+        for address in addresses:
+            self.remember(address)
+
+    def forget(self, address: NodeAddress) -> None:
+        """Drop an address observed to be dead."""
+        self._entries.pop(address, None)
+
+    def entries(self) -> List[NodeAddress]:
+        """All cached addresses, most recent last."""
+        return list(self._entries)
+
+    def pick_entry(self, rng: random.Random) -> Optional[NodeAddress]:
+        """A random cached address, or ``None`` when the cache is empty."""
+        if not self._entries:
+            return None
+        return rng.choice(list(self._entries))

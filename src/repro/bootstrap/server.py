@@ -1,0 +1,62 @@
+"""The bootstrapping server: a registry of currently known members."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.errors import BootstrapError
+from repro.core.node import NodeAddress
+
+
+class BootstrapServer:
+    """A well-known registry nodes report to and fetch entry lists from.
+
+    The server is *soft state*: it may lag behind reality (departed nodes
+    linger until reported), which is why joiners receive a whole list of
+    candidates rather than a single entry point.
+    """
+
+    def __init__(self, max_entries_per_request: int = 16) -> None:
+        if max_entries_per_request < 1:
+            raise BootstrapError(
+                f"max_entries_per_request must be >= 1, got "
+                f"{max_entries_per_request}"
+            )
+        self.max_entries_per_request = max_entries_per_request
+        self._known: Dict[NodeAddress, bool] = {}
+        self.requests_served = 0
+
+    def register(self, address: NodeAddress) -> None:
+        """A node reports itself alive."""
+        self._known[address] = True
+
+    def deregister(self, address: NodeAddress) -> None:
+        """A node (or someone on its behalf) reports it gone."""
+        self._known.pop(address, None)
+
+    def known_count(self) -> int:
+        """Number of addresses currently on record."""
+        return len(self._known)
+
+    def sample_entries(
+        self,
+        rng: random.Random,
+        count: Optional[int] = None,
+        exclude: Optional[NodeAddress] = None,
+    ) -> List[NodeAddress]:
+        """A random entry list for a joining node.
+
+        Raises :class:`BootstrapError` when the registry is empty -- the
+        joiner is then the network's first node and should create the root
+        region instead.
+        """
+        candidates = [
+            address for address in self._known if address != exclude
+        ]
+        if not candidates:
+            raise BootstrapError("the bootstrap server knows no members yet")
+        self.requests_served += 1
+        want = count if count is not None else self.max_entries_per_request
+        want = max(1, min(want, len(candidates)))
+        return rng.sample(candidates, want)

@@ -1,0 +1,241 @@
+"""Command-line interface: regenerate any figure without pytest.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig5-6 --trials 3
+    python -m repro fig7-8 --rounds 25
+    python -m repro all --out results/
+
+Each command builds the experiment at paper scale (tunable), prints the
+paper-style table, and optionally writes it under ``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_CONVERGENCE_POPULATION,
+    PAPER_POPULATIONS,
+)
+from repro.experiments import (
+    ablations,
+    fig_churn,
+    fig_convergence,
+    fig_dualpeer_ablation,
+    fig_region_maps,
+    fig_routing,
+    fig_routing_load,
+    fig_rushhour,
+    fig_scaling,
+)
+
+
+def _config_from(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(seed=args.seed, trials=args.trials)
+
+
+def _run_fig2_3(args: argparse.Namespace) -> str:
+    results = fig_region_maps.run_fig2_fig3(
+        _config_from(args), population=args.population or 500
+    )
+    return fig_region_maps.render_report(results)
+
+
+def _run_fig5_6(args: argparse.Namespace) -> str:
+    populations = (
+        (args.population,) if args.population else PAPER_POPULATIONS
+    )
+    result = fig_scaling.run_scaling(
+        _config_from(args), populations=populations
+    )
+    return fig_scaling.render_report(result)
+
+
+def _run_fig7_8(args: argparse.Namespace) -> str:
+    results = fig_convergence.run_all_scenarios(
+        _config_from(args),
+        population=args.population or PAPER_CONVERGENCE_POPULATION,
+        rounds=args.rounds,
+        max_adaptations=100_000,
+    )
+    rounds = fig_convergence.merged_by_round(results)
+    return "\n\n".join(
+        [
+            "Figure 7: mean workload index by round\n\n"
+            + rounds.render_table("mean", x_label="round"),
+            "Figure 8: std-dev of workload index by round\n\n"
+            + rounds.render_table("std", x_label="round"),
+        ]
+    )
+
+
+def _run_fig9_10(args: argparse.Namespace) -> str:
+    results = fig_convergence.run_all_scenarios(
+        _config_from(args),
+        population=args.population or PAPER_CONVERGENCE_POPULATION,
+        rounds=200,
+        max_adaptations=500,
+    )
+    ops = fig_convergence.thin_collector(
+        fig_convergence.merged_by_adaptation(results), step=25
+    )
+    return "\n\n".join(
+        [
+            "Figure 9: std-dev of workload index by number of adaptations\n\n"
+            + ops.render_table("std", x_label="adaptations"),
+            "Figure 10: mean workload index by number of adaptations\n\n"
+            + ops.render_table("mean", x_label="adaptations"),
+        ]
+    )
+
+
+def _run_routing(args: argparse.Namespace) -> str:
+    cells = fig_routing.run_routing(_config_from(args))
+    return fig_routing.render_report(cells)
+
+
+def _run_routing_load(args: argparse.Namespace) -> str:
+    results = fig_routing_load.run_routing_load(
+        _config_from(args), population=args.population or 1_000
+    )
+    return fig_routing_load.render_report(results)
+
+
+def _run_dualpeer(args: argparse.Namespace) -> str:
+    results = fig_dualpeer_ablation.run_ablation(
+        _config_from(args), population=args.population or 1_000
+    )
+    return fig_dualpeer_ablation.render_report(results)
+
+
+def _run_churn(args: argparse.Namespace) -> str:
+    results = fig_churn.run_churn_comparison(
+        _config_from(args), population=args.population or 1_000
+    )
+    return fig_churn.render_report(results)
+
+
+def _run_rushhour(args: argparse.Namespace) -> str:
+    results = fig_rushhour.run_rushhour(
+        _config_from(args), population=args.population or 1_000
+    )
+    return fig_rushhour.render_report(results)
+
+
+def _run_ablations(args: argparse.Namespace) -> str:
+    config = _config_from(args)
+    population = args.population or 1_000
+    sections = [
+        ablations.render_split_policy_report(
+            ablations.ablate_split_policy(config, population=population)
+        ),
+        ablations.render_adaptation_report(
+            "trigger ratio",
+            ablations.ablate_trigger_ratio(config, population=population),
+        ),
+        ablations.render_adaptation_report(
+            "search TTL",
+            ablations.ablate_search_ttl(config, population=population),
+        ),
+        ablations.render_adaptation_report(
+            "mechanism sets",
+            ablations.ablate_mechanism_sets(config, population=population),
+        ),
+        ablations.render_adaptation_report(
+            "replication fraction",
+            ablations.ablate_replication_fraction(
+                config, population=population
+            ),
+        ),
+    ]
+    return "\n\n".join(sections)
+
+
+COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "fig2-3": _run_fig2_3,
+    "fig5-6": _run_fig5_6,
+    "fig7-8": _run_fig7_8,
+    "fig9-10": _run_fig9_10,
+    "routing": _run_routing,
+    "routing-load": _run_routing_load,
+    "dualpeer": _run_dualpeer,
+    "churn": _run_churn,
+    "rushhour": _run_rushhour,
+    "ablations": _run_ablations,
+}
+
+DESCRIPTIONS = {
+    "fig2-3": "region size & load maps at 500 nodes (Figures 2/3)",
+    "fig5-6": "workload-index std/mean vs population (Figures 5/6)",
+    "fig7-8": "convergence by adaptation round (Figures 7/8)",
+    "fig9-10": "convergence by number of adaptations (Figures 9/10)",
+    "routing": "O(2*sqrt(N)) routing-hop check",
+    "routing-load": "routing workload balance across variants",
+    "dualpeer": "dual-peer ablation (splits, failover, balance)",
+    "churn": "resilience under sustained Poisson churn",
+    "rushhour": "directional rush-hour drift vs adaptation",
+    "ablations": "design-choice ablations (policies, trigger, TTL, ...)",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the GeoGrid paper's figures.",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(COMMANDS) + ["list", "all"],
+        help="which experiment to run ('list' prints descriptions)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=3,
+        help="trials per configuration (paper: 100; default 3)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20070625, help="master random seed"
+    )
+    parser.add_argument(
+        "--population", type=int, default=None,
+        help="override the node population (default: per-figure paper value)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=25,
+        help="adaptation rounds for the convergence figures",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="directory to also write <command>.txt into",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(COMMANDS):
+            print(f"{name:<14} {DESCRIPTIONS[name]}")
+        return 0
+    names = sorted(COMMANDS) if args.command == "all" else [args.command]
+    for name in names:
+        report = COMMANDS[name](args)
+        print(report)
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            path = args.out / f"{name}.txt"
+            path.write_text(report + "\n")
+            print(f"[saved to {path}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

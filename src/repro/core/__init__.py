@@ -1,0 +1,53 @@
+"""The GeoGrid core: nodes, regions, partitioning, routing, queries.
+
+This package implements the *basic* GeoGrid system of Section 2: the
+dynamic rectangular partition of the coordinate space, incremental overlay
+construction (join / split, departure / repair) and greedy geographic
+routing of location queries.  The dual-peer technique and the load-balance
+adaptations build on top of it in :mod:`repro.dualpeer` and
+:mod:`repro.loadbalance`.
+"""
+
+from repro.core.node import Node, NodeAddress, synthetic_address
+from repro.core.query import LocationQuery, Subscription
+from repro.core.region import Region
+from repro.core.routing import (
+    QueryRouteResult,
+    RouteResult,
+    path_length_miles,
+    route_query,
+    route_to_point,
+    route_to_point_randomized,
+    straight_line_miles,
+    stretch,
+)
+from repro.core.policies import (
+    fixed_axis_policy,
+    latitude_first_policy,
+    longest_side_policy,
+)
+from repro.core.space import Space
+from repro.core.overlay import BasicGeoGrid, OverlayStats
+
+__all__ = [
+    "Node",
+    "NodeAddress",
+    "synthetic_address",
+    "LocationQuery",
+    "Subscription",
+    "Region",
+    "RouteResult",
+    "QueryRouteResult",
+    "route_to_point",
+    "route_to_point_randomized",
+    "route_query",
+    "path_length_miles",
+    "straight_line_miles",
+    "stretch",
+    "Space",
+    "BasicGeoGrid",
+    "OverlayStats",
+    "longest_side_policy",
+    "latitude_first_policy",
+    "fixed_axis_policy",
+]

@@ -1,0 +1,58 @@
+"""Split-axis policies.
+
+The paper splits a region "in half by following a certain ordering of the
+dimensions such as latitude dimension first and then longitude dimension".
+Two natural readings exist, and the choice affects region aspect ratios
+and therefore routing hop counts -- so it is pluggable
+(:class:`~repro.core.overlay.BasicGeoGrid` takes any ``SplitPolicy``), and
+the ablation benchmark compares them:
+
+* :func:`longest_side_policy` (the library default): halve the longer
+  side; regions stay square-ish regardless of history;
+* :func:`latitude_first_policy`: strictly alternate dimensions by split
+  depth, latitude (horizontal cut) first, like CAN's round-robin
+  dimension ordering;
+* :func:`fixed_axis_policy`: always the same axis (a deliberately bad
+  baseline producing sliver regions).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry import Rect, SplitAxis
+from repro.core.overlay import SplitPolicy
+
+
+def longest_side_policy(rect: Rect) -> SplitAxis:
+    """Halve the longer side (ties cut the latitude/height first)."""
+    return rect.longer_axis()
+
+
+def latitude_first_policy(bounds: Rect) -> SplitPolicy:
+    """Alternate dimensions by split depth, latitude dimension first.
+
+    The depth of a region is inferred from how many halvings separate it
+    from the root bounds (exact for the dyadic rectangles the overlay
+    produces): even depths cut latitude (a horizontal line through the
+    height), odd depths cut longitude.
+    """
+    root_area = bounds.area
+
+    def policy(rect: Rect) -> SplitAxis:
+        ratio = root_area / rect.area
+        depth = max(0, int(round(math.log2(ratio))))
+        if depth % 2 == 0:
+            return SplitAxis.HORIZONTAL
+        return SplitAxis.VERTICAL
+
+    return policy
+
+
+def fixed_axis_policy(axis: SplitAxis) -> SplitPolicy:
+    """Always cut the same axis (produces slivers; ablation baseline)."""
+
+    def policy(rect: Rect) -> SplitAxis:
+        return axis
+
+    return policy

@@ -1,0 +1,127 @@
+"""Location queries.
+
+Section 2.2: a routing request is a *location query* consisting of a
+spatial query region, a filter condition, and a focal object (the node that
+issued the request).  End users submit requests over an identified
+rectangular area, e.g. "inform me of the traffic around Exit 89 on I-85 in
+the next 30 minutes"; a circular area of radius ``gamma`` around ``(x, y)``
+is submitted as the rectangle ``(x, y, 2*gamma, 2*gamma)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.geometry import Circle, Point, Rect
+from repro.core.node import Node
+
+#: A filter condition evaluated against application payloads at the
+#: executor node.  ``None`` means "match everything".
+FilterCondition = Optional[Callable[[Any], bool]]
+
+_query_ids = itertools.count(1)
+
+
+@dataclass(eq=False)
+class LocationQuery:
+    """A location service request.
+
+    Attributes
+    ----------
+    query_rect:
+        The spatial query region ``(x, y, width, height)``.
+    focal:
+        The GeoGrid node on whose behalf the request is issued (the paper
+        assumes the focal object of each request is an existing node; a
+        mobile user reaches it through her entry/proxy node).
+    condition:
+        Optional filter predicate applied to candidate items by the
+        executor node(s).
+    payload:
+        Free-form application data (e.g. the textual subscription).
+    """
+
+    query_rect: Rect
+    focal: Node
+    condition: FilterCondition = None
+    payload: Any = None
+    query_id: int = field(default_factory=lambda: next(_query_ids))
+
+    @classmethod
+    def around(
+        cls,
+        center: Point,
+        radius: float,
+        focal: Node,
+        condition: FilterCondition = None,
+        payload: Any = None,
+    ) -> "LocationQuery":
+        """Build a query over a circular area of radius ``radius``.
+
+        Represented as the bounding rectangle ``(2*radius x 2*radius)``
+        centered at ``center``, exactly as in the paper.
+        """
+        circle = Circle(center, radius)
+        return cls(
+            query_rect=circle.bounding_rect(),
+            focal=focal,
+            condition=condition,
+            payload=payload,
+        )
+
+    @property
+    def target(self) -> Point:
+        """The routing destination: the center of the query region.
+
+        The request is routed toward the region covering the point
+        ``(x + width/2, y + height/2)``.
+        """
+        return self.query_rect.center
+
+    def matches(self, item: Any) -> bool:
+        """Apply the filter condition (vacuously true when absent)."""
+        if self.condition is None:
+            return True
+        return bool(self.condition(item))
+
+    def __hash__(self) -> int:
+        return hash(self.query_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LocationQuery):
+            return NotImplemented
+        return self.query_id == other.query_id
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LocationQuery(id={self.query_id}, rect={self.query_rect}, "
+            f"focal={self.focal.node_id})"
+        )
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """A standing location query with a lifetime.
+
+    GeoGrid is positioned as an infrastructure for publish/subscribe in
+    mobile environments; a subscription is a location query that stays
+    registered at the executor region(s) until it expires.
+    """
+
+    query: LocationQuery
+    registered_at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration!r}")
+
+    def expires_at(self) -> float:
+        """Absolute expiry time."""
+        return self.registered_at + self.duration
+
+    def is_live_at(self, now: float) -> bool:
+        """Whether the subscription is still active at time ``now``."""
+        return now < self.expires_at()

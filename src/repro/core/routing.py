@@ -1,0 +1,209 @@
+"""Greedy geographic routing (Section 2.2).
+
+Routing in GeoGrid follows the straight-line path through the coordinate
+space: a request is forwarded from its initiator to the immediate neighbor
+closest to the destination coordinate, hop by hop, until it reaches the
+region covering the destination.  On a plane of ``N`` regions this costs
+``O(2*sqrt(N))`` hops between random region pairs.
+
+Once the request reaches the *executor* region (the one covering the query
+center), it fans out to every region whose rectangle overlaps the spatial
+query region.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import RoutingError
+from repro.geometry import Point, Rect
+from repro.core.query import LocationQuery
+from repro.core.region import Region
+from repro.core.space import Space
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of routing a request to a destination coordinate."""
+
+    #: Every region visited, source first, executor last.
+    path: List[Region]
+    #: The region covering the destination coordinate.
+    executor: Region
+
+    @property
+    def hops(self) -> int:
+        """Number of overlay hops (edges traversed)."""
+        return len(self.path) - 1
+
+
+@dataclass(frozen=True)
+class QueryRouteResult:
+    """Outcome of routing a full location query: route plus fan-out."""
+
+    route: RouteResult
+    #: All regions overlapping the spatial query rectangle (executor
+    #: included when it overlaps, which it always does since it covers the
+    #: query center).
+    covered: List[Region]
+
+    @property
+    def executor(self) -> Region:
+        """The region covering the query center."""
+        return self.route.executor
+
+    @property
+    def total_messages(self) -> int:
+        """Routing hops plus fan-out deliveries beyond the executor."""
+        extra = sum(1 for region in self.covered if region is not self.route.executor)
+        return self.route.hops + extra
+
+
+def route_to_point(
+    space: Space,
+    start: Region,
+    target: Point,
+) -> RouteResult:
+    """Route from ``start`` to the region covering ``target``.
+
+    Raises :class:`RoutingError` when the target lies outside the space.
+    """
+    if start not in space:
+        raise RoutingError(f"start region {start!r} is not part of the space")
+    if not space.covers_point(target):
+        raise RoutingError(f"destination {target} lies outside the service area")
+    path: List[Region] = []
+    executor = space.locate(target, hint=start, path=path)
+    return RouteResult(path=path, executor=executor)
+
+
+def route_query(
+    space: Space,
+    start: Region,
+    query: LocationQuery,
+) -> QueryRouteResult:
+    """Route ``query`` to its executor, then fan out over the query region.
+
+    Mirrors the paper's example: a subscription over the gray rectangle is
+    first routed to the region covering the rectangle's center; from there
+    the executor forwards it to every neighbor region overlapping the query
+    area (transitively, for query regions larger than one neighborhood).
+    """
+    route = route_to_point(space, start, query.target)
+    covered = _fanout(space, route.executor, query.query_rect)
+    return QueryRouteResult(route=route, covered=covered)
+
+
+def _fanout(space: Space, executor: Region, query_rect: Rect) -> List[Region]:
+    """All regions overlapping ``query_rect``, discovered from ``executor``.
+
+    Breadth-first over region adjacency, expanding only through overlapping
+    regions (the overlapping set is edge-connected because the regions tile
+    the plane).
+    """
+    if not executor.rect.intersects(query_rect):
+        # A degenerate query rectangle can have its center on the very
+        # border of the executor without sharing interior area; the
+        # executor still answers it alone.
+        return [executor]
+    covered: List[Region] = []
+    seen = {executor}
+    frontier = [executor]
+    while frontier:
+        region = frontier.pop()
+        covered.append(region)
+        for neighbor in space.neighbors(region):
+            if neighbor not in seen and neighbor.rect.intersects(query_rect):
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return covered
+
+
+def route_to_point_randomized(
+    space: Space,
+    start: Region,
+    target: Point,
+    rng,
+    slack: float = 1.25,
+    max_steps: int = 10_000,
+) -> RouteResult:
+    """Greedy routing with randomized entry selection (Section 2.2).
+
+    The paper's management-message list includes "randomization of routing
+    entries": instead of always forwarding to the single closest neighbor,
+    each hop picks uniformly among the neighbors that both make strict
+    progress and lie within ``slack`` of the best distance.  Requests
+    between the same endpoints then spread over several parallel paths,
+    diffusing the *routing* workload off the single greedy corridor while
+    keeping every hop strictly closer to the target (so termination and
+    the O(2*sqrt(N)) bound are preserved).
+    """
+    if start not in space:
+        raise RoutingError(f"start region {start!r} is not part of the space")
+    if not space.covers_point(target):
+        raise RoutingError(f"destination {target} lies outside the service area")
+    if slack < 1.0:
+        raise ValueError(f"slack must be >= 1, got {slack!r}")
+    current = start
+    current_dist = current.rect.distance_to_point(target)
+    path = [current]
+    for _ in range(max_steps):
+        if space.region_covers(current, target):
+            return RouteResult(path=path, executor=current)
+        candidates = []
+        best = math.inf
+        for neighbor in space.neighbors(current):
+            distance = neighbor.rect.distance_to_point(target)
+            if distance < current_dist - 1e-12:
+                candidates.append((distance, neighbor))
+                best = min(best, distance)
+        if candidates:
+            eligible = [
+                neighbor for distance, neighbor in candidates
+                if distance <= best * slack + 1e-12
+            ]
+            current = eligible[rng.randrange(len(eligible))]
+            current_dist = current.rect.distance_to_point(target)
+            path.append(current)
+            continue
+        # No strict progress: fall back to the deterministic walk, which
+        # handles the boundary cases (shared edges, corner points).
+        tail: List[Region] = []
+        executor = space.locate(target, hint=current, path=tail)
+        path.extend(tail[1:])
+        return RouteResult(path=path, executor=executor)
+    raise RoutingError(
+        f"randomized route from {start!r} to {target} exceeded "
+        f"{max_steps} steps; the partition is corrupt"
+    )
+
+
+def path_length_miles(result: RouteResult) -> float:
+    """Geographic length of the routed path (sum of region-center legs).
+
+    A proxy for per-hop latency accumulated along the path; GeoGrid's
+    geographic routing keeps this close to the straight-line distance,
+    which is the "physical and network proximity" similarity the paper
+    exploits.
+    """
+    total = 0.0
+    for a, b in zip(result.path, result.path[1:]):
+        total += a.rect.center.distance_to(b.rect.center)
+    return total
+
+
+def straight_line_miles(result: RouteResult) -> Optional[float]:
+    """Straight-line distance from source to executor centers."""
+    if not result.path:
+        return None
+    return result.path[0].rect.center.distance_to(result.executor.rect.center)
+
+
+def stretch(result: RouteResult) -> Optional[float]:
+    """Path length divided by straight-line distance (>= 1, lower better)."""
+    line = straight_line_miles(result)
+    if line is None or line == 0.0:
+        return None
+    return path_length_miles(result) / line

@@ -1,0 +1,381 @@
+"""The partition manager: a dynamic rectangular tiling of the GeoGrid plane.
+
+At any point in time the network of ``N`` nodes partitions the entire
+coordinate space into ``N`` disjoint rectangles (Section 2).  This module
+owns that state: the set of live :class:`~repro.core.region.Region` objects,
+their adjacency ("two regions are neighbors when their intersection is a
+line segment"), and point location.
+
+Point location is accelerated with an incrementally-maintained cell index
+(each index cell remembers a region near it); a greedy walk over the
+adjacency graph from the indexed candidate is the authority, so the index
+never has to be perfectly fresh.  The greedy walk is the same procedure the
+overlay uses for routing, so its hop counts are also what the routing
+experiments measure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.errors import GeometryError, PartitionError
+from repro.geometry import Point, Rect, SplitAxis
+from repro.core.region import Region
+
+#: Strict-progress margin for the greedy walk; distances are in the same
+#: unit as the space (miles), so anything far below a cell size works.
+_PROGRESS_EPS = 1e-12
+
+
+class Space:
+    """The set of regions currently tiling the GeoGrid plane.
+
+    The space starts out as a single *root* region owned by the first node;
+    joins split regions, departures merge them back (or hand them over).
+    All structural operations keep three invariants:
+
+    1. the union of all region rectangles is exactly the bounds;
+    2. region rectangles are pairwise interior-disjoint;
+    3. the adjacency relation equals the geometric neighbor predicate.
+
+    ``check_invariants`` verifies all three (tests call it constantly).
+    """
+
+    def __init__(self, bounds: Rect, index_resolution: int = 128) -> None:
+        if index_resolution < 1:
+            raise ValueError(f"index_resolution must be >= 1, got {index_resolution}")
+        self.bounds = bounds
+        self._regions: Set[Region] = set()
+        self._adjacency: Dict[Region, Set[Region]] = {}
+        self._index_nx = index_resolution
+        self._index_ny = index_resolution
+        self._index_cell_w = bounds.width / index_resolution
+        self._index_cell_h = bounds.height / index_resolution
+        self._cell_hint: List[Optional[Region]] = [None] * (index_resolution * index_resolution)
+        #: Cumulative counter of greedy-walk hops, exposed for experiments.
+        self.walk_hops = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def regions(self) -> Set[Region]:
+        """A live view of the current regions (do not mutate)."""
+        return self._regions
+
+    def region_count(self) -> int:
+        """Number of regions currently tiling the space."""
+        return len(self._regions)
+
+    def neighbors(self, region: Region) -> Set[Region]:
+        """The immediate neighbor regions of ``region``."""
+        try:
+            return self._adjacency[region]
+        except KeyError:
+            raise PartitionError(f"{region!r} is not part of this space") from None
+
+    def __contains__(self, region: Region) -> bool:
+        return region in self._regions
+
+    def any_region(self) -> Region:
+        """An arbitrary region (used as a walk start of last resort)."""
+        if not self._regions:
+            raise PartitionError("the space has no regions yet")
+        return next(iter(self._regions))
+
+    # ------------------------------------------------------------------
+    # Structure: root, split, merge
+    # ------------------------------------------------------------------
+    def add_root(self, region: Region) -> None:
+        """Install the first region; it must cover the entire bounds."""
+        if self._regions:
+            raise PartitionError("the space already has regions; cannot add a root")
+        if region.rect != self.bounds:
+            raise PartitionError(
+                f"root region rect {region.rect} must equal the space bounds "
+                f"{self.bounds}"
+            )
+        self._regions.add(region)
+        self._adjacency[region] = set()
+        self._reindex_rect(region.rect, region)
+
+    def split_region(
+        self,
+        region: Region,
+        axis: Optional[SplitAxis] = None,
+        keep: str = "low",
+    ) -> Region:
+        """Split ``region`` in half and return the newly created region.
+
+        ``region`` keeps the ``keep`` half (``"low"`` = south/west) and a
+        fresh :class:`Region` is created for the other half.  Owner slots of
+        the new region start empty; the caller (the overlay) decides who
+        owns what, because basic and dual-peer GeoGrid assign ownership
+        differently.
+
+        ``axis`` defaults to halving the longer side ("latitude dimension
+        first" on ties, per the paper's example ordering).
+        """
+        if region not in self._regions:
+            raise PartitionError(f"{region!r} is not part of this space")
+        if keep not in ("low", "high"):
+            raise ValueError(f"keep must be 'low' or 'high', got {keep!r}")
+        if axis is None:
+            axis = region.rect.longer_axis()
+        low, high = region.rect.split(axis)
+        kept_rect, new_rect = (low, high) if keep == "low" else (high, low)
+
+        old_neighbors = self._adjacency[region]
+        region.rect = kept_rect
+        new_region = Region(rect=new_rect)
+        self._regions.add(new_region)
+
+        # The new region's neighbors are a subset of the old neighbors plus
+        # the kept half; the kept half loses the old neighbors that only
+        # touched the handed-off half.
+        new_neighbors: Set[Region] = set()
+        for candidate in old_neighbors:
+            touches_new = new_rect.is_neighbor_of(candidate.rect)
+            touches_kept = kept_rect.is_neighbor_of(candidate.rect)
+            if touches_new:
+                new_neighbors.add(candidate)
+                self._adjacency[candidate].add(new_region)
+            if not touches_kept:
+                self._adjacency[candidate].discard(region)
+        new_neighbors_frozen = set(new_neighbors)
+        kept_neighbors = {
+            candidate
+            for candidate in old_neighbors
+            if kept_rect.is_neighbor_of(candidate.rect)
+        }
+        kept_neighbors.add(new_region)
+        new_neighbors_frozen.add(region)
+        self._adjacency[region] = kept_neighbors
+        self._adjacency[new_region] = new_neighbors_frozen
+
+        self._reindex_rect(new_rect, new_region)
+        return new_region
+
+    def merge_regions(self, survivor: Region, absorbed: Region) -> Region:
+        """Merge ``absorbed`` into ``survivor``; returns ``survivor``.
+
+        The two rectangles' union must itself be a rectangle.  Owner slots
+        of ``absorbed`` are left for the caller to rehome; after this call
+        ``absorbed`` is no longer part of the space.
+        """
+        if survivor not in self._regions or absorbed not in self._regions:
+            raise PartitionError("both regions must be part of this space")
+        if survivor is absorbed:
+            raise PartitionError("cannot merge a region with itself")
+        if not survivor.rect.can_merge_with(absorbed.rect):
+            raise GeometryError(
+                f"union of {survivor.rect} and {absorbed.rect} is not a rectangle"
+            )
+        merged_rect = survivor.rect.merge_with(absorbed.rect)
+        candidates = (
+            self._adjacency[survivor] | self._adjacency[absorbed]
+        ) - {survivor, absorbed}
+        for candidate in candidates:
+            self._adjacency[candidate].discard(absorbed)
+            self._adjacency[candidate].discard(survivor)
+        del self._adjacency[absorbed]
+        self._regions.discard(absorbed)
+
+        survivor.rect = merged_rect
+        new_neighbors = {
+            candidate
+            for candidate in candidates
+            if merged_rect.is_neighbor_of(candidate.rect)
+        }
+        self._adjacency[survivor] = new_neighbors
+        for candidate in new_neighbors:
+            self._adjacency[candidate].add(survivor)
+
+        self._reindex_rect(merged_rect, survivor)
+        return survivor
+
+    # ------------------------------------------------------------------
+    # Point location
+    # ------------------------------------------------------------------
+    def region_covers(self, region: Region, point: Point) -> bool:
+        """Coverage predicate adjusted at the space border.
+
+        Uses the paper's half-open rule, but closes the low edge for
+        regions sitting on the space's own west/south border so that every
+        point of the bounds is covered by exactly one region.
+        """
+        return region.rect.covers(
+            point,
+            closed_low_x=region.rect.x <= self.bounds.x,
+            closed_low_y=region.rect.y <= self.bounds.y,
+        )
+
+    def covers_point(self, point: Point) -> bool:
+        """Whether ``point`` lies inside the space bounds at all."""
+        return self.bounds.covers(point, closed_low_x=True, closed_low_y=True)
+
+    def locate(
+        self,
+        point: Point,
+        hint: Optional[Region] = None,
+        path: Optional[List[Region]] = None,
+    ) -> Region:
+        """Find the region covering ``point``.
+
+        Performs the greedy geographic walk of Section 2.2 starting from
+        ``hint`` (or the cell-index candidate): repeatedly step to the
+        neighbor whose region is closest to the destination.  If ``path``
+        is given, every visited region (including start and destination) is
+        appended to it, which is how the routing layer obtains hop counts.
+        """
+        if not self._regions:
+            raise PartitionError("the space has no regions yet")
+        if not self.covers_point(point):
+            raise PartitionError(f"point {point} lies outside the space bounds")
+        current = hint if hint in self._regions else self._hint_for(point)
+        if current is None or current not in self._regions:
+            current = self.any_region()
+        if path is not None:
+            path.append(current)
+        current_dist = current.rect.distance_to_point(point)
+        # The walk terminates: every step strictly decreases the distance
+        # to the target, and there are finitely many regions.
+        max_steps = len(self._regions) + 4
+        for _ in range(max_steps):
+            if self.region_covers(current, point):
+                return current
+            best = None
+            best_dist = math.inf
+            for neighbor in self._adjacency[current]:
+                d = neighbor.rect.distance_to_point(point)
+                if d < best_dist:
+                    best, best_dist = neighbor, d
+            if best is not None and best_dist < current_dist - _PROGRESS_EPS:
+                current, current_dist = best, best_dist
+                self.walk_hops += 1
+                if path is not None:
+                    path.append(current)
+                continue
+            # Stalled with zero progress: the point sits exactly on a
+            # region boundary.  The covering region is then either a
+            # neighbor (shared edge) or a corner-touching region; check the
+            # neighbors first, then fall back to the scan of last resort.
+            for neighbor in self._adjacency[current]:
+                if self.region_covers(neighbor, point):
+                    if path is not None:
+                        path.append(neighbor)
+                    self.walk_hops += 1
+                    return neighbor
+            located = self._scan(point)
+            if path is not None and located is not current:
+                path.append(located)
+            return located
+        raise PartitionError(
+            f"greedy walk failed to converge locating {point}; the partition "
+            f"is corrupt"
+        )
+
+    def _scan(self, point: Point) -> Region:
+        """O(N) fallback point location (boundary-exact)."""
+        for region in self._regions:
+            if self.region_covers(region, point):
+                return region
+        raise PartitionError(
+            f"no region covers {point}; the partition does not tile the bounds"
+        )
+
+    # ------------------------------------------------------------------
+    # Cell index
+    # ------------------------------------------------------------------
+    def _cell_of(self, point: Point) -> int:
+        ix = int((point.x - self.bounds.x) / self._index_cell_w)
+        iy = int((point.y - self.bounds.y) / self._index_cell_h)
+        ix = min(max(ix, 0), self._index_nx - 1)
+        iy = min(max(iy, 0), self._index_ny - 1)
+        return ix * self._index_ny + iy
+
+    def _hint_for(self, point: Point) -> Optional[Region]:
+        return self._cell_hint[self._cell_of(point)]
+
+    def _reindex_rect(self, rect: Rect, region: Region) -> None:
+        """Point the index cells overlapping ``rect`` at ``region``."""
+        ix0 = max(0, int((rect.x - self.bounds.x) / self._index_cell_w))
+        ix1 = min(self._index_nx - 1, int((rect.x2 - self.bounds.x) / self._index_cell_w))
+        iy0 = max(0, int((rect.y - self.bounds.y) / self._index_cell_h))
+        iy1 = min(self._index_ny - 1, int((rect.y2 - self.bounds.y) / self._index_cell_h))
+        for ix in range(ix0, ix1 + 1):
+            base = ix * self._index_ny
+            for iy in range(iy0, iy1 + 1):
+                self._cell_hint[base + iy] = region
+        # Entries left pointing at regions that later shrink away or get
+        # removed are tolerated: ``locate`` validates the hint and the
+        # greedy walk corrects it, the index is only a starting guess.
+
+    # ------------------------------------------------------------------
+    # Invariants (used heavily by the test-suite)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify tiling, disjointness and adjacency; raise on violation."""
+        if not self._regions:
+            return
+        total_area = sum(r.rect.area for r in self._regions)
+        if not math.isclose(total_area, self.bounds.area, rel_tol=1e-9):
+            raise PartitionError(
+                f"region areas sum to {total_area}, bounds area is "
+                f"{self.bounds.area}: the partition does not tile the space"
+            )
+        regions = list(self._regions)
+        for i, a in enumerate(regions):
+            if not self.bounds.contains_rect(a.rect):
+                raise PartitionError(f"{a!r} sticks out of the bounds")
+            for b in regions[i + 1 :]:
+                if a.rect.intersects(b.rect):
+                    raise PartitionError(f"{a!r} and {b!r} overlap")
+        if set(self._adjacency) != self._regions:
+            raise PartitionError("adjacency keys do not match the region set")
+        for a in regions:
+            for b in regions:
+                if a is b:
+                    continue
+                geometric = a.rect.is_neighbor_of(b.rect)
+                recorded = b in self._adjacency[a]
+                if geometric != recorded:
+                    raise PartitionError(
+                        f"adjacency mismatch between {a!r} and {b!r}: "
+                        f"geometric={geometric} recorded={recorded}"
+                    )
+                symmetric = a in self._adjacency[b]
+                if recorded != symmetric:
+                    raise PartitionError(
+                        f"adjacency between {a!r} and {b!r} is asymmetric"
+                    )
+
+    def iter_regions_intersecting(self, rect: Rect) -> Iterable[Region]:
+        """All regions sharing interior area with ``rect``.
+
+        Used by query fan-out: after a request reaches the region covering
+        the query center, it is forwarded to every region overlapping the
+        spatial query rectangle.  Implemented as a BFS over adjacency from
+        the covering region, so it touches only the relevant corner of the
+        space.
+        """
+        if not self._regions:
+            return
+        start = self.locate(rect.center)
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            region = frontier.pop()
+            if region.rect.intersects(rect):
+                yield region
+                for neighbor in self._adjacency[region]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        frontier.append(neighbor)
+            # Regions not intersecting the query rect do not expand the
+            # search: the set of intersecting regions is edge-connected, so
+            # the BFS reaches all of them through intersecting regions.
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Space(bounds={self.bounds}, regions={len(self._regions)})"

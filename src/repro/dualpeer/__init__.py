@@ -1,0 +1,20 @@
+"""The dual-peer GeoGrid (Section 2.3).
+
+Instead of a single owner per region, two nodes share ownership: the node
+with more capacity serves as the *primary* owner and handles all requests;
+the *secondary* owner replicates the primary's query state and
+application data and takes over on failure.  Dual peer gives GeoGrid three
+advantages the paper calls out:
+
+1. fault resilience -- a region survives the failure of either owner;
+2. fewer region splits -- a join usually fills an empty secondary slot
+   instead of splitting, shortening routing paths;
+3. better load balance -- new nodes probe the neighborhood and join or
+   split the region with the *weakest* primary owner, so powerful nodes
+   end up owning larger regions.
+"""
+
+from repro.dualpeer.join import JoinDecision, JoinPlan, plan_join
+from repro.dualpeer.overlay import DualPeerGeoGrid
+
+__all__ = ["DualPeerGeoGrid", "plan_join", "JoinPlan", "JoinDecision"]

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the GeoGrid reproduction.
+
+All library-specific errors derive from :class:`GeoGridError` so that
+callers can catch everything the library raises with a single clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class GeoGridError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GeometryError(GeoGridError):
+    """Invalid geometric operation (illegal merge, degenerate rectangle...)."""
+
+
+class PartitionError(GeoGridError):
+    """The space partition would be violated by the requested operation."""
+
+
+class RoutingError(GeoGridError):
+    """A routing request could not be delivered."""
+
+
+class MembershipError(GeoGridError):
+    """Invalid join/leave/failure operation (unknown node, duplicate join...)."""
+
+
+class OwnershipError(GeoGridError):
+    """Invalid primary/secondary ownership manipulation."""
+
+
+class AdaptationError(GeoGridError):
+    """A load-balance adaptation plan could not be applied."""
+
+
+class BootstrapError(GeoGridError):
+    """The bootstrap service could not provide an entry point."""
+
+
+class TransportError(GeoGridError):
+    """Simulated-network transport failure (unknown endpoint, closed...)."""
+
+
+class SimulationError(GeoGridError):
+    """Discrete-event simulation misuse (time travel, re-entrant run...)."""
+
+
+class ConfigurationError(GeoGridError):
+    """Invalid experiment or system configuration."""

@@ -1,0 +1,41 @@
+"""Experiment drivers regenerating every figure of the paper.
+
+========  ===================================================  =========================================
+Figure    What it shows                                        Driver
+========  ===================================================  =========================================
+Fig 1     15-node partition + routing example                  ``examples/quickstart.py`` (uses core+viz)
+Fig 2/3   region size & load maps, basic vs dual peer          :mod:`repro.experiments.fig_region_maps`
+Fig 4     the eight mechanisms (illustration)                  ``tests/loadbalance/test_mechanisms.py``
+Fig 5/6   std-dev / mean of workload index vs population       :mod:`repro.experiments.fig_scaling`
+Fig 7/8   convergence by adaptation round (static/moving)      :mod:`repro.experiments.fig_convergence`
+Fig 9/10  convergence by number of adaptations                 :mod:`repro.experiments.fig_convergence`
+(claim)   O(2*sqrt(N)) routing hops                            :mod:`repro.experiments.fig_routing`
+(claim)   dual peer: fewer splits, failover, balance           :mod:`repro.experiments.fig_dualpeer_ablation`
+========  ===================================================  =========================================
+
+Every driver is deterministic under its
+:class:`~repro.experiments.config.ExperimentConfig` seed and returns plain
+result dataclasses plus a ``render_report`` text table, which is what the
+benchmark harness prints.
+"""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_BOUNDS,
+    PAPER_CONVERGENCE_POPULATION,
+    PAPER_POPULATIONS,
+    SystemVariant,
+)
+from repro.experiments.build import BuiltNetwork, build_field, build_network, draw_population
+
+__all__ = [
+    "ExperimentConfig",
+    "SystemVariant",
+    "PAPER_BOUNDS",
+    "PAPER_POPULATIONS",
+    "PAPER_CONVERGENCE_POPULATION",
+    "BuiltNetwork",
+    "build_field",
+    "build_network",
+    "draw_population",
+]

@@ -1,0 +1,259 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation isolates one knob on otherwise-identical networks:
+
+* **split policy** -- longest-side vs strict latitude-first alternation vs
+  a fixed axis: region aspect ratios and routing hops;
+* **trigger ratio** -- the sqrt(2) hysteresis vs tighter/looser triggers:
+  adaptation volume vs achieved balance;
+* **search TTL** -- reach of the remote mechanisms vs message cost;
+* **replication fraction** -- charging secondaries for replicated load;
+* **mechanism set** -- local-only (a)-(e) vs the full set: what the
+  remote mechanisms (f)-(h) buy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.policies import (
+    fixed_axis_policy,
+    latitude_first_policy,
+    longest_side_policy,
+)
+from repro.core.routing import route_to_point
+from repro.dualpeer import DualPeerGeoGrid
+from repro.geometry import Point, Rect, SplitAxis
+from repro.loadbalance import (
+    AdaptationConfig,
+    AdaptationEngine,
+    WorkloadIndexCalculator,
+    default_mechanisms,
+)
+from repro.metrics.stats import StatSummary, summarize
+from repro.sim.rng import RngStreams
+from repro.workload import UniformPlacement
+from repro.experiments.build import build_field, build_network, draw_population
+from repro.experiments.config import ExperimentConfig, SystemVariant
+
+
+# ---------------------------------------------------------------------
+# Split policy
+# ---------------------------------------------------------------------
+@dataclass(frozen=True)
+class SplitPolicyRow:
+    """Structure and routing quality under one split policy."""
+
+    name: str
+    mean_aspect_ratio: float
+    max_aspect_ratio: float
+    mean_hops: float
+    area_std: float
+
+
+def ablate_split_policy(
+    config: ExperimentConfig,
+    population: int = 1_000,
+    samples: int = 200,
+) -> List[SplitPolicyRow]:
+    """Compare split policies on identical populations."""
+    policies = [
+        ("longest-side (default)", longest_side_policy),
+        ("latitude-first alternation", latitude_first_policy(config.bounds)),
+        ("fixed vertical (baseline)", fixed_axis_policy(SplitAxis.VERTICAL)),
+    ]
+    rows: List[SplitPolicyRow] = []
+    for name, policy in policies:
+        streams = RngStreams(config.seed).fork(910_000)
+        nodes = draw_population(population, config, streams)
+        overlay = DualPeerGeoGrid(
+            config.bounds, rng=streams.stream("entry"), split_policy=policy
+        )
+        for node in nodes:
+            overlay.join(node)
+        aspects = [region.rect.aspect_ratio for region in overlay.space.regions]
+        areas = [region.rect.area for region in overlay.space.regions]
+        sample_rng = streams.stream("routing-samples")
+        placement = UniformPlacement(config.bounds)
+        hops = []
+        for _ in range(samples):
+            source = overlay.random_node()
+            start = next(iter(overlay.primary_regions(source)), None)
+            if start is None:
+                continue
+            result = route_to_point(
+                overlay.space, start, placement.sample(sample_rng)
+            )
+            hops.append(result.hops)
+        rows.append(
+            SplitPolicyRow(
+                name=name,
+                mean_aspect_ratio=summarize(aspects).mean,
+                max_aspect_ratio=summarize(aspects).maximum,
+                mean_hops=summarize(hops).mean,
+                area_std=summarize(areas).std,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------
+# Adaptation knobs (shared runner)
+# ---------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdaptationAblationRow:
+    """Balance achieved and effort spent under one configuration."""
+
+    label: str
+    adaptations: int
+    search_messages: int
+    #: Estimated handshake/state-transfer/update messages spent executing.
+    execution_messages: int
+    final: StatSummary
+    remote_usage: int
+
+
+def _run_adaptation(
+    config: ExperimentConfig,
+    adaptation: AdaptationConfig,
+    population: int,
+    label: str,
+    mechanisms=None,
+) -> AdaptationAblationRow:
+    streams = RngStreams(config.seed).fork(920_000)
+    field = build_field(config, streams)
+    nodes = draw_population(population, config, streams)
+    network = build_network(
+        SystemVariant.DUAL_PEER, population, config, streams,
+        field=field, nodes=nodes,
+    )
+    calc = WorkloadIndexCalculator(
+        network.overlay,
+        field.region_load,
+        replication_fraction=adaptation.replication_fraction,
+    )
+    engine = AdaptationEngine(
+        network.overlay, calc, config=adaptation, mechanisms=mechanisms
+    )
+    engine.run_until_stable(max_rounds=config.max_adaptation_rounds)
+    usage = engine.mechanism_usage()
+    remote = sum(usage.get(key, 0) for key in ("f", "g", "h"))
+    return AdaptationAblationRow(
+        label=label,
+        adaptations=engine.total_adaptations,
+        search_messages=engine.search_messages,
+        execution_messages=engine.adaptation_messages,
+        final=calc.summary(),
+        remote_usage=remote,
+    )
+
+
+def ablate_trigger_ratio(
+    config: ExperimentConfig,
+    population: int = 1_000,
+    ratios: Sequence[float] = (1.05, math.sqrt(2.0), 2.0, 4.0),
+) -> List[AdaptationAblationRow]:
+    """Sweep the trigger hysteresis around the paper's sqrt(2)."""
+    return [
+        _run_adaptation(
+            config,
+            AdaptationConfig(trigger_ratio=ratio),
+            population,
+            label=f"ratio={ratio:.2f}",
+        )
+        for ratio in ratios
+    ]
+
+
+def ablate_search_ttl(
+    config: ExperimentConfig,
+    population: int = 1_000,
+    ttls: Sequence[int] = (1, 2, 4, 8),
+) -> List[AdaptationAblationRow]:
+    """Sweep the remote-search hop budget."""
+    return [
+        _run_adaptation(
+            config,
+            AdaptationConfig(search_ttl=ttl),
+            population,
+            label=f"ttl={ttl}",
+        )
+        for ttl in ttls
+    ]
+
+
+def ablate_replication_fraction(
+    config: ExperimentConfig,
+    population: int = 1_000,
+    fractions: Sequence[float] = (0.0, 0.25, 0.5),
+) -> List[AdaptationAblationRow]:
+    """Charge secondaries a fraction of the replicated load."""
+    return [
+        _run_adaptation(
+            config,
+            AdaptationConfig(replication_fraction=fraction),
+            population,
+            label=f"replication={fraction:.2f}",
+        )
+        for fraction in fractions
+    ]
+
+
+def ablate_mechanism_sets(
+    config: ExperimentConfig,
+    population: int = 1_000,
+) -> List[AdaptationAblationRow]:
+    """Local mechanisms only vs the full set (what remote search buys)."""
+    all_mechanisms = default_mechanisms()
+    local_only = [m for m in all_mechanisms if not m.remote]
+    rows = [
+        _run_adaptation(
+            config, AdaptationConfig(), population,
+            label="local only (a-e)", mechanisms=local_only,
+        ),
+        _run_adaptation(
+            config, AdaptationConfig(), population,
+            label="all mechanisms (a-h)", mechanisms=default_mechanisms(),
+        ),
+    ]
+    return rows
+
+
+# ---------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------
+def render_split_policy_report(rows: List[SplitPolicyRow]) -> str:
+    """Split-policy comparison rows."""
+    lines = [
+        "Ablation: split-axis policy",
+        "",
+        f"{'policy':<30} {'aspect mean':>12} {'aspect max':>11} "
+        f"{'mean hops':>10} {'area std':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:<30} {row.mean_aspect_ratio:>12.2f} "
+            f"{row.max_aspect_ratio:>11.1f} {row.mean_hops:>10.1f} "
+            f"{row.area_std:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_adaptation_report(title: str, rows: List[AdaptationAblationRow]) -> str:
+    """Adaptation-knob comparison rows."""
+    lines = [
+        f"Ablation: {title}",
+        "",
+        f"{'configuration':<24} {'adaptations':>12} {'remote':>7} "
+        f"{'search msgs':>12} {'exec msgs':>10} {'final std':>12} "
+        f"{'final mean':>12}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.label:<24} {row.adaptations:>12} {row.remote_usage:>7} "
+            f"{row.search_messages:>12} {row.execution_messages:>10} "
+            f"{row.final.std:>12.5f} {row.final.mean:>12.5f}"
+        )
+    return "\n".join(lines)

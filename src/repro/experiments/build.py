@@ -1,0 +1,115 @@
+"""Construction of experiment networks.
+
+One place assembles a GeoGrid of any variant under any seed, so that the
+three variants of a comparison differ *only* in the mechanism under test:
+all share node coordinates, capacities, and the hot-spot field (same named
+RNG streams under the same master seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.node import Node
+from repro.core.overlay import BasicGeoGrid
+from repro.dualpeer.overlay import DualPeerGeoGrid
+from repro.loadbalance import (
+    AdaptationEngine,
+    WorkloadIndexCalculator,
+)
+from repro.sim.rng import RngStreams
+from repro.workload import (
+    GnutellaCapacityDistribution,
+    HotspotField,
+    UniformPlacement,
+)
+from repro.experiments.config import ExperimentConfig, SystemVariant
+
+
+@dataclass
+class BuiltNetwork:
+    """A constructed experiment network plus its measurement plumbing."""
+
+    variant: SystemVariant
+    overlay: BasicGeoGrid
+    field: HotspotField
+    calc: WorkloadIndexCalculator
+    nodes: List[Node]
+    #: Present only for the adaptation variant.
+    engine: Optional[AdaptationEngine]
+
+
+def build_field(
+    config: ExperimentConfig, streams: RngStreams
+) -> HotspotField:
+    """The hot-spot workload field for one trial."""
+    return HotspotField.random(
+        config.bounds,
+        count=config.hotspot_count,
+        rng=streams.stream("hotspots"),
+        radius_range=config.hotspot_radius_range,
+        cell_size=config.cell_size,
+    )
+
+
+def draw_population(
+    count: int, config: ExperimentConfig, streams: RngStreams
+) -> List[Node]:
+    """Draw ``count`` nodes: uniform placement, Gnutella-skewed capacity."""
+    placement = UniformPlacement(config.bounds)
+    capacities = GnutellaCapacityDistribution()
+    place_rng = streams.stream("placement")
+    capacity_rng = streams.stream("capacity")
+    return [
+        Node(
+            node_id=index,
+            coord=placement.sample(place_rng),
+            capacity=capacities.sample(capacity_rng),
+        )
+        for index in range(count)
+    ]
+
+
+def build_network(
+    variant: SystemVariant,
+    count: int,
+    config: ExperimentConfig,
+    streams: RngStreams,
+    field: Optional[HotspotField] = None,
+    nodes: Optional[List[Node]] = None,
+) -> BuiltNetwork:
+    """Assemble one network of ``count`` nodes under ``variant``.
+
+    Passing the same ``streams`` for different variants reproduces the
+    same nodes and hot spots, isolating the variant effect.
+    """
+    if field is None:
+        field = build_field(config, streams)
+    if nodes is None:
+        nodes = draw_population(count, config, streams)
+    entry_rng = streams.stream("entry")
+    overlay_cls = DualPeerGeoGrid if variant.uses_dual_peer else BasicGeoGrid
+    overlay = overlay_cls(
+        config.bounds, rng=entry_rng, load_fn=field.region_load
+    )
+    for node in nodes:
+        overlay.join(node)
+    calc = WorkloadIndexCalculator(
+        overlay,
+        field.region_load,
+        replication_fraction=config.adaptation.replication_fraction,
+    )
+    engine = None
+    if variant.uses_adaptation:
+        engine = AdaptationEngine(
+            overlay, calc, config=config.adaptation
+        )
+    return BuiltNetwork(
+        variant=variant,
+        overlay=overlay,
+        field=field,
+        calc=calc,
+        nodes=list(nodes),
+        engine=engine,
+    )

@@ -1,0 +1,82 @@
+"""Experiment configuration shared by all figure drivers."""
+
+from __future__ import annotations
+
+import enum
+import os
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.geometry import Rect
+from repro.loadbalance.config import AdaptationConfig
+
+#: The paper's service area: 64 miles x 64 miles.
+PAPER_BOUNDS = Rect(0.0, 0.0, 64.0, 64.0)
+
+#: The paper's node populations for the scaling experiments (Figures 5/6).
+PAPER_POPULATIONS: Tuple[int, ...] = (1_000, 2_000, 4_000, 8_000, 16_000)
+
+#: Population of the convergence experiments (Figures 7--10).
+PAPER_CONVERGENCE_POPULATION = 2_000
+
+
+class SystemVariant(enum.Enum):
+    """The three systems the paper compares (Section 3.1)."""
+
+    BASIC = "basic"
+    DUAL_PEER = "dual-peer"
+    DUAL_PEER_ADAPTATION = "dual-peer+adaptation"
+
+    @property
+    def uses_dual_peer(self) -> bool:
+        """Whether the variant admits joins through dual-peer probing."""
+        return self is not SystemVariant.BASIC
+
+    @property
+    def uses_adaptation(self) -> bool:
+        """Whether the variant runs the load-balance adaptation engine."""
+        return self is SystemVariant.DUAL_PEER_ADAPTATION
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs of one experiment run.
+
+    Defaults reproduce the paper's setup; ``trials`` defaults from the
+    ``GEOGRID_TRIALS`` environment variable (the paper averaged 100
+    simulated networks per setting, which is impractical per benchmark run
+    in Python -- EXPERIMENTS.md records the counts actually used).
+    """
+
+    bounds: Rect = PAPER_BOUNDS
+    cell_size: float = 0.5
+    hotspot_count: int = 10
+    hotspot_radius_range: Tuple[float, float] = (0.1, 10.0)
+    seed: int = 20070625  # ICDCS 2007 started on June 25, 2007.
+    trials: int = field(
+        default_factory=lambda: int(os.environ.get("GEOGRID_TRIALS", "3"))
+    )
+    adaptation: AdaptationConfig = field(default_factory=AdaptationConfig)
+    #: Upper bound of adaptation rounds when bringing a network to its
+    #: adapted steady state (scaling experiments).
+    max_adaptation_rounds: int = 20
+
+    def __post_init__(self) -> None:
+        if self.cell_size <= 0:
+            raise ConfigurationError(
+                f"cell_size must be positive, got {self.cell_size!r}"
+            )
+        if self.hotspot_count < 0:
+            raise ConfigurationError(
+                f"hotspot_count must be >= 0, got {self.hotspot_count!r}"
+            )
+        if self.trials < 1:
+            raise ConfigurationError(
+                f"trials must be >= 1, got {self.trials!r}"
+            )
+        if self.max_adaptation_rounds < 1:
+            raise ConfigurationError(
+                f"max_adaptation_rounds must be >= 1, got "
+                f"{self.max_adaptation_rounds!r}"
+            )

@@ -1,0 +1,174 @@
+"""Resilience under sustained churn.
+
+GeoGrid is designed for "unpredictable rate of node join, departure and
+failure"; the paper asserts this qualitatively.  This driver quantifies
+it: a dual-peer (or basic) network endures Poisson churn at a chosen
+rate for a stretch of virtual time while background queries keep flowing,
+and we record
+
+* structural health (invariants checked continuously, repair actions),
+* how many failures the dual-peer failover absorbed without data loss,
+* routing quality drift (hop counts before vs after the churn phase).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.node import Node
+from repro.metrics.stats import StatSummary, summarize
+from repro.sim.churn import ChurnConfig, ChurnProcess
+from repro.sim.rng import RngStreams
+from repro.sim.scheduler import EventScheduler
+from repro.workload import GnutellaCapacityDistribution, UniformPlacement
+from repro.experiments.build import build_field, build_network, draw_population
+from repro.experiments.config import ExperimentConfig, SystemVariant
+
+
+@dataclass(frozen=True)
+class ChurnCell:
+    """Outcome of one churn run."""
+
+    variant: SystemVariant
+    churn_events: int
+    joins: int
+    departures: int
+    failures: int
+    #: Fraction of failures absorbed by secondary promotion.
+    failover_fraction: float
+    takeovers: int
+    merges: int
+    hops_before: float
+    hops_after: float
+    final_population: int
+
+
+def run_churn(
+    config: ExperimentConfig,
+    variant: SystemVariant = SystemVariant.DUAL_PEER,
+    population: int = 1_000,
+    duration: float = 200.0,
+    events_per_unit: float = 2.0,
+    samples: int = 150,
+) -> ChurnCell:
+    """Subject one network to sustained churn; measure what it cost."""
+    streams = RngStreams(config.seed).fork(930_000)
+    field = build_field(config, streams)
+    nodes = draw_population(population, config, streams)
+    network = build_network(
+        variant, population, config, streams, field=field, nodes=nodes
+    )
+    overlay = network.overlay
+
+    placement = UniformPlacement(config.bounds)
+    capacities = GnutellaCapacityDistribution()
+    churn_rng = streams.stream("churn")
+    spawn_ids = itertools.count(population)
+
+    def spawn() -> bool:
+        node = Node(
+            next(spawn_ids),
+            placement.sample(churn_rng),
+            capacity=capacities.sample(churn_rng),
+        )
+        overlay.join(node)
+        return True
+
+    def remove(graceful: bool) -> bool:
+        victim = overlay.random_node()
+        if graceful:
+            overlay.leave(victim)
+        else:
+            overlay.fail(victim)
+        return True
+
+    def measure_hops() -> float:
+        sample_rng = streams.stream("hop-samples")
+        hops: List[float] = []
+        for _ in range(samples):
+            source = overlay.random_node()
+            target = placement.sample(sample_rng)
+            hops.append(overlay.route_from(source, target).hops)
+        return summarize(hops).mean
+
+    hops_before = measure_hops()
+    promotions_before = overlay.stats.promotions
+    failures_before = overlay.stats.failures
+    takeovers_before = overlay.stats.takeovers
+    merges_before = overlay.stats.merges
+
+    scheduler = EventScheduler()
+    churn = ChurnProcess(
+        scheduler,
+        churn_rng,
+        ChurnConfig(
+            join_rate=events_per_unit / 2.0,
+            leave_rate=events_per_unit / 4.0,
+            fail_rate=events_per_unit / 4.0,
+            min_population=max(2, population // 2),
+            max_population=population * 2,
+        ),
+        spawn=spawn,
+        remove=remove,
+        population=overlay.member_count,
+    )
+    churn.start()
+    scheduler.run_until(duration)
+    churn.stop()
+
+    overlay.check_invariants()
+    failures = overlay.stats.failures - failures_before
+    promotions = overlay.stats.promotions - promotions_before
+    return ChurnCell(
+        variant=variant,
+        churn_events=churn.total_events,
+        joins=churn.joins,
+        departures=churn.departures,
+        failures=churn.failures,
+        failover_fraction=promotions / failures if failures else 0.0,
+        takeovers=overlay.stats.takeovers - takeovers_before,
+        merges=overlay.stats.merges - merges_before,
+        hops_before=hops_before,
+        hops_after=measure_hops(),
+        final_population=overlay.member_count(),
+    )
+
+
+def run_churn_comparison(
+    config: ExperimentConfig,
+    population: int = 1_000,
+    duration: float = 200.0,
+    events_per_unit: float = 2.0,
+) -> Dict[SystemVariant, ChurnCell]:
+    """Basic vs dual peer under identical churn schedules."""
+    return {
+        variant: run_churn(
+            config,
+            variant=variant,
+            population=population,
+            duration=duration,
+            events_per_unit=events_per_unit,
+        )
+        for variant in (SystemVariant.BASIC, SystemVariant.DUAL_PEER)
+    }
+
+
+def render_report(results: Dict[SystemVariant, ChurnCell]) -> str:
+    """Churn-resilience comparison rows."""
+    lines = [
+        "Sustained churn (joins/departures/failures at Poisson rates)",
+        "",
+        f"{'variant':<12} {'events':>7} {'fails':>6} {'failover%':>10} "
+        f"{'takeovers':>10} {'merges':>7} {'hops pre':>9} {'hops post':>10} "
+        f"{'pop':>6}",
+    ]
+    for variant, cell in results.items():
+        lines.append(
+            f"{variant.value:<12} {cell.churn_events:>7} {cell.failures:>6} "
+            f"{cell.failover_fraction * 100:>9.1f}% {cell.takeovers:>10} "
+            f"{cell.merges:>7} {cell.hops_before:>9.1f} "
+            f"{cell.hops_after:>10.1f} {cell.final_population:>6}"
+        )
+    return "\n".join(lines)

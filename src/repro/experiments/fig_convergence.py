@@ -1,0 +1,229 @@
+"""Figures 7--10: convergence of the load-balance adaptation.
+
+Setup (Section 3.2): a GeoGrid of 2 000 peers is built with the dual-peer
+technique only; when hot spots appear, the adaptation features are turned
+on, and the max/mean/std of the workload index are recorded at the end of
+each round of adaptation (Figures 7/8) and after each individual
+adaptation (Figures 9/10).
+
+Scenarios:
+
+* **static hot spot** -- hot spots never move;
+* **moving hot spot** -- hot spots move 4..10 steps per adaptation round,
+  i.e. far faster than the adaptation cadence;
+* **no adaptation** -- the moving scenario with adaptation off, the
+  reference line of Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.loadbalance import AdaptationEngine
+from repro.metrics.collector import TimeSeriesCollector
+from repro.metrics.stats import StatSummary
+from repro.sim.rng import RngStreams
+from repro.experiments.build import BuiltNetwork, build_field, build_network, draw_population
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_CONVERGENCE_POPULATION,
+    SystemVariant,
+)
+
+#: Scenario labels used as series names in the collectors.
+STATIC = "static hot spot adaptation"
+MOVING = "dynamic hot spot adaptation"
+NO_ADAPTATION = "no adaptation"
+
+#: The paper records roughly this many rounds (Figures 7/8)...
+DEFAULT_ROUNDS = 25
+#: ...and up to this many individual adaptations (Figures 9/10).
+DEFAULT_MAX_ADAPTATIONS = 500
+
+
+@dataclass
+class ConvergenceResult:
+    """Both recordings for one scenario."""
+
+    scenario: str
+    #: Summary at x = round number (x = 0 is the pre-adaptation state).
+    by_round: TimeSeriesCollector
+    #: Summary at x = cumulative number of adaptations.
+    by_adaptation: TimeSeriesCollector
+    total_adaptations: int
+    mechanism_usage: Dict[str, int]
+
+
+def _build_dual_peer_network(
+    config: ExperimentConfig, population: int, trial: int
+) -> BuiltNetwork:
+    streams = RngStreams(config.seed).fork(500_000 + trial)
+    field = build_field(config, streams)
+    nodes = draw_population(population, config, streams)
+    return build_network(
+        SystemVariant.DUAL_PEER, population, config, streams,
+        field=field, nodes=nodes,
+    )
+
+
+def run_scenario(
+    scenario: str,
+    config: ExperimentConfig,
+    population: int = PAPER_CONVERGENCE_POPULATION,
+    rounds: int = DEFAULT_ROUNDS,
+    max_adaptations: int = DEFAULT_MAX_ADAPTATIONS,
+    trial: int = 0,
+) -> ConvergenceResult:
+    """Run one convergence scenario and record both figure encodings."""
+    if scenario not in (STATIC, MOVING, NO_ADAPTATION):
+        raise ValueError(f"unknown scenario {scenario!r}")
+    network = _build_dual_peer_network(config, population, trial)
+    streams = RngStreams(config.seed).fork(600_000 + trial)
+    motion_rng = streams.stream("hotspot-motion")
+
+    by_round = TimeSeriesCollector()
+    by_adaptation = TimeSeriesCollector()
+    by_round.record(scenario, 0, network.calc.summary())
+    by_adaptation.record(scenario, 0, network.calc.summary())
+
+    if scenario == NO_ADAPTATION:
+        for round_number in range(1, rounds + 1):
+            network.field.migrate_epoch(motion_rng)
+            by_round.record(scenario, round_number, network.calc.summary())
+        return ConvergenceResult(
+            scenario=scenario,
+            by_round=by_round,
+            by_adaptation=by_adaptation,
+            total_adaptations=0,
+            mechanism_usage={},
+        )
+
+    def on_adaptation(count: int, record) -> None:
+        if count <= max_adaptations:
+            by_adaptation.record(scenario, count, engine.calc.summary())
+
+    engine = AdaptationEngine(
+        network.overlay,
+        network.calc,
+        config=config.adaptation,
+        on_adaptation=on_adaptation,
+    )
+    for round_number in range(1, rounds + 1):
+        if scenario == MOVING:
+            # Hot spots move 4..10 steps before a round of adaptation ends.
+            network.field.migrate_epoch(motion_rng, steps_range=(4, 10))
+        engine.run_round()
+        by_round.record(scenario, round_number, network.calc.summary())
+        if engine.total_adaptations >= max_adaptations:
+            break
+    return ConvergenceResult(
+        scenario=scenario,
+        by_round=by_round,
+        by_adaptation=by_adaptation,
+        total_adaptations=engine.total_adaptations,
+        mechanism_usage=engine.mechanism_usage(),
+    )
+
+
+def run_all_scenarios(
+    config: ExperimentConfig,
+    population: int = PAPER_CONVERGENCE_POPULATION,
+    rounds: int = DEFAULT_ROUNDS,
+    max_adaptations: int = DEFAULT_MAX_ADAPTATIONS,
+) -> Dict[str, ConvergenceResult]:
+    """Run static, moving, and no-adaptation on identical networks."""
+    return {
+        scenario: run_scenario(
+            scenario, config, population=population, rounds=rounds,
+            max_adaptations=max_adaptations,
+        )
+        for scenario in (STATIC, MOVING, NO_ADAPTATION)
+    }
+
+
+def merged_by_round(
+    results: Dict[str, ConvergenceResult]
+) -> TimeSeriesCollector:
+    """All scenarios' per-round series in one collector (Figures 7/8)."""
+    merged = TimeSeriesCollector()
+    for result in results.values():
+        for name in result.by_round.names():
+            for point in result.by_round.get(name):
+                merged.record(name, point.x, point.summary)
+    return merged
+
+
+def merged_by_adaptation(
+    results: Dict[str, ConvergenceResult]
+) -> TimeSeriesCollector:
+    """Adaptation-count series in one collector (Figures 9/10)."""
+    merged = TimeSeriesCollector()
+    for result in results.values():
+        for name in result.by_adaptation.names():
+            for point in result.by_adaptation.get(name):
+                merged.record(name, point.x, point.summary)
+    return merged
+
+
+def thin_collector(
+    collector: TimeSeriesCollector, step: int
+) -> TimeSeriesCollector:
+    """Keep every ``step``-th x (plus the first and last of each series).
+
+    The per-adaptation recording has up to 500 points per series; tables
+    print a readable subsample while the full data stays available on the
+    original collector.
+    """
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
+    thinned = TimeSeriesCollector()
+    for name in collector.names():
+        points = collector.get(name)
+        for index, point in enumerate(points):
+            if (
+                index == 0
+                or index == len(points) - 1
+                or int(point.x) % step == 0
+            ):
+                thinned.record(name, point.x, point.summary)
+    return thinned
+
+
+def render_report(
+    results: Dict[str, ConvergenceResult], adaptation_step: int = 25
+) -> str:
+    """Figures 7--10 as four text tables."""
+    rounds = merged_by_round(results)
+    ops = thin_collector(merged_by_adaptation(results), adaptation_step)
+    sections = [
+        (
+            "Figure 7: convergence of the MEAN workload index, by round",
+            rounds.render_table("mean", x_label="round"),
+        ),
+        (
+            "Figure 8: convergence of the STD-DEV of workload index, by round",
+            rounds.render_table("std", x_label="round"),
+        ),
+        (
+            "Figure 9: STD-DEV of workload index, by number of adaptations",
+            ops.render_table("std", x_label="adaptations"),
+        ),
+        (
+            "Figure 10: MEAN workload index, by number of adaptations",
+            ops.render_table("mean", x_label="adaptations"),
+        ),
+    ]
+    lines: List[str] = []
+    for title, table in sections:
+        lines.append(title)
+        lines.append("")
+        lines.append(table)
+        lines.append("")
+    for scenario, result in results.items():
+        if result.total_adaptations:
+            lines.append(
+                f"{scenario}: {result.total_adaptations} adaptations, "
+                f"mechanism usage {result.mechanism_usage}"
+            )
+    return "\n".join(lines)

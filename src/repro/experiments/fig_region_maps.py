@@ -1,0 +1,136 @@
+"""Figures 2 and 3: region size and load distribution at 500 nodes.
+
+Figure 2 visualizes a 500-node *basic* GeoGrid built with the random
+bootstrapping algorithm; Figure 3 the same population admitted through the
+*dual peer* technique.  The paper's observations, which this driver
+quantifies:
+
+1. dual peer yields **fewer regions** whose **sizes track owner
+   capacities** (powerful nodes own bigger regions);
+2. dual peer leaves **fewer heavily loaded regions**, though a few remain
+   (they are what the adaptation mechanisms then fix).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.metrics.stats import StatSummary, summarize
+from repro.sim.rng import RngStreams
+from repro.viz.ascii_map import render_region_map
+from repro.experiments.build import BuiltNetwork, build_field, build_network, draw_population
+from repro.experiments.config import ExperimentConfig, SystemVariant
+
+#: Node population of Figures 2/3.
+FIGURE_POPULATION = 500
+
+
+@dataclass
+class RegionMapResult:
+    """Measured structure of one 500-node network."""
+
+    variant: SystemVariant
+    region_count: int
+    split_count: int
+    region_area: StatSummary
+    region_load_index: StatSummary
+    #: Number of regions whose index exceeds 2x the mean (the "darker
+    #: shade" regions of the paper's pictures).
+    heavily_loaded_regions: int
+    #: Pearson correlation between region area and primary capacity;
+    #: positive under dual peer ("more powerful nodes own bigger regions").
+    area_capacity_correlation: float
+    ascii_map: str
+
+
+def _correlation(xs: List[float], ys: List[float]) -> float:
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / n
+    var_x = sum((x - mean_x) ** 2 for x in xs) / n
+    var_y = sum((y - mean_y) ** 2 for y in ys) / n
+    if var_x == 0.0 or var_y == 0.0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def measure_network(network: BuiltNetwork, map_size: int = 48) -> RegionMapResult:
+    """Extract the Figure 2/3 quantities from a built network."""
+    regions = list(network.overlay.space.regions)
+    areas = [region.rect.area for region in regions]
+    indices = [network.calc.region_index(region) for region in regions]
+    index_summary = summarize(indices)
+    threshold = 2.0 * index_summary.mean
+    heavy = sum(1 for index in indices if index > threshold and index > 0)
+    capacities = [
+        region.primary.capacity if region.primary is not None else 0.0
+        for region in regions
+    ]
+    # Log-capacity correlation: capacities span four orders of magnitude.
+    log_capacities = [math.log10(max(c, 1e-12)) for c in capacities]
+    ascii_map = render_region_map(
+        network.overlay.space,
+        network.calc.region_index,
+        width=map_size,
+        height=map_size // 2,
+    )
+    return RegionMapResult(
+        variant=network.variant,
+        region_count=len(regions),
+        split_count=network.overlay.stats.splits,
+        region_area=summarize(areas),
+        region_load_index=index_summary,
+        heavily_loaded_regions=heavy,
+        area_capacity_correlation=_correlation(log_capacities, areas),
+        ascii_map=ascii_map,
+    )
+
+
+def run_fig2_fig3(
+    config: ExperimentConfig, population: int = FIGURE_POPULATION
+) -> Dict[SystemVariant, RegionMapResult]:
+    """Build the basic and dual-peer 500-node networks and measure both.
+
+    Both networks share identical node coordinates, capacities, and hot
+    spots, so every difference in the result is the dual-peer effect.
+    """
+    results: Dict[SystemVariant, RegionMapResult] = {}
+    for variant in (SystemVariant.BASIC, SystemVariant.DUAL_PEER):
+        streams = RngStreams(config.seed)
+        field = build_field(config, streams)
+        nodes = draw_population(population, config, streams)
+        network = build_network(
+            variant, population, config, streams, field=field, nodes=nodes
+        )
+        results[variant] = measure_network(network)
+    return results
+
+
+def render_report(results: Dict[SystemVariant, RegionMapResult]) -> str:
+    """The paper-style comparison rows plus the two shaded maps."""
+    lines = [
+        "Figures 2/3: region size and load distribution (500 nodes)",
+        "",
+        f"{'variant':<22} {'regions':>8} {'splits':>8} "
+        f"{'area std':>10} {'idx max':>10} {'idx std':>10} "
+        f"{'heavy':>6} {'corr(area,cap)':>15}",
+    ]
+    for variant, result in results.items():
+        lines.append(
+            f"{variant.value:<22} {result.region_count:>8} "
+            f"{result.split_count:>8} {result.region_area.std:>10.3f} "
+            f"{result.region_load_index.maximum:>10.4f} "
+            f"{result.region_load_index.std:>10.4f} "
+            f"{result.heavily_loaded_regions:>6} "
+            f"{result.area_capacity_correlation:>15.3f}"
+        )
+    for variant, result in results.items():
+        lines.append("")
+        lines.append(f"--- {variant.value}: load-index map (darker = hotter) ---")
+        lines.append(result.ascii_map)
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Routing-cost experiment (the paper's O(2*sqrt(N)) claim, Section 2.2).
+
+"Given a GeoGrid plane of N regions, routing between a pair of randomly
+chosen regions has the overhead of O(2*sqrt(N)) in terms of the number of
+routing hops."  The paper states this analytically; this driver verifies
+it empirically across populations and also reports the geographic path
+stretch (how close the routed path stays to the straight line -- the
+physical/network proximity similarity GeoGrid exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.routing import route_to_point, stretch
+from repro.metrics.stats import StatSummary, summarize
+from repro.sim.rng import RngStreams
+from repro.workload import UniformPlacement
+from repro.experiments.build import build_network, draw_population
+from repro.experiments.config import ExperimentConfig, SystemVariant
+
+
+@dataclass(frozen=True)
+class RoutingCell:
+    """Hop statistics for one population."""
+
+    population: int
+    samples: int
+    hops: StatSummary
+    mean_stretch: float
+    #: The paper's bound for this population.
+    bound: float
+
+    @property
+    def within_bound(self) -> bool:
+        """Whether the mean hop count respects 2*sqrt(N)."""
+        return self.hops.mean <= self.bound
+
+
+def run_routing(
+    config: ExperimentConfig,
+    populations: Sequence[int] = (500, 1_000, 2_000, 4_000, 8_000),
+    samples: int = 300,
+    variant: SystemVariant = SystemVariant.DUAL_PEER,
+) -> List[RoutingCell]:
+    """Measure hop counts between random source/destination pairs."""
+    cells: List[RoutingCell] = []
+    for population in populations:
+        streams = RngStreams(config.seed).fork(700_000 + population)
+        nodes = draw_population(population, config, streams)
+        network = build_network(
+            variant, population, config, streams, nodes=nodes
+        )
+        sample_rng = streams.stream("routing-samples")
+        placement = UniformPlacement(config.bounds)
+        hops: List[float] = []
+        stretches: List[float] = []
+        for _ in range(samples):
+            source = network.overlay.random_node()
+            target = placement.sample(sample_rng)
+            start = next(iter(network.overlay.primary_regions(source)), None)
+            if start is None:
+                continue
+            result = route_to_point(network.overlay.space, start, target)
+            hops.append(result.hops)
+            s = stretch(result)
+            if s is not None:
+                stretches.append(s)
+        region_count = network.overlay.space.region_count()
+        cells.append(
+            RoutingCell(
+                population=population,
+                samples=len(hops),
+                hops=summarize(hops),
+                mean_stretch=summarize(stretches).mean,
+                bound=2.0 * (region_count ** 0.5),
+            )
+        )
+    return cells
+
+
+def render_report(cells: List[RoutingCell]) -> str:
+    """Hop-count rows versus the analytical bound."""
+    lines = [
+        "Routing cost vs population (claim: O(2*sqrt(N)) hops)",
+        "",
+        f"{'nodes':>7} {'mean hops':>10} {'max hops':>9} "
+        f"{'2*sqrt(N)':>10} {'ok':>4} {'stretch':>8}",
+    ]
+    for cell in cells:
+        lines.append(
+            f"{cell.population:>7} {cell.hops.mean:>10.1f} "
+            f"{cell.hops.maximum:>9.0f} {cell.bound:>10.1f} "
+            f"{'yes' if cell.within_bound else 'NO':>4} "
+            f"{cell.mean_stretch:>8.2f}"
+        )
+    return "\n".join(lines)

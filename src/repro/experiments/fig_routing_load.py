@@ -1,0 +1,82 @@
+"""Routing-workload balance across the three systems.
+
+Backs the paper's claim that GeoGrid's mechanisms "balance both the
+location query workload and the routing workload": the same hot-spot-
+driven query stream is replayed over basic, dual-peer, and adapted
+networks built on identical populations, and the per-node *routing* index
+(messages forwarded / capacity) is summarized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.loadbalance.routing_load import RoutingLoadReport, RoutingLoadTracker
+from repro.metrics.stats import StatSummary
+from repro.sim.rng import RngStreams
+from repro.workload.queries import QueryGenerator
+from repro.experiments.build import build_field, build_network, draw_population
+from repro.experiments.config import ExperimentConfig, SystemVariant
+from repro.experiments.fig_scaling import ALL_VARIANTS
+
+
+@dataclass(frozen=True)
+class RoutingLoadCell:
+    """One variant's routing-load summary."""
+
+    variant: SystemVariant
+    population: int
+    queries: int
+    index_summary: StatSummary
+    mean_hops: float
+
+
+def run_routing_load(
+    config: ExperimentConfig,
+    population: int = 1_000,
+    queries: int = 1_000,
+) -> Dict[SystemVariant, RoutingLoadCell]:
+    """Measure routing-load balance for all three systems."""
+    results: Dict[SystemVariant, RoutingLoadCell] = {}
+    for variant in ALL_VARIANTS:
+        streams = RngStreams(config.seed).fork(900_000)
+        field = build_field(config, streams)
+        nodes = draw_population(population, config, streams)
+        network = build_network(
+            variant, population, config, streams, field=field, nodes=nodes
+        )
+        if network.engine is not None:
+            network.engine.run_until_stable(
+                max_rounds=config.max_adaptation_rounds
+            )
+        generator = QueryGenerator(field)
+        tracker = RoutingLoadTracker(network.overlay)
+        report = tracker.measure(
+            generator, streams.stream("query-stream"), queries=queries
+        )
+        results[variant] = RoutingLoadCell(
+            variant=variant,
+            population=population,
+            queries=queries,
+            index_summary=report.index_summary,
+            mean_hops=report.mean_hops,
+        )
+    return results
+
+
+def render_report(results: Dict[SystemVariant, RoutingLoadCell]) -> str:
+    """Routing-load comparison rows."""
+    lines = [
+        "Routing workload balance (forwards per unit capacity)",
+        "",
+        f"{'variant':<22} {'max':>10} {'mean':>10} {'std':>10} "
+        f"{'mean hops':>10}",
+    ]
+    for variant, cell in results.items():
+        s = cell.index_summary
+        lines.append(
+            f"{variant.value:<22} {s.maximum:>10.3f} {s.mean:>10.3f} "
+            f"{s.std:>10.3f} {cell.mean_hops:>10.2f}"
+        )
+    return "\n".join(lines)

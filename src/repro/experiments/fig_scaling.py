@@ -1,0 +1,167 @@
+"""Figures 5 and 6: workload-index std-dev and mean versus population.
+
+The paper simulates populations of 1 000 to 16 000 proxies (100 random
+networks each) and reports, for three systems -- basic GeoGrid, GeoGrid +
+dual peer, GeoGrid + dual peer + adaptation -- the standard deviation
+(Figure 5) and mean (Figure 6) of the workload index over all nodes.
+
+Headline result: "The GeoGrid system with both features can constantly
+beat the basic GeoGrid system by one order of magnitude in both metrics."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.metrics.stats import StatSummary, confidence_interval95, summarize
+from repro.sim.rng import RngStreams
+from repro.experiments.build import build_field, build_network, draw_population
+from repro.experiments.config import (
+    ExperimentConfig,
+    PAPER_POPULATIONS,
+    SystemVariant,
+)
+
+#: All three systems, in the order the paper's legends list them.
+ALL_VARIANTS: Tuple[SystemVariant, ...] = (
+    SystemVariant.BASIC,
+    SystemVariant.DUAL_PEER,
+    SystemVariant.DUAL_PEER_ADAPTATION,
+)
+
+
+@dataclass(frozen=True)
+class ScalingCell:
+    """One (population, variant) cell averaged over trials."""
+
+    population: int
+    variant: SystemVariant
+    trials: int
+    #: Trial-averaged std-dev of the workload index (Figure 5's y-value).
+    std: float
+    #: Trial-averaged mean of the workload index (Figure 6's y-value).
+    mean: float
+    #: Trial-averaged maximum index (reported in the text).
+    maximum: float
+    #: 95% confidence half-widths of the trial averages (0 for 1 trial).
+    std_ci: float = 0.0
+    mean_ci: float = 0.0
+
+
+@dataclass
+class ScalingResult:
+    """The full Figure 5/6 data set."""
+
+    populations: Sequence[int]
+    cells: Dict[Tuple[int, SystemVariant], ScalingCell]
+
+    def row(self, population: int) -> List[ScalingCell]:
+        """All variant cells for one population."""
+        return [
+            self.cells[(population, variant)] for variant in ALL_VARIANTS
+        ]
+
+    def improvement_factor(
+        self, population: int, metric: str = "std"
+    ) -> float:
+        """Basic divided by full-system value (the paper's ~10x claim)."""
+        basic = getattr(self.cells[(population, SystemVariant.BASIC)], metric)
+        best = getattr(
+            self.cells[(population, SystemVariant.DUAL_PEER_ADAPTATION)],
+            metric,
+        )
+        if best == 0.0:
+            return float("inf")
+        return basic / best
+
+
+def run_one_trial(
+    population: int,
+    variant: SystemVariant,
+    config: ExperimentConfig,
+    trial: int,
+) -> StatSummary:
+    """Build one network and summarize its workload index.
+
+    The adaptation variant first runs the engine to (bounded) convergence,
+    as in the paper, where adaptation is on while hot spots are active.
+    """
+    streams = RngStreams(config.seed).fork(trial * 1_000 + population % 997)
+    field = build_field(config, streams)
+    nodes = draw_population(population, config, streams)
+    network = build_network(
+        variant, population, config, streams, field=field, nodes=nodes
+    )
+    if network.engine is not None:
+        network.engine.run_until_stable(
+            max_rounds=config.max_adaptation_rounds, quiet_rounds=2
+        )
+    return network.calc.summary()
+
+
+def run_scaling(
+    config: ExperimentConfig,
+    populations: Sequence[int] = PAPER_POPULATIONS,
+    variants: Sequence[SystemVariant] = ALL_VARIANTS,
+) -> ScalingResult:
+    """Produce the Figure 5/6 series for all populations and variants."""
+    cells: Dict[Tuple[int, SystemVariant], ScalingCell] = {}
+    for population in populations:
+        for variant in variants:
+            stds: List[float] = []
+            means: List[float] = []
+            maxima: List[float] = []
+            for trial in range(config.trials):
+                summary = run_one_trial(population, variant, config, trial)
+                stds.append(summary.std)
+                means.append(summary.mean)
+                maxima.append(summary.maximum)
+            cells[(population, variant)] = ScalingCell(
+                population=population,
+                variant=variant,
+                trials=config.trials,
+                std=summarize(stds).mean,
+                mean=summarize(means).mean,
+                maximum=summarize(maxima).mean,
+                std_ci=confidence_interval95(stds),
+                mean_ci=confidence_interval95(means),
+            )
+    return ScalingResult(populations=list(populations), cells=cells)
+
+
+def render_report(result: ScalingResult) -> str:
+    """The two paper figures as text tables (log-scale quantities)."""
+    lines = ["Figure 5: standard deviation of workload index", ""]
+    header = f"{'nodes':>7}  " + "  ".join(
+        f"{variant.value:>22}" for variant in ALL_VARIANTS
+    )
+    lines.append(header)
+    for population in result.populations:
+        cells = result.row(population)
+        lines.append(
+            f"{population:>7}  "
+            + "  ".join(
+                f"{cell.std:>13.6f} ±{cell.std_ci:<7.4f}" for cell in cells
+            )
+        )
+    lines.append("")
+    lines.append("Figure 6: mean of workload index")
+    lines.append("")
+    lines.append(header)
+    for population in result.populations:
+        cells = result.row(population)
+        lines.append(
+            f"{population:>7}  "
+            + "  ".join(
+                f"{cell.mean:>13.6f} ±{cell.mean_ci:<7.4f}" for cell in cells
+            )
+        )
+    lines.append("")
+    lines.append("improvement of dual peer + adaptation over basic:")
+    for population in result.populations:
+        lines.append(
+            f"  {population:>7} nodes: std {result.improvement_factor(population, 'std'):>6.1f}x"
+            f"  mean {result.improvement_factor(population, 'mean'):>6.1f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Planar geometry substrate for GeoGrid.
+
+This package contains the geometric primitives the overlay is built on:
+
+* :class:`~repro.geometry.point.Point` -- a point in the two-dimensional
+  geographical coordinate space (the paper maps it 1:1 to longitude /
+  latitude over the service area).
+* :class:`~repro.geometry.rect.Rect` -- the rectangular region quadruple
+  ``<x, y, width, height>`` of Section 2.1, including the paper's exact
+  half-open coverage predicate, the neighbor test ("intersection is a line
+  segment"), splitting and merge legality.
+* :class:`~repro.geometry.circle.Circle` -- circular hot-spot areas.
+* :class:`~repro.geometry.grid.CellGrid` -- the discretized workload field
+  (Section 3.1 assigns hot-spot load per *cell*); it supports O(1) region
+  load queries through two-dimensional prefix sums.
+
+Nothing in this package knows about nodes, regions' owners, or the overlay;
+it is a dependency-free substrate.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect, SplitAxis
+from repro.geometry.circle import Circle
+from repro.geometry.grid import CellGrid
+
+__all__ = ["Point", "Rect", "SplitAxis", "Circle", "CellGrid"]

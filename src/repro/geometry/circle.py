@@ -1,0 +1,78 @@
+"""Circles: the shape of hot-spot query areas (paper Section 3.1).
+
+Each hot spot is a circular area; the cell at its center carries the highest
+normalized workload (1.0) and cells on its border carry workload 0, falling
+off linearly as ``1 - d / r``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A circle given by its center and radius."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError(f"radius must be positive, got {self.radius!r}")
+
+    @property
+    def area(self) -> float:
+        """Circle area."""
+        import math
+
+        return math.pi * self.radius * self.radius
+
+    def covers(self, point: Point) -> bool:
+        """Whether ``point`` lies inside the circle (border exclusive).
+
+        The border is excluded because border cells carry workload 0 in the
+        hot-spot model, so covering them would be a no-op.
+        """
+        return self.center.distance_to(point) < self.radius
+
+    def workload_at(self, point: Point) -> float:
+        """The hot-spot workload contribution at ``point``: ``1 - d/r``.
+
+        Zero outside the circle.
+        """
+        d = self.center.distance_to(point)
+        if d >= self.radius:
+            return 0.0
+        return 1.0 - d / self.radius
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """Whether the circle and the rectangle share any area."""
+        return rect.distance_to_point(self.center) < self.radius
+
+    def bounding_rect(self) -> Rect:
+        """The smallest axis-aligned rectangle containing the circle.
+
+        The paper notes a circular query region of radius ``gamma`` can be
+        represented as the spatial rectangle ``(x, y, 2*gamma, 2*gamma)``.
+        """
+        return Rect(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            2.0 * self.radius,
+            2.0 * self.radius,
+        )
+
+    def moved_to(self, center: Point) -> "Circle":
+        """A copy of the circle centered at ``center``."""
+        return Circle(center, self.radius)
+
+    def scaled(self, factor: float) -> "Circle":
+        """A copy with the radius multiplied by ``factor``."""
+        return Circle(self.center, self.radius * factor)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Circle(center={self.center}, r={self.radius:g})"

@@ -1,0 +1,57 @@
+"""Points in the GeoGrid coordinate space."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point ``(x, y)`` in the two-dimensional geographical space.
+
+    The paper identifies every node and every routing destination by such a
+    coordinate (longitude / latitude over the service area, e.g. a
+    64 mi x 64 mi metropolitan region).
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance between this point and ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def manhattan_distance_to(self, other: "Point") -> float:
+        """L1 distance; used by a few routing heuristics and tests."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def moved_toward(self, heading: float, step: float) -> "Point":
+        """Return the point reached by moving ``step`` along ``heading``.
+
+        ``heading`` is an angle in radians (0 = +x axis).  Used by the
+        hot-spot migration model: at every epoch a hot spot migrates along a
+        randomly chosen direction at a random step size.
+        """
+        return Point(
+            self.x + step * math.cos(heading),
+            self.y + step * math.sin(heading),
+        )
+
+    def clamped(self, x_min: float, y_min: float, x_max: float, y_max: float) -> "Point":
+        """Return the nearest point inside the axis-aligned box."""
+        return Point(
+            min(max(self.x, x_min), x_max),
+            min(max(self.y, y_min), y_max),
+        )
+
+    def as_tuple(self) -> tuple:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.x:g}, {self.y:g})"

@@ -1,0 +1,59 @@
+"""The eight load-balance adaptation mechanisms of Figure 4.
+
+Exported in the paper's increasing-cost order (a) through (h); the engine
+tries them in exactly this order and executes the first applicable plan.
+
+==== =============================================  ========== =======
+key  mechanism                                      occupancy  scope
+==== =============================================  ========== =======
+a    steal secondary owner                          half-full  local
+b    switch primary owners                          any        local
+c    merge with a neighbor                          half-full  local
+d    split a region                                 full       local
+e    switch primary with neighbor's secondary       full       local
+f    steal remote secondary owner                   half-full  remote
+g    switch primary with remote secondary           full       remote
+h    switch primary with remote primary             full       remote
+==== =============================================  ========== =======
+"""
+
+from repro.loadbalance.mechanisms.steal_secondary import StealSecondaryOwner
+from repro.loadbalance.mechanisms.switch_primary import SwitchPrimaryOwners
+from repro.loadbalance.mechanisms.merge_neighbor import MergeWithNeighbor
+from repro.loadbalance.mechanisms.split_region import SplitRegion
+from repro.loadbalance.mechanisms.switch_with_neighbor_secondary import (
+    SwitchPrimaryWithNeighborSecondary,
+)
+from repro.loadbalance.mechanisms.steal_remote_secondary import (
+    StealRemoteSecondary,
+)
+from repro.loadbalance.mechanisms.switch_with_remote_secondary import (
+    SwitchPrimaryWithRemoteSecondary,
+)
+from repro.loadbalance.mechanisms.switch_with_remote_primary import (
+    SwitchPrimaryWithRemotePrimary,
+)
+
+#: The mechanism classes in the paper's increasing-cost order.
+ORDERED_MECHANISM_CLASSES = (
+    StealSecondaryOwner,
+    SwitchPrimaryOwners,
+    MergeWithNeighbor,
+    SplitRegion,
+    SwitchPrimaryWithNeighborSecondary,
+    StealRemoteSecondary,
+    SwitchPrimaryWithRemoteSecondary,
+    SwitchPrimaryWithRemotePrimary,
+)
+
+__all__ = [
+    "StealSecondaryOwner",
+    "SwitchPrimaryOwners",
+    "MergeWithNeighbor",
+    "SplitRegion",
+    "SwitchPrimaryWithNeighborSecondary",
+    "StealRemoteSecondary",
+    "SwitchPrimaryWithRemoteSecondary",
+    "SwitchPrimaryWithRemotePrimary",
+    "ORDERED_MECHANISM_CLASSES",
+]

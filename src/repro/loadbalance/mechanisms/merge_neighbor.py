@@ -1,0 +1,88 @@
+"""Mechanism (c): Merge with a Neighbor.
+
+"This adaptation is used when a region p and one of its neighbor regions n
+can be merged, and the merged region has lower workload index than the
+average workload index of p and n."
+
+The paper's Figure 4(c) merges two half-full regions (capacities 1 and 10)
+into one full region owned by the pair (10, 1): the stronger node becomes
+the merged region's primary, the weaker its secondary.  Merging is only
+legal when the union of the two rectangles is again a rectangle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AdaptationError
+from repro.core.region import Region
+from repro.loadbalance.base import AdaptationContext, AdaptationPlan, Mechanism
+
+
+class MergeWithNeighbor(Mechanism):
+    """Fuse two lightly-loaded half-full regions under their stronger owner."""
+
+    key = "c"
+    name = "merge with a neighbor"
+    cost_rank = 2
+    remote = False
+
+    def plan(
+        self, region: Region, ctx: AdaptationContext
+    ) -> Optional[AdaptationPlan]:
+        if not region.is_half_full:
+            return None
+        primary = region.primary
+        assert primary is not None
+        my_load = ctx.region_load(region)
+        my_index = my_load / primary.capacity
+        best = None
+        best_merged_index = float("inf")
+        for neighbor in ctx.overlay.space.neighbors(region):
+            if not neighbor.is_half_full:
+                continue
+            if not region.rect.can_merge_with(neighbor.rect):
+                continue
+            if ctx.in_cooldown(neighbor):
+                continue
+            other = neighbor.primary
+            other_load = ctx.region_load(neighbor)
+            other_index = other_load / other.capacity
+            stronger_capacity = max(primary.capacity, other.capacity)
+            merged_index = (my_load + other_load) / stronger_capacity
+            average = (my_index + other_index) / 2.0
+            if not self.improves_enough(average, merged_index, ctx):
+                continue
+            if merged_index < best_merged_index:
+                best, best_merged_index = neighbor, merged_index
+        if best is None:
+            return None
+        return AdaptationPlan(
+            mechanism=self.key,
+            region=region,
+            partner=best,
+            index_before=my_index,
+            index_after=best_merged_index,
+            description=(
+                f"merge regions {region.region_id} and {best.region_id} "
+                f"under the stronger of their owners"
+            ),
+        )
+
+    def execute(self, plan: AdaptationPlan, ctx: AdaptationContext) -> None:
+        region, partner = plan.region, plan.partner
+        assert partner is not None
+        if not (region.is_half_full and partner.is_half_full):
+            raise AdaptationError(
+                f"plan {plan.description!r} is stale: occupancy changed"
+            )
+        overlay = ctx.overlay
+        other = overlay.release_primary(partner)
+        assert other is not None
+        overlay.space.merge_regions(region, partner)
+        overlay.stats.merges += 1
+        overlay._notify_merge(region, partner)
+        overlay.assign_secondary(region, other)
+        if other.capacity > region.primary.capacity:
+            overlay.swap_region_roles(region)
+        ctx.mark_adapted(region)

@@ -1,0 +1,81 @@
+"""Mechanism (d): Split a Region.
+
+"If the primary and secondary owner of an overloaded region have the same
+capacity, splitting this region can assign half of the workload to each of
+them and can reduce the workload index of the original primary owner by
+half."
+
+The capacity-equality requirement is configurable
+(``split_capacity_ratio``): with the paper's five-level capacity profile
+exact ties are common, but continuous capacity distributions need a
+relaxed ratio.  The plan predicts the two halves' actual loads (hot spots
+are rarely symmetric around the cut) and only goes ahead when the worse
+half is a real improvement.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AdaptationError
+from repro.core.region import Region
+from repro.dualpeer.overlay import DualPeerGeoGrid
+from repro.loadbalance.base import AdaptationContext, AdaptationPlan, Mechanism
+
+
+class SplitRegion(Mechanism):
+    """Split a hot full region so each owner serves half the load."""
+
+    key = "d"
+    name = "split a region"
+    cost_rank = 3
+    remote = False
+
+    def plan(
+        self, region: Region, ctx: AdaptationContext
+    ) -> Optional[AdaptationPlan]:
+        if not region.is_full:
+            return None
+        if not isinstance(ctx.overlay, DualPeerGeoGrid):
+            # Splitting between two owners only exists in the dual-peer
+            # overlay; the basic system never reaches this state anyway.
+            return None
+        primary, secondary = region.primary, region.secondary
+        assert primary is not None and secondary is not None
+        if secondary.capacity < ctx.config.split_capacity_ratio * primary.capacity:
+            return None
+        axis = ctx.overlay._pick_axis(region.rect)
+        low, high = region.rect.split(axis)
+        low_load = ctx.region_load(Region(rect=low))
+        high_load = ctx.region_load(Region(rect=high))
+        before = ctx.region_load(region) / primary.capacity
+        # The primary keeps one half and the secondary leads the other; the
+        # pessimistic pairing (worse half on the weaker node) bounds the
+        # post-split maximum from above.
+        weaker = min(primary.capacity, secondary.capacity)
+        after = max(low_load, high_load) / weaker
+        if not self.improves_enough(before, after, ctx):
+            return None
+        return AdaptationPlan(
+            mechanism=self.key,
+            region=region,
+            partner=None,
+            index_before=before,
+            index_after=after,
+            description=(
+                f"split region {region.region_id} between owners "
+                f"{primary.node_id} and {secondary.node_id}"
+            ),
+        )
+
+    def execute(self, plan: AdaptationPlan, ctx: AdaptationContext) -> None:
+        region = plan.region
+        if not region.is_full:
+            raise AdaptationError(
+                f"plan {plan.description!r} is stale: region "
+                f"{region.region_id} is no longer full"
+            )
+        overlay = ctx.overlay
+        assert isinstance(overlay, DualPeerGeoGrid)
+        kept, handed = overlay.split_full_region(region)
+        ctx.mark_adapted(kept, handed)

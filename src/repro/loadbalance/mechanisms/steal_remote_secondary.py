@@ -1,0 +1,98 @@
+"""Mechanism (f): Steal Remote Secondary Owner.
+
+"It is possible though infrequent that a region and all its neighboring
+regions are overloaded.  In such a case GeoGrid runs a Time to Live (TTL)
+guided search for the remote region whose secondary owner has more
+capacity than the primary owner of the overloaded region and is less
+loaded.  After a remote secondary owner is discovered, the primary owner
+of the overloaded region will steal this remote secondary owner, and will
+resign to be the secondary owner."
+
+The engine's increasing-cost ordering guarantees this only runs after the
+local mechanisms (a)--(e) found nothing in the immediate neighborhood.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AdaptationError
+from repro.core.region import Region
+from repro.loadbalance.base import AdaptationContext, AdaptationPlan, Mechanism
+from repro.loadbalance.search import ttl_search
+
+
+class StealRemoteSecondary(Mechanism):
+    """TTL-search for a strong idle secondary beyond the neighborhood."""
+
+    key = "f"
+    name = "steal remote secondary owner"
+    cost_rank = 5
+    remote = True
+
+    def plan(
+        self, region: Region, ctx: AdaptationContext
+    ) -> Optional[AdaptationPlan]:
+        if not region.is_half_full:
+            return None
+        primary = region.primary
+        assert primary is not None
+        load = ctx.region_load(region)
+        before = load / primary.capacity
+
+        def is_donor(candidate: Region) -> bool:
+            return (
+                candidate.is_full
+                and candidate.secondary.capacity > primary.capacity
+                and ctx.region_index(candidate) < before
+                and not ctx.in_cooldown(candidate)
+            )
+
+        result = ttl_search(
+            ctx.overlay.space,
+            region,
+            ttl=ctx.config.search_ttl,
+            predicate=is_donor,
+        )
+        ctx.search_messages += result.messages
+        if not result.candidates:
+            return None
+        donor = min(
+            result.candidates,
+            key=lambda n: (
+                -n.secondary.capacity,
+                ctx.region_index(n),
+                n.region_id,
+            ),
+        )
+        after = load / donor.secondary.capacity
+        if not self.improves_enough(before, after, ctx):
+            return None
+        return AdaptationPlan(
+            mechanism=self.key,
+            region=region,
+            partner=donor,
+            index_before=before,
+            index_after=after,
+            description=(
+                f"steal remote secondary {donor.secondary.node_id} from "
+                f"region {donor.region_id}; primary {primary.node_id} "
+                f"resigns to secondary"
+            ),
+        )
+
+    def execute(self, plan: AdaptationPlan, ctx: AdaptationContext) -> None:
+        region, donor = plan.region, plan.partner
+        assert donor is not None
+        stolen = donor.secondary
+        if stolen is None:
+            raise AdaptationError(
+                f"plan {plan.description!r} is stale: donor lost its secondary"
+            )
+        overlay = ctx.overlay
+        overlay.release_secondary(donor)
+        resigned = overlay.release_primary(region)
+        overlay.assign_primary(region, stolen)
+        if resigned is not None:
+            overlay.assign_secondary(region, resigned)
+        ctx.mark_adapted(region, donor)

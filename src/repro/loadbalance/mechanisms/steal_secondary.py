@@ -1,0 +1,86 @@
+"""Mechanism (a): Steal Secondary Owner.
+
+"This adaptation is used when the overloaded region has no dual peer
+(half full).  The overloaded primary owner node compares the workload
+index of all the neighbor regions to select a neighbor region whose
+secondary owner is more powerful than itself, and has the lowest workload
+index among all the regions satisfying the first condition.  Once such a
+region is located, its secondary owner is 'stolen' to be the primary owner
+of the overloaded region."
+
+After the steal, the old (weak) primary stays on as the secondary owner of
+its region -- the paper's Figure 4(a) shows capacity 1 alone becoming the
+pair (10, 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AdaptationError
+from repro.core.region import Region
+from repro.loadbalance.base import AdaptationContext, AdaptationPlan, Mechanism
+
+
+class StealSecondaryOwner(Mechanism):
+    """Pull a strong idle secondary from a neighbor into the hot region."""
+
+    key = "a"
+    name = "steal secondary owner"
+    cost_rank = 0
+    remote = False
+
+    def plan(
+        self, region: Region, ctx: AdaptationContext
+    ) -> Optional[AdaptationPlan]:
+        if not region.is_half_full:
+            return None
+        primary = region.primary
+        assert primary is not None
+        candidates = [
+            neighbor
+            for neighbor in ctx.overlay.space.neighbors(region)
+            if neighbor.is_full
+            and neighbor.secondary.capacity > primary.capacity
+            and not ctx.in_cooldown(neighbor)
+        ]
+        if not candidates:
+            return None
+        donor = min(
+            candidates,
+            key=lambda n: (ctx.region_index(n), n.region_id),
+        )
+        load = ctx.region_load(region)
+        before = load / primary.capacity
+        after = load / donor.secondary.capacity
+        if not self.improves_enough(before, after, ctx):
+            return None
+        return AdaptationPlan(
+            mechanism=self.key,
+            region=region,
+            partner=donor,
+            index_before=before,
+            index_after=after,
+            description=(
+                f"steal secondary {donor.secondary.node_id} "
+                f"(cap {donor.secondary.capacity:g}) from region "
+                f"{donor.region_id} to lead region {region.region_id}"
+            ),
+        )
+
+    def execute(self, plan: AdaptationPlan, ctx: AdaptationContext) -> None:
+        region, donor = plan.region, plan.partner
+        assert donor is not None
+        stolen = donor.secondary
+        if stolen is None:
+            raise AdaptationError(
+                f"plan {plan.description!r} is stale: donor region "
+                f"{donor.region_id} no longer has a secondary owner"
+            )
+        overlay = ctx.overlay
+        overlay.release_secondary(donor)
+        demoted = overlay.release_primary(region)
+        overlay.assign_primary(region, stolen)
+        if demoted is not None:
+            overlay.assign_secondary(region, demoted)
+        ctx.mark_adapted(region, donor)

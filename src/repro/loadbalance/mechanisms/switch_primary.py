@@ -1,0 +1,81 @@
+"""Mechanism (b): Switch Primary Owners.
+
+"This adaptation can be initiated by a region that is either half-full or
+full.  A smaller region has a primary owner that is more powerful than one
+of its neighbor regions, which is bigger and has a weaker primary owner.
+By switching the primary owners of these two regions, the bigger region
+now has more processing power while the smaller one has less."
+
+Initiated by the overloaded region: it looks for a neighbor whose primary
+is *stronger* and whose load is lower, and swaps primaries with it.  The
+swap is only taken when it strictly lowers the pairwise maximum index,
+which also guarantees the reverse swap can never fire right after (no
+two-region oscillation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AdaptationError
+from repro.core.region import Region
+from repro.loadbalance.base import AdaptationContext, AdaptationPlan, Mechanism
+
+
+class SwitchPrimaryOwners(Mechanism):
+    """Swap the hot region's weak primary with a cooler neighbor's strong one."""
+
+    key = "b"
+    name = "switch primary owners"
+    cost_rank = 1
+    remote = False
+
+    def plan(
+        self, region: Region, ctx: AdaptationContext
+    ) -> Optional[AdaptationPlan]:
+        primary = region.primary
+        if primary is None:
+            return None
+        my_load = ctx.region_load(region)
+        my_index = my_load / primary.capacity
+        best = None
+        best_pair_after = float("inf")
+        for neighbor in ctx.overlay.space.neighbors(region):
+            other = neighbor.primary
+            if other is None or other.capacity <= primary.capacity:
+                continue
+            if ctx.in_cooldown(neighbor):
+                continue
+            other_load = ctx.region_load(neighbor)
+            pair_before = max(my_index, other_load / other.capacity)
+            pair_after = max(
+                my_load / other.capacity, other_load / primary.capacity
+            )
+            if not self.improves_enough(pair_before, pair_after, ctx):
+                continue
+            if pair_after < best_pair_after:
+                best, best_pair_after = neighbor, pair_after
+        if best is None:
+            return None
+        return AdaptationPlan(
+            mechanism=self.key,
+            region=region,
+            partner=best,
+            index_before=my_index,
+            index_after=my_load / best.primary.capacity,
+            description=(
+                f"switch primaries of regions {region.region_id} "
+                f"(cap {primary.capacity:g}) and {best.region_id} "
+                f"(cap {best.primary.capacity:g})"
+            ),
+        )
+
+    def execute(self, plan: AdaptationPlan, ctx: AdaptationContext) -> None:
+        region, partner = plan.region, plan.partner
+        assert partner is not None
+        if region.primary is None or partner.primary is None:
+            raise AdaptationError(
+                f"plan {plan.description!r} is stale: a primary slot emptied"
+            )
+        ctx.overlay.swap_primaries(region, partner)
+        ctx.mark_adapted(region, partner)

@@ -1,0 +1,88 @@
+"""Mechanism (e): Switch Primary with a Neighbor's Secondary Owner.
+
+"When an overloaded region has a dual peer (full), it means both nodes
+have less capacity to handle the workload.  Thus the primary owner of the
+region can switch its position with a secondary owner of a neighbor
+region, if that secondary owner has more capacity."
+
+The overloaded region's own secondary stays in place; its weak primary
+moves into the neighbor's (idle) secondary slot and the neighbor's strong
+secondary takes over as primary of the hot region.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AdaptationError
+from repro.core.region import Region
+from repro.loadbalance.base import AdaptationContext, AdaptationPlan, Mechanism
+
+
+class SwitchPrimaryWithNeighborSecondary(Mechanism):
+    """Trade the hot region's weak primary for a strong neighbor secondary."""
+
+    key = "e"
+    name = "switch primary with neighbor's secondary owner"
+    cost_rank = 4
+    remote = False
+
+    def plan(
+        self, region: Region, ctx: AdaptationContext
+    ) -> Optional[AdaptationPlan]:
+        if not region.is_full:
+            return None
+        primary = region.primary
+        assert primary is not None
+        candidates = [
+            neighbor
+            for neighbor in ctx.overlay.space.neighbors(region)
+            if neighbor.is_full
+            and neighbor is not region
+            and neighbor.secondary is not region.secondary
+            and neighbor.secondary.capacity > primary.capacity
+            and not ctx.in_cooldown(neighbor)
+        ]
+        if not candidates:
+            return None
+        partner = min(
+            candidates,
+            key=lambda n: (
+                -n.secondary.capacity,
+                ctx.region_index(n),
+                n.region_id,
+            ),
+        )
+        load = ctx.region_load(region)
+        before = load / primary.capacity
+        after = load / partner.secondary.capacity
+        if not self.improves_enough(before, after, ctx):
+            return None
+        return AdaptationPlan(
+            mechanism=self.key,
+            region=region,
+            partner=partner,
+            index_before=before,
+            index_after=after,
+            description=(
+                f"switch primary {primary.node_id} of region "
+                f"{region.region_id} with secondary "
+                f"{partner.secondary.node_id} of region {partner.region_id}"
+            ),
+        )
+
+    def execute(self, plan: AdaptationPlan, ctx: AdaptationContext) -> None:
+        region, partner = plan.region, plan.partner
+        assert partner is not None
+        incoming = partner.secondary
+        if incoming is None or region.primary is None:
+            raise AdaptationError(
+                f"plan {plan.description!r} is stale: an owner slot emptied"
+            )
+        overlay = ctx.overlay
+        overlay.release_secondary(partner)
+        outgoing = overlay.release_primary(region)
+        overlay.assign_primary(region, incoming)
+        if outgoing is not None:
+            overlay.assign_secondary(partner, outgoing)
+        ctx.mark_adapted(region, partner)

@@ -1,0 +1,93 @@
+"""Mechanism (h): Switch Primary with a Remote Primary Owner.
+
+"This adaptation is for a full region and is also based on a search for
+discovering a candidate remote primary owner that is stronger than the
+primary owner of the overloaded region.  The overloaded primary owner will
+switch its position with the discovered remote primary owner."
+
+The most expensive mechanism: both regions change their serving node, and
+both are remote from each other, so the switch ships the most state.  Like
+the local primary switch (b), it only fires when it strictly lowers the
+pairwise maximum index.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AdaptationError
+from repro.core.region import Region
+from repro.loadbalance.base import AdaptationContext, AdaptationPlan, Mechanism
+from repro.loadbalance.search import ttl_search
+
+
+class SwitchPrimaryWithRemotePrimary(Mechanism):
+    """Swap the hot region's weak primary with a strong remote primary."""
+
+    key = "h"
+    name = "switch primary with remote primary owner"
+    cost_rank = 7
+    remote = True
+
+    def plan(
+        self, region: Region, ctx: AdaptationContext
+    ) -> Optional[AdaptationPlan]:
+        if not region.is_full:
+            return None
+        primary = region.primary
+        assert primary is not None
+        my_load = ctx.region_load(region)
+        my_index = my_load / primary.capacity
+
+        def is_partner(candidate: Region) -> bool:
+            other = candidate.primary
+            return (
+                other is not None
+                and other is not primary
+                and other.capacity > primary.capacity
+                and not ctx.in_cooldown(candidate)
+            )
+
+        result = ttl_search(
+            ctx.overlay.space,
+            region,
+            ttl=ctx.config.search_ttl,
+            predicate=is_partner,
+        )
+        ctx.search_messages += result.messages
+        best = None
+        best_pair_after = float("inf")
+        for candidate in result.candidates:
+            other = candidate.primary
+            other_load = ctx.region_load(candidate)
+            pair_before = max(my_index, other_load / other.capacity)
+            pair_after = max(
+                my_load / other.capacity, other_load / primary.capacity
+            )
+            if not self.improves_enough(pair_before, pair_after, ctx):
+                continue
+            if pair_after < best_pair_after:
+                best, best_pair_after = candidate, pair_after
+        if best is None:
+            return None
+        return AdaptationPlan(
+            mechanism=self.key,
+            region=region,
+            partner=best,
+            index_before=my_index,
+            index_after=my_load / best.primary.capacity,
+            description=(
+                f"switch primaries of region {region.region_id} and remote "
+                f"region {best.region_id}"
+            ),
+        )
+
+    def execute(self, plan: AdaptationPlan, ctx: AdaptationContext) -> None:
+        region, partner = plan.region, plan.partner
+        assert partner is not None
+        if region.primary is None or partner.primary is None:
+            raise AdaptationError(
+                f"plan {plan.description!r} is stale: a primary slot emptied"
+            )
+        ctx.overlay.swap_primaries(region, partner)
+        ctx.mark_adapted(region, partner)

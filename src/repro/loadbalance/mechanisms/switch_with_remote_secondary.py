@@ -1,0 +1,93 @@
+"""Mechanism (g): Switch Primary with a Remote Secondary Owner.
+
+"This adaptation is for a full region -- the region that has dual peer,
+and both primary node and secondary node have less capacity than required
+to handle the current workload demand.  The overloaded primary owner will
+switch its position with the discovered remote secondary owner that is
+stronger than itself based on the guided search."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AdaptationError
+from repro.core.region import Region
+from repro.loadbalance.base import AdaptationContext, AdaptationPlan, Mechanism
+from repro.loadbalance.search import ttl_search
+
+
+class SwitchPrimaryWithRemoteSecondary(Mechanism):
+    """Trade the hot region's weak primary for a remote strong secondary."""
+
+    key = "g"
+    name = "switch primary with remote secondary owner"
+    cost_rank = 6
+    remote = True
+
+    def plan(
+        self, region: Region, ctx: AdaptationContext
+    ) -> Optional[AdaptationPlan]:
+        if not region.is_full:
+            return None
+        primary, secondary = region.primary, region.secondary
+        assert primary is not None and secondary is not None
+
+        def is_partner(candidate: Region) -> bool:
+            return (
+                candidate.is_full
+                and candidate.secondary.capacity > primary.capacity
+                and candidate.secondary is not secondary
+                and not ctx.in_cooldown(candidate)
+            )
+
+        result = ttl_search(
+            ctx.overlay.space,
+            region,
+            ttl=ctx.config.search_ttl,
+            predicate=is_partner,
+        )
+        ctx.search_messages += result.messages
+        if not result.candidates:
+            return None
+        partner = min(
+            result.candidates,
+            key=lambda n: (
+                -n.secondary.capacity,
+                ctx.region_index(n),
+                n.region_id,
+            ),
+        )
+        load = ctx.region_load(region)
+        before = load / primary.capacity
+        after = load / partner.secondary.capacity
+        if not self.improves_enough(before, after, ctx):
+            return None
+        return AdaptationPlan(
+            mechanism=self.key,
+            region=region,
+            partner=partner,
+            index_before=before,
+            index_after=after,
+            description=(
+                f"switch primary {primary.node_id} of region "
+                f"{region.region_id} with remote secondary "
+                f"{partner.secondary.node_id} of region {partner.region_id}"
+            ),
+        )
+
+    def execute(self, plan: AdaptationPlan, ctx: AdaptationContext) -> None:
+        region, partner = plan.region, plan.partner
+        assert partner is not None
+        incoming = partner.secondary
+        if incoming is None or region.primary is None:
+            raise AdaptationError(
+                f"plan {plan.description!r} is stale: an owner slot emptied"
+            )
+        overlay = ctx.overlay
+        overlay.release_secondary(partner)
+        outgoing = overlay.release_primary(region)
+        overlay.assign_primary(region, incoming)
+        if outgoing is not None:
+            overlay.assign_secondary(partner, outgoing)
+        ctx.mark_adapted(region, partner)

@@ -1,0 +1,99 @@
+"""Routing-workload accounting.
+
+The paper claims GeoGrid's load balancing covers "both the location query
+workload and the routing workload": a node's cost is not only the queries
+it *executes* (the hot-spot model) but also the requests it *forwards* as
+an intermediate hop.  This module measures the latter: it replays a query
+stream over an overlay, charges one unit to the primary owner of every
+region a request transits, and normalizes by capacity.
+
+Because dual-peer admission gives powerful nodes larger regions, they
+intercept proportionally more transit traffic, flattening the normalized
+routing load -- the effect the ablation benchmark quantifies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.node import Node
+from repro.core.overlay import BasicGeoGrid
+from repro.metrics.stats import StatSummary, summarize
+from repro.workload.queries import QueryGenerator
+
+
+@dataclass
+class RoutingLoadReport:
+    """Outcome of a routing-load measurement."""
+
+    queries: int
+    #: Messages forwarded per node (executor hop included: it serves the
+    #: request; pure relays are the rest).
+    forwards: Dict[Node, int]
+    #: forwards / capacity, per node.
+    index: Dict[Node, float]
+    index_summary: StatSummary
+    total_hops: int
+
+    @property
+    def mean_hops(self) -> float:
+        """Average route length over the measured stream."""
+        if self.queries == 0:
+            return 0.0
+        return self.total_hops / self.queries
+
+
+class RoutingLoadTracker:
+    """Replays a query stream and accounts per-node forwarding load."""
+
+    def __init__(self, overlay: BasicGeoGrid) -> None:
+        self.overlay = overlay
+
+    def measure(
+        self,
+        generator: QueryGenerator,
+        rng: random.Random,
+        queries: int = 500,
+        include_fanout: bool = True,
+    ) -> RoutingLoadReport:
+        """Run ``queries`` queries and return the routing-load report.
+
+        Focal nodes are drawn uniformly from the membership (every proxy
+        relays its users' requests); query centers follow the generator's
+        hot-spot density, so transit traffic concentrates along the paths
+        toward hot areas, exactly the imbalance the claim is about.
+        """
+        if queries < 0:
+            raise ValueError(f"queries must be >= 0, got {queries}")
+        forwards: Dict[Node, int] = {
+            node: 0 for node in self.overlay.nodes.values()
+        }
+        total_hops = 0
+        for _ in range(queries):
+            focal = self.overlay.random_node()
+            query = generator.sample_query(focal, rng)
+            outcome = self.overlay.submit_query(query)
+            total_hops += outcome.route.hops
+            for region in outcome.route.path:
+                owner = region.primary
+                if owner is not None and owner in forwards:
+                    forwards[owner] += 1
+            if include_fanout:
+                for region in outcome.covered:
+                    if region is outcome.executor:
+                        continue
+                    owner = region.primary
+                    if owner is not None and owner in forwards:
+                        forwards[owner] += 1
+        index = {
+            node: count / node.capacity for node, count in forwards.items()
+        }
+        return RoutingLoadReport(
+            queries=queries,
+            forwards=forwards,
+            index=index,
+            index_summary=summarize(index.values()),
+            total_hops=total_hops,
+        )

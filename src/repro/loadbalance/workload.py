@@ -1,0 +1,139 @@
+"""The workload index.
+
+The paper balances two kinds of load -- location-query workload and
+routing workload -- through one normalized quantity, the *workload index*
+of a node.  We pin it down as:
+
+    index(node) = sum of the query workload of the regions the node
+                  primarily owns, divided by the node's capacity
+                + replication_fraction * (the same over the regions it
+                  owns as a secondary) / capacity
+
+Secondary owners replicate the primary's state, so serving a region as a
+secondary costs a configurable fraction of serving it as a primary
+(default 0: the primary handles *all* requests, per Section 2.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.core.node import Node
+from repro.core.overlay import BasicGeoGrid
+from repro.core.region import Region
+from repro.metrics.stats import StatSummary, summarize
+
+#: Maps a region to its current query workload (the hot-spot field).
+RegionLoadFn = Callable[[Region], float]
+
+
+class WorkloadIndexCalculator:
+    """Computes workload indices for an overlay under a workload oracle.
+
+    Parameters
+    ----------
+    overlay:
+        The GeoGrid overlay (basic or dual-peer).
+    region_load:
+        The workload oracle, typically
+        :meth:`repro.workload.hotspot.HotspotField.region_load`.
+    replication_fraction:
+        Cost of serving a region as a secondary, as a fraction of the
+        primary's cost.
+    """
+
+    def __init__(
+        self,
+        overlay: BasicGeoGrid,
+        region_load: RegionLoadFn,
+        replication_fraction: float = 0.0,
+    ) -> None:
+        if not (0.0 <= replication_fraction <= 1.0):
+            raise ValueError(
+                f"replication_fraction must lie in [0, 1], got "
+                f"{replication_fraction!r}"
+            )
+        self.overlay = overlay
+        self.region_load = region_load
+        self.replication_fraction = replication_fraction
+
+    # ------------------------------------------------------------------
+    # Indices
+    # ------------------------------------------------------------------
+    def region_index(self, region: Region) -> float:
+        """Region workload divided by its primary owner's capacity.
+
+        Infinite for a vacant region (never observable through the public
+        overlay API, but the adaptation planner guards against it).
+        """
+        if region.primary is None:
+            return math.inf
+        return self.region_load(region) / region.primary.capacity
+
+    def node_index(self, node: Node) -> float:
+        """The node's workload index (see module docstring)."""
+        primary_load = sum(
+            self.region_load(region)
+            for region in self.overlay.primary_regions(node)
+        )
+        index = primary_load / node.capacity
+        if self.replication_fraction:
+            secondary_load = sum(
+                self.region_load(region)
+                for region in self.overlay.secondary_regions(node)
+            )
+            index += self.replication_fraction * secondary_load / node.capacity
+        return index
+
+    def all_node_indices(self) -> Dict[Node, float]:
+        """Index of every member node (secondaries included)."""
+        return {
+            node: self.node_index(node)
+            for node in self.overlay.nodes.values()
+        }
+
+    def summary(self) -> StatSummary:
+        """Max/mean/std of the workload index over all nodes.
+
+        This is exactly the quantity Figures 5--10 plot.
+        """
+        return summarize(self.all_node_indices().values())
+
+    # ------------------------------------------------------------------
+    # Neighborhood views (what nodes learn by exchanging statistics)
+    # ------------------------------------------------------------------
+    def neighbor_nodes(self, node: Node) -> Iterable[Node]:
+        """Owners of the regions adjacent to the node's regions.
+
+        These are the peers a node "periodically exchanges workload
+        statistic information with" -- the information base of the
+        adaptation trigger.
+        """
+        seen = {node}
+        for region in self.overlay.primary_regions(node):
+            for neighbor in self.overlay.space.neighbors(region):
+                for owner in neighbor.owners():
+                    if owner not in seen:
+                        seen.add(owner)
+                        yield owner
+
+    def min_neighbor_index(self, node: Node) -> Optional[float]:
+        """The lowest workload index among the node's neighbors.
+
+        ``None`` when the node has no neighbors (single-node network).
+        """
+        lowest: Optional[float] = None
+        for neighbor in self.neighbor_nodes(node):
+            index = self.node_index(neighbor)
+            if lowest is None or index < lowest:
+                lowest = index
+        return lowest
+
+    def available_capacity(self, node: Node) -> float:
+        """Capacity minus primary workload (the join/adaptation ranking)."""
+        primary_load = sum(
+            self.region_load(region)
+            for region in self.overlay.primary_regions(node)
+        )
+        return node.capacity - primary_load

@@ -1,0 +1,29 @@
+"""Measurement utilities.
+
+The paper reports the max, mean, and standard deviation of the *workload
+index* over all nodes; this package provides the generic statistics
+(:func:`summarize`, :class:`StatSummary`), inequality measures, and the
+time-series collector the convergence experiments use to record one
+summary per adaptation round (or per individual adaptation).
+"""
+
+from repro.metrics.stats import StatSummary, gini, summarize
+from repro.metrics.collector import SeriesPoint, TimeSeriesCollector
+from repro.metrics.io import (
+    collector_from_json,
+    collector_to_json,
+    summary_from_dict,
+    summary_to_dict,
+)
+
+__all__ = [
+    "StatSummary",
+    "summarize",
+    "gini",
+    "TimeSeriesCollector",
+    "SeriesPoint",
+    "collector_to_json",
+    "collector_from_json",
+    "summary_to_dict",
+    "summary_from_dict",
+]

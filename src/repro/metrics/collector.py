@@ -1,0 +1,91 @@
+"""Time-series recording for the convergence experiments.
+
+Figures 7/8 record the workload-index summary at the end of every round of
+adaptation; Figures 9/10 record it after every individual adaptation.  The
+collector is agnostic: it stores ``(x, StatSummary)`` points under named
+series and renders plain-text tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.metrics.stats import StatSummary
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One recorded point: x-coordinate plus the summary at that moment."""
+
+    x: float
+    summary: StatSummary
+
+
+@dataclass
+class TimeSeriesCollector:
+    """Named series of :class:`SeriesPoint` values."""
+
+    series: Dict[str, List[SeriesPoint]] = field(default_factory=dict)
+
+    def record(self, name: str, x: float, summary: StatSummary) -> None:
+        """Append one point to series ``name``."""
+        self.series.setdefault(name, []).append(SeriesPoint(x, summary))
+
+    def get(self, name: str) -> List[SeriesPoint]:
+        """All points of series ``name`` (empty when never recorded)."""
+        return self.series.get(name, [])
+
+    def names(self) -> List[str]:
+        """The recorded series names, in insertion order."""
+        return list(self.series)
+
+    def column(self, name: str, attribute: str) -> List[Tuple[float, float]]:
+        """Extract ``(x, summary.<attribute>)`` pairs from a series."""
+        return [
+            (point.x, getattr(point.summary, attribute))
+            for point in self.get(name)
+        ]
+
+    def render_table(
+        self,
+        attribute: str,
+        names: Iterable[str] = (),
+        x_label: str = "x",
+        float_format: str = "{:.6g}",
+    ) -> str:
+        """Render selected series as an aligned text table.
+
+        One row per distinct x value, one column per series; missing points
+        render as ``-``.  This is what the benchmark harness prints as the
+        "same rows/series the paper reports".
+        """
+        chosen = list(names) or self.names()
+        xs = sorted(
+            {point.x for name in chosen for point in self.get(name)}
+        )
+        by_series = {
+            name: {point.x: getattr(point.summary, attribute)
+                   for point in self.get(name)}
+            for name in chosen
+        }
+        header = [x_label] + chosen
+        rows = [header]
+        for x in xs:
+            row = [f"{x:g}"]
+            for name in chosen:
+                value = by_series[name].get(x)
+                row.append("-" if value is None else float_format.format(value))
+            rows.append(row)
+        widths = [
+            max(len(row[column]) for row in rows)
+            for column in range(len(header))
+        ]
+        lines = []
+        for index, row in enumerate(rows):
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        return "\n".join(lines)

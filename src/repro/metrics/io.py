@@ -1,0 +1,62 @@
+"""JSON import/export of measurement results.
+
+The benchmark harness prints text tables; downstream users who want to
+plot the series (matplotlib, gnuplot, a notebook) can round-trip the
+collectors through JSON instead of scraping text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.metrics.collector import SeriesPoint, TimeSeriesCollector
+from repro.metrics.stats import StatSummary
+
+
+def summary_to_dict(summary: StatSummary) -> Dict[str, Any]:
+    """A JSON-ready dict for one :class:`StatSummary`."""
+    return summary.as_dict()
+
+
+def summary_from_dict(data: Dict[str, Any]) -> StatSummary:
+    """Rebuild a :class:`StatSummary` from :func:`summary_to_dict`."""
+    return StatSummary(
+        count=int(data["count"]),
+        minimum=float(data["min"]),
+        maximum=float(data["max"]),
+        mean=float(data["mean"]),
+        std=float(data["std"]),
+        median=float(data["median"]),
+        total=float(data["total"]),
+    )
+
+
+def collector_to_json(collector: TimeSeriesCollector, indent: int = 2) -> str:
+    """Serialize all series of a collector to a JSON string."""
+    payload = {
+        name: [
+            {"x": point.x, "summary": summary_to_dict(point.summary)}
+            for point in collector.get(name)
+        ]
+        for name in collector.names()
+    }
+    # Insertion order is part of the collector's contract (series render
+    # in recording order), so keys are deliberately not sorted.
+    return json.dumps(payload, indent=indent)
+
+
+def collector_from_json(text: str) -> TimeSeriesCollector:
+    """Rebuild a collector from :func:`collector_to_json` output."""
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ValueError("expected a JSON object of series")
+    collector = TimeSeriesCollector()
+    for name, points in payload.items():
+        for entry in points:
+            collector.record(
+                name,
+                float(entry["x"]),
+                summary_from_dict(entry["summary"]),
+            )
+    return collector

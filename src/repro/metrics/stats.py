@@ -1,0 +1,122 @@
+"""Summary statistics over node workload indices (and anything else)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class StatSummary:
+    """Max / mean / std (and friends) of a sample.
+
+    ``std`` is the population standard deviation, matching how the paper
+    summarizes the workload index over *all* nodes of a network (the whole
+    population is observed, nothing is estimated).
+    """
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    std: float
+    median: float
+    total: float
+
+    @classmethod
+    def empty(cls) -> "StatSummary":
+        """The summary of an empty sample (all-zero)."""
+        return cls(
+            count=0, minimum=0.0, maximum=0.0, mean=0.0,
+            std=0.0, median=0.0, total=0.0,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for table rendering."""
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "std": self.std,
+            "median": self.median,
+            "total": self.total,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} max={self.maximum:.4g} mean={self.mean:.4g} "
+            f"std={self.std:.4g}"
+        )
+
+
+def summarize(values: Iterable[float]) -> StatSummary:
+    """Compute a :class:`StatSummary` over ``values``."""
+    data: List[float] = sorted(float(v) for v in values)
+    if not data:
+        return StatSummary.empty()
+    count = len(data)
+    total = math.fsum(data)
+    # fsum/count can land one ulp outside [min, max] for near-identical
+    # samples; clamp so min <= mean <= max always holds exactly.
+    mean = min(max(total / count, data[0]), data[-1])
+    variance = math.fsum((v - mean) ** 2 for v in data) / count
+    middle = count // 2
+    if count % 2:
+        median = data[middle]
+    else:
+        median = (data[middle - 1] + data[middle]) / 2.0
+    return StatSummary(
+        count=count,
+        minimum=data[0],
+        maximum=data[-1],
+        mean=mean,
+        std=math.sqrt(variance),
+        median=median,
+        total=total,
+    )
+
+
+def gini(values: Sequence[float]) -> float:
+    """The Gini coefficient of a non-negative sample (0 = perfectly even).
+
+    A single-number inequality measure we report alongside the paper's
+    max/mean/std; handy for the ablation benchmarks.
+    """
+    data = sorted(float(v) for v in values)
+    if not data:
+        return 0.0
+    if any(v < 0 for v in data):
+        raise ValueError("gini is only defined for non-negative samples")
+    total = math.fsum(data)
+    if total == 0.0:
+        return 0.0
+    n = len(data)
+    weighted = math.fsum((index + 1) * value for index, value in enumerate(data))
+    return (2.0 * weighted) / (n * total) - (n + 1.0) / n
+
+
+def confidence_interval95(values: Sequence[float]) -> float:
+    """Half-width of a normal-approximation 95% CI for the mean.
+
+    With the reduced trial counts this reproduction runs (the paper
+    averaged 100 networks per point), reports should say how tight the
+    averages are; this returns ``1.96 * s / sqrt(n)`` using the sample
+    standard deviation (0 for n < 2).
+    """
+    data = [float(v) for v in values]
+    n = len(data)
+    if n < 2:
+        return 0.0
+    mean = math.fsum(data) / n
+    sample_variance = math.fsum((v - mean) ** 2 for v in data) / (n - 1)
+    return 1.96 * math.sqrt(sample_variance / n)
+
+
+def ratio_of_maximum_to_mean(values: Sequence[float]) -> float:
+    """Peak-to-average ratio, a common overload indicator (1 = flat)."""
+    summary = summarize(values)
+    if summary.mean == 0.0:
+        return 0.0
+    return summary.maximum / summary.mean

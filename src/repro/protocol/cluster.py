@@ -1,0 +1,282 @@
+"""A test/demo harness around a set of protocol nodes.
+
+:class:`ProtocolCluster` wires scheduler + network + bootstrap server
+together, creates :class:`~repro.protocol.node.ProtocolNode` instances,
+and offers synchronous-looking helpers (``join_node``, ``lookup``,
+``query``) that drive the event loop until the asynchronous operation
+settles.  It also extracts the *global* view (all primary-owned rects) so
+tests can assert the distributed state converged to a proper partition.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Dict, List, Optional
+
+from repro.errors import MembershipError, SimulationError
+from repro.geometry import Point, Rect
+from repro.bootstrap import BootstrapServer
+from repro.core.node import Node, NodeAddress
+from repro.sim.latency import LatencyModel
+from repro.sim.scheduler import EventScheduler
+from repro.sim.transport import SimNetwork
+from repro.protocol import messages as m
+from repro.protocol.node import NodeConfig, ProtocolNode
+
+
+class ProtocolCluster:
+    """A simulated GeoGrid deployment."""
+
+    def __init__(
+        self,
+        bounds: Rect,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        drop_probability: float = 0.0,
+        config: Optional[NodeConfig] = None,
+    ) -> None:
+        self.bounds = bounds
+        self.rng = random.Random(seed)
+        self.scheduler = EventScheduler()
+        self.network = SimNetwork(
+            self.scheduler,
+            rng=random.Random(seed + 1),
+            latency=latency,
+            drop_probability=drop_probability,
+        )
+        self.bootstrap = BootstrapServer()
+        self.config = config if config is not None else NodeConfig()
+        self.nodes: Dict[int, ProtocolNode] = {}
+        self._next_node_id = itertools.count(0)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def spawn_node(
+        self,
+        coord: Point,
+        capacity: float = 1.0,
+        node_id: Optional[int] = None,
+    ) -> ProtocolNode:
+        """Create (but do not yet join) a protocol node."""
+        if node_id is None:
+            node_id = next(self._next_node_id)
+        else:
+            self._next_node_id = itertools.count(
+                max(node_id + 1, next(self._next_node_id))
+            )
+        node = Node(node_id=node_id, coord=coord, capacity=capacity)
+        pnode = ProtocolNode(
+            node=node,
+            network=self.network,
+            scheduler=self.scheduler,
+            bootstrap=self.bootstrap,
+            rng=random.Random((node_id + 1) * 7919),
+            config=self.config,
+        )
+        self.nodes[node_id] = pnode
+        return pnode
+
+    def join_node(
+        self,
+        coord: Point,
+        capacity: float = 1.0,
+        settle_time: float = 90.0,
+    ) -> ProtocolNode:
+        """Spawn a node, run its join to completion, and return it."""
+        pnode = self.spawn_node(coord, capacity)
+        if len([n for n in self.nodes.values() if n.alive]) == 0:
+            pnode.start_as_first(self.bounds)
+            return pnode
+        pnode.start_join()
+        deadline = self.scheduler.now + settle_time
+        while not pnode.joined and self.scheduler.now < deadline:
+            if self.scheduler.pending() == 0:
+                break
+            self.scheduler.run_until(
+                min(deadline, self.scheduler.now + 1.0)
+            )
+        if not pnode.joined:
+            raise SimulationError(
+                f"node {pnode.node.node_id} failed to join within "
+                f"{settle_time} time units"
+            )
+        return pnode
+
+    def depart_node(self, node_id: int) -> None:
+        """Gracefully remove a node."""
+        self._protocol_node(node_id).depart()
+
+    def crash_node(self, node_id: int) -> None:
+        """Abruptly fail a node (peers must detect it via heartbeats)."""
+        self._protocol_node(node_id).crash()
+
+    def _protocol_node(self, node_id: int) -> ProtocolNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise MembershipError(f"unknown node id {node_id}") from None
+
+    # ------------------------------------------------------------------
+    # Time control
+    # ------------------------------------------------------------------
+    def run_for(self, duration: float, max_events: int = 500_000) -> int:
+        """Advance virtual time by ``duration``."""
+        return self.scheduler.run_until(
+            self.scheduler.now + duration, max_events=max_events
+        )
+
+    def settle(self, duration: float = 30.0) -> None:
+        """Let heartbeats, syncs and announcements quiesce."""
+        self.run_for(duration)
+
+    # ------------------------------------------------------------------
+    # Synchronous-looking application operations
+    # ------------------------------------------------------------------
+    def lookup(
+        self,
+        from_node_id: int,
+        target: Point,
+        payload: Any = None,
+        timeout: float = 60.0,
+        attempts: int = 3,
+    ) -> m.RouteDeliveredBody:
+        """Route a request and wait for the delivery acknowledgment.
+
+        Routing is best-effort (any hop or the acknowledgment itself can
+        be lost on a lossy network), so the request is retransmitted up to
+        ``attempts`` times, each with a ``timeout / attempts`` budget --
+        the application-level retry a real client library would do.
+        """
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        origin = self._protocol_node(from_node_id)
+        per_attempt = timeout / attempts
+        request_ids = []
+        for _ in range(attempts):
+            request_id = origin.send_to_point(target, payload)
+            request_ids.append(request_id)
+            deadline = self.scheduler.now + per_attempt
+            while self.scheduler.now < deadline:
+                for rid in request_ids:
+                    ack = self._find_ack(origin, rid)
+                    if ack is not None:
+                        return ack
+                if self.scheduler.pending() == 0:
+                    break
+                self.scheduler.run_until(
+                    min(deadline, self.scheduler.now + 1.0)
+                )
+        for rid in request_ids:
+            ack = self._find_ack(origin, rid)
+            if ack is not None:
+                return ack
+        raise SimulationError(
+            f"lookup from node {from_node_id} to {target} was not "
+            f"delivered within {timeout} time units ({attempts} attempts)"
+        )
+
+    @staticmethod
+    def _find_ack(
+        origin: ProtocolNode, request_id: int
+    ) -> Optional[m.RouteDeliveredBody]:
+        for ack in origin.delivered:
+            if ack.request_id == request_id:
+                return ack
+        return None
+
+    def publish(self, from_node_id: int, point: Point, item: Any) -> None:
+        """Publish a geo-tagged item and let it propagate."""
+        self._protocol_node(from_node_id).publish(point, item)
+        self.run_for(10.0)
+
+    def query(
+        self,
+        from_node_id: int,
+        rect: Rect,
+        wait: float = 20.0,
+    ) -> List[m.QueryResultBody]:
+        """Issue a location query and collect the per-region results."""
+        origin = self._protocol_node(from_node_id)
+        request_id = origin.query_rect(rect)
+        self.run_for(wait)
+        return origin.query_results.get(request_id, [])
+
+    # ------------------------------------------------------------------
+    # Global-view extraction (for assertions only)
+    # ------------------------------------------------------------------
+    def primary_rects(self) -> List[Rect]:
+        """All rects currently served by a live primary."""
+        return [
+            pnode.owned.rect
+            for pnode in self.nodes.values()
+            if pnode.alive and pnode.owned is not None
+            and pnode.owned.role == "primary"
+        ]
+
+    def caretaker_rects(self) -> List[Rect]:
+        """All rects currently served best-effort by caretakers.
+
+        A caretaker hole appears when a region's owners died (or a grant
+        was lost on a lossy network) and persists until the next join
+        routed into it fills it; see the package docstring.
+        """
+        rects: List[Rect] = []
+        for pnode in self.nodes.values():
+            if pnode.alive:
+                rects.extend(pnode.caretaker_rects)
+        return rects
+
+    def check_partition(self, allow_caretaker_holes: bool = False) -> None:
+        """Assert the live primaries tile the bounds without overlap.
+
+        Only meaningful at quiescence (no joins or failovers in flight).
+        With ``allow_caretaker_holes`` the check accepts area not covered
+        by any primary as long as caretakers stand in for it -- the
+        protocol's documented degraded-but-serviceable state on lossy
+        networks, healed by the next join.
+        """
+        rects = self.primary_rects()
+        total = sum(rect.area for rect in rects)
+        missing = self.bounds.area - total
+        if missing > 1e-6 * self.bounds.area:
+            if not allow_caretaker_holes:
+                raise SimulationError(
+                    f"primary regions cover {total} of {self.bounds.area}; "
+                    f"the distributed partition is inconsistent"
+                )
+            covered_by_caretakers = 0.0
+            seen = set()
+            for hole in self.caretaker_rects():
+                key = hole.as_tuple()
+                if key not in seen:
+                    seen.add(key)
+                    covered_by_caretakers += hole.area
+            if missing > covered_by_caretakers + 1e-6 * self.bounds.area:
+                raise SimulationError(
+                    f"primaries cover {total} and caretakers only "
+                    f"{covered_by_caretakers} of the missing {missing}; "
+                    f"part of the plane is unserved"
+                )
+        elif missing < -1e-6 * self.bounds.area:
+            raise SimulationError(
+                f"primary regions cover {total} > bounds "
+                f"{self.bounds.area}; regions overlap"
+            )
+        for i, a in enumerate(rects):
+            for b in rects[i + 1 :]:
+                if a.intersects(b):
+                    raise SimulationError(
+                        f"primary regions {a} and {b} overlap"
+                    )
+
+    def alive_count(self) -> int:
+        """Number of running protocol nodes."""
+        return sum(1 for pnode in self.nodes.values() if pnode.alive)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProtocolCluster(nodes={self.alive_count()}, "
+            f"t={self.scheduler.now:g})"
+        )

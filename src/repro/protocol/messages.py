@@ -1,0 +1,293 @@
+"""Protocol message kinds and bodies.
+
+Two families, exactly as Section 2.2 describes: *management* messages
+(join, split, neighbor-table maintenance, heartbeats) whose syntax the
+middleware defines, and *application* messages (routed requests, queries,
+publications) that must carry the geographical coordinate of their
+destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.geometry import Point, Rect
+from repro.core.node import NodeAddress
+
+# ---------------------------------------------------------------------
+# Management message kinds
+# ---------------------------------------------------------------------
+JOIN_REQUEST = "join_request"
+JOIN_GRANT = "join_grant"
+GRANT_DECLINE = "grant_decline"
+NEIGHBOR_UPDATE = "neighbor_update"
+HEARTBEAT = "heartbeat"
+SYNC_STATE = "sync_state"
+DEPART = "depart"
+SECONDARY_RELEASED = "secondary_released"
+SWITCH_REQUEST = "switch_request"
+SWITCH_ACCEPT = "switch_accept"
+SWITCH_REJECT = "switch_reject"
+
+# ---------------------------------------------------------------------
+# Application message kinds
+# ---------------------------------------------------------------------
+ROUTE = "route"
+ROUTE_DELIVERED = "route_delivered"
+QUERY = "query"
+QUERY_FANOUT = "query_fanout"
+QUERY_RESULT = "query_result"
+PUBLISH = "publish"
+REPLICATE = "replicate"
+
+
+@dataclass(frozen=True)
+class NeighborInfo:
+    """One neighbor-table entry: a region and its owner endpoints."""
+
+    rect: Rect
+    primary: NodeAddress
+    secondary: Optional[NodeAddress] = None
+
+    def with_secondary(self, secondary: Optional[NodeAddress]) -> "NeighborInfo":
+        """Copy with the secondary slot replaced."""
+        return NeighborInfo(self.rect, self.primary, secondary)
+
+    def with_primary(self, primary: NodeAddress) -> "NeighborInfo":
+        """Copy with the primary endpoint replaced."""
+        return NeighborInfo(self.rect, primary, self.secondary)
+
+
+@dataclass(frozen=True)
+class JoinRequestBody:
+    """A join request being routed toward the joiner's coordinate."""
+
+    joiner: NodeAddress
+    coord: Point
+    capacity: float
+    hops: int = 0
+    #: The joiner's attempt counter; echoed in the grant so the joiner can
+    #: recognize (and decline) grants from superseded retry attempts.
+    nonce: int = 0
+
+
+@dataclass(frozen=True)
+class JoinGrantBody:
+    """The covering owner's answer: here is your region (or slot)."""
+
+    #: ``"primary"`` after a split, ``"secondary"`` when filling a slot.
+    role: str
+    rect: Rect
+    #: The other owner of the region (the granter, usually).
+    peer: Optional[NodeAddress]
+    #: The granter's neighbor table, pre-filtered for the granted rect.
+    neighbors: Tuple[NeighborInfo, ...]
+    #: Replicated geo-items (secondary grants ship the store).
+    items: Tuple[Tuple[Point, Any], ...] = ()
+    #: Echo of the join request's nonce.
+    nonce: int = 0
+
+
+@dataclass(frozen=True)
+class GrantDeclineBody:
+    """A joiner refuses a (duplicate) grant; the granter takes it back."""
+
+    role: str
+    rect: Rect
+    items: Tuple[Tuple[Point, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class NeighborUpdateBody:
+    """Install/refresh (or retract) one neighbor-table entry."""
+
+    info: NeighborInfo
+    #: When set, the entry for ``removed_rect`` must be dropped (it was
+    #: split, merged away, or its owners died).
+    removed_rect: Optional[Rect] = None
+
+
+@dataclass(frozen=True)
+class HeartbeatBody:
+    """I am alive and I own ``rect`` in role ``role``.
+
+    Neighbor heartbeats also gossip the sender's neighbor table; receivers
+    adopt entries adjacent to their own region that they are missing,
+    which transitively heals tables torn by lost updates or failovers.
+    """
+
+    rect: Rect
+    role: str
+    secondary: Optional[NodeAddress] = None
+    neighbors: Tuple["NeighborInfo", ...] = ()
+    #: The sender's workload index (served load / capacity) and raw
+    #: capacity -- the "workload statistic information" nodes periodically
+    #: exchange with their neighbors (Section 2.4).
+    index: float = 0.0
+    capacity: float = 0.0
+
+
+@dataclass(frozen=True)
+class SyncStateBody:
+    """Primary-to-secondary state synchronization."""
+
+    rect: Rect
+    neighbors: Tuple[NeighborInfo, ...]
+    items: Tuple[Tuple[Point, Any], ...]
+
+
+@dataclass(frozen=True)
+class RouteBody:
+    """A generic routed request addressed by coordinate."""
+
+    origin: NodeAddress
+    target: Point
+    payload: Any
+    request_id: int
+    hops: int = 0
+
+    def forwarded(self) -> "RouteBody":
+        """Copy with the hop count bumped."""
+        return RouteBody(
+            origin=self.origin,
+            target=self.target,
+            payload=self.payload,
+            request_id=self.request_id,
+            hops=self.hops + 1,
+        )
+
+
+@dataclass(frozen=True)
+class RouteDeliveredBody:
+    """Acknowledgment from the executor back to the origin."""
+
+    request_id: int
+    executor: NodeAddress
+    hops: int
+
+
+@dataclass(frozen=True)
+class QueryBody:
+    """A location query: spatial rect + optional payload filter tag."""
+
+    origin: NodeAddress
+    rect: Rect
+    request_id: int
+    hops: int = 0
+    #: Addresses that already served this query (fan-out dedup).
+    served: Tuple[NodeAddress, ...] = ()
+
+    def forwarded(self) -> "QueryBody":
+        """Copy with the hop count bumped."""
+        return QueryBody(
+            origin=self.origin,
+            rect=self.rect,
+            request_id=self.request_id,
+            hops=self.hops + 1,
+            served=self.served,
+        )
+
+    def marked_served(self, address: NodeAddress) -> "QueryBody":
+        """Copy with ``address`` appended to the served set."""
+        return QueryBody(
+            origin=self.origin,
+            rect=self.rect,
+            request_id=self.request_id,
+            hops=self.hops,
+            served=self.served + (address,),
+        )
+
+
+@dataclass(frozen=True)
+class QueryResultBody:
+    """One executor's partial answer to a location query."""
+
+    request_id: int
+    executor: NodeAddress
+    region: Rect
+    items: Tuple[Tuple[Point, Any], ...]
+    hops: int
+
+
+@dataclass(frozen=True)
+class PublishBody:
+    """A geo-tagged item to be stored at the covering region."""
+
+    origin: NodeAddress
+    point: Point
+    item: Any
+    hops: int = 0
+
+    def forwarded(self) -> "PublishBody":
+        """Copy with the hop count bumped."""
+        return PublishBody(
+            origin=self.origin,
+            point=self.point,
+            item=self.item,
+            hops=self.hops + 1,
+        )
+
+
+@dataclass(frozen=True)
+class ReplicateBody:
+    """Primary tells its secondary about one new stored item."""
+
+    point: Point
+    item: Any
+
+
+@dataclass(frozen=True)
+class RegionStateBody:
+    """A region's full transferable state (primary-switch handoff)."""
+
+    rect: Rect
+    #: The region's secondary owner, if any (stays with the region).
+    peer: Optional[NodeAddress]
+    items: Tuple[Tuple[Point, Any], ...]
+    neighbors: Tuple[NeighborInfo, ...]
+
+
+@dataclass(frozen=True)
+class SwitchRequestBody:
+    """Mechanism (b) over messages: an overloaded primary proposes to
+    switch positions with a stronger, cooler neighbor primary."""
+
+    #: The initiator's region state, ready to install on acceptance.
+    state: RegionStateBody
+    initiator_capacity: float
+    initiator_index: float
+
+
+@dataclass(frozen=True)
+class SwitchAcceptBody:
+    """The counterpart's region state; receiving it completes the swap."""
+
+    state: RegionStateBody
+
+
+@dataclass(frozen=True)
+class SwitchRejectBody:
+    """The proposal was declined (capacity, load, or a concurrent swap)."""
+
+    reason: str
+
+
+@dataclass(frozen=True)
+class SecondaryReleasedBody:
+    """A primary tells a node it no longer holds the secondary slot.
+
+    Sent when an evicted (or superseded) secondary keeps heartbeating; the
+    receiver abandons its stale role and rejoins the network from scratch,
+    healing primary/secondary disagreement."""
+
+    rect: Rect
+
+
+@dataclass(frozen=True)
+class DepartBody:
+    """Graceful departure announcement with region handoff."""
+
+    rect: Rect
+    #: Items handed to the surviving peer or adopter.
+    items: Tuple[Tuple[Point, Any], ...]

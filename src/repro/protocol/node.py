@@ -1,0 +1,1268 @@
+"""One GeoGrid node as asynchronous message handlers.
+
+Each :class:`ProtocolNode` owns at most one region (as primary or
+secondary), a *local* neighbor table, and a store of geo-tagged items.
+All decisions -- routing, splitting, failover -- use only local state plus
+received messages; nothing consults a global view, which is the point of
+running the protocol on the simulated network.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import BootstrapError, MembershipError
+from repro.geometry import Point, Rect
+from repro.bootstrap import BootstrapServer, HostCache
+from repro.core.node import Node, NodeAddress
+from repro.sim.scheduler import EventScheduler
+from repro.sim.transport import Message, SimNetwork
+from repro.protocol import messages as m
+
+#: Application callback for routed payloads arriving at the executor node.
+DeliverCallback = Callable[[Point, Any], None]
+
+_request_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Protocol timing parameters (virtual time units)."""
+
+    #: Interval of heartbeats between neighbor primaries.
+    heartbeat_interval: float = 5.0
+    #: Interval of heartbeats inside a dual-peer pair ("higher frequency
+    #: than among the primary nodes of different regions", Section 2.3).
+    peer_heartbeat_interval: float = 2.0
+    #: A peer is suspected after this many missed intervals.  The product
+    #: ``peer_heartbeat_interval * failure_timeout_multiplier`` must exceed
+    #: one round trip across the service area, or a freshly granted
+    #: secondary gets evicted before its first heartbeat can arrive.
+    failure_timeout_multiplier: float = 4.0
+    #: Primary-to-secondary full state sync period.
+    sync_interval: float = 10.0
+    #: Period of the local failure-detection sweep.
+    check_interval: float = 1.0
+    #: Whether joins fill empty secondary slots (dual peer) or always split.
+    dual_peer: bool = True
+    #: A joiner that has not been granted a region after this long retries
+    #: through a fresh entry node (join messages are best-effort like
+    #: everything else and can be lost).
+    join_retry_interval: float = 10.0
+    #: Length of the sliding window over which served requests are counted
+    #: toward the node's workload index.
+    stat_interval: float = 10.0
+    #: Whether the distributed load adaptation (message-level mechanism
+    #: (b): switch primary owners) runs; the paper-scale adaptation study
+    #: uses the overlay model, so this is opt-in.
+    adaptation_enabled: bool = False
+    #: How often an overloaded primary considers proposing a switch.
+    adaptation_interval: float = 15.0
+    #: Trigger ratio over the lowest neighbor index (paper: sqrt(2)).
+    adaptation_trigger_ratio: float = 1.4142135623730951
+
+
+@dataclass
+class OwnedRegion:
+    """The region this node currently owns, in one of two roles."""
+
+    rect: Rect
+    role: str  # "primary" | "secondary"
+    peer: Optional[NodeAddress]
+    items: List[Tuple[Point, Any]] = field(default_factory=list)
+
+
+class ProtocolNode:
+    """A GeoGrid middleware instance on one simulated host."""
+
+    def __init__(
+        self,
+        node: Node,
+        network: SimNetwork,
+        scheduler: EventScheduler,
+        bootstrap: BootstrapServer,
+        rng: random.Random,
+        config: Optional[NodeConfig] = None,
+        on_deliver: Optional[DeliverCallback] = None,
+    ) -> None:
+        self.node = node
+        self.network = network
+        self.scheduler = scheduler
+        self.bootstrap = bootstrap
+        self.rng = rng
+        self.config = config if config is not None else NodeConfig()
+        self.on_deliver = on_deliver
+        self.host_cache = HostCache()
+
+        self.alive = False
+        self.joined = False
+        self.owned: Optional[OwnedRegion] = None
+        self.neighbor_table: Dict[Rect, m.NeighborInfo] = {}
+        #: Rects whose owners are all believed dead; this node answers for
+        #: them best-effort until a join fills the hole.
+        self.caretaker_rects: Set[Rect] = set()
+        self.last_seen: Dict[NodeAddress, float] = {}
+        self.suspected: Set[NodeAddress] = set()
+        #: Secondary's replicated view of the primary's neighbor table.
+        self._replicated_neighbors: Tuple[m.NeighborInfo, ...] = ()
+
+        self.delivered: List[m.RouteDeliveredBody] = []
+        self.query_results: Dict[int, List[m.QueryResultBody]] = {}
+        self._served_queries: Set[int] = set()
+        self._timers: List[Any] = []
+
+        #: Requests served in the current statistics window.
+        self._window_served = 0
+        #: Served-per-time-unit rate measured over the last full window.
+        self.load_rate = 0.0
+        #: Latest workload statistics gossiped by neighbor primaries:
+        #: rect -> (index, capacity).
+        self.neighbor_stats: Dict[Rect, Tuple[float, float]] = {}
+        #: Set while a primary switch we initiated is in flight.
+        self._switch_pending = False
+        #: Completed primary switches this node took part in.
+        self.switches_completed = 0
+
+        self._join_attempt = 0
+        self._handlers = {
+            m.JOIN_REQUEST: self._on_join_request,
+            m.JOIN_GRANT: self._on_join_grant,
+            m.GRANT_DECLINE: self._on_grant_decline,
+            m.NEIGHBOR_UPDATE: self._on_neighbor_update,
+            m.HEARTBEAT: self._on_heartbeat,
+            m.SYNC_STATE: self._on_sync_state,
+            m.DEPART: self._on_depart,
+            m.SECONDARY_RELEASED: self._on_secondary_released,
+            m.SWITCH_REQUEST: self._on_switch_request,
+            m.SWITCH_ACCEPT: self._on_switch_accept,
+            m.SWITCH_REJECT: self._on_switch_reject,
+            m.ROUTE: self._on_route,
+            m.ROUTE_DELIVERED: self._on_route_delivered,
+            m.QUERY: self._on_query,
+            m.QUERY_FANOUT: self._on_query_fanout,
+            m.QUERY_RESULT: self._on_query_result,
+            m.PUBLISH: self._on_publish,
+            m.REPLICATE: self._on_replicate,
+        }
+
+    # ------------------------------------------------------------------
+    # Identity helpers
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> NodeAddress:
+        """This node's endpoint address."""
+        return self.node.address
+
+    def is_primary(self) -> bool:
+        """Whether this node currently serves a region as primary."""
+        return self.owned is not None and self.owned.role == "primary"
+
+    def is_secondary(self) -> bool:
+        """Whether this node currently backs a region as secondary."""
+        return self.owned is not None and self.owned.role == "secondary"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start_as_first(self, bounds: Rect) -> None:
+        """Bootstrap the network: this node owns the whole plane."""
+        self._attach()
+        self.owned = OwnedRegion(rect=bounds, role="primary", peer=None)
+        self.joined = True
+        self._start_timers()
+
+    def start_join(self, entry: Optional[NodeAddress] = None) -> None:
+        """Begin the three-step join of Section 2.1.
+
+        The coordinate comes from the node itself (step 1); the entry node
+        comes from the host cache or the bootstrap server (step 2); the
+        join request is then routed like a query (step 3).
+        """
+        if not self.alive:
+            self._attach()
+        if entry is None:
+            entry = self.host_cache.pick_entry(self.rng)
+        if entry is None:
+            entries = self.bootstrap.sample_entries(
+                self.rng, exclude=self.address
+            )
+            self.host_cache.remember_all(entries)
+            entry = self.rng.choice(entries)
+        self._join_attempt += 1
+        body = m.JoinRequestBody(
+            joiner=self.address, coord=self.node.coord,
+            capacity=self.node.capacity, nonce=self._join_attempt,
+        )
+        self.network.send(self.address, entry, m.JOIN_REQUEST, body)
+        self.scheduler.after(
+            self.config.join_retry_interval, self._retry_join
+        )
+
+    def _retry_join(self) -> None:
+        """Re-issue the join through a fresh entry if still unjoined."""
+        if not self.alive or self.joined:
+            return
+        try:
+            self.start_join()
+        except BootstrapError:
+            # The bootstrap registry emptied out from under us; try again
+            # later rather than giving up.
+            self.scheduler.after(
+                self.config.join_retry_interval, self._retry_join
+            )
+
+    def depart(self) -> None:
+        """Graceful departure with state handoff."""
+        if not self.alive:
+            raise MembershipError(f"node {self.node.node_id} is not running")
+        if self.owned is not None and self.owned.peer is not None:
+            self.network.send(
+                self.address,
+                self.owned.peer,
+                m.DEPART,
+                m.DepartBody(rect=self.owned.rect, items=tuple(self.owned.items)),
+            )
+        self._detach(graceful=True)
+
+    def crash(self) -> None:
+        """Abrupt failure: no goodbye messages, peers must detect it."""
+        if not self.alive:
+            raise MembershipError(f"node {self.node.node_id} is not running")
+        self._detach(graceful=False)
+
+    def _attach(self) -> None:
+        self.network.register(self.address, self.node.coord, self._receive)
+        self.bootstrap.register(self.address)
+        self.alive = True
+
+    def _detach(self, graceful: bool) -> None:
+        self.alive = False
+        self.joined = False
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        if graceful:
+            self.network.deregister(self.address)
+            self.bootstrap.deregister(self.address)
+        else:
+            self.network.crash(self.address)
+
+    def _start_timers(self) -> None:
+        cfg = self.config
+        self._timers.append(
+            self.scheduler.every(
+                cfg.heartbeat_interval, self._send_neighbor_heartbeats,
+                jitter=cfg.heartbeat_interval * 0.1, rng=self.rng,
+            )
+        )
+        self._timers.append(
+            self.scheduler.every(
+                cfg.peer_heartbeat_interval, self._send_peer_heartbeat,
+                jitter=cfg.peer_heartbeat_interval * 0.1, rng=self.rng,
+            )
+        )
+        self._timers.append(
+            self.scheduler.every(cfg.sync_interval, self._send_sync)
+        )
+        self._timers.append(
+            self.scheduler.every(cfg.check_interval, self._check_failures)
+        )
+        self._timers.append(
+            self.scheduler.every(cfg.stat_interval, self._roll_stat_window)
+        )
+        if cfg.adaptation_enabled:
+            self._timers.append(
+                self.scheduler.every(
+                    cfg.adaptation_interval, self._consider_switch,
+                    jitter=cfg.adaptation_interval * 0.2, rng=self.rng,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Workload statistics (Section 2.4: periodic stat exchange)
+    # ------------------------------------------------------------------
+    @property
+    def workload_index(self) -> float:
+        """Requests served per time unit, normalized by capacity."""
+        return self.load_rate / self.node.capacity
+
+    def _roll_stat_window(self) -> None:
+        if not self.alive:
+            return
+        self.load_rate = self._window_served / self.config.stat_interval
+        self._window_served = 0
+
+    # ------------------------------------------------------------------
+    # Application API
+    # ------------------------------------------------------------------
+    def send_to_point(self, target: Point, payload: Any) -> int:
+        """Route ``payload`` to the node owning ``target``.
+
+        Returns the request id; the acknowledgment lands in
+        :attr:`delivered` when it comes back.
+        """
+        request_id = next(_request_ids)
+        body = m.RouteBody(
+            origin=self.address, target=target, payload=payload,
+            request_id=request_id,
+        )
+        self._handle_route(body)
+        return request_id
+
+    def publish(self, point: Point, item: Any) -> None:
+        """Store a geo-tagged item at the region covering ``point``."""
+        body = m.PublishBody(origin=self.address, point=point, item=item)
+        self._handle_publish(body)
+
+    def query_rect(self, rect: Rect) -> int:
+        """Issue a location query over ``rect``.
+
+        Results accumulate under the returned request id in
+        :attr:`query_results`, one entry per answering region.
+        """
+        request_id = next(_request_ids)
+        body = m.QueryBody(origin=self.address, rect=rect, request_id=request_id)
+        self._handle_query(body)
+        return request_id
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def _receive(self, message: Message) -> None:
+        if not self.alive:
+            return
+        self.last_seen[message.source] = self.scheduler.now
+        self.suspected.discard(message.source)
+        handler = self._handlers.get(message.kind)
+        if handler is not None:
+            handler(message)
+
+    # ------------------------------------------------------------------
+    # Routing primitive
+    # ------------------------------------------------------------------
+    def _covers(self, rect: Rect, point: Point) -> bool:
+        """Closed coverage test used by the protocol layer.
+
+        Protocol nodes do not know the global bounds, so they cannot apply
+        the overlay model's open-low-edge rule with border closing; closed
+        coverage means a point exactly on a shared edge may be claimed by
+        whichever owner sees the request first, which is harmless (the
+        executor set for such measure-zero points is ambiguous anyway).
+        """
+        return rect.covers(point, closed_low_x=True, closed_low_y=True)
+
+    def _owns_point(self, point: Point) -> bool:
+        return (
+            self.owned is not None
+            and self.owned.role == "primary"
+            and self._covers(self.owned.rect, point)
+        )
+
+    def _caretaker_for(self, point: Point) -> Optional[Rect]:
+        for rect in self.caretaker_rects:
+            if self._covers(rect, point):
+                return rect
+        return None
+
+    def _next_hop(self, target: Point) -> Optional[NodeAddress]:
+        """The neighbor endpoint whose region is closest to ``target``.
+
+        ``None`` when no neighbor makes strict progress (we are the
+        executor, or the best we can do is answer locally).
+        """
+        if self.owned is None:
+            return None
+        own_distance = self.owned.rect.distance_to_point(target)
+        best_address: Optional[NodeAddress] = None
+        best_distance = own_distance
+        for info in self.neighbor_table.values():
+            endpoint = self._live_endpoint(info)
+            if endpoint is None:
+                continue
+            distance = info.rect.distance_to_point(target)
+            if distance < best_distance - 1e-12:
+                best_distance = distance
+                best_address = endpoint
+        return best_address
+
+    def _live_endpoint(self, info: m.NeighborInfo) -> Optional[NodeAddress]:
+        if info.primary not in self.suspected:
+            return info.primary
+        if info.secondary is not None and info.secondary not in self.suspected:
+            return info.secondary
+        return None
+
+    # ------------------------------------------------------------------
+    # Join handling
+    # ------------------------------------------------------------------
+    def _on_join_request(self, message: Message) -> None:
+        body: m.JoinRequestBody = message.body
+        self._handle_join_request(body)
+
+    def _forward_to_my_primary(self, kind: str, body: Any) -> bool:
+        """Secondaries relay requests to the primary serving their region.
+
+        Returns True when the message was relayed (the caller must stop).
+        A mobile user's entry point can be any node, including one that
+        currently only backs a region.
+        """
+        if self.owned is not None and self.owned.role == "secondary":
+            if self.owned.peer is not None:
+                self.network.send(self.address, self.owned.peer, kind, body)
+            return True
+        return False
+
+    def _handle_join_request(self, body: m.JoinRequestBody) -> None:
+        if self.owned is None:
+            return
+        if self._forward_to_my_primary(m.JOIN_REQUEST, body):
+            return
+        if self._owns_point(body.coord):
+            self._admit_joiner(body)
+            return
+        hole = self._caretaker_for(body.coord)
+        if hole is not None:
+            self._grant_hole(body, hole)
+            return
+        next_hop = self._next_hop(body.coord)
+        if next_hop is None:
+            # Nobody is strictly closer: the coordinate sits on a border we
+            # do not own; admit here rather than dropping the join.
+            self._admit_joiner(body)
+            return
+        forwarded = m.JoinRequestBody(
+            joiner=body.joiner, coord=body.coord,
+            capacity=body.capacity, hops=body.hops + 1,
+            nonce=body.nonce,
+        )
+        self.network.send(self.address, next_hop, m.JOIN_REQUEST, forwarded)
+
+    def _admit_joiner(self, body: m.JoinRequestBody) -> None:
+        assert self.owned is not None
+        if self.config.dual_peer and self.owned.peer is None:
+            self._grant_secondary(body)
+        else:
+            self._grant_split(body)
+
+    def _grant_secondary(self, body: m.JoinRequestBody) -> None:
+        """Fill this region's empty secondary slot with the joiner."""
+        assert self.owned is not None
+        self.owned.peer = body.joiner
+        # Start the liveness clock now: the joiner cannot heartbeat before
+        # the grant completes its round trip.
+        self.last_seen[body.joiner] = self.scheduler.now
+        grant = m.JoinGrantBody(
+            role="secondary",
+            rect=self.owned.rect,
+            peer=self.address,
+            neighbors=tuple(self.neighbor_table.values()),
+            items=tuple(self.owned.items),
+            nonce=body.nonce,
+        )
+        self.network.send(self.address, body.joiner, m.JOIN_GRANT, grant)
+        self._announce_self()
+
+    def _grant_split(self, body: m.JoinRequestBody) -> None:
+        """Split the owned region and hand the joiner one half."""
+        assert self.owned is not None
+        old_rect = self.owned.rect
+        axis = old_rect.longer_axis()
+        low, high = old_rect.split(axis)
+        if self._covers(low, self.node.coord) and not self._covers(
+            low, body.coord
+        ):
+            kept, handed = low, high
+        elif self._covers(high, self.node.coord) and not self._covers(
+            high, body.coord
+        ):
+            kept, handed = high, low
+        elif self._covers(low, body.coord):
+            kept, handed = high, low
+        else:
+            kept, handed = low, high
+        self.owned.rect = kept
+        kept_items = [
+            (point, item) for point, item in self.owned.items
+            if self._covers(kept, point)
+        ]
+        handed_items = tuple(
+            (point, item) for point, item in self.owned.items
+            if not self._covers(kept, point)
+        )
+        self.owned.items = kept_items
+
+        joiner_neighbors = [
+            info for info in self.neighbor_table.values()
+            if handed.is_neighbor_of(info.rect)
+        ]
+        joiner_neighbors.append(self._my_info())
+        grant = m.JoinGrantBody(
+            role="primary",
+            rect=handed,
+            peer=None,
+            neighbors=tuple(joiner_neighbors),
+            items=handed_items,
+            nonce=body.nonce,
+        )
+        self.network.send(self.address, body.joiner, m.JOIN_GRANT, grant)
+
+        joiner_info = m.NeighborInfo(rect=handed, primary=body.joiner)
+        stale = [
+            rect for rect, info in self.neighbor_table.items()
+            if not kept.is_neighbor_of(rect)
+        ]
+        recipients = {
+            info.primary for info in self.neighbor_table.values()
+        }
+        for rect in stale:
+            del self.neighbor_table[rect]
+        self.neighbor_table[handed] = joiner_info
+        for recipient in recipients:
+            self.network.send(
+                self.address, recipient, m.NEIGHBOR_UPDATE,
+                m.NeighborUpdateBody(info=self._my_info(), removed_rect=old_rect),
+            )
+            self.network.send(
+                self.address, recipient, m.NEIGHBOR_UPDATE,
+                m.NeighborUpdateBody(info=joiner_info),
+            )
+        self._send_sync()
+
+    def _grant_hole(self, body: m.JoinRequestBody, hole: Rect) -> None:
+        """Fill an orphaned region (all owners dead) with the joiner."""
+        neighbors = [
+            info for info in self.neighbor_table.values()
+            if hole.is_neighbor_of(info.rect)
+        ]
+        if self.owned is not None and hole.is_neighbor_of(self.owned.rect):
+            neighbors.append(self._my_info())
+        grant = m.JoinGrantBody(
+            role="primary", rect=hole, peer=None,
+            neighbors=tuple(neighbors), items=(), nonce=body.nonce,
+        )
+        self.network.send(self.address, body.joiner, m.JOIN_GRANT, grant)
+        self.caretaker_rects.discard(hole)
+        joiner_info = m.NeighborInfo(rect=hole, primary=body.joiner)
+        if self.owned is not None and hole.is_neighbor_of(self.owned.rect):
+            self.neighbor_table[hole] = joiner_info
+        self._broadcast_update(m.NeighborUpdateBody(info=joiner_info))
+
+    def _on_join_grant(self, message: Message) -> None:
+        body: m.JoinGrantBody = message.body
+        if self.joined:
+            # We already hold a region (a slower grant from a retried
+            # attempt arrived): hand this one straight back so no region
+            # is orphaned.  Accepting whichever grant arrives first --
+            # regardless of attempt -- avoids declining a perfectly good
+            # region that merely lost a race with the retry timer.
+            decline = m.GrantDeclineBody(
+                role=body.role, rect=body.rect, items=body.items
+            )
+            self.network.send(
+                self.address, message.source, m.GRANT_DECLINE, decline
+            )
+            return
+        self.owned = OwnedRegion(
+            rect=body.rect,
+            role=body.role,
+            peer=body.peer,
+            items=list(body.items),
+        )
+        self.neighbor_table = {
+            info.rect: info
+            for info in body.neighbors
+            if body.rect.is_neighbor_of(info.rect)
+        }
+        self.host_cache.remember_all(
+            info.primary for info in body.neighbors
+        )
+        if body.role == "secondary":
+            # Until the first periodic sync arrives, the grant's neighbor
+            # list is the replicated table a failover would activate.
+            self._replicated_neighbors = body.neighbors
+        self.joined = True
+        self._start_timers()
+        self._announce_self()
+
+    # ------------------------------------------------------------------
+    # Neighbor-table maintenance
+    # ------------------------------------------------------------------
+    def _my_info(self) -> m.NeighborInfo:
+        assert self.owned is not None
+        if self.owned.role == "primary":
+            return m.NeighborInfo(
+                rect=self.owned.rect,
+                primary=self.address,
+                secondary=self.owned.peer,
+            )
+        assert self.owned.peer is not None
+        return m.NeighborInfo(
+            rect=self.owned.rect,
+            primary=self.owned.peer,
+            secondary=self.address,
+        )
+
+    def _announce_self(self) -> None:
+        self._broadcast_update(m.NeighborUpdateBody(info=self._my_info()))
+
+    def _broadcast_update(self, update: m.NeighborUpdateBody) -> None:
+        recipients: Set[NodeAddress] = set()
+        for info in self.neighbor_table.values():
+            recipients.add(info.primary)
+            if info.secondary is not None:
+                recipients.add(info.secondary)
+        recipients.discard(self.address)
+        for recipient in recipients:
+            self.network.send(
+                self.address, recipient, m.NEIGHBOR_UPDATE, update
+            )
+
+    def _resolve_ownership_conflict(
+        self, info: m.NeighborInfo, direct: bool
+    ) -> bool:
+        """Handle a claim overlapping the region we serve as primary.
+
+        Unreliable failure detection can double-assign territory (a
+        caretaker fills a "hole" whose owner was merely silent, or a lost
+        grant-decline leaves two believers).  Resolution is deterministic:
+        the owner with the lexicographically smaller ``(ip, port)`` keeps
+        the ground, the other abandons and rejoins from scratch.
+
+        A node only abandons on *direct* evidence -- a heartbeat from the
+        competing claimant itself -- never on relayed gossip (which may be
+        arbitrarily stale).  An indirect sighting instead provokes a probe
+        heartbeat to the claimant, so the two confront each other directly
+        and exactly one side yields.  Returns True when this node
+        abandoned (the caller must stop processing the message).
+        """
+        if (
+            self.owned is None
+            or self.owned.role != "primary"
+            or info.primary == self.address
+        ):
+            return False
+        overlaps = info.rect == self.owned.rect or info.rect.intersects(
+            self.owned.rect
+        )
+        if not overlaps:
+            return False
+        mine = (self.address.ip, self.address.port)
+        theirs = (info.primary.ip, info.primary.port)
+        if not direct or mine <= theirs:
+            # Either we keep the ground, or the evidence is second-hand:
+            # confront the claimant directly so the loser (possibly us, on
+            # its direct reply) can yield on first-hand evidence.
+            self.network.send(
+                self.address,
+                info.primary,
+                m.HEARTBEAT,
+                m.HeartbeatBody(
+                    rect=self.owned.rect,
+                    role="primary",
+                    secondary=self.owned.peer,
+                    index=self.workload_index,
+                    capacity=self.node.capacity,
+                ),
+            )
+            return False
+        self.owned = None
+        self.joined = False
+        self.neighbor_table = {}
+        self.caretaker_rects = set()
+        self._replicated_neighbors = ()
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        self.start_join()
+        return True
+
+    def _on_neighbor_update(self, message: Message) -> None:
+        body: m.NeighborUpdateBody = message.body
+        if body.removed_rect is not None:
+            self.neighbor_table.pop(body.removed_rect, None)
+        if self.owned is None:
+            return
+        info = body.info
+        self.caretaker_rects.discard(info.rect)
+        if self._resolve_ownership_conflict(info, direct=False):
+            return
+        if info.rect == self.owned.rect:
+            return
+        if self.owned.rect.is_neighbor_of(info.rect):
+            self.neighbor_table[info.rect] = info
+            self.host_cache.remember(info.primary)
+        else:
+            self.neighbor_table.pop(info.rect, None)
+
+    # ------------------------------------------------------------------
+    # Heartbeats, sync, failure detection
+    # ------------------------------------------------------------------
+    def _send_neighbor_heartbeats(self) -> None:
+        if not self.alive or self.owned is None or self.owned.role != "primary":
+            return
+        beat = m.HeartbeatBody(
+            rect=self.owned.rect, role="primary", secondary=self.owned.peer,
+            neighbors=tuple(self.neighbor_table.values()),
+            index=self.workload_index, capacity=self.node.capacity,
+        )
+        for info in self.neighbor_table.values():
+            self.network.send(self.address, info.primary, m.HEARTBEAT, beat)
+
+    def _send_peer_heartbeat(self) -> None:
+        if not self.alive or self.owned is None or self.owned.peer is None:
+            return
+        beat = m.HeartbeatBody(rect=self.owned.rect, role=self.owned.role)
+        self.network.send(self.address, self.owned.peer, m.HEARTBEAT, beat)
+
+    def _on_heartbeat(self, message: Message) -> None:
+        body: m.HeartbeatBody = message.body
+        if body.role != "primary":
+            # A peer heartbeat from someone who believes it is our
+            # secondary; if we disagree (we evicted it, or replaced it),
+            # tell it so it can rejoin instead of promoting stale state.
+            if (
+                self.owned is not None
+                and self.owned.role == "primary"
+                and self.owned.peer != message.source
+            ):
+                self.network.send(
+                    self.address,
+                    message.source,
+                    m.SECONDARY_RELEASED,
+                    m.SecondaryReleasedBody(rect=body.rect),
+                )
+            return
+        # A heartbeat is authoritative: the sender serves that region right
+        # now.  Refresh the entry -- and *re-install* it if the region is
+        # adjacent to ours, which self-heals tables after lost updates and
+        # wrongly declared holes (e.g. a failover announcement that raced
+        # our failure detector).
+        self.caretaker_rects.discard(body.rect)
+        # A peer heartbeat for our own region from an address we did not
+        # expect means the primary switched under us (mechanism (b) moved
+        # ownership); adopt the new primary.
+        if (
+            self.owned is not None
+            and self.owned.role == "secondary"
+            and body.rect == self.owned.rect
+            and self.owned.peer != message.source
+        ):
+            self.owned.peer = message.source
+        # A primary heartbeat is first-hand: its rect is the sender's own
+        # territory right now, so an overlap with ours is a real conflict.
+        if self._resolve_ownership_conflict(
+            m.NeighborInfo(
+                rect=body.rect, primary=message.source,
+                secondary=body.secondary,
+            ),
+            direct=True,
+        ):
+            return
+        if self.owned is not None and body.rect != self.owned.rect:
+            self.neighbor_stats[body.rect] = (body.index, body.capacity)
+        existing = self.neighbor_table.get(body.rect)
+        if (
+            existing is not None
+            and existing.primary != message.source
+            and existing.primary != self.address
+            and existing.primary not in self.suspected
+        ):
+            # Two live nodes are heartbeating us as primary of the same
+            # region -- we are a witness to a split brain they cannot see
+            # (equal rects are not neighbors, so they never talk).  Tell
+            # the deterministic loser about the winner; it will confront
+            # the winner directly and yield.
+            winner, loser = sorted(
+                (existing.primary, message.source),
+                key=lambda address: (address.ip, address.port),
+            )
+            self.network.send(
+                self.address, loser, m.NEIGHBOR_UPDATE,
+                m.NeighborUpdateBody(
+                    info=m.NeighborInfo(
+                        rect=body.rect, primary=winner,
+                        secondary=body.secondary,
+                    )
+                ),
+            )
+        adjacent = (
+            self.owned is not None
+            and self.owned.rect.is_neighbor_of(body.rect)
+        )
+        if existing is not None or adjacent:
+            self.neighbor_table[body.rect] = m.NeighborInfo(
+                rect=body.rect, primary=message.source,
+                secondary=body.secondary,
+            )
+        # Gossip: adopt adjacent entries we are missing.
+        if self.owned is None:
+            return
+        for info in body.neighbors:
+            if info.primary == self.address:
+                continue
+            # Relayed claims overlapping our territory provoke a direct
+            # confrontation (never an abandonment -- gossip can be stale,
+            # and a probe to a genuinely dead claimant costs one message).
+            self._resolve_ownership_conflict(info, direct=False)
+            if info.primary in self.suspected:
+                continue
+            if info.rect in self.neighbor_table:
+                continue
+            if info.rect == self.owned.rect:
+                continue
+            if self.owned.rect.is_neighbor_of(info.rect):
+                self.caretaker_rects.discard(info.rect)
+                self.neighbor_table[info.rect] = info
+
+    def _send_sync(self) -> None:
+        if not self.alive or self.owned is None:
+            return
+        if self.owned.role != "primary" or self.owned.peer is None:
+            return
+        body = m.SyncStateBody(
+            rect=self.owned.rect,
+            neighbors=tuple(self.neighbor_table.values()),
+            items=tuple(self.owned.items),
+        )
+        self.network.send(self.address, self.owned.peer, m.SYNC_STATE, body)
+
+    def _on_sync_state(self, message: Message) -> None:
+        body: m.SyncStateBody = message.body
+        if self.owned is None or self.owned.role != "secondary":
+            return
+        if self.owned.peer != message.source:
+            # The region's primary changed (switch or takeover); follow it.
+            self.owned.peer = message.source
+        self.owned.rect = body.rect
+        self.owned.items = list(body.items)
+        self._replicated_neighbors = body.neighbors
+
+    def _check_failures(self) -> None:
+        if not self.alive or self.owned is None:
+            return
+        now = self.scheduler.now
+        cfg = self.config
+        # 0. A primary evicts a silent secondary so the slot can be
+        #    refilled by a later join (the paper: the region is marked
+        #    "half full" again).
+        if (
+            self.owned.role == "primary"
+            and self.owned.peer is not None
+        ):
+            timeout = (
+                cfg.peer_heartbeat_interval * cfg.failure_timeout_multiplier
+            )
+            seen = self.last_seen.get(self.owned.peer)
+            if seen is not None and now - seen > timeout:
+                self.suspected.add(self.owned.peer)
+                self.owned.peer = None
+                self._announce_self()
+        # 1. Dual-peer failover: the secondary watches its primary at the
+        #    fast heartbeat frequency.
+        if self.owned.role == "secondary" and self.owned.peer is not None:
+            timeout = (
+                cfg.peer_heartbeat_interval * cfg.failure_timeout_multiplier
+            )
+            seen = self.last_seen.get(self.owned.peer)
+            if seen is not None and now - seen > timeout:
+                self._take_over_primary()
+                return
+        # 2. Neighbor failure detection at the slow frequency.
+        if self.owned.role != "primary":
+            return
+        timeout = cfg.heartbeat_interval * cfg.failure_timeout_multiplier
+        for rect, info in list(self.neighbor_table.items()):
+            seen = self.last_seen.get(info.primary)
+            if seen is None:
+                # Never heard from this peer: start its clock now so a
+                # neighbor that never speaks still times out eventually.
+                self.last_seen[info.primary] = now
+                continue
+            if now - seen <= timeout:
+                continue
+            self.suspected.add(info.primary)
+            if info.secondary is not None:
+                # The secondary will promote itself and announce; route via
+                # the secondary in the meantime.
+                continue
+            # Last owner of the region is gone: become a caretaker until a
+            # join fills the hole.
+            del self.neighbor_table[rect]
+            self.caretaker_rects.add(rect)
+
+    def _take_over_primary(self) -> None:
+        """Dual-peer failover: activate the backup (Section 2.3)."""
+        assert self.owned is not None
+        failed = self.owned.peer
+        self.owned.role = "primary"
+        self.owned.peer = None
+        if self._replicated_neighbors:
+            self.neighbor_table = {
+                info.rect: info
+                for info in self._replicated_neighbors
+                if self.owned.rect.is_neighbor_of(info.rect)
+            }
+        if failed is not None:
+            self.suspected.add(failed)
+            self.bootstrap.deregister(failed)
+        self._announce_self()
+
+    def _on_depart(self, message: Message) -> None:
+        """The graceful counterpart of failover: instant promotion."""
+        body: m.DepartBody = message.body
+        if (
+            self.owned is not None
+            and self.owned.role == "secondary"
+            and self.owned.rect == body.rect
+        ):
+            self.owned.items = list(body.items)
+            self._replicated_neighbors = self._replicated_neighbors or ()
+            self._take_over_primary()
+
+    def _on_secondary_released(self, message: Message) -> None:
+        """Our primary disowned us: drop the stale role and rejoin."""
+        body: m.SecondaryReleasedBody = message.body
+        if self.owned is None or self.owned.role != "secondary":
+            return
+        if self.owned.peer != message.source:
+            return
+        self.owned = None
+        self.joined = False
+        self.neighbor_table = {}
+        self._replicated_neighbors = ()
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        self.start_join()
+
+    # ------------------------------------------------------------------
+    # Distributed load adaptation: switch primary owners (mechanism b)
+    # ------------------------------------------------------------------
+    def _capture_state(self) -> m.RegionStateBody:
+        assert self.owned is not None
+        return m.RegionStateBody(
+            rect=self.owned.rect,
+            peer=self.owned.peer,
+            items=tuple(self.owned.items),
+            neighbors=tuple(self.neighbor_table.values()),
+        )
+
+    def _install_state(
+        self,
+        state: m.RegionStateBody,
+        counterpart: NodeAddress,
+        given_away: Optional[Rect] = None,
+        given_away_peer: Optional[NodeAddress] = None,
+    ) -> None:
+        """Take over a region shipped by a completed primary switch.
+
+        ``given_away`` is the rect this node just handed to
+        ``counterpart``; when the two swapped regions are adjacent, the
+        transferred table still carries a stale self-entry for it, which
+        must be rebound to the counterpart.
+        """
+        self.owned = OwnedRegion(
+            rect=state.rect,
+            role="primary",
+            peer=state.peer,
+            items=list(state.items),
+        )
+        self.neighbor_table = {
+            info.rect: info
+            for info in state.neighbors
+            if state.rect.is_neighbor_of(info.rect)
+        }
+        if given_away is not None and state.rect.is_neighbor_of(given_away):
+            self.neighbor_table[given_away] = m.NeighborInfo(
+                rect=given_away,
+                primary=counterpart,
+                secondary=given_away_peer,
+            )
+        self.neighbor_stats = {}
+        self.switches_completed += 1
+        self._announce_self()
+        self._send_sync()
+        self._send_neighbor_heartbeats()
+
+    def _consider_switch(self) -> None:
+        """The periodic adaptation check of an overloaded primary."""
+        if (
+            not self.alive
+            or self.owned is None
+            or self.owned.role != "primary"
+            or self._switch_pending
+        ):
+            return
+        my_index = self.workload_index
+        stats = [
+            (rect, index, capacity)
+            for rect, (index, capacity) in self.neighbor_stats.items()
+            if rect in self.neighbor_table
+        ]
+        if not stats:
+            return
+        lowest = min(index for _, index, _ in stats)
+        if my_index <= self.config.adaptation_trigger_ratio * lowest:
+            return
+        candidates = [
+            (rect, index, capacity)
+            for rect, index, capacity in stats
+            if capacity > self.node.capacity and index < my_index
+        ]
+        if not candidates:
+            return
+        rect, _, _ = max(
+            candidates, key=lambda entry: (entry[2], -entry[1])
+        )
+        target = self.neighbor_table[rect].primary
+        request = m.SwitchRequestBody(
+            state=self._capture_state(),
+            initiator_capacity=self.node.capacity,
+            initiator_index=my_index,
+        )
+        self._switch_pending = True
+        self._switch_shipped_count = len(self.owned.items)
+        self.network.send(self.address, target, m.SWITCH_REQUEST, request)
+        # Clear the pending flag if no answer ever arrives (lost message,
+        # crashed counterpart) so adaptation is not wedged forever.
+        self.scheduler.after(
+            self.config.adaptation_interval, self._clear_pending_switch
+        )
+
+    def _clear_pending_switch(self) -> None:
+        self._switch_pending = False
+
+    def _on_switch_request(self, message: Message) -> None:
+        body: m.SwitchRequestBody = message.body
+        rejection: Optional[str] = None
+        if (
+            self.owned is None
+            or self.owned.role != "primary"
+            or self._switch_pending
+        ):
+            rejection = "not an available primary"
+        elif body.initiator_capacity >= self.node.capacity:
+            rejection = "initiator is not weaker"
+        elif body.initiator_index <= self.workload_index:
+            rejection = "initiator is not hotter"
+        if rejection is not None:
+            self.network.send(
+                self.address, message.source, m.SWITCH_REJECT,
+                m.SwitchRejectBody(reason=rejection),
+            )
+            return
+        my_state = self._capture_state()
+        self.network.send(
+            self.address, message.source, m.SWITCH_ACCEPT,
+            m.SwitchAcceptBody(state=my_state),
+        )
+        self._install_state(
+            body.state,
+            counterpart=message.source,
+            given_away=my_state.rect,
+            given_away_peer=my_state.peer,
+        )
+
+    def _on_switch_accept(self, message: Message) -> None:
+        body: m.SwitchAcceptBody = message.body
+        self._switch_pending = False
+        if self.owned is None or self.owned.role != "primary":
+            return
+        # Items stored since the request's state capture were not shipped
+        # with it; replay them through normal publication so they reach
+        # the old region's new owner.
+        shipped = getattr(self, "_switch_shipped_count", len(self.owned.items))
+        leftovers = list(self.owned.items[shipped:])
+        old_rect = self.owned.rect
+        old_peer = self.owned.peer
+        self._install_state(
+            body.state,
+            counterpart=message.source,
+            given_away=old_rect,
+            given_away_peer=old_peer,
+        )
+        for point, item in leftovers:
+            if not self._covers(self.owned.rect, point):
+                self._handle_publish(
+                    m.PublishBody(origin=self.address, point=point, item=item)
+                )
+
+    def _on_switch_reject(self, message: Message) -> None:
+        self._switch_pending = False
+
+    def _on_grant_decline(self, message: Message) -> None:
+        """Take back a region (or slot) a joiner refused."""
+        body: m.GrantDeclineBody = message.body
+        if self.owned is None:
+            return
+        if body.role == "secondary":
+            if self.owned.peer == message.source:
+                self.owned.peer = None
+                self._announce_self()
+            return
+        if self.owned.role == "primary" and self.owned.rect.can_merge_with(
+            body.rect
+        ):
+            old_rect = self.owned.rect
+            self.owned.rect = self.owned.rect.merge_with(body.rect)
+            self.owned.items.extend(body.items)
+            self.neighbor_table.pop(body.rect, None)
+            self.neighbor_table = {
+                rect: info
+                for rect, info in self.neighbor_table.items()
+                if self.owned.rect.is_neighbor_of(rect)
+            }
+            self._broadcast_update(
+                m.NeighborUpdateBody(
+                    info=self._my_info(), removed_rect=old_rect
+                )
+            )
+            self._broadcast_update(
+                m.NeighborUpdateBody(
+                    info=self._my_info(), removed_rect=body.rect
+                )
+            )
+            self._send_sync()
+            return
+        # Cannot merge it back (we re-split since): serve it best-effort
+        # until a join fills it.
+        self.caretaker_rects.add(body.rect)
+
+    # ------------------------------------------------------------------
+    # Application message handling
+    # ------------------------------------------------------------------
+    def _on_route(self, message: Message) -> None:
+        self._handle_route(message.body)
+
+    def _handle_route(self, body: m.RouteBody) -> None:
+        if self._forward_to_my_primary(m.ROUTE, body):
+            return
+        if self._owns_point(body.target) or self._caretaker_for(body.target):
+            self._window_served += 1
+            if self.on_deliver is not None:
+                self.on_deliver(body.target, body.payload)
+            ack = m.RouteDeliveredBody(
+                request_id=body.request_id,
+                executor=self.address,
+                hops=body.hops,
+            )
+            self.network.send(self.address, body.origin, m.ROUTE_DELIVERED, ack)
+            return
+        next_hop = self._next_hop(body.target)
+        if next_hop is None:
+            # Border target nobody is closer to: answer best-effort.
+            ack = m.RouteDeliveredBody(
+                request_id=body.request_id,
+                executor=self.address,
+                hops=body.hops,
+            )
+            self.network.send(self.address, body.origin, m.ROUTE_DELIVERED, ack)
+            return
+        self.network.send(self.address, next_hop, m.ROUTE, body.forwarded())
+
+    def _on_route_delivered(self, message: Message) -> None:
+        self.delivered.append(message.body)
+
+    def _on_publish(self, message: Message) -> None:
+        self._handle_publish(message.body)
+
+    def _handle_publish(self, body: m.PublishBody) -> None:
+        if self._forward_to_my_primary(m.PUBLISH, body):
+            return
+        if self._owns_point(body.point) or self._caretaker_for(body.point):
+            assert self.owned is not None
+            self._window_served += 1
+            self.owned.items.append((body.point, body.item))
+            if self.owned.peer is not None and self.owned.role == "primary":
+                self.network.send(
+                    self.address, self.owned.peer, m.REPLICATE,
+                    m.ReplicateBody(point=body.point, item=body.item),
+                )
+            return
+        next_hop = self._next_hop(body.point)
+        if next_hop is None:
+            if self.owned is not None:
+                self.owned.items.append((body.point, body.item))
+            return
+        self.network.send(self.address, next_hop, m.PUBLISH, body.forwarded())
+
+    def _on_replicate(self, message: Message) -> None:
+        body: m.ReplicateBody = message.body
+        if self.owned is not None and self.owned.role == "secondary":
+            self.owned.items.append((body.point, body.item))
+
+    # ------------------------------------------------------------------
+    # Location queries with fan-out
+    # ------------------------------------------------------------------
+    def _on_query(self, message: Message) -> None:
+        self._handle_query(message.body)
+
+    def _handle_query(self, body: m.QueryBody) -> None:
+        if self._forward_to_my_primary(m.QUERY, body):
+            return
+        target = body.rect.center
+        if self._owns_point(target) or self._caretaker_for(target):
+            self._serve_query(body)
+            return
+        next_hop = self._next_hop(target)
+        if next_hop is None:
+            self._serve_query(body)
+            return
+        self.network.send(self.address, next_hop, m.QUERY, body.forwarded())
+
+    def _on_query_fanout(self, message: Message) -> None:
+        body: m.QueryBody = message.body
+        if self.owned is None or self.owned.role != "primary":
+            return
+        if not self.owned.rect.intersects(body.rect):
+            return
+        self._serve_query(body)
+
+    def _serve_query(self, body: m.QueryBody) -> None:
+        if body.request_id in self._served_queries:
+            return
+        self._served_queries.add(body.request_id)
+        self._window_served += 1
+        assert self.owned is not None
+        matches = tuple(
+            (point, item)
+            for point, item in self.owned.items
+            if body.rect.covers(point, closed_low_x=True, closed_low_y=True)
+        )
+        result = m.QueryResultBody(
+            request_id=body.request_id,
+            executor=self.address,
+            region=self.owned.rect,
+            items=matches,
+            hops=body.hops,
+        )
+        self.network.send(self.address, body.origin, m.QUERY_RESULT, result)
+        # Fan out to neighbor regions overlapping the query rectangle,
+        # exactly as in the paper's subscription example (Section 2.2).
+        marked = body.marked_served(self.address)
+        for info in self.neighbor_table.values():
+            if info.primary in marked.served:
+                continue
+            if not info.rect.intersects(body.rect):
+                continue
+            endpoint = self._live_endpoint(info)
+            if endpoint is None:
+                continue
+            self.network.send(
+                self.address, endpoint, m.QUERY_FANOUT,
+                marked.forwarded(),
+            )
+
+    def _on_query_result(self, message: Message) -> None:
+        body: m.QueryResultBody = message.body
+        self.query_results.setdefault(body.request_id, []).append(body)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        role = self.owned.role if self.owned is not None else "none"
+        return (
+            f"ProtocolNode(id={self.node.node_id}, role={role}, "
+            f"alive={self.alive})"
+        )

@@ -1,0 +1,136 @@
+"""Churn: unpredictable node join, departure and failure.
+
+GeoGrid is explicitly designed for "unpredictable rate of node join,
+departure and failure"; this process generates that environment.  Joins,
+graceful departures and abrupt failures arrive as independent Poisson
+processes (exponential interarrival times), bounded by a population band
+so a long simulation neither empties nor explodes.
+
+The process is target-agnostic: the experiment supplies ``spawn`` /
+``remove`` callbacks, so the same churn driver exercises both the overlay
+model and the message-level protocol cluster.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.scheduler import EventScheduler
+
+#: Creates and joins one new node; returns True when a join happened.
+SpawnCallback = Callable[[], bool]
+#: Removes one node; ``graceful`` distinguishes departure from failure.
+#: Returns True when a removal happened.
+RemoveCallback = Callable[[bool], bool]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Rates (events per virtual time unit) and population bounds."""
+
+    join_rate: float = 1.0
+    leave_rate: float = 0.5
+    fail_rate: float = 0.5
+    min_population: int = 2
+    max_population: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if min(self.join_rate, self.leave_rate, self.fail_rate) < 0:
+            raise ConfigurationError("churn rates must be >= 0")
+        if self.join_rate + self.leave_rate + self.fail_rate <= 0:
+            raise ConfigurationError("at least one churn rate must be positive")
+        if self.min_population < 1:
+            raise ConfigurationError(
+                f"min_population must be >= 1, got {self.min_population}"
+            )
+        if self.max_population < self.min_population:
+            raise ConfigurationError("max_population < min_population")
+
+
+class ChurnProcess:
+    """Drives churn events on the scheduler until stopped."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        rng: random.Random,
+        config: ChurnConfig,
+        spawn: SpawnCallback,
+        remove: RemoveCallback,
+        population: Callable[[], int],
+    ) -> None:
+        self.scheduler = scheduler
+        self.rng = rng
+        self.config = config
+        self.spawn = spawn
+        self.remove = remove
+        self.population = population
+        self.joins = 0
+        self.departures = 0
+        self.failures = 0
+        self.suppressed = 0
+        self._running = False
+
+    @property
+    def total_events(self) -> int:
+        """Churn events that actually mutated the system."""
+        return self.joins + self.departures + self.failures
+
+    def start(self) -> None:
+        """Begin generating churn events."""
+        if self._running:
+            return
+        self._running = True
+        self._arm()
+
+    def stop(self) -> None:
+        """Stop after the currently armed event (if any) fires."""
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _arm(self) -> None:
+        total_rate = (
+            self.config.join_rate + self.config.leave_rate + self.config.fail_rate
+        )
+        delay = self.rng.expovariate(total_rate)
+        self.scheduler.after(delay, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        u = self.rng.random() * (
+            self.config.join_rate + self.config.leave_rate + self.config.fail_rate
+        )
+        if u < self.config.join_rate:
+            self._try_join()
+        elif u < self.config.join_rate + self.config.leave_rate:
+            self._try_remove(graceful=True)
+        else:
+            self._try_remove(graceful=False)
+        self._arm()
+
+    def _try_join(self) -> None:
+        if self.population() >= self.config.max_population:
+            self.suppressed += 1
+            return
+        if self.spawn():
+            self.joins += 1
+        else:
+            self.suppressed += 1
+
+    def _try_remove(self, graceful: bool) -> None:
+        if self.population() <= self.config.min_population:
+            self.suppressed += 1
+            return
+        if self.remove(graceful):
+            if graceful:
+                self.departures += 1
+            else:
+                self.failures += 1
+        else:
+            self.suppressed += 1

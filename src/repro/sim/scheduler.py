@@ -1,0 +1,152 @@
+"""The discrete-event scheduler: a virtual clock and an event queue.
+
+Plain priority-queue design: events are ``(time, sequence, callback)``
+entries; ``run_until`` pops them in timestamp order and advances the
+clock.  Sequence numbers break timestamp ties FIFO, so simulations are
+deterministic under equal-time events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+#: An event body; receives no arguments (close over what you need).
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event (orderable by time, then sequence)."""
+
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Cancel the event; it stays queued but will not fire."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """A virtual clock driving callbacks in timestamp order."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self._running = False
+        #: Number of events fired over the scheduler's lifetime.
+        self.fired = 0
+
+    @property
+    def now(self) -> float:
+        """The current virtual time."""
+        return self._now
+
+    def pending(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: float, callback: EventCallback) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: now={self._now}, "
+                f"requested={time}"
+            )
+        event = Event(time=time, sequence=next(self._sequence), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: float, callback: EventCallback) -> Event:
+        """Schedule ``callback`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.at(self._now + delay, callback)
+
+    def every(
+        self,
+        interval: float,
+        callback: EventCallback,
+        jitter: float = 0.0,
+        rng=None,
+    ) -> Event:
+        """Schedule a periodic callback (heartbeats, stat exchanges).
+
+        Re-arms itself after each firing; cancel the *returned* event's
+        most recent incarnation through the returned handle's ``cancel``
+        (the handle is refreshed in place on each re-arm).  With ``jitter``
+        > 0 and an ``rng``, each period is perturbed uniformly by up to
+        ``+- jitter`` to avoid lock-step synchronization artifacts.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+
+        handle_box: List[Event] = []
+
+        def fire() -> None:
+            callback()
+            period = interval
+            if jitter > 0.0 and rng is not None:
+                period = max(1e-9, interval + rng.uniform(-jitter, jitter))
+            handle_box[0] = self.after(period, fire)
+
+        handle_box.append(self.after(interval, fire))
+
+        class _PeriodicHandle:
+            def cancel(self) -> None:
+                handle_box[0].cancel()
+
+        handle = _PeriodicHandle()
+        return handle  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run_until(self, time: float, max_events: Optional[int] = None) -> int:
+        """Fire events up to and including virtual time ``time``.
+
+        Returns the number of events fired.  ``max_events`` guards against
+        runaway feedback loops (an event scheduling itself at the same
+        timestamp forever).
+        """
+        if self._running:
+            raise SimulationError("run_until is not re-entrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue and self._queue[0].time <= time:
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} before reaching "
+                        f"t={time}; runaway event loop?"
+                    )
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+                fired += 1
+                self.fired += 1
+            if math.isfinite(time):
+                self._now = max(self._now, time)
+        finally:
+            self._running = False
+        return fired
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Fire every queued event (bounded by ``max_events``)."""
+        return self.run_until(float("inf"), max_events=max_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventScheduler(now={self._now:g}, pending={self.pending()})"

@@ -1,0 +1,208 @@
+"""The simulated network transport.
+
+Endpoints register under a :class:`~repro.core.node.NodeAddress`; sending
+a message schedules its delivery on the event scheduler after a latency
+drawn from the configured model.  The transport supports the failure modes
+the protocol layer is tested against:
+
+* message loss (uniform drop probability),
+* crashed endpoints (messages to them vanish, like TCP RSTs to a dead
+  host),
+* network partitions (named groups that cannot reach each other).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.errors import TransportError
+from repro.geometry import Point
+from repro.core.node import NodeAddress
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.scheduler import EventScheduler
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight (or delivered)."""
+
+    source: NodeAddress
+    destination: NodeAddress
+    kind: str
+    body: Any
+    sent_at: float
+
+
+#: An endpoint's receive handler.
+MessageHandler = Callable[[Message], None]
+
+
+@dataclass
+class Endpoint:
+    """A registered protocol endpoint."""
+
+    address: NodeAddress
+    coord: Point
+    handler: MessageHandler
+    alive: bool = True
+
+
+@dataclass
+class TransportStats:
+    """Counters describing everything the transport did."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_random: int = 0
+    dropped_dead: int = 0
+    dropped_partition: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record_send(self, kind: str) -> None:
+        """Account one send of a message of ``kind``."""
+        self.sent += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+
+class SimNetwork:
+    """The message bus connecting simulated GeoGrid nodes."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        rng: random.Random,
+        latency: Optional[LatencyModel] = None,
+        drop_probability: float = 0.0,
+    ) -> None:
+        if not (0.0 <= drop_probability < 1.0):
+            raise TransportError(
+                f"drop_probability must lie in [0, 1), got "
+                f"{drop_probability!r}"
+            )
+        self.scheduler = scheduler
+        self.rng = rng
+        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        self.drop_probability = drop_probability
+        self.stats = TransportStats()
+        self._endpoints: Dict[NodeAddress, Endpoint] = {}
+        self._partition_of: Dict[NodeAddress, str] = {}
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(
+        self, address: NodeAddress, coord: Point, handler: MessageHandler
+    ) -> Endpoint:
+        """Attach an endpoint to the network."""
+        if address in self._endpoints and self._endpoints[address].alive:
+            raise TransportError(f"address {address} is already registered")
+        endpoint = Endpoint(address=address, coord=coord, handler=handler)
+        self._endpoints[address] = endpoint
+        return endpoint
+
+    def deregister(self, address: NodeAddress) -> None:
+        """Graceful detach (a departing node closes its sockets)."""
+        self._endpoints.pop(address, None)
+        self._partition_of.pop(address, None)
+
+    def crash(self, address: NodeAddress) -> None:
+        """Abrupt failure: the endpoint stays known but silently drops
+        everything, which is what a failed host looks like to its peers."""
+        endpoint = self._endpoints.get(address)
+        if endpoint is None:
+            raise TransportError(f"cannot crash unknown address {address}")
+        endpoint.alive = False
+
+    def is_alive(self, address: NodeAddress) -> bool:
+        """Whether the endpoint is registered and not crashed."""
+        endpoint = self._endpoints.get(address)
+        return endpoint is not None and endpoint.alive
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def set_partition(self, address: NodeAddress, group: str) -> None:
+        """Place an endpoint in partition ``group``.
+
+        Endpoints in different groups cannot exchange messages; endpoints
+        without a group reach everyone.
+        """
+        self._partition_of[address] = group
+
+    def heal_partitions(self) -> None:
+        """Remove all partition assignments."""
+        self._partition_of.clear()
+
+    def _partitioned(self, a: NodeAddress, b: NodeAddress) -> bool:
+        group_a = self._partition_of.get(a)
+        group_b = self._partition_of.get(b)
+        if group_a is None or group_b is None:
+            return False
+        return group_a != group_b
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        source: NodeAddress,
+        destination: NodeAddress,
+        kind: str,
+        body: Any,
+    ) -> None:
+        """Send a message; delivery is scheduled, never synchronous.
+
+        Sends never fail at the caller: a dead destination, a partition or
+        random loss all look identical to the sender (silence), exactly as
+        over UDP/best-effort delivery -- failure *detection* is the
+        protocol layer's job (heartbeats and timeouts).
+        """
+        self.stats.record_send(kind)
+        message = Message(
+            source=source,
+            destination=destination,
+            kind=kind,
+            body=body,
+            sent_at=self.scheduler.now,
+        )
+        if self._partitioned(source, destination):
+            self.stats.dropped_partition += 1
+            return
+        if self.drop_probability > 0.0 and self.rng.random() < self.drop_probability:
+            self.stats.dropped_random += 1
+            return
+        source_endpoint = self._endpoints.get(source)
+        source_coord = (
+            source_endpoint.coord if source_endpoint is not None else Point(0.0, 0.0)
+        )
+        destination_endpoint = self._endpoints.get(destination)
+        if destination_endpoint is None:
+            self.stats.dropped_dead += 1
+            return
+        delay = self.latency.delay(
+            source_coord, destination_endpoint.coord, self.rng
+        )
+        self.scheduler.after(delay, lambda: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        endpoint = self._endpoints.get(message.destination)
+        if endpoint is None or not endpoint.alive:
+            self.stats.dropped_dead += 1
+            return
+        if self._partitioned(message.source, message.destination):
+            self.stats.dropped_partition += 1
+            return
+        self.stats.delivered += 1
+        endpoint.handler(message)
+
+    def endpoint_count(self) -> int:
+        """Number of live endpoints."""
+        return sum(1 for endpoint in self._endpoints.values() if endpoint.alive)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimNetwork(endpoints={self.endpoint_count()}, "
+            f"sent={self.stats.sent}, delivered={self.stats.delivered})"
+        )

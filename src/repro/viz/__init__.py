@@ -1,0 +1,24 @@
+"""Plain-text visualization.
+
+Figures 1--3 of the paper are pictures of the region partition (region
+boundaries, and shading by load or by owner capacity).  These renderers
+produce the terminal equivalent: an ASCII map of the partition shaded by
+any per-region quantity, plus text histograms for distribution summaries.
+"""
+
+from repro.viz.ascii_map import (
+    render_boundary_map,
+    render_owner_map,
+    render_region_map,
+)
+from repro.viz.histogram import render_histogram
+from repro.viz.sparkline import render_sparkline, series_sparkline
+
+__all__ = [
+    "render_region_map",
+    "render_boundary_map",
+    "render_owner_map",
+    "render_histogram",
+    "render_sparkline",
+    "series_sparkline",
+]

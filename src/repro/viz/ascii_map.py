@@ -1,0 +1,136 @@
+"""ASCII rendering of the region partition.
+
+``render_region_map`` shades each character cell by a per-region value
+(e.g. workload index), reproducing the look of the paper's Figures 2/3
+("regions with darker shade" are the heavily loaded ones).
+``render_owner_map`` letters regions by identity so split/merge behavior
+is visible at a glance (Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.geometry import Point
+from repro.core.region import Region
+from repro.core.space import Space
+
+#: Shade ramp from empty to hottest.
+SHADES = " .:-=+*#%@"
+
+#: Letters used to identify regions in the owner map.
+REGION_LETTERS = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+
+def _sample_point(space: Space, column: int, row: int, width: int, height: int) -> Point:
+    bounds = space.bounds
+    x = bounds.x + (column + 0.5) / width * bounds.width
+    # Row 0 is the top of the printout = north edge of the map.
+    y = bounds.y + (height - row - 0.5) / height * bounds.height
+    return Point(x, y)
+
+
+def render_region_map(
+    space: Space,
+    value_fn: Callable[[Region], float],
+    width: int = 64,
+    height: int = 32,
+    max_value: Optional[float] = None,
+) -> str:
+    """Shade the partition by ``value_fn`` (darker = larger).
+
+    ``max_value`` pins the top of the shade ramp; by default the maximum
+    observed value maps to the darkest shade.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("width and height must be >= 1")
+    values: Dict[Region, float] = {
+        region: value_fn(region) for region in space.regions
+    }
+    top = max_value if max_value is not None else max(values.values(), default=0.0)
+    lines = []
+    hint = None
+    for row in range(height):
+        chars = []
+        for column in range(width):
+            point = _sample_point(space, column, row, width, height)
+            region = space.locate(point, hint=hint)
+            hint = region
+            if top <= 0.0:
+                chars.append(SHADES[0])
+                continue
+            level = values[region] / top
+            index = min(len(SHADES) - 1, int(level * (len(SHADES) - 1) + 0.5))
+            chars.append(SHADES[index])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def render_boundary_map(
+    space: Space,
+    width: int = 64,
+    height: int = 32,
+    interior: str = " ",
+) -> str:
+    """Draw the partition's region boundaries (the Figure 1 look).
+
+    A character cell renders as a boundary glyph when the region covering
+    it differs from the region to its right (``|``), below (``-``), or
+    both (``+``); interior cells render as ``interior``.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("width and height must be >= 1")
+    # Resolve the region at every sample point once.
+    owners = []
+    hint = None
+    for row in range(height):
+        line = []
+        for column in range(width):
+            point = _sample_point(space, column, row, width, height)
+            region = space.locate(point, hint=hint)
+            hint = region
+            line.append(region.region_id)
+        owners.append(line)
+    lines = []
+    for row in range(height):
+        chars = []
+        for column in range(width):
+            here = owners[row][column]
+            right = owners[row][column + 1] if column + 1 < width else here
+            below = owners[row + 1][column] if row + 1 < height else here
+            if here != right and here != below:
+                chars.append("+")
+            elif here != right:
+                chars.append("|")
+            elif here != below:
+                chars.append("-")
+            else:
+                chars.append(interior)
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def render_owner_map(
+    space: Space,
+    width: int = 64,
+    height: int = 32,
+) -> str:
+    """Letter each region so the partition structure is visible."""
+    if width < 1 or height < 1:
+        raise ValueError("width and height must be >= 1")
+    letter_of: Dict[int, str] = {}
+    lines = []
+    hint = None
+    for row in range(height):
+        chars = []
+        for column in range(width):
+            point = _sample_point(space, column, row, width, height)
+            region = space.locate(point, hint=hint)
+            hint = region
+            if region.region_id not in letter_of:
+                letter_of[region.region_id] = REGION_LETTERS[
+                    len(letter_of) % len(REGION_LETTERS)
+                ]
+            chars.append(letter_of[region.region_id])
+        lines.append("".join(chars))
+    return "\n".join(lines)

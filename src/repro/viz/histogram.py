@@ -1,0 +1,56 @@
+"""Plain-text histograms for distribution summaries."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def render_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    log_bins: bool = False,
+    label_format: str = "{:>10.4g}",
+) -> str:
+    """Render a horizontal bar histogram of ``values``.
+
+    ``log_bins`` uses logarithmically spaced bin edges, appropriate for
+    the heavy-tailed capacity and workload-index distributions GeoGrid
+    deals in.
+    """
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    data = [float(v) for v in values]
+    if not data:
+        return "(empty)"
+    lo, hi = min(data), max(data)
+    if lo == hi:
+        return f"{label_format.format(lo)}  all {len(data)} values"
+    if log_bins:
+        if lo <= 0:
+            raise ValueError("log_bins requires strictly positive values")
+        log_lo, log_hi = math.log10(lo), math.log10(hi)
+        edges = [
+            10 ** (log_lo + (log_hi - log_lo) * i / bins) for i in range(bins + 1)
+        ]
+    else:
+        edges = [lo + (hi - lo) * i / bins for i in range(bins + 1)]
+    counts = [0] * bins
+    for value in data:
+        for index in range(bins):
+            if value <= edges[index + 1] or index == bins - 1:
+                counts[index] += 1
+                break
+    peak = max(counts)
+    lines = []
+    for index in range(bins):
+        bar = "#" * int(round(counts[index] / peak * width)) if peak else ""
+        lines.append(
+            f"{label_format.format(edges[index])} .. "
+            f"{label_format.format(edges[index + 1])} | "
+            f"{bar} {counts[index]}"
+        )
+    return "\n".join(lines)

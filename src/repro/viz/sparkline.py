@@ -1,0 +1,43 @@
+"""One-line sparklines for convergence series.
+
+Figures 7--10 are convergence curves; a sparkline gives their shape at a
+glance inside text reports: ``|sparkline("std")| = "█▇▅▃▂▂▁▁▁"``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Eight block heights plus a blank for zero.
+BARS = " ▁▂▃▄▅▆▇█"
+
+
+def render_sparkline(
+    values: Sequence[float],
+    minimum: float = None,
+    maximum: float = None,
+) -> str:
+    """Render ``values`` as a unicode sparkline string.
+
+    ``minimum``/``maximum`` pin the scale (default: the observed range).
+    """
+    data = [float(v) for v in values]
+    if not data:
+        return ""
+    lo = min(data) if minimum is None else minimum
+    hi = max(data) if maximum is None else maximum
+    if hi <= lo:
+        return BARS[1] * len(data)
+    span = hi - lo
+    chars = []
+    for value in data:
+        level = (value - lo) / span
+        index = min(len(BARS) - 1, 1 + int(level * (len(BARS) - 2) + 0.5))
+        chars.append(BARS[index])
+    return "".join(chars)
+
+
+def series_sparkline(collector, name: str, attribute: str = "std") -> str:
+    """Sparkline of one collector series' attribute over x."""
+    values = [value for _, value in collector.column(name, attribute)]
+    return render_sparkline(values)

@@ -1,0 +1,45 @@
+"""Workload models for the GeoGrid evaluation (Section 3).
+
+* :mod:`repro.workload.capacity` -- node capacity distributions.  The
+  paper draws proxy capacities from a skewed distribution based on the
+  Saroiu et al. measurement study of the Gnutella network; the exact trace
+  is not available, so we ship the standard five-level approximation used
+  throughout the P2P literature, plus alternatives.
+* :mod:`repro.workload.placement` -- where nodes physically reside
+  (uniform or clustered over the service area).
+* :mod:`repro.workload.hotspot` -- circular query hot spots with linear
+  fall-off (``1 - d/r``) and the epoch-based random migration model.
+* :mod:`repro.workload.queries` -- location-query traffic whose spatial
+  distribution follows the hot-spot field.
+"""
+
+from repro.workload.capacity import (
+    CapacityDistribution,
+    ConstantCapacity,
+    GnutellaCapacityDistribution,
+    ParetoCapacityDistribution,
+    UniformCapacityDistribution,
+)
+from repro.workload.hotspot import Hotspot, HotspotField
+from repro.workload.placement import (
+    ClusteredPlacement,
+    PlacementDistribution,
+    UniformPlacement,
+)
+from repro.workload.queries import QueryGenerator
+from repro.workload.rushhour import RushHourField
+
+__all__ = [
+    "CapacityDistribution",
+    "GnutellaCapacityDistribution",
+    "ParetoCapacityDistribution",
+    "UniformCapacityDistribution",
+    "ConstantCapacity",
+    "Hotspot",
+    "HotspotField",
+    "PlacementDistribution",
+    "UniformPlacement",
+    "ClusteredPlacement",
+    "QueryGenerator",
+    "RushHourField",
+]

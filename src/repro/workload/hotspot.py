@@ -1,0 +1,178 @@
+"""Hot-spot query workload (Section 3.1).
+
+The paper simulates uneven workload by scattering circular hot spots over
+the plane: "Each hot spot is a circular area with a random initial radius
+between 0.1 and 10 miles.  The cell at the center of a hot spot has the
+highest normalized workload 1 and the ones on its border have workload 0.
+The workloads of cells covered by the hot spot is decided by a formula
+``1 - d/r``."
+
+The timeline is divided into epochs; at the end of each, every hot spot
+migrates along a randomly chosen direction at a random step size uniformly
+chosen from ``(0, 2r)``.  The "moving hot spot" adaptation scenario moves
+hot spots 4 to 10 steps per adaptation round.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry import CellGrid, Circle, Point, Rect
+from repro.core.region import Region
+
+#: The paper's hot-spot radius range, in miles.
+DEFAULT_RADIUS_RANGE: Tuple[float, float] = (0.1, 10.0)
+
+#: Default cell side used to discretize the workload field, in miles.
+DEFAULT_CELL_SIZE = 0.5
+
+
+@dataclass
+class Hotspot:
+    """One circular hot spot with the paper's migration behavior."""
+
+    circle: Circle
+
+    @property
+    def center(self) -> Point:
+        """Current hot-spot center."""
+        return self.circle.center
+
+    @property
+    def radius(self) -> float:
+        """Hot-spot radius (fixed for the hot spot's lifetime)."""
+        return self.circle.radius
+
+    def migrate(self, rng: random.Random, bounds: Rect) -> None:
+        """One migration step: random direction, step size U(0, 2r).
+
+        The center is clamped back into the bounds so a hot spot can hug
+        the map edge but never leaves the service area entirely.
+        """
+        heading = rng.uniform(0.0, 2.0 * math.pi)
+        step = rng.uniform(0.0, 2.0 * self.radius)
+        moved = self.center.moved_toward(heading, step)
+        clamped = moved.clamped(bounds.x, bounds.y, bounds.x2, bounds.y2)
+        self.circle = self.circle.moved_to(clamped)
+
+    @classmethod
+    def random(
+        cls,
+        rng: random.Random,
+        bounds: Rect,
+        radius_range: Tuple[float, float] = DEFAULT_RADIUS_RANGE,
+    ) -> "Hotspot":
+        """Draw a hot spot with uniform center and uniform radius."""
+        lo, hi = radius_range
+        if not (0 < lo <= hi):
+            raise ValueError(f"invalid radius range {radius_range!r}")
+        center = Point(
+            rng.uniform(bounds.x, bounds.x2),
+            rng.uniform(bounds.y, bounds.y2),
+        )
+        return cls(Circle(center, rng.uniform(lo, hi)))
+
+
+class HotspotField:
+    """A set of hot spots materialized onto a cell grid.
+
+    This is the region-workload oracle of the whole evaluation:
+    ``region_load(region)`` returns the total workload of the cells the
+    region covers, in O(1) after each (re)materialization.
+
+    Use :meth:`migrate` / :meth:`migrate_epoch` to move the hot spots and
+    :meth:`refresh` (called automatically) to re-deposit their load.
+    """
+
+    def __init__(
+        self,
+        bounds: Rect,
+        hotspots: Sequence[Hotspot],
+        cell_size: float = DEFAULT_CELL_SIZE,
+    ) -> None:
+        self.bounds = bounds
+        self.hotspots: List[Hotspot] = list(hotspots)
+        self.grid = CellGrid(bounds, cell_size)
+        self.refresh()
+
+    @classmethod
+    def random(
+        cls,
+        bounds: Rect,
+        count: int,
+        rng: random.Random,
+        radius_range: Tuple[float, float] = DEFAULT_RADIUS_RANGE,
+        cell_size: float = DEFAULT_CELL_SIZE,
+    ) -> "HotspotField":
+        """Scatter ``count`` random hot spots over ``bounds``."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        hotspots = [
+            Hotspot.random(rng, bounds, radius_range) for _ in range(count)
+        ]
+        return cls(bounds, hotspots, cell_size=cell_size)
+
+    # ------------------------------------------------------------------
+    # Workload queries
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Re-deposit every hot spot's load onto the grid."""
+        self.grid.clear()
+        for hotspot in self.hotspots:
+            self.grid.add_hotspot(hotspot.circle)
+
+    def region_load(self, region: Region) -> float:
+        """Total query workload mapped to ``region`` (O(1))."""
+        return self.grid.load_in_rect(region.rect)
+
+    def rect_load(self, rect: Rect) -> float:
+        """Total query workload inside an arbitrary rectangle."""
+        return self.grid.load_in_rect(rect)
+
+    @property
+    def total_load(self) -> float:
+        """Total workload over the whole plane."""
+        return self.grid.total_load
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+    def migrate(self, rng: random.Random, steps: int = 1) -> None:
+        """Move every hot spot ``steps`` times, then refresh the grid.
+
+        One call with ``steps=1`` is the end-of-epoch migration; the
+        "moving hot spot" scenario calls this with ``steps`` in 4..10 per
+        adaptation round.
+        """
+        if steps < 0:
+            raise ValueError(f"steps must be >= 0, got {steps}")
+        for _ in range(steps):
+            for hotspot in self.hotspots:
+                hotspot.migrate(rng, self.bounds)
+        if steps:
+            self.refresh()
+
+    def migrate_epoch(
+        self,
+        rng: random.Random,
+        steps_range: Tuple[int, int] = (4, 10),
+    ) -> int:
+        """Migrate a random number of steps in ``steps_range`` (inclusive).
+
+        Returns the number of steps taken.
+        """
+        lo, hi = steps_range
+        if not (0 <= lo <= hi):
+            raise ValueError(f"invalid steps range {steps_range!r}")
+        steps = rng.randint(lo, hi)
+        self.migrate(rng, steps)
+        return steps
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HotspotField(hotspots={len(self.hotspots)}, "
+            f"total_load={self.total_load:.1f})"
+        )

@@ -1,0 +1,115 @@
+"""Tests for repro.apps.tracking -- continuous queries for moving users."""
+
+import random
+
+import pytest
+
+from repro.apps import GeoPubSub
+from repro.apps.tracking import RouteTracker
+from repro.dualpeer import DualPeerGeoGrid
+from repro.geometry import Point, Rect
+from tests.conftest import make_node
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+@pytest.fixture
+def deployment():
+    grid = DualPeerGeoGrid(BOUNDS, rng=random.Random(8))
+    rng = random.Random(9)
+    nodes = []
+    for i in range(60):
+        node = make_node(i, rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+        grid.join(node)
+        nodes.append(node)
+    return GeoPubSub(grid), grid, nodes
+
+
+ROUTE = [Point(8 + i * 4.0, 20.0) for i in range(6)]
+
+
+class TestRouteTracker:
+    def test_drive_registers_one_window_per_waypoint(self, deployment):
+        service, grid, nodes = deployment
+        tracker = RouteTracker(service, proxy=nodes[0], step_duration=10.0)
+        steps = tracker.drive(ROUTE)
+        assert len(steps) == len(ROUTE)
+        assert service.stats.subscriptions == len(ROUTE)
+
+    def test_event_near_current_position_heard(self, deployment):
+        service, grid, nodes = deployment
+        tracker = RouteTracker(service, proxy=nodes[0], window_radius=2.0)
+        tracker.move_to(Point(20, 20), now=0.0)
+        service.publish(nodes[5], Point(21, 20), "pothole", now=3.0)
+        assert "pothole" in tracker.heard_payloads()
+
+    def test_event_behind_the_user_not_heard(self, deployment):
+        service, grid, nodes = deployment
+        tracker = RouteTracker(
+            service, proxy=nodes[0], window_radius=2.0, step_duration=10.0
+        )
+        tracker.move_to(Point(10, 20), now=0.0)
+        tracker.move_to(Point(30, 20), now=10.0)
+        # The first window expired; an event back at mile 10 is silent.
+        service.publish(nodes[5], Point(10, 20), "old news", now=12.0)
+        assert "old news" not in tracker.heard_payloads()
+
+    def test_condition_filters(self, deployment):
+        service, grid, nodes = deployment
+        tracker = RouteTracker(
+            service, proxy=nodes[0], window_radius=3.0,
+            condition=lambda payload: "traffic" in str(payload),
+        )
+        tracker.move_to(Point(20, 20), now=0.0)
+        service.publish(nodes[5], Point(20, 21), "traffic ahead", now=1.0)
+        service.publish(nodes[5], Point(20, 21), "weather nice", now=1.0)
+        heard = tracker.heard_payloads()
+        assert "traffic ahead" in heard
+        assert "weather nice" not in heard
+
+    def test_notifications_attributed_to_steps(self, deployment):
+        service, grid, nodes = deployment
+        tracker = RouteTracker(
+            service, proxy=nodes[0], window_radius=2.0, step_duration=10.0
+        )
+        tracker.drive(ROUTE)
+        # Publish at waypoint 2 while its window is live.
+        target = ROUTE[2]
+        service.publish(nodes[5], target, "wp2-event", now=25.0)
+        tracker.collect()
+        step = tracker.steps[2]
+        assert any(
+            n.payload == "wp2-event" for n in step.notifications
+        )
+
+    def test_two_trackers_do_not_cross_talk(self, deployment):
+        service, grid, nodes = deployment
+        alice = RouteTracker(service, proxy=nodes[0], window_radius=2.0)
+        bob = RouteTracker(service, proxy=nodes[1], window_radius=2.0)
+        alice.move_to(Point(10, 10), now=0.0)
+        bob.move_to(Point(50, 50), now=0.0)
+        service.publish(nodes[5], Point(10, 10), "near alice", now=1.0)
+        assert "near alice" in alice.heard_payloads()
+        assert "near alice" not in bob.heard_payloads()
+
+    def test_invalid_parameters(self, deployment):
+        service, grid, nodes = deployment
+        with pytest.raises(ValueError):
+            RouteTracker(service, proxy=nodes[0], window_radius=0.0)
+        with pytest.raises(ValueError):
+            RouteTracker(service, proxy=nodes[0], step_duration=0.0)
+
+    def test_tracking_survives_overlay_churn(self, deployment):
+        service, grid, nodes = deployment
+        tracker = RouteTracker(
+            service, proxy=nodes[0], window_radius=2.0, step_duration=30.0
+        )
+        tracker.move_to(Point(32, 32), now=0.0)
+        rng = random.Random(4)
+        for i in range(20):
+            grid.join(
+                make_node(500 + i, rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+            )
+        service.check_consistency()
+        service.publish(nodes[5], Point(32, 32), "still here", now=5.0)
+        assert "still here" in tracker.heard_payloads()

@@ -1,0 +1,101 @@
+"""Tests for repro.bootstrap.geolocation."""
+
+import random
+
+import pytest
+
+from repro.bootstrap.geolocation import ConstraintBasedLocator, GpsLocator
+from repro.core.overlay import BasicGeoGrid
+from repro.geometry import Point, Rect
+from tests.conftest import make_node
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(31)
+
+
+class TestGpsLocator:
+    def test_zero_sigma_is_exact(self, rng):
+        locator = GpsLocator(BOUNDS, sigma_miles=0.0)
+        p = Point(10, 20)
+        assert locator.locate(p, rng) == p
+
+    def test_error_is_small(self, rng):
+        locator = GpsLocator(BOUNDS)
+        p = Point(30, 30)
+        for _ in range(100):
+            estimate = locator.locate(p, rng)
+            assert p.distance_to(estimate) < 0.05  # well under a city block
+
+    def test_estimates_stay_in_bounds(self, rng):
+        locator = GpsLocator(BOUNDS, sigma_miles=1.0)
+        corner = Point(0.01, 0.01)
+        for _ in range(200):
+            estimate = locator.locate(corner, rng)
+            assert BOUNDS.covers(estimate, closed_low_x=True, closed_low_y=True)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GpsLocator(BOUNDS, sigma_miles=-1.0)
+
+
+class TestConstraintBasedLocator:
+    def test_error_bounded_by_cell(self, rng):
+        locator = ConstraintBasedLocator(BOUNDS, cell_miles=2.0)
+        p = Point(31.3, 17.8)
+        for _ in range(100):
+            estimate = locator.locate(p, rng)
+            # Error <= cell diagonal: snap (<= half diag) + jitter.
+            assert p.distance_to(estimate) <= 2.0 * (2 ** 0.5)
+
+    def test_coarser_than_gps(self, rng):
+        gps = GpsLocator(BOUNDS)
+        coarse = ConstraintBasedLocator(BOUNDS, cell_miles=4.0)
+        p = Point(30, 30)
+        gps_error = sum(
+            p.distance_to(gps.locate(p, rng)) for _ in range(100)
+        )
+        coarse_error = sum(
+            p.distance_to(coarse.locate(p, rng)) for _ in range(100)
+        )
+        assert coarse_error > gps_error
+
+    def test_invalid_cell(self):
+        with pytest.raises(ValueError):
+            ConstraintBasedLocator(BOUNDS, cell_miles=0.0)
+
+
+class TestJoinWithEstimatedCoordinates:
+    """Position error only shifts which nearby region a node joins."""
+
+    def test_overlay_tolerates_coarse_geolocation(self, rng):
+        locator = ConstraintBasedLocator(BOUNDS, cell_miles=4.0)
+        grid = BasicGeoGrid(BOUNDS, rng=random.Random(1))
+        for i in range(100):
+            true_position = Point(
+                rng.uniform(0.001, 64), rng.uniform(0.001, 64)
+            )
+            estimate = locator.locate(true_position, rng)
+            grid.join(make_node(i, estimate.x, estimate.y))
+        grid.check_invariants()
+        assert grid.member_count() == 100
+
+    def test_estimated_region_is_geographically_close(self, rng):
+        locator = ConstraintBasedLocator(BOUNDS, cell_miles=2.0)
+        grid = BasicGeoGrid(BOUNDS, rng=random.Random(2))
+        for i in range(150):
+            true_position = Point(
+                rng.uniform(0.001, 64), rng.uniform(0.001, 64)
+            )
+            estimate = locator.locate(true_position, rng)
+            region = grid.join(make_node(i, estimate.x, estimate.y))
+            # At join time the granted region covers the estimate, so its
+            # distance to the *true* position is bounded by the
+            # geolocation error (cell diagonal).  Later splits can hand
+            # parts of the region away, so the bound is a join-time one.
+            assert region.rect.distance_to_point(true_position) <= (
+                2.0 * (2 ** 0.5)
+            )

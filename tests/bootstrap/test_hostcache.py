@@ -1,0 +1,69 @@
+"""Tests for repro.bootstrap.hostcache."""
+
+import random
+
+import pytest
+
+from repro.bootstrap import HostCache
+from repro.core.node import synthetic_address
+
+
+class TestHostCache:
+    def test_remember_and_contains(self):
+        cache = HostCache()
+        addr = synthetic_address(1)
+        cache.remember(addr)
+        assert addr in cache
+        assert len(cache) == 1
+
+    def test_capacity_evicts_oldest(self):
+        cache = HostCache(capacity=3)
+        for i in range(5):
+            cache.remember(synthetic_address(i))
+        assert len(cache) == 3
+        assert synthetic_address(0) not in cache
+        assert synthetic_address(4) in cache
+
+    def test_remember_refreshes_recency(self):
+        cache = HostCache(capacity=2)
+        a, b, c = (synthetic_address(i) for i in range(3))
+        cache.remember(a)
+        cache.remember(b)
+        cache.remember(a)  # refresh a; b is now oldest
+        cache.remember(c)
+        assert a in cache and c in cache and b not in cache
+
+    def test_remember_all(self):
+        cache = HostCache()
+        cache.remember_all(synthetic_address(i) for i in range(4))
+        assert len(cache) == 4
+
+    def test_forget(self):
+        cache = HostCache()
+        addr = synthetic_address(1)
+        cache.remember(addr)
+        cache.forget(addr)
+        assert addr not in cache
+
+    def test_forget_unknown_is_noop(self):
+        HostCache().forget(synthetic_address(9))
+
+    def test_entries_ordered_most_recent_last(self):
+        cache = HostCache()
+        addrs = [synthetic_address(i) for i in range(3)]
+        for addr in addrs:
+            cache.remember(addr)
+        assert cache.entries() == addrs
+
+    def test_pick_entry_empty_returns_none(self):
+        assert HostCache().pick_entry(random.Random(1)) is None
+
+    def test_pick_entry_from_cache(self):
+        cache = HostCache()
+        addrs = {synthetic_address(i) for i in range(5)}
+        cache.remember_all(addrs)
+        assert cache.pick_entry(random.Random(1)) in addrs
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            HostCache(capacity=0)

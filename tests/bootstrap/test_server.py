@@ -1,0 +1,94 @@
+"""Tests for repro.bootstrap.server."""
+
+import random
+
+import pytest
+
+from repro.errors import BootstrapError
+from repro.bootstrap import BootstrapServer
+from repro.core.node import synthetic_address
+
+
+@pytest.fixture
+def server():
+    return BootstrapServer()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(4)
+
+
+class TestRegistry:
+    def test_register_and_count(self, server):
+        for i in range(5):
+            server.register(synthetic_address(i))
+        assert server.known_count() == 5
+
+    def test_register_idempotent(self, server):
+        addr = synthetic_address(1)
+        server.register(addr)
+        server.register(addr)
+        assert server.known_count() == 1
+
+    def test_deregister(self, server):
+        addr = synthetic_address(1)
+        server.register(addr)
+        server.deregister(addr)
+        assert server.known_count() == 0
+
+    def test_deregister_unknown_is_noop(self, server):
+        server.deregister(synthetic_address(9))
+
+
+class TestSampling:
+    def test_empty_registry_raises(self, server, rng):
+        with pytest.raises(BootstrapError):
+            server.sample_entries(rng)
+
+    def test_sample_size_capped_by_membership(self, server, rng):
+        for i in range(3):
+            server.register(synthetic_address(i))
+        entries = server.sample_entries(rng, count=10)
+        assert len(entries) == 3
+
+    def test_sample_respects_requested_count(self, server, rng):
+        for i in range(50):
+            server.register(synthetic_address(i))
+        assert len(server.sample_entries(rng, count=5)) == 5
+
+    def test_default_count_is_max_entries(self, rng):
+        server = BootstrapServer(max_entries_per_request=4)
+        for i in range(50):
+            server.register(synthetic_address(i))
+        assert len(server.sample_entries(rng)) == 4
+
+    def test_exclude_self(self, server, rng):
+        me = synthetic_address(0)
+        server.register(me)
+        server.register(synthetic_address(1))
+        for _ in range(20):
+            entries = server.sample_entries(rng, exclude=me)
+            assert me not in entries
+
+    def test_exclude_only_member_raises(self, server, rng):
+        me = synthetic_address(0)
+        server.register(me)
+        with pytest.raises(BootstrapError):
+            server.sample_entries(rng, exclude=me)
+
+    def test_entries_unique(self, server, rng):
+        for i in range(30):
+            server.register(synthetic_address(i))
+        entries = server.sample_entries(rng, count=16)
+        assert len(entries) == len(set(entries))
+
+    def test_requests_counted(self, server, rng):
+        server.register(synthetic_address(0))
+        server.sample_entries(rng)
+        server.sample_entries(rng)
+        assert server.requests_served == 2
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(BootstrapError):
+            BootstrapServer(max_entries_per_request=0)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the GeoGrid test suite."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.core.node import Node
+
+
+@pytest.fixture
+def bounds() -> Rect:
+    """The paper's 64 mi x 64 mi service area."""
+    return Rect(0.0, 0.0, 64.0, 64.0)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for test randomness."""
+    return random.Random(12345)
+
+
+def make_node(
+    node_id: int, x: float, y: float, capacity: float = 1.0
+) -> Node:
+    """Terse node construction used all over the suite."""
+    return Node(node_id=node_id, coord=Point(x, y), capacity=capacity)
+
+
+@pytest.fixture
+def node_factory():
+    """Callable fixture building nodes with auto-incrementing ids."""
+    counter = {"next": 0}
+
+    def factory(x: float, y: float, capacity: float = 1.0) -> Node:
+        node = make_node(counter["next"], x, y, capacity)
+        counter["next"] += 1
+        return node
+
+    return factory

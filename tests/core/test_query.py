@@ -1,0 +1,70 @@
+"""Tests for repro.core.query."""
+
+import pytest
+
+from repro.core.query import LocationQuery, Subscription
+from repro.geometry import Point, Rect
+from tests.conftest import make_node
+
+
+@pytest.fixture
+def focal():
+    return make_node(1, 5, 5)
+
+
+class TestLocationQuery:
+    def test_target_is_rect_center(self, focal):
+        query = LocationQuery(query_rect=Rect(10, 20, 4, 6), focal=focal)
+        assert query.target == Point(12, 23)
+
+    def test_around_builds_2r_square(self, focal):
+        query = LocationQuery.around(Point(10, 10), 3.0, focal=focal)
+        assert query.query_rect == Rect(7, 7, 6, 6)
+        assert query.target == Point(10, 10)
+
+    def test_query_ids_unique(self, focal):
+        a = LocationQuery(query_rect=Rect(0, 0, 1, 1), focal=focal)
+        b = LocationQuery(query_rect=Rect(0, 0, 1, 1), focal=focal)
+        assert a.query_id != b.query_id
+        assert a != b
+
+    def test_no_condition_matches_everything(self, focal):
+        query = LocationQuery(query_rect=Rect(0, 0, 1, 1), focal=focal)
+        assert query.matches("anything")
+        assert query.matches(None)
+
+    def test_condition_filters(self, focal):
+        query = LocationQuery(
+            query_rect=Rect(0, 0, 1, 1),
+            focal=focal,
+            condition=lambda item: "traffic" in item,
+        )
+        assert query.matches("traffic jam")
+        assert not query.matches("parking info")
+
+    def test_payload_carried(self, focal):
+        query = LocationQuery(
+            query_rect=Rect(0, 0, 1, 1), focal=focal, payload={"ttl": 30}
+        )
+        assert query.payload == {"ttl": 30}
+
+    def test_hashable(self, focal):
+        queries = {
+            LocationQuery(query_rect=Rect(0, 0, 1, 1), focal=focal)
+            for _ in range(4)
+        }
+        assert len(queries) == 4
+
+
+class TestSubscription:
+    def test_lifetime(self, focal):
+        query = LocationQuery(query_rect=Rect(0, 0, 1, 1), focal=focal)
+        sub = Subscription(query=query, registered_at=10.0, duration=30.0)
+        assert sub.expires_at() == 40.0
+        assert sub.is_live_at(39.9)
+        assert not sub.is_live_at(40.0)
+
+    def test_duration_must_be_positive(self, focal):
+        query = LocationQuery(query_rect=Rect(0, 0, 1, 1), focal=focal)
+        with pytest.raises(ValueError):
+            Subscription(query=query, registered_at=0.0, duration=0.0)

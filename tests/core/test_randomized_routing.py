@@ -1,0 +1,119 @@
+"""Tests for randomized routing-entry selection (Section 2.2's
+"randomization of routing entries" management feature)."""
+
+import random
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.core.overlay import BasicGeoGrid
+from repro.core.routing import route_to_point, route_to_point_randomized
+from repro.geometry import Point, Rect
+from tests.conftest import make_node
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+def build_grid(n=200, seed=7):
+    rng = random.Random(seed)
+    grid = BasicGeoGrid(BOUNDS, rng=random.Random(seed + 1))
+    for i in range(n):
+        grid.join(
+            make_node(i, rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+        )
+    return grid, rng
+
+
+class TestRandomizedRouting:
+    def test_reaches_covering_region(self):
+        grid, rng = build_grid()
+        for _ in range(40):
+            start = grid.space.locate(
+                Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+            )
+            target = Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+            result = route_to_point_randomized(
+                grid.space, start, target, rng
+            )
+            assert grid.space.region_covers(result.executor, target)
+
+    def test_path_contiguous(self):
+        grid, rng = build_grid()
+        start = grid.space.locate(Point(1, 1))
+        result = route_to_point_randomized(
+            grid.space, start, Point(63, 63), rng
+        )
+        for a, b in zip(result.path, result.path[1:]):
+            assert b in grid.space.neighbors(a)
+
+    def test_every_hop_makes_progress(self):
+        grid, rng = build_grid()
+        start = grid.space.locate(Point(1, 1))
+        target = Point(60, 60)
+        result = route_to_point_randomized(grid.space, start, target, rng)
+        distances = [
+            region.rect.distance_to_point(target) for region in result.path
+        ]
+        for near, far in zip(distances[1:], distances):
+            assert near < far or far == 0.0
+
+    def test_hops_comparable_to_deterministic(self):
+        grid, rng = build_grid()
+        deterministic_total = 0
+        randomized_total = 0
+        for _ in range(60):
+            start = grid.space.locate(
+                Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+            )
+            target = Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+            deterministic_total += route_to_point(
+                grid.space, start, target
+            ).hops
+            randomized_total += route_to_point_randomized(
+                grid.space, start, target, rng
+            ).hops
+        # Randomization may lengthen paths slightly, never drastically.
+        assert randomized_total <= deterministic_total * 1.6 + 60
+
+    def test_spreads_over_multiple_paths(self):
+        """The point of the feature: repeated requests between the same
+        endpoints take different paths, diffusing routing load."""
+        grid, rng = build_grid(n=400)
+        start = grid.space.locate(Point(1, 1))
+        target = Point(62, 62)
+        paths = set()
+        for _ in range(25):
+            result = route_to_point_randomized(
+                grid.space, start, target, rng
+            )
+            paths.add(tuple(region.region_id for region in result.path))
+        assert len(paths) > 1
+
+    def test_deterministic_when_slack_minimal(self):
+        grid, rng = build_grid()
+        start = grid.space.locate(Point(1, 1))
+        target = Point(60, 60)
+        a = route_to_point_randomized(
+            grid.space, start, target, random.Random(1), slack=1.0
+        )
+        b = route_to_point_randomized(
+            grid.space, start, target, random.Random(2), slack=1.0
+        )
+        # With no slack the eligible set is (almost always) a singleton.
+        assert abs(a.hops - b.hops) <= 1
+
+    def test_invalid_slack(self):
+        grid, rng = build_grid(n=10)
+        start = next(iter(grid.space.regions))
+        with pytest.raises(ValueError):
+            route_to_point_randomized(
+                grid.space, start, Point(5, 5), rng, slack=0.5
+            )
+
+    def test_outside_target_rejected(self):
+        grid, rng = build_grid(n=10)
+        start = next(iter(grid.space.regions))
+        with pytest.raises(RoutingError):
+            route_to_point_randomized(
+                grid.space, start, Point(100, 100), rng
+            )

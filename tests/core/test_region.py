@@ -1,0 +1,112 @@
+"""Tests for repro.core.region -- owner-slot semantics."""
+
+import pytest
+
+from repro.errors import OwnershipError
+from repro.core.region import Region
+from repro.geometry import Rect
+from tests.conftest import make_node
+
+
+@pytest.fixture
+def region():
+    return Region(rect=Rect(0, 0, 8, 8))
+
+
+class TestOccupancy:
+    def test_fresh_region_is_vacant(self, region):
+        assert region.is_vacant
+        assert not region.is_half_full
+        assert not region.is_full
+        assert region.owners() == []
+
+    def test_half_full_after_primary(self, region):
+        region.set_primary(make_node(1, 1, 1))
+        assert region.is_half_full
+        assert region.owner_count() == 1
+
+    def test_full_after_both(self, region):
+        region.set_primary(make_node(1, 1, 1))
+        region.set_secondary(make_node(2, 2, 2))
+        assert region.is_full
+        assert region.owner_count() == 2
+
+    def test_owners_primary_first(self, region):
+        p, s = make_node(1, 1, 1), make_node(2, 2, 2)
+        region.set_primary(p)
+        region.set_secondary(s)
+        assert region.owners() == [p, s]
+
+
+class TestOwnershipRules:
+    def test_secondary_before_primary_rejected(self, region):
+        with pytest.raises(OwnershipError):
+            region.set_secondary(make_node(1, 1, 1))
+
+    def test_same_node_in_both_slots_rejected(self, region):
+        node = make_node(1, 1, 1)
+        region.set_primary(node)
+        with pytest.raises(OwnershipError):
+            region.set_secondary(node)
+
+    def test_secondary_then_same_primary_rejected(self, region):
+        region.set_primary(make_node(1, 1, 1))
+        other = make_node(2, 2, 2)
+        region.set_secondary(other)
+        with pytest.raises(OwnershipError):
+            region.set_primary(other)
+
+    def test_clear_secondary(self, region):
+        region.set_primary(make_node(1, 1, 1))
+        s = make_node(2, 2, 2)
+        region.set_secondary(s)
+        assert region.clear_secondary() == s
+        assert region.is_half_full
+        assert region.clear_secondary() is None
+
+
+class TestPromotion:
+    def test_promote_secondary(self, region):
+        p, s = make_node(1, 1, 1), make_node(2, 2, 2)
+        region.set_primary(p)
+        region.set_secondary(s)
+        promoted = region.promote_secondary()
+        assert promoted == s
+        assert region.primary == s
+        assert region.secondary is None
+
+    def test_promote_without_secondary_raises(self, region):
+        region.set_primary(make_node(1, 1, 1))
+        with pytest.raises(OwnershipError):
+            region.promote_secondary()
+
+    def test_swap_owner_roles(self, region):
+        p, s = make_node(1, 1, 1), make_node(2, 2, 2)
+        region.set_primary(p)
+        region.set_secondary(s)
+        region.swap_owner_roles()
+        assert region.primary == s
+        assert region.secondary == p
+
+    def test_swap_requires_full(self, region):
+        region.set_primary(make_node(1, 1, 1))
+        with pytest.raises(OwnershipError):
+            region.swap_owner_roles()
+
+
+class TestIdentity:
+    def test_region_ids_unique(self):
+        a = Region(rect=Rect(0, 0, 1, 1))
+        b = Region(rect=Rect(0, 0, 1, 1))
+        assert a.region_id != b.region_id
+        assert a != b
+
+    def test_identity_survives_rect_change(self):
+        region = Region(rect=Rect(0, 0, 4, 4))
+        rid = region.region_id
+        region.rect = Rect(0, 0, 2, 4)
+        assert region.region_id == rid
+
+    def test_hashable(self):
+        regions = {Region(rect=Rect(0, 0, 1, 1)) for _ in range(5)}
+        assert len(regions) == 5

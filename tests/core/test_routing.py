@@ -1,0 +1,168 @@
+"""Tests for repro.core.routing -- greedy geographic routing + fan-out."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.core.overlay import BasicGeoGrid
+from repro.core.query import LocationQuery
+from repro.core.region import Region
+from repro.core.routing import (
+    path_length_miles,
+    route_query,
+    route_to_point,
+    straight_line_miles,
+    stretch,
+)
+from repro.core.space import Space
+from repro.geometry import Point, Rect, SplitAxis
+from tests.conftest import make_node
+
+
+def build_grid(n, seed=7, bounds=Rect(0, 0, 64, 64)):
+    rng = random.Random(seed)
+    grid = BasicGeoGrid(bounds, rng=random.Random(seed + 1))
+    for i in range(n):
+        grid.join(
+            make_node(i, rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+        )
+    return grid, rng
+
+
+class TestRouteToPoint:
+    def test_route_within_own_region(self):
+        grid, _ = build_grid(1)
+        region = next(iter(grid.space.regions))
+        result = route_to_point(grid.space, region, Point(5, 5))
+        assert result.executor is region
+        assert result.hops == 0
+
+    def test_route_reaches_covering_region(self):
+        grid, rng = build_grid(100)
+        for _ in range(50):
+            start = next(iter(grid.space.regions))
+            target = Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+            result = route_to_point(grid.space, start, target)
+            assert grid.space.region_covers(result.executor, target)
+
+    def test_path_is_contiguous(self):
+        grid, rng = build_grid(200)
+        start = grid.space.locate(Point(1, 1))
+        result = route_to_point(grid.space, start, Point(63, 63))
+        for a, b in zip(result.path, result.path[1:]):
+            assert b in grid.space.neighbors(a)
+
+    def test_hops_equal_path_edges(self):
+        grid, _ = build_grid(50)
+        start = grid.space.locate(Point(1, 1))
+        result = route_to_point(grid.space, start, Point(60, 60))
+        assert result.hops == len(result.path) - 1
+
+    def test_target_outside_bounds_raises(self):
+        grid, _ = build_grid(10)
+        start = next(iter(grid.space.regions))
+        with pytest.raises(RoutingError):
+            route_to_point(grid.space, start, Point(100, 0))
+
+    def test_foreign_start_raises(self):
+        grid, _ = build_grid(10)
+        with pytest.raises(RoutingError):
+            route_to_point(
+                grid.space, Region(rect=Rect(0, 0, 1, 1)), Point(5, 5)
+            )
+
+
+class TestHopComplexity:
+    """The paper's O(2*sqrt(N)) bound for random region pairs."""
+
+    @pytest.mark.parametrize("n", [64, 256, 1024])
+    def test_mean_hops_within_bound(self, n):
+        grid, rng = build_grid(n)
+        hops = []
+        for _ in range(100):
+            source = grid.random_node()
+            target = Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+            result = grid.route_from(source, target)
+            hops.append(result.hops)
+        mean_hops = sum(hops) / len(hops)
+        assert mean_hops <= 2.0 * math.sqrt(grid.space.region_count())
+
+    def test_hops_grow_sublinearly(self):
+        small, rng = build_grid(64)
+        large, _ = build_grid(1024)
+
+        def mean_hops(grid):
+            totals = []
+            for _ in range(80):
+                source = grid.random_node()
+                target = Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+                totals.append(grid.route_from(source, target).hops)
+            return sum(totals) / len(totals)
+
+        # 16x the nodes should cost roughly 4x the hops, certainly < 8x.
+        assert mean_hops(large) < 8 * max(mean_hops(small), 1.0)
+
+
+class TestGeographicQuality:
+    def test_stretch_close_to_one(self):
+        grid, rng = build_grid(400)
+        stretches = []
+        for _ in range(60):
+            start = grid.space.locate(
+                Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+            )
+            target = Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+            result = route_to_point(grid.space, start, target)
+            value = stretch(result)
+            if value is not None:
+                stretches.append(value)
+        assert sum(stretches) / len(stretches) < 2.0
+
+    def test_path_length_at_least_straight_line(self):
+        grid, _ = build_grid(100)
+        start = grid.space.locate(Point(1, 1))
+        result = route_to_point(grid.space, start, Point(60, 60))
+        assert path_length_miles(result) >= straight_line_miles(result) - 1e-9
+
+
+class TestQueryFanout:
+    def test_covers_all_overlapping_regions(self):
+        grid, _ = build_grid(150)
+        query = LocationQuery(
+            query_rect=Rect(20, 20, 12, 8), focal=grid.random_node()
+        )
+        outcome = grid.submit_query(query)
+        expected = {
+            r for r in grid.space.regions
+            if r.rect.intersects(query.query_rect)
+        }
+        assert set(outcome.covered) == expected
+
+    def test_executor_covers_query_center(self):
+        grid, _ = build_grid(80)
+        query = LocationQuery.around(
+            Point(40, 24), 3.0, focal=grid.random_node()
+        )
+        outcome = grid.submit_query(query)
+        assert grid.space.region_covers(outcome.executor, query.target)
+
+    def test_point_query_single_region(self):
+        grid, _ = build_grid(80)
+        query = LocationQuery(
+            query_rect=Rect(30, 30, 0.01, 0.01), focal=grid.random_node()
+        )
+        outcome = grid.submit_query(query)
+        assert len(outcome.covered) >= 1
+        assert outcome.executor in outcome.covered
+
+    def test_total_messages_counts_route_and_fanout(self):
+        grid, _ = build_grid(60)
+        query = LocationQuery(
+            query_rect=Rect(10, 10, 20, 20), focal=grid.random_node()
+        )
+        outcome = grid.submit_query(query)
+        assert outcome.total_messages == outcome.route.hops + len(
+            [r for r in outcome.covered if r is not outcome.executor]
+        )

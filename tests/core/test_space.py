@@ -1,0 +1,246 @@
+"""Tests for repro.core.space -- the partition manager."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError, PartitionError
+from repro.core.region import Region
+from repro.core.space import Space
+from repro.geometry import Point, Rect, SplitAxis
+
+
+def make_space(bounds=Rect(0, 0, 64, 64)):
+    space = Space(bounds)
+    root = Region(rect=bounds)
+    space.add_root(root)
+    return space, root
+
+
+class TestRoot:
+    def test_add_root(self):
+        space, root = make_space()
+        assert space.region_count() == 1
+        assert space.neighbors(root) == set()
+
+    def test_root_must_match_bounds(self):
+        space = Space(Rect(0, 0, 64, 64))
+        with pytest.raises(PartitionError):
+            space.add_root(Region(rect=Rect(0, 0, 32, 64)))
+
+    def test_double_root_rejected(self):
+        space, _ = make_space()
+        with pytest.raises(PartitionError):
+            space.add_root(Region(rect=space.bounds))
+
+    def test_empty_space_queries_raise(self):
+        space = Space(Rect(0, 0, 64, 64))
+        with pytest.raises(PartitionError):
+            space.any_region()
+        with pytest.raises(PartitionError):
+            space.locate(Point(1, 1))
+
+
+class TestSplit:
+    def test_split_keeps_low(self):
+        space, root = make_space()
+        new = space.split_region(root, axis=SplitAxis.VERTICAL, keep="low")
+        assert root.rect == Rect(0, 0, 32, 64)
+        assert new.rect == Rect(32, 0, 32, 64)
+        space.check_invariants()
+
+    def test_split_keeps_high(self):
+        space, root = make_space()
+        new = space.split_region(root, axis=SplitAxis.VERTICAL, keep="high")
+        assert root.rect == Rect(32, 0, 32, 64)
+        assert new.rect == Rect(0, 0, 32, 64)
+        space.check_invariants()
+
+    def test_split_default_axis_cuts_longer_side(self):
+        space, root = make_space(Rect(0, 0, 64, 32))
+        new = space.split_region(root)
+        assert root.rect.width == 32 and new.rect.width == 32
+
+    def test_split_makes_halves_neighbors(self):
+        space, root = make_space()
+        new = space.split_region(root)
+        assert new in space.neighbors(root)
+        assert root in space.neighbors(new)
+
+    def test_split_invalid_keep(self):
+        space, root = make_space()
+        with pytest.raises(ValueError):
+            space.split_region(root, keep="middle")
+
+    def test_split_foreign_region_rejected(self):
+        space, _ = make_space()
+        with pytest.raises(PartitionError):
+            space.split_region(Region(rect=Rect(0, 0, 1, 1)))
+
+    def test_adjacency_updates_after_splits(self):
+        space, root = make_space()
+        right = space.split_region(root, axis=SplitAxis.VERTICAL)
+        top_left = space.split_region(root, axis=SplitAxis.HORIZONTAL)
+        # root = SW quarter-ish, right = east half, top_left = NW
+        assert right in space.neighbors(root)
+        assert top_left in space.neighbors(root)
+        assert right in space.neighbors(top_left)
+        space.check_invariants()
+
+
+class TestMerge:
+    def test_merge_restores_rect(self):
+        space, root = make_space()
+        new = space.split_region(root, axis=SplitAxis.VERTICAL)
+        space.merge_regions(root, new)
+        assert root.rect == space.bounds
+        assert space.region_count() == 1
+        space.check_invariants()
+
+    def test_merge_non_sibling_rejected(self):
+        space, root = make_space()
+        right = space.split_region(root, axis=SplitAxis.VERTICAL)
+        ne = space.split_region(right, axis=SplitAxis.HORIZONTAL)
+        # root (west half) cannot merge with the NE quarter.
+        with pytest.raises(GeometryError):
+            space.merge_regions(root, ne)
+
+    def test_merge_with_self_rejected(self):
+        space, root = make_space()
+        with pytest.raises(PartitionError):
+            space.merge_regions(root, root)
+
+    def test_merge_keeps_survivor_identity(self):
+        space, root = make_space()
+        new = space.split_region(root)
+        rid = root.region_id
+        merged = space.merge_regions(root, new)
+        assert merged is root
+        assert merged.region_id == rid
+        assert new not in space
+
+
+class TestLocate:
+    def test_locate_in_single_region(self):
+        space, root = make_space()
+        assert space.locate(Point(10, 10)) is root
+
+    def test_locate_after_splits(self):
+        space, root = make_space()
+        east = space.split_region(root, axis=SplitAxis.VERTICAL)
+        assert space.locate(Point(10, 10)) is root
+        assert space.locate(Point(50, 10)) is east
+
+    def test_locate_outside_bounds_raises(self):
+        space, _ = make_space()
+        with pytest.raises(PartitionError):
+            space.locate(Point(100, 100))
+
+    def test_locate_space_border_points(self):
+        """The space's own west/south border is still owned."""
+        space, root = make_space()
+        east = space.split_region(root, axis=SplitAxis.VERTICAL)
+        assert space.locate(Point(0.0, 10.0)) is root
+        assert space.locate(Point(10.0, 0.0)) is root
+        assert space.locate(Point(0.0, 0.0)) is root
+        assert space.locate(Point(64.0, 64.0)) is east
+
+    def test_locate_shared_edge_goes_to_east_owner(self):
+        """Half-open rule: a point on a shared vertical edge belongs to
+        the region whose *high* edge it is (the western one)."""
+        space, root = make_space()
+        east = space.split_region(root, axis=SplitAxis.VERTICAL)
+        assert space.locate(Point(32.0, 10.0)) is root
+
+    def test_locate_records_path(self):
+        space, root = make_space()
+        regions = [root]
+        for _ in range(5):
+            regions.append(space.split_region(regions[-1]))
+        path = []
+        space.locate(Point(1, 1), hint=regions[-1], path=path)
+        assert path[0] is regions[-1]
+        assert space.region_covers(path[-1], Point(1, 1))
+
+    def test_locate_with_stale_hint(self):
+        space, root = make_space()
+        new = space.split_region(root)
+        space.merge_regions(root, new)  # new is now stale
+        assert space.locate(Point(1, 1), hint=new) is root
+
+
+class TestIterIntersecting:
+    def test_fanout_finds_all_overlapping(self):
+        space, root = make_space()
+        regions = [root]
+        rng = random.Random(3)
+        for _ in range(40):
+            target = regions[rng.randrange(len(regions))]
+            regions.append(space.split_region(target))
+        query = Rect(10, 10, 20, 20)
+        found = set(space.iter_regions_intersecting(query))
+        expected = {r for r in space.regions if r.rect.intersects(query)}
+        assert found == expected
+
+    def test_tiny_query_hits_one_region(self):
+        space, root = make_space()
+        space.split_region(root)
+        found = list(space.iter_regions_intersecting(Rect(1, 1, 0.5, 0.5)))
+        assert len(found) == 1
+
+
+class TestInvariantsUnderRandomOperations:
+    """Property test: random split/merge sequences keep the partition sane."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 31))
+    def test_random_split_merge_sequences(self, seed):
+        rng = random.Random(seed)
+        space, root = make_space()
+        regions = [root]
+        for _ in range(60):
+            if rng.random() < 0.7 or len(regions) < 3:
+                target = regions[rng.randrange(len(regions))]
+                regions.append(space.split_region(target))
+            else:
+                target = regions[rng.randrange(len(regions))]
+                mergeable = [
+                    n for n in space.neighbors(target)
+                    if n.rect.can_merge_with(target.rect)
+                ]
+                if mergeable:
+                    absorbed = mergeable[0]
+                    space.merge_regions(target, absorbed)
+                    regions.remove(absorbed)
+        space.check_invariants()
+        # Point location agrees with the linear scan everywhere.
+        for _ in range(25):
+            point = Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+            assert space.locate(point) is space._scan(point)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 31))
+    def test_region_count_tracks_operations(self, seed):
+        rng = random.Random(seed)
+        space, root = make_space()
+        regions = [root]
+        splits = merges = 0
+        for _ in range(30):
+            if rng.random() < 0.6 or len(regions) < 2:
+                regions.append(
+                    space.split_region(regions[rng.randrange(len(regions))])
+                )
+                splits += 1
+            else:
+                target = regions[rng.randrange(len(regions))]
+                mergeable = [
+                    n for n in space.neighbors(target)
+                    if n.rect.can_merge_with(target.rect)
+                ]
+                if mergeable:
+                    space.merge_regions(target, mergeable[0])
+                    regions.remove(mergeable[0])
+                    merges += 1
+        assert space.region_count() == 1 + splits - merges

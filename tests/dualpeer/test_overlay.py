@@ -1,0 +1,200 @@
+"""Tests for repro.dualpeer.overlay -- DualPeerGeoGrid semantics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.overlay import BasicGeoGrid
+from repro.dualpeer import DualPeerGeoGrid
+from repro.geometry import Point, Rect
+from tests.conftest import make_node
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+def fresh_grid(seed=1):
+    return DualPeerGeoGrid(BOUNDS, rng=random.Random(seed))
+
+
+def populate(grid, n, seed=5, capacities=(1, 10, 100)):
+    rng = random.Random(seed)
+    nodes = []
+    for i in range(n):
+        node = make_node(
+            i, rng.uniform(0.001, 64), rng.uniform(0.001, 64),
+            capacity=rng.choice(capacities),
+        )
+        grid.join(node)
+        nodes.append(node)
+    return nodes
+
+
+class TestAdmission:
+    def test_second_node_fills_secondary_slot(self):
+        grid = fresh_grid()
+        grid.join(make_node(0, 10, 10, capacity=10))
+        grid.join(make_node(1, 50, 50, capacity=5))
+        assert grid.space.region_count() == 1
+        region = next(iter(grid.space.regions))
+        assert region.is_full
+        assert grid.stats.splits == 0
+
+    def test_stronger_joiner_takes_primary_role(self):
+        grid = fresh_grid()
+        weak = make_node(0, 10, 10, capacity=1)
+        strong = make_node(1, 50, 50, capacity=100)
+        grid.join(weak)
+        grid.join(strong)
+        region = next(iter(grid.space.regions))
+        assert region.primary == strong
+        assert region.secondary == weak
+
+    def test_weaker_joiner_stays_secondary(self):
+        grid = fresh_grid()
+        strong = make_node(0, 10, 10, capacity=100)
+        weak = make_node(1, 50, 50, capacity=1)
+        grid.join(strong)
+        grid.join(weak)
+        region = next(iter(grid.space.regions))
+        assert region.primary == strong
+        assert region.secondary == weak
+
+    def test_third_node_splits_full_region(self):
+        grid = fresh_grid()
+        grid.join(make_node(0, 10, 10, capacity=10))
+        grid.join(make_node(1, 50, 50, capacity=10))
+        grid.join(make_node(2, 30, 30, capacity=10))
+        assert grid.space.region_count() == 2
+        assert grid.stats.splits == 1
+        # After the split both owners lead a half; the newcomer fills the
+        # weaker half's secondary slot, so exactly one region is full.
+        assert grid.full_region_count() == 1
+        grid.check_invariants()
+
+    def test_fewer_splits_than_basic(self):
+        """Claim 2 of Section 2.3: dual peer reduces split operations."""
+        basic = BasicGeoGrid(BOUNDS, rng=random.Random(1))
+        dual = fresh_grid()
+        rng = random.Random(7)
+        for i in range(200):
+            coord = Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+            capacity = rng.choice([1, 10, 100])
+            basic.join(make_node(i, coord.x, coord.y, capacity=capacity))
+            dual.join(make_node(i, coord.x, coord.y, capacity=capacity))
+        assert dual.stats.splits < basic.stats.splits
+        assert dual.space.region_count() < basic.space.region_count()
+
+    def test_region_count_bounds(self):
+        """N nodes need between ceil(N/2) and N regions."""
+        grid = fresh_grid()
+        populate(grid, 101)
+        count = grid.space.region_count()
+        assert 51 <= count <= 101
+        grid.check_invariants()
+
+    def test_powerful_nodes_own_bigger_regions(self):
+        """The paper's Figure 3 observation, as a rank statistic."""
+        grid = fresh_grid()
+        populate(grid, 300, capacities=(1, 10, 100, 1000))
+        strong_areas = []
+        weak_areas = []
+        for region in grid.space.regions:
+            if region.primary.capacity >= 100:
+                strong_areas.append(region.rect.area)
+            elif region.primary.capacity <= 1:
+                weak_areas.append(region.rect.area)
+        assert strong_areas and weak_areas
+        mean_strong = sum(strong_areas) / len(strong_areas)
+        mean_weak = sum(weak_areas) / len(weak_areas)
+        assert mean_strong > mean_weak
+
+
+class TestDeparture:
+    def test_secondary_departure_marks_half_full(self):
+        grid = fresh_grid()
+        grid.join(make_node(0, 10, 10, capacity=10))
+        second = make_node(1, 50, 50, capacity=1)
+        grid.join(second)
+        grid.leave(second)
+        region = next(iter(grid.space.regions))
+        assert region.is_half_full
+        assert grid.space.region_count() == 1
+
+    def test_primary_departure_promotes_secondary(self):
+        grid = fresh_grid()
+        primary = make_node(0, 10, 10, capacity=100)
+        secondary = make_node(1, 50, 50, capacity=1)
+        grid.join(primary)
+        grid.join(secondary)
+        grid.leave(primary)
+        region = next(iter(grid.space.regions))
+        assert region.primary == secondary
+        assert region.secondary is None
+        assert grid.stats.promotions == 1
+
+    def test_last_owner_departure_triggers_repair(self):
+        grid = fresh_grid()
+        nodes = populate(grid, 9)
+        half_full = next(
+            r for r in grid.space.regions if r.is_half_full
+        )
+        survivor_count = grid.space.region_count() - 1
+        grid.leave(half_full.primary)
+        grid.check_invariants()
+        assert grid.space.region_count() <= survivor_count + 1
+
+
+class TestFailure:
+    def test_primary_failure_activates_backup(self):
+        grid = fresh_grid()
+        primary = make_node(0, 10, 10, capacity=100)
+        backup = make_node(1, 50, 50, capacity=1)
+        grid.join(primary)
+        grid.join(backup)
+        grid.fail(primary)
+        region = next(iter(grid.space.regions))
+        assert region.primary == backup
+        assert grid.stats.promotions == 1
+        assert grid.stats.failures == 1
+
+    def test_failure_burst_mostly_absorbed(self):
+        """With most regions full, failures promote rather than repair."""
+        grid = fresh_grid()
+        nodes = populate(grid, 200)
+        rng = random.Random(11)
+        alive = list(nodes)
+        for _ in range(50):
+            grid.fail(alive.pop(rng.randrange(len(alive))))
+        grid.check_invariants()
+        assert grid.stats.promotions > 0
+
+
+class TestChurnProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 31))
+    def test_random_churn_preserves_invariants(self, seed):
+        rng = random.Random(seed)
+        grid = fresh_grid(seed % 997)
+        alive = []
+        next_id = 0
+        for _ in range(120):
+            action = rng.random()
+            if action < 0.55 or len(alive) < 2:
+                node = make_node(
+                    next_id, rng.uniform(0.001, 64), rng.uniform(0.001, 64),
+                    capacity=rng.choice([1, 10, 100, 1000]),
+                )
+                next_id += 1
+                grid.join(node)
+                alive.append(node)
+            elif action < 0.8:
+                grid.leave(alive.pop(rng.randrange(len(alive))))
+            else:
+                grid.fail(alive.pop(rng.randrange(len(alive))))
+        grid.check_invariants()
+        assert grid.member_count() == len(alive)
+        # Every member holds at least one role.
+        for node in alive:
+            assert grid.primary_regions(node) or grid.secondary_regions(node)

@@ -1,0 +1,90 @@
+"""Tests for repro.experiments.ablations and repro.core.policies."""
+
+import pytest
+
+from repro.core.policies import (
+    fixed_axis_policy,
+    latitude_first_policy,
+    longest_side_policy,
+)
+from repro.geometry import Rect, SplitAxis
+from repro.experiments import ExperimentConfig
+from repro.experiments.ablations import (
+    ablate_mechanism_sets,
+    ablate_replication_fraction,
+    ablate_search_ttl,
+    ablate_split_policy,
+    ablate_trigger_ratio,
+    render_adaptation_report,
+    render_split_policy_report,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(trials=1)
+
+
+class TestPolicies:
+    def test_longest_side(self):
+        assert longest_side_policy(Rect(0, 0, 8, 4)) is SplitAxis.VERTICAL
+        assert longest_side_policy(Rect(0, 0, 4, 8)) is SplitAxis.HORIZONTAL
+        assert longest_side_policy(Rect(0, 0, 4, 4)) is SplitAxis.HORIZONTAL
+
+    def test_latitude_first_alternates_by_depth(self):
+        bounds = Rect(0, 0, 64, 64)
+        policy = latitude_first_policy(bounds)
+        # Depth 0: the root -> latitude (horizontal cut).
+        assert policy(bounds) is SplitAxis.HORIZONTAL
+        # Depth 1 (half the area) -> longitude.
+        assert policy(Rect(0, 0, 64, 32)) is SplitAxis.VERTICAL
+        # Depth 2 -> latitude again.
+        assert policy(Rect(0, 0, 32, 32)) is SplitAxis.HORIZONTAL
+
+    def test_fixed_axis(self):
+        policy = fixed_axis_policy(SplitAxis.VERTICAL)
+        assert policy(Rect(0, 0, 1, 100)) is SplitAxis.VERTICAL
+
+
+class TestSplitPolicyAblation:
+    def test_default_beats_fixed_axis(self, config):
+        rows = ablate_split_policy(config, population=300, samples=60)
+        by_name = {row.name: row for row in rows}
+        default = by_name["longest-side (default)"]
+        fixed = by_name["fixed vertical (baseline)"]
+        assert default.mean_aspect_ratio < fixed.mean_aspect_ratio
+        assert default.mean_hops < fixed.mean_hops
+
+    def test_report_renders(self, config):
+        rows = ablate_split_policy(config, population=200, samples=40)
+        assert "split-axis policy" in render_split_policy_report(rows)
+
+
+class TestAdaptationAblations:
+    def test_ttl_tradeoff(self, config):
+        rows = ablate_search_ttl(config, population=400, ttls=(1, 4))
+        short, long = rows
+        # A deeper search costs more messages and finds more remote moves.
+        assert long.search_messages > short.search_messages
+        assert long.remote_usage >= short.remote_usage
+        # ...and achieves at least as good a balance.
+        assert long.final.std <= short.final.std * 1.05
+
+    def test_remote_mechanisms_improve_balance(self, config):
+        local, full = ablate_mechanism_sets(config, population=400)
+        assert local.remote_usage == 0
+        assert full.remote_usage > 0
+        assert full.final.std < local.final.std
+
+    def test_replication_fraction_charges_secondaries(self, config):
+        rows = ablate_replication_fraction(
+            config, population=300, fractions=(0.0, 0.5)
+        )
+        free, charged = rows
+        # Charging secondaries raises the measured mean index.
+        assert charged.final.mean >= free.final.mean
+
+    def test_trigger_ratio_rows_render(self, config):
+        rows = ablate_trigger_ratio(config, population=300, ratios=(1.2, 2.0))
+        report = render_adaptation_report("trigger ratio", rows)
+        assert "ratio=1.20" in report and "ratio=2.00" in report

@@ -1,0 +1,61 @@
+"""Tests for repro.experiments.fig_churn."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, SystemVariant
+from repro.experiments.fig_churn import (
+    render_report,
+    run_churn,
+    run_churn_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    config = ExperimentConfig(trials=1)
+    return run_churn_comparison(
+        config, population=300, duration=80.0, events_per_unit=2.0
+    )
+
+
+class TestChurnExperiment:
+    def test_identical_schedules(self, results):
+        """Both variants see the same churn event sequence (same seeds)."""
+        basic = results[SystemVariant.BASIC]
+        dual = results[SystemVariant.DUAL_PEER]
+        assert basic.churn_events == dual.churn_events
+        assert basic.failures == dual.failures
+        assert basic.final_population == dual.final_population
+
+    def test_dual_peer_absorbs_failures(self, results):
+        basic = results[SystemVariant.BASIC]
+        dual = results[SystemVariant.DUAL_PEER]
+        assert basic.failover_fraction == 0.0
+        assert dual.failover_fraction > 0.5
+
+    def test_dual_peer_needs_fewer_repairs(self, results):
+        basic = results[SystemVariant.BASIC]
+        dual = results[SystemVariant.DUAL_PEER]
+        assert dual.merges < basic.merges
+
+    def test_routing_survives_churn(self, results):
+        for cell in results.values():
+            # Hops drift but stay the same order of magnitude.
+            assert cell.hops_after < cell.hops_before * 2 + 2
+
+    def test_population_within_band(self, results):
+        for cell in results.values():
+            assert 150 <= cell.final_population <= 600
+
+    def test_report_renders(self, results):
+        report = render_report(results)
+        assert "failover%" in report
+        assert "basic" in report and "dual-peer" in report
+
+    def test_single_variant_run(self):
+        config = ExperimentConfig(trials=1)
+        cell = run_churn(
+            config, variant=SystemVariant.DUAL_PEER, population=150,
+            duration=40.0,
+        )
+        assert cell.churn_events > 0

@@ -1,0 +1,89 @@
+"""The paper's motivation (ii): "unbalanced concentration of nodes".
+
+Section 2.2 lists three sources of imbalance; (ii) is node concentration.
+Under clustered placement (metropolitan population centers) the basic
+system's geographic node-to-region mapping produces tiny regions inside
+clusters and huge ones outside -- and the adaptation machinery must still
+deliver its order-of-magnitude improvement there.
+"""
+
+import random
+
+import pytest
+
+from repro.core.overlay import BasicGeoGrid
+from repro.dualpeer import DualPeerGeoGrid
+from repro.geometry import Point, Rect
+from repro.loadbalance import AdaptationEngine, WorkloadIndexCalculator
+from repro.metrics.stats import summarize
+from repro.workload import (
+    ClusteredPlacement,
+    GnutellaCapacityDistribution,
+    HotspotField,
+    UniformPlacement,
+)
+from tests.conftest import make_node
+
+BOUNDS = Rect(0, 0, 64, 64)
+CENTERS = [Point(12, 12), Point(48, 20), Point(30, 50)]
+
+
+def build(placement, overlay_cls, n=400, seed=6):
+    rng = random.Random(seed)
+    field = HotspotField.random(BOUNDS, count=8, rng=rng)
+    grid = overlay_cls(
+        BOUNDS, rng=random.Random(seed + 1), load_fn=field.region_load
+    )
+    capacities = GnutellaCapacityDistribution()
+    for index in range(n):
+        grid.join(
+            make_node(
+                index,
+                *placement.sample(rng).as_tuple(),
+                capacity=capacities.sample(rng),
+            )
+        )
+    return grid, field
+
+
+class TestClusteredPlacement:
+    def test_clusters_skew_region_sizes(self):
+        clustered = ClusteredPlacement(
+            BOUNDS, centers=CENTERS, background_fraction=0.1
+        )
+        uniform = UniformPlacement(BOUNDS)
+        grid_c, _ = build(clustered, BasicGeoGrid)
+        grid_u, _ = build(uniform, BasicGeoGrid)
+        areas_c = summarize(r.rect.area for r in grid_c.space.regions)
+        areas_u = summarize(r.rect.area for r in grid_u.space.regions)
+        # Concentrated nodes -> much larger spread of region sizes.
+        assert areas_c.std > areas_u.std
+
+    def test_invariants_hold_under_clustering(self):
+        clustered = ClusteredPlacement(BOUNDS, centers=CENTERS)
+        grid, _ = build(clustered, DualPeerGeoGrid)
+        grid.check_invariants()
+
+    def test_adaptation_still_wins_order_of_magnitude(self):
+        clustered = ClusteredPlacement(
+            BOUNDS, centers=CENTERS, background_fraction=0.1
+        )
+        basic, field = build(clustered, BasicGeoGrid, seed=9)
+        adapted, field2 = build(clustered, DualPeerGeoGrid, seed=9)
+        calc_basic = WorkloadIndexCalculator(basic, field.region_load)
+        calc_adapted = WorkloadIndexCalculator(adapted, field2.region_load)
+        engine = AdaptationEngine(adapted, calc_adapted)
+        engine.run_until_stable(max_rounds=20)
+        assert calc_adapted.summary().std * 10 < calc_basic.summary().std
+
+    def test_routing_still_bounded_under_clustering(self):
+        clustered = ClusteredPlacement(BOUNDS, centers=CENTERS)
+        grid, _ = build(clustered, DualPeerGeoGrid)
+        rng = random.Random(2)
+        hops = []
+        for _ in range(100):
+            source = grid.random_node()
+            target = Point(rng.uniform(0.01, 64), rng.uniform(0.01, 64))
+            hops.append(grid.route_from(source, target).hops)
+        bound = 2 * (grid.space.region_count() ** 0.5)
+        assert sum(hops) / len(hops) <= bound

@@ -1,0 +1,62 @@
+"""Tests for repro.experiments.config."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ExperimentConfig,
+    PAPER_BOUNDS,
+    PAPER_CONVERGENCE_POPULATION,
+    PAPER_POPULATIONS,
+    SystemVariant,
+)
+
+
+class TestPaperConstants:
+    def test_service_area_is_64_by_64(self):
+        assert PAPER_BOUNDS.width == 64.0
+        assert PAPER_BOUNDS.height == 64.0
+
+    def test_populations_match_paper(self):
+        assert PAPER_POPULATIONS == (1_000, 2_000, 4_000, 8_000, 16_000)
+
+    def test_convergence_population(self):
+        assert PAPER_CONVERGENCE_POPULATION == 2_000
+
+
+class TestSystemVariant:
+    def test_three_variants(self):
+        assert len(SystemVariant) == 3
+
+    def test_feature_flags(self):
+        assert not SystemVariant.BASIC.uses_dual_peer
+        assert not SystemVariant.BASIC.uses_adaptation
+        assert SystemVariant.DUAL_PEER.uses_dual_peer
+        assert not SystemVariant.DUAL_PEER.uses_adaptation
+        assert SystemVariant.DUAL_PEER_ADAPTATION.uses_dual_peer
+        assert SystemVariant.DUAL_PEER_ADAPTATION.uses_adaptation
+
+
+class TestExperimentConfig:
+    def test_defaults_reproduce_paper(self):
+        config = ExperimentConfig()
+        assert config.bounds == PAPER_BOUNDS
+        assert config.hotspot_radius_range == (0.1, 10.0)
+        assert config.cell_size == 0.5
+
+    def test_trials_from_environment(self, monkeypatch):
+        monkeypatch.setenv("GEOGRID_TRIALS", "7")
+        assert ExperimentConfig().trials == 7
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cell_size": 0.0},
+            {"hotspot_count": -1},
+            {"trials": 0},
+            {"max_adaptation_rounds": 0},
+        ],
+    )
+    def test_invalid_configurations(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(**kwargs)

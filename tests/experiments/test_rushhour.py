@@ -1,0 +1,49 @@
+"""Tests for repro.experiments.fig_rushhour."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.fig_rushhour import (
+    ADAPTIVE,
+    FROZEN,
+    render_report,
+    run_commute,
+    run_rushhour,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_rushhour(ExperimentConfig(trials=1), population=300)
+
+
+class TestRushHour:
+    def test_both_scenarios_recorded(self, results):
+        assert set(results) == {ADAPTIVE, FROZEN}
+        for label, result in results.items():
+            points = result.by_round.get(label)
+            assert len(points) == 21  # round 0 + 10 morning + 10 afternoon
+
+    def test_frozen_never_adapts(self, results):
+        assert results[FROZEN].adaptations == 0
+
+    def test_adaptation_beats_frozen_on_average(self, results):
+        adaptive = [
+            p.summary.std for p in results[ADAPTIVE].by_round.get(ADAPTIVE)
+        ]
+        frozen = [
+            p.summary.std for p in results[FROZEN].by_round.get(FROZEN)
+        ]
+        assert sum(adaptive[1:]) < sum(frozen[1:])
+
+    def test_report_renders_with_sparklines(self, results):
+        report = render_report(results)
+        assert "Rush hour" in report
+        assert "std shape" in report
+
+    def test_single_commute(self):
+        result = run_commute(
+            ExperimentConfig(trials=1), adaptive=True, population=150,
+            morning_rounds=3, afternoon_rounds=3,
+        )
+        assert len(result.by_round.get(ADAPTIVE)) == 7

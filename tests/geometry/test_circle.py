@@ -1,0 +1,104 @@
+"""Tests for repro.geometry.circle -- hot-spot areas."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Circle, Point, Rect
+
+radii = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+class TestConstruction:
+    def test_positive_radius_required(self):
+        with pytest.raises(ValueError):
+            Circle(Point(0, 0), 0.0)
+        with pytest.raises(ValueError):
+            Circle(Point(0, 0), -1.0)
+
+    def test_area(self):
+        assert Circle(Point(0, 0), 2.0).area == pytest.approx(4 * math.pi)
+
+
+class TestWorkloadFormula:
+    """The paper: cell workload = 1 - d/r inside, 0 outside."""
+
+    def test_center_has_full_workload(self):
+        c = Circle(Point(5, 5), 2.0)
+        assert c.workload_at(Point(5, 5)) == 1.0
+
+    def test_border_has_zero_workload(self):
+        c = Circle(Point(0, 0), 2.0)
+        assert c.workload_at(Point(2, 0)) == 0.0
+
+    def test_halfway_has_half_workload(self):
+        c = Circle(Point(0, 0), 4.0)
+        assert c.workload_at(Point(2, 0)) == pytest.approx(0.5)
+
+    def test_outside_is_zero(self):
+        c = Circle(Point(0, 0), 1.0)
+        assert c.workload_at(Point(5, 5)) == 0.0
+
+    @given(coords, coords, radii, coords, coords)
+    def test_workload_in_unit_interval(self, cx, cy, r, px, py):
+        value = Circle(Point(cx, cy), r).workload_at(Point(px, py))
+        assert 0.0 <= value <= 1.0
+
+    @given(coords, coords, radii)
+    def test_workload_decreases_with_distance(self, cx, cy, r):
+        c = Circle(Point(cx, cy), r)
+        near = c.workload_at(Point(cx + r * 0.25, cy))
+        far = c.workload_at(Point(cx + r * 0.75, cy))
+        assert near > far
+
+
+class TestCoverage:
+    def test_covers_interior_excludes_border(self):
+        c = Circle(Point(0, 0), 2.0)
+        assert c.covers(Point(1, 1))
+        assert not c.covers(Point(2, 0))
+
+    def test_intersects_rect_overlapping(self):
+        c = Circle(Point(0, 0), 2.0)
+        assert c.intersects_rect(Rect(1, 1, 4, 4))
+
+    def test_intersects_rect_containing_circle(self):
+        c = Circle(Point(5, 5), 1.0)
+        assert c.intersects_rect(Rect(0, 0, 10, 10))
+
+    def test_does_not_intersect_far_rect(self):
+        c = Circle(Point(0, 0), 1.0)
+        assert not c.intersects_rect(Rect(5, 5, 2, 2))
+
+    def test_bounding_rect_is_2r_square(self):
+        """A circular query of radius gamma is the rect (x, y, 2g, 2g)."""
+        c = Circle(Point(10, 20), 3.0)
+        b = c.bounding_rect()
+        assert b == Rect(7, 17, 6, 6)
+        assert b.center == Point(10, 20)
+
+    @given(coords, coords, radii, st.floats(min_value=0, max_value=0.99),
+           st.floats(min_value=0, max_value=0.99))
+    def test_bounding_rect_contains_interior(self, cx, cy, r, u, v):
+        c = Circle(Point(cx, cy), r)
+        angle = u * 2 * math.pi
+        p = Point(cx + v * r * math.cos(angle), cy + v * r * math.sin(angle))
+        if c.covers(p):
+            assert c.bounding_rect().covers(
+                p, closed_low_x=True, closed_low_y=True
+            )
+
+
+class TestTransforms:
+    def test_moved_to(self):
+        c = Circle(Point(0, 0), 2.0).moved_to(Point(5, 5))
+        assert c.center == Point(5, 5)
+        assert c.radius == 2.0
+
+    def test_scaled(self):
+        c = Circle(Point(1, 1), 2.0).scaled(1.5)
+        assert c.radius == 3.0
+        assert c.center == Point(1, 1)

@@ -1,0 +1,82 @@
+"""Tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestDistance:
+    def test_distance_to_self_is_zero(self):
+        p = Point(3.0, 4.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_pythagorean_triple(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1, 2), Point(-4, 7)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan_distance_to(Point(3, -4)) == 7.0
+
+    @given(finite, finite, finite, finite)
+    def test_triangle_inequality_through_origin(self, ax, ay, bx, by):
+        a, b, origin = Point(ax, ay), Point(bx, by), Point(0, 0)
+        assert a.distance_to(b) <= a.distance_to(origin) + origin.distance_to(b) + 1e-6
+
+    @given(finite, finite, finite, finite)
+    def test_euclidean_at_most_manhattan(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert a.distance_to(b) <= a.manhattan_distance_to(b) + 1e-9
+
+
+class TestMovement:
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_moved_toward_east(self):
+        moved = Point(0, 0).moved_toward(0.0, 5.0)
+        assert moved.x == pytest.approx(5.0)
+        assert moved.y == pytest.approx(0.0)
+
+    def test_moved_toward_north(self):
+        moved = Point(0, 0).moved_toward(math.pi / 2, 2.0)
+        assert moved.x == pytest.approx(0.0, abs=1e-12)
+        assert moved.y == pytest.approx(2.0)
+
+    @given(finite, finite, st.floats(min_value=0, max_value=6.283),
+           st.floats(min_value=0, max_value=100))
+    def test_moved_distance_equals_step(self, x, y, heading, step):
+        start = Point(x, y)
+        moved = start.moved_toward(heading, step)
+        assert start.distance_to(moved) == pytest.approx(step, abs=1e-6)
+
+    def test_clamped_inside_is_identity(self):
+        p = Point(5, 5)
+        assert p.clamped(0, 0, 10, 10) == p
+
+    def test_clamped_outside(self):
+        assert Point(-3, 15).clamped(0, 0, 10, 10) == Point(0, 10)
+
+
+class TestBasics:
+    def test_as_tuple(self):
+        assert Point(1.5, -2.5).as_tuple() == (1.5, -2.5)
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert hash(Point(1, 2)) == hash(Point(1, 2))
+        assert Point(1, 2) != Point(2, 1)
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(1, 5) < Point(2, 0)
+        assert Point(1, 2) < Point(1, 3)

@@ -1,0 +1,119 @@
+"""Scenario scaffolding for the load-balance tests.
+
+``make_row_scenario`` hand-builds the Figure 4 panels: a row of adjacent
+regions with prescribed primary/secondary capacities and per-region
+loads, wired to a real cell grid so splits and merges recompute loads
+spatially (exactly like the hot-spot field does).
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.core.node import Node
+from repro.core.region import Region
+from repro.dualpeer import DualPeerGeoGrid
+from repro.geometry import CellGrid, Point, Rect, SplitAxis
+from repro.loadbalance import (
+    AdaptationConfig,
+    AdaptationContext,
+    WorkloadIndexCalculator,
+)
+
+BOUNDS = Rect(0.0, 0.0, 64.0, 64.0)
+
+#: (primary_capacity, secondary_capacity or None, region_load)
+OwnerSpec = Tuple[float, Optional[float], float]
+
+
+@dataclass
+class Scenario:
+    """A hand-built overlay plus everything mechanisms need."""
+
+    overlay: DualPeerGeoGrid
+    grid: CellGrid
+    calc: WorkloadIndexCalculator
+    ctx: AdaptationContext
+    regions: List[Region]
+    nodes: List[Node]
+
+    def region(self, index: int) -> Region:
+        """The index-th region, west to east."""
+        return self.regions[index]
+
+    def set_region_load(self, index: int, load: float) -> None:
+        """Re-point the load deposited at a region's center cell."""
+        region = self.regions[index]
+        ix, iy = self.grid.cell_index_of(region.rect.center)
+        self.grid.set_load(ix, iy, load)
+
+
+def make_row_scenario(
+    specs: Sequence[OwnerSpec],
+    config: Optional[AdaptationConfig] = None,
+) -> Scenario:
+    """Build a west-to-east row of ``len(specs)`` adjacent regions.
+
+    Consecutive regions are neighbors; non-consecutive ones are not, so
+    remote mechanisms can be exercised by spacing donor and initiator
+    more than one column apart.
+    """
+    if not 1 <= len(specs) <= 8:
+        raise ValueError("supported row sizes are 1..8")
+    overlay = DualPeerGeoGrid(BOUNDS, rng=random.Random(0))
+    grid = CellGrid(BOUNDS, cell_size=1.0)
+    overlay.load_fn = lambda region: grid.load_in_rect(region.rect)
+
+    root = Region(rect=BOUNDS)
+    overlay.space.add_root(root)
+    regions = [root]
+    # Repeatedly split the easternmost region vertically: widths shrink
+    # geometrically but adjacency forms a clean west-to-east chain.
+    for _ in range(len(specs) - 1):
+        new = overlay.space.split_region(
+            regions[-1], axis=SplitAxis.VERTICAL, keep="low"
+        )
+        regions.append(new)
+
+    nodes: List[Node] = []
+    next_id = 0
+    for region, (primary_cap, secondary_cap, load) in zip(regions, specs):
+        center = region.rect.center
+        primary = Node(next_id, center, capacity=primary_cap)
+        next_id += 1
+        overlay.add_idle_member(primary)
+        overlay.assign_primary(region, primary)
+        nodes.append(primary)
+        if secondary_cap is not None:
+            secondary = Node(
+                next_id,
+                Point(center.x + 0.25, center.y + 0.25),
+                capacity=secondary_cap,
+            )
+            next_id += 1
+            overlay.add_idle_member(secondary)
+            overlay.assign_secondary(region, secondary)
+            nodes.append(secondary)
+        if load:
+            ix, iy = grid.cell_index_of(center)
+            grid.set_load(ix, iy, load)
+
+    calc = WorkloadIndexCalculator(overlay, overlay.load_fn)
+    ctx = AdaptationContext(
+        overlay=overlay,
+        calc=calc,
+        config=config if config is not None else AdaptationConfig(),
+        round_number=100,  # far past any cooldown
+    )
+    return Scenario(
+        overlay=overlay, grid=grid, calc=calc, ctx=ctx,
+        regions=regions, nodes=nodes,
+    )
+
+
+@pytest.fixture
+def row_scenario():
+    """Callable fixture building row scenarios."""
+    return make_row_scenario

@@ -1,0 +1,141 @@
+"""Metamorphic properties every mechanism must satisfy on real networks.
+
+Rather than hand-built panels, these tests build random hot-spot networks
+and check, for *whatever plans the mechanisms produce there*:
+
+1. the prediction is honest -- after execution the initiator's region
+   index equals (or beats) the plan's ``index_after``;
+2. executions strictly improve the initiating region;
+3. executions never break overlay invariants or lose/duplicate load;
+4. the same region never plans the exact reverse right after (no
+   two-step oscillation), for the swap mechanisms.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dualpeer import DualPeerGeoGrid
+from repro.geometry import Rect
+from repro.loadbalance import (
+    AdaptationConfig,
+    AdaptationContext,
+    WorkloadIndexCalculator,
+    default_mechanisms,
+)
+from repro.workload import GnutellaCapacityDistribution, HotspotField
+from tests.conftest import make_node
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+def build_context(seed, population=250):
+    rng = random.Random(seed)
+    field = HotspotField.random(BOUNDS, count=8, rng=rng)
+    overlay = DualPeerGeoGrid(
+        BOUNDS, rng=random.Random(seed + 1), load_fn=field.region_load
+    )
+    capacities = GnutellaCapacityDistribution()
+    for index in range(population):
+        overlay.join(
+            make_node(
+                index, rng.uniform(0.001, 64), rng.uniform(0.001, 64),
+                capacity=capacities.sample(rng),
+            )
+        )
+    calc = WorkloadIndexCalculator(overlay, field.region_load)
+    ctx = AdaptationContext(
+        overlay=overlay, calc=calc, config=AdaptationConfig(),
+        round_number=100,
+    )
+    return overlay, field, calc, ctx
+
+
+def hottest_regions(calc, overlay, count=30):
+    regions = sorted(
+        overlay.space.regions,
+        key=lambda region: -calc.region_index(region),
+    )
+    return regions[:count]
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_plans_are_honest_and_improving(seed):
+    overlay, field, calc, ctx = build_context(seed)
+    executed = 0
+    for mechanism in default_mechanisms():
+        for region in hottest_regions(calc, overlay):
+            if ctx.in_cooldown(region):
+                continue
+            plan = mechanism.plan(region, ctx)
+            if plan is None:
+                continue
+            before = calc.region_index(region)
+            assert plan.index_before == pytest.approx(before, rel=1e-9)
+            mechanism.execute(plan, ctx)
+            executed += 1
+            after = calc.region_index(region)
+            # Honest prediction: reality is at least as good as promised
+            # (split predictions are pessimistic pairings; the rest exact).
+            assert after <= plan.index_after + 1e-9
+            # Strict improvement of the initiating region.
+            assert after < before
+            break  # one execution per mechanism keeps the state readable
+    overlay.check_invariants()
+    assert executed >= 1  # hot networks always admit some adaptation
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_executions_conserve_load(seed):
+    overlay, field, calc, ctx = build_context(seed)
+    total_before = sum(
+        calc.region_load(region) for region in overlay.space.regions
+    )
+    for mechanism in default_mechanisms():
+        for region in hottest_regions(calc, overlay, count=15):
+            if ctx.in_cooldown(region):
+                continue
+            plan = mechanism.plan(region, ctx)
+            if plan is not None:
+                mechanism.execute(plan, ctx)
+                break
+    total_after = sum(
+        calc.region_load(region) for region in overlay.space.regions
+    )
+    assert total_after == pytest.approx(total_before, rel=1e-9)
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_swaps_never_reverse_immediately(seed):
+    overlay, field, calc, ctx = build_context(seed)
+    for mechanism in default_mechanisms():
+        if mechanism.key not in ("b", "h"):
+            continue
+        for region in hottest_regions(calc, overlay):
+            plan = mechanism.plan(region, ctx)
+            if plan is None:
+                continue
+            partner = plan.partner
+            mechanism.execute(plan, ctx)
+            # Clear cooldowns so only the improvement rule can stop the
+            # reverse swap -- and it must.
+            region.last_adapted_at = float("-inf")
+            partner.last_adapted_at = float("-inf")
+            reverse_a = mechanism.plan(region, ctx)
+            reverse_b = mechanism.plan(partner, ctx)
+            for reverse in (reverse_a, reverse_b):
+                if reverse is not None:
+                    assert not (
+                        reverse.partner is partner
+                        and reverse.region is region
+                    ) and not (
+                        reverse.partner is region
+                        and reverse.region is partner
+                    )
+            break
+    overlay.check_invariants()

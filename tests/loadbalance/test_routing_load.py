@@ -1,0 +1,120 @@
+"""Tests for repro.loadbalance.routing_load."""
+
+import random
+
+import pytest
+
+from repro.core.overlay import BasicGeoGrid
+from repro.dualpeer import DualPeerGeoGrid
+from repro.geometry import Circle, Point, Rect
+from repro.loadbalance import RoutingLoadTracker
+from repro.workload import (
+    GnutellaCapacityDistribution,
+    Hotspot,
+    HotspotField,
+    QueryGenerator,
+)
+from tests.conftest import make_node
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+def build(n=150, dual=False, seed=3):
+    rng = random.Random(seed)
+    field = HotspotField(
+        BOUNDS, [Hotspot(Circle(Point(48, 48), 6.0))]
+    )
+    cls = DualPeerGeoGrid if dual else BasicGeoGrid
+    grid = cls(BOUNDS, rng=random.Random(seed + 1), load_fn=field.region_load)
+    capacities = GnutellaCapacityDistribution()
+    for i in range(n):
+        grid.join(
+            make_node(
+                i, rng.uniform(0.001, 64), rng.uniform(0.001, 64),
+                capacity=capacities.sample(rng),
+            )
+        )
+    return grid, field, rng
+
+
+class TestTracker:
+    def test_forwards_cover_all_members(self):
+        grid, field, rng = build()
+        tracker = RoutingLoadTracker(grid)
+        report = tracker.measure(QueryGenerator(field), rng, queries=100)
+        assert set(report.forwards) == set(grid.nodes.values())
+        assert report.queries == 100
+
+    def test_total_forwards_match_paths(self):
+        grid, field, rng = build(n=60)
+        tracker = RoutingLoadTracker(grid)
+        report = tracker.measure(
+            QueryGenerator(field), rng, queries=100, include_fanout=False
+        )
+        # Each query charges path-length = hops + 1 region visits.
+        assert sum(report.forwards.values()) == report.total_hops + 100
+
+    def test_zero_queries(self):
+        grid, field, rng = build(n=30)
+        report = RoutingLoadTracker(grid).measure(
+            QueryGenerator(field), rng, queries=0
+        )
+        assert report.mean_hops == 0.0
+        assert sum(report.forwards.values()) == 0
+
+    def test_negative_queries_rejected(self):
+        grid, field, rng = build(n=30)
+        with pytest.raises(ValueError):
+            RoutingLoadTracker(grid).measure(
+                QueryGenerator(field), rng, queries=-1
+            )
+
+    def test_index_normalized_by_capacity(self):
+        grid, field, rng = build(n=80)
+        report = RoutingLoadTracker(grid).measure(
+            QueryGenerator(field), rng, queries=200
+        )
+        for node, count in report.forwards.items():
+            assert report.index[node] == pytest.approx(count / node.capacity)
+
+    def test_traffic_concentrates_toward_hotspot(self):
+        """Transit load is spatially skewed toward the hot corner."""
+        grid, field, rng = build(n=200)
+        report = RoutingLoadTracker(grid).measure(
+            QueryGenerator(field, background_fraction=0.0), rng, queries=400
+        )
+        hot_corner = Rect(32, 32, 32, 32)
+        hot_traffic = sum(
+            count for node, count in report.forwards.items()
+            if any(
+                hot_corner.intersects(region.rect)
+                for region in grid.primary_regions(node)
+            )
+        )
+        assert hot_traffic > sum(report.forwards.values()) * 0.5
+
+
+class TestDualPeerEffect:
+    def test_dual_peer_flattens_routing_index(self):
+        """The paper's claim: routing workload is balanced too."""
+        basic_grid, field, rng_a = build(n=300, dual=False, seed=11)
+        dual_grid, _, rng_b = build(n=300, dual=True, seed=11)
+        basic = RoutingLoadTracker(basic_grid).measure(
+            QueryGenerator(field), rng_a, queries=400
+        )
+        dual = RoutingLoadTracker(dual_grid).measure(
+            QueryGenerator(field), rng_b, queries=400
+        )
+        assert dual.index_summary.std < basic.index_summary.std
+
+    def test_dual_peer_shortens_routes(self):
+        """Fewer regions (claim 2) also means fewer hops per request."""
+        basic_grid, field, rng_a = build(n=300, dual=False, seed=12)
+        dual_grid, _, rng_b = build(n=300, dual=True, seed=12)
+        basic = RoutingLoadTracker(basic_grid).measure(
+            QueryGenerator(field), rng_a, queries=200
+        )
+        dual = RoutingLoadTracker(dual_grid).measure(
+            QueryGenerator(field), rng_b, queries=200
+        )
+        assert dual.mean_hops < basic.mean_hops

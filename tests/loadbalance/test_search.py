@@ -1,0 +1,87 @@
+"""Tests for repro.loadbalance.search -- TTL-guided remote search."""
+
+import pytest
+
+from repro.loadbalance import ttl_search
+from tests.loadbalance.conftest import make_row_scenario
+
+
+def accept_all(region):
+    return True
+
+
+class TestTtlSearch:
+    def test_skips_immediate_neighbors_by_default(self):
+        s = make_row_scenario([(1, None, 0), (1, None, 0), (1, None, 0)])
+        result = ttl_search(
+            s.overlay.space, s.region(0), ttl=3, predicate=accept_all
+        )
+        assert s.region(1) not in result.candidates
+        assert s.region(2) in result.candidates
+
+    def test_includes_neighbors_when_asked(self):
+        s = make_row_scenario([(1, None, 0), (1, None, 0), (1, None, 0)])
+        result = ttl_search(
+            s.overlay.space, s.region(0), ttl=3, predicate=accept_all,
+            skip_immediate_neighbors=False,
+        )
+        assert s.region(1) in result.candidates
+        assert s.region(2) in result.candidates
+
+    def test_origin_never_a_candidate(self):
+        s = make_row_scenario([(1, None, 0), (1, None, 0)])
+        result = ttl_search(
+            s.overlay.space, s.region(0), ttl=5, predicate=accept_all,
+            skip_immediate_neighbors=False,
+        )
+        assert s.region(0) not in result.candidates
+
+    def test_ttl_bounds_depth(self):
+        s = make_row_scenario([(1, None, 0)] * 6)
+        result = ttl_search(
+            s.overlay.space, s.region(0), ttl=2, predicate=accept_all
+        )
+        # Depth 2 reaches region 2 but not region 3+.
+        assert s.region(2) in result.candidates
+        assert s.region(3) not in result.candidates
+
+    def test_predicate_filters(self):
+        s = make_row_scenario(
+            [(1, None, 0), (1, None, 0), (100, 50, 0), (1, None, 0)]
+        )
+        result = ttl_search(
+            s.overlay.space, s.region(0), ttl=4,
+            predicate=lambda region: region.is_full,
+        )
+        assert result.candidates == [s.region(2)]
+
+    def test_message_cost_counted(self):
+        s = make_row_scenario([(1, None, 0)] * 5)
+        result = ttl_search(
+            s.overlay.space, s.region(0), ttl=4, predicate=accept_all
+        )
+        assert result.messages == 4  # a chain: one contact per hop
+        assert result.expanded >= 1
+
+    def test_invalid_ttl(self):
+        s = make_row_scenario([(1, None, 0), (1, None, 0)])
+        with pytest.raises(ValueError):
+            ttl_search(s.overlay.space, s.region(0), ttl=0, predicate=accept_all)
+
+    def test_foreign_origin_rejected(self):
+        from repro.core.region import Region
+        from repro.geometry import Rect
+
+        s = make_row_scenario([(1, None, 0), (1, None, 0)])
+        with pytest.raises(ValueError):
+            ttl_search(
+                s.overlay.space, Region(rect=Rect(0, 0, 1, 1)), ttl=2,
+                predicate=accept_all,
+            )
+
+    def test_bfs_discovery_order(self):
+        s = make_row_scenario([(1, None, 0)] * 5)
+        result = ttl_search(
+            s.overlay.space, s.region(0), ttl=4, predicate=accept_all
+        )
+        assert result.candidates == [s.region(2), s.region(3), s.region(4)]

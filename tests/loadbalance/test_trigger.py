@@ -1,0 +1,57 @@
+"""Tests for repro.loadbalance.trigger -- the sqrt(2) rule."""
+
+import math
+
+import pytest
+
+from repro.loadbalance import TriggerRule
+from tests.loadbalance.conftest import make_row_scenario
+
+
+class TestTriggerRule:
+    def test_default_ratio_is_sqrt2(self):
+        assert TriggerRule().ratio == pytest.approx(math.sqrt(2.0))
+
+    def test_ratio_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            TriggerRule(ratio=0.9)
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(ValueError):
+            TriggerRule(min_index=-1.0)
+
+    def test_fires_when_far_above_neighbors(self):
+        s = make_row_scenario([(1, None, 5.0), (10, None, 1.0)])
+        rule = TriggerRule()
+        assert rule.should_adapt(s.region(0).primary, s.calc)
+
+    def test_quiet_when_balanced(self):
+        s = make_row_scenario([(10, None, 2.0), (10, None, 2.0)])
+        rule = TriggerRule()
+        assert not rule.should_adapt(s.region(0).primary, s.calc)
+
+    def test_hysteresis_band(self):
+        """Index within sqrt(2) of the lowest neighbor does not trigger."""
+        # Indices: 1.3 vs 1.0 -> ratio 1.3 < sqrt(2): quiet.
+        s = make_row_scenario([(10, None, 13.0), (10, None, 10.0)])
+        assert not TriggerRule().should_adapt(s.region(0).primary, s.calc)
+        # Indices: 1.5 vs 1.0 -> ratio 1.5 > sqrt(2): fires.
+        s = make_row_scenario([(10, None, 15.0), (10, None, 10.0)])
+        assert TriggerRule().should_adapt(s.region(0).primary, s.calc)
+
+    def test_idle_node_never_triggers(self):
+        s = make_row_scenario([(1, None, 0.0), (10, None, 0.0)])
+        assert not TriggerRule().should_adapt(s.region(0).primary, s.calc)
+
+    def test_zero_min_neighbor_triggers_any_load(self):
+        s = make_row_scenario([(1, None, 0.001), (10, None, 0.0)])
+        assert TriggerRule().should_adapt(s.region(0).primary, s.calc)
+
+    def test_isolated_node_never_triggers(self):
+        s = make_row_scenario([(1, None, 9.0)])
+        assert not TriggerRule().should_adapt(s.region(0).primary, s.calc)
+
+    def test_min_index_floor(self):
+        s = make_row_scenario([(1, None, 0.001), (10, None, 0.0)])
+        rule = TriggerRule(min_index=0.5)
+        assert not rule.should_adapt(s.region(0).primary, s.calc)

@@ -1,0 +1,93 @@
+"""Tests for repro.loadbalance.workload -- the workload index."""
+
+import math
+
+import pytest
+
+from repro.loadbalance import WorkloadIndexCalculator
+from tests.loadbalance.conftest import make_row_scenario
+
+
+class TestRegionIndex:
+    def test_load_over_primary_capacity(self):
+        s = make_row_scenario([(10, None, 5.0)])
+        assert s.calc.region_index(s.region(0)) == pytest.approx(0.5)
+
+    def test_vacant_region_is_infinite(self):
+        s = make_row_scenario([(10, None, 5.0)])
+        region = s.region(0)
+        s.overlay.release_primary(region)
+        assert math.isinf(s.calc.region_index(region))
+
+
+class TestNodeIndex:
+    def test_primary_carries_the_load(self):
+        s = make_row_scenario([(10, 5, 5.0)])
+        primary = s.region(0).primary
+        secondary = s.region(0).secondary
+        assert s.calc.node_index(primary) == pytest.approx(0.5)
+        assert s.calc.node_index(secondary) == 0.0
+
+    def test_replication_fraction_charges_secondary(self):
+        s = make_row_scenario([(10, 5, 5.0)])
+        calc = WorkloadIndexCalculator(
+            s.overlay, s.overlay.load_fn, replication_fraction=0.2
+        )
+        secondary = s.region(0).secondary
+        assert calc.node_index(secondary) == pytest.approx(0.2 * 5.0 / 5.0)
+
+    def test_invalid_replication_fraction(self):
+        s = make_row_scenario([(10, None, 1.0)])
+        with pytest.raises(ValueError):
+            WorkloadIndexCalculator(
+                s.overlay, s.overlay.load_fn, replication_fraction=1.5
+            )
+
+    def test_multi_region_owner_sums_loads(self):
+        s = make_row_scenario([(10, None, 3.0), (1, None, 4.0)])
+        owner = s.region(0).primary
+        # Hand region 1 to region 0's owner as well.
+        s.overlay.release_primary(s.region(1))
+        s.overlay.assign_primary(s.region(1), owner)
+        assert s.calc.node_index(owner) == pytest.approx((3.0 + 4.0) / 10.0)
+
+
+class TestSummary:
+    def test_summary_over_all_nodes(self):
+        s = make_row_scenario([(10, 5, 5.0), (2, None, 1.0)])
+        summary = s.calc.summary()
+        assert summary.count == 3  # two primaries + one secondary
+        assert summary.maximum == pytest.approx(0.5)
+
+    def test_all_node_indices_covers_members(self):
+        s = make_row_scenario([(10, 5, 5.0), (2, None, 1.0)])
+        indices = s.calc.all_node_indices()
+        assert set(indices) == set(s.overlay.nodes.values())
+
+
+class TestNeighborhood:
+    def test_neighbor_nodes_are_adjacent_owners(self):
+        s = make_row_scenario([(10, 5, 1.0), (2, None, 1.0), (3, None, 1.0)])
+        middle_owner = s.region(1).primary
+        neighbors = set(s.calc.neighbor_nodes(middle_owner))
+        assert s.region(0).primary in neighbors
+        assert s.region(0).secondary in neighbors
+        assert s.region(2).primary in neighbors
+        assert middle_owner not in neighbors
+
+    def test_min_neighbor_index(self):
+        s = make_row_scenario([(10, None, 8.0), (2, None, 1.0)])
+        owner = s.region(0).primary
+        # Neighbor owner's index is 1.0/2 = 0.5.
+        assert s.calc.min_neighbor_index(owner) == pytest.approx(0.5)
+
+    def test_min_neighbor_index_single_region(self):
+        s = make_row_scenario([(10, None, 8.0)])
+        assert s.calc.min_neighbor_index(s.region(0).primary) is None
+
+
+class TestAvailableCapacity:
+    def test_capacity_minus_primary_load(self):
+        s = make_row_scenario([(10, 5, 4.0)])
+        assert s.calc.available_capacity(s.region(0).primary) == pytest.approx(6.0)
+        assert s.calc.available_capacity(s.region(0).secondary) == pytest.approx(5.0)

@@ -1,0 +1,68 @@
+"""Tests for repro.metrics.collector."""
+
+import pytest
+
+from repro.metrics import TimeSeriesCollector, summarize
+
+
+def summary_of(*data):
+    return summarize(data)
+
+
+class TestCollector:
+    def test_record_and_get(self):
+        collector = TimeSeriesCollector()
+        collector.record("static", 0, summary_of(1.0))
+        collector.record("static", 1, summary_of(0.5))
+        points = collector.get("static")
+        assert [p.x for p in points] == [0, 1]
+        assert points[1].summary.mean == 0.5
+
+    def test_unknown_series_empty(self):
+        assert TimeSeriesCollector().get("nope") == []
+
+    def test_names_in_insertion_order(self):
+        collector = TimeSeriesCollector()
+        collector.record("b", 0, summary_of(1))
+        collector.record("a", 0, summary_of(1))
+        assert collector.names() == ["b", "a"]
+
+    def test_column_extraction(self):
+        collector = TimeSeriesCollector()
+        collector.record("s", 0, summary_of(2.0, 4.0))
+        collector.record("s", 1, summary_of(6.0))
+        assert collector.column("s", "mean") == [(0, 3.0), (1, 6.0)]
+        assert collector.column("s", "maximum") == [(0, 4.0), (1, 6.0)]
+
+
+class TestRenderTable:
+    def test_renders_all_series(self):
+        collector = TimeSeriesCollector()
+        collector.record("static", 0, summary_of(1.0))
+        collector.record("static", 1, summary_of(0.5))
+        collector.record("moving", 0, summary_of(2.0))
+        table = collector.render_table("mean", x_label="round")
+        lines = table.splitlines()
+        assert "round" in lines[0]
+        assert "static" in lines[0] and "moving" in lines[0]
+        assert len(lines) == 2 + 2  # header + rule + two x rows
+
+    def test_missing_points_render_dash(self):
+        collector = TimeSeriesCollector()
+        collector.record("a", 0, summary_of(1.0))
+        collector.record("b", 1, summary_of(2.0))
+        table = collector.render_table("mean")
+        assert "-" in table.splitlines()[-1] or "-" in table.splitlines()[2]
+
+    def test_selected_series_only(self):
+        collector = TimeSeriesCollector()
+        collector.record("a", 0, summary_of(1.0))
+        collector.record("b", 0, summary_of(2.0))
+        table = collector.render_table("mean", names=["a"])
+        assert "b" not in table.splitlines()[0]
+
+    def test_float_format_applied(self):
+        collector = TimeSeriesCollector()
+        collector.record("a", 0, summary_of(1.23456789))
+        table = collector.render_table("mean", float_format="{:.2f}")
+        assert "1.23" in table

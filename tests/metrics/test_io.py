@@ -1,0 +1,62 @@
+"""Tests for repro.metrics.io -- JSON round trips."""
+
+import json
+
+import pytest
+
+from repro.metrics import (
+    TimeSeriesCollector,
+    collector_from_json,
+    collector_to_json,
+    summarize,
+    summary_from_dict,
+    summary_to_dict,
+)
+
+
+class TestSummaryRoundTrip:
+    def test_round_trip(self):
+        summary = summarize([1.0, 2.0, 7.5])
+        rebuilt = summary_from_dict(summary_to_dict(summary))
+        assert rebuilt == summary
+
+    def test_dict_is_json_serializable(self):
+        payload = summary_to_dict(summarize([3.0, 4.0]))
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestCollectorRoundTrip:
+    def build(self):
+        collector = TimeSeriesCollector()
+        collector.record("static", 0, summarize([1.0, 2.0]))
+        collector.record("static", 1, summarize([0.5]))
+        collector.record("moving", 0, summarize([4.0, 4.0]))
+        return collector
+
+    def test_round_trip_preserves_everything(self):
+        original = self.build()
+        rebuilt = collector_from_json(collector_to_json(original))
+        assert set(rebuilt.names()) == set(original.names())
+        for name in original.names():
+            assert [
+                (p.x, p.summary) for p in rebuilt.get(name)
+            ] == [(p.x, p.summary) for p in original.get(name)]
+
+    def test_output_is_valid_json(self):
+        text = collector_to_json(self.build())
+        payload = json.loads(text)
+        assert "static" in payload and "moving" in payload
+        assert payload["static"][0]["x"] == 0
+
+    def test_empty_collector(self):
+        rebuilt = collector_from_json(collector_to_json(TimeSeriesCollector()))
+        assert rebuilt.names() == []
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError):
+            collector_from_json("[1, 2, 3]")
+
+    def test_tables_match_after_round_trip(self):
+        original = self.build()
+        rebuilt = collector_from_json(collector_to_json(original))
+        assert original.render_table("mean") == rebuilt.render_table("mean")

@@ -1,0 +1,124 @@
+"""Tests for repro.metrics.stats."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.stats import (
+    StatSummary,
+    gini,
+    ratio_of_maximum_to_mean,
+    summarize,
+)
+
+values = st.lists(
+    st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1,
+    max_size=50,
+)
+
+
+class TestSummarize:
+    def test_empty(self):
+        assert summarize([]) == StatSummary.empty()
+
+    def test_single_value(self):
+        s = summarize([3.0])
+        assert s.count == 1
+        assert s.minimum == s.maximum == s.mean == s.median == 3.0
+        assert s.std == 0.0
+
+    def test_known_sample(self):
+        s = summarize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert s.mean == pytest.approx(5.0)
+        assert s.std == pytest.approx(2.0)  # population std
+        assert s.median == pytest.approx(4.5)
+        assert s.maximum == 9.0 and s.minimum == 2.0
+        assert s.total == pytest.approx(40.0)
+
+    def test_median_odd_count(self):
+        assert summarize([5, 1, 9]).median == 5.0
+
+    @given(values)
+    def test_bounds(self, data):
+        s = summarize(data)
+        assert s.minimum <= s.mean <= s.maximum
+        assert s.minimum <= s.median <= s.maximum
+        assert s.std >= 0.0
+
+    @given(values)
+    def test_constant_shift_moves_mean_not_std(self, data):
+        s1 = summarize(data)
+        s2 = summarize([v + 10.0 for v in data])
+        assert s2.mean == pytest.approx(s1.mean + 10.0, rel=1e-6, abs=1e-6)
+        assert s2.std == pytest.approx(s1.std, rel=1e-6, abs=1e-4)
+
+    def test_as_dict(self):
+        d = summarize([1.0, 3.0]).as_dict()
+        assert d["count"] == 2 and d["mean"] == 2.0
+
+
+class TestGini:
+    def test_perfect_equality_is_zero(self):
+        assert gini([5.0] * 10) == pytest.approx(0.0)
+
+    def test_total_concentration_near_one(self):
+        assert gini([0.0] * 99 + [100.0]) == pytest.approx(0.99, abs=0.01)
+
+    def test_empty_and_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0.0, 0.0]) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini([-1.0, 1.0])
+
+    @given(values)
+    def test_in_unit_interval(self, data):
+        assert -1e-9 <= gini(data) <= 1.0
+
+    @given(values)
+    def test_scale_invariant(self, data):
+        assert gini(data) == pytest.approx(
+            gini([v * 3.0 for v in data]), abs=1e-9
+        )
+
+
+class TestRatioMaxMean:
+    def test_flat_sample_is_one(self):
+        assert ratio_of_maximum_to_mean([2.0, 2.0, 2.0]) == 1.0
+
+    def test_skewed_sample(self):
+        assert ratio_of_maximum_to_mean([0.0, 0.0, 3.0]) == pytest.approx(3.0)
+
+    def test_zero_mean(self):
+        assert ratio_of_maximum_to_mean([0.0, 0.0]) == 0.0
+
+
+class TestConfidenceInterval:
+    def test_single_value_zero(self):
+        from repro.metrics.stats import confidence_interval95
+
+        assert confidence_interval95([3.0]) == 0.0
+        assert confidence_interval95([]) == 0.0
+
+    def test_constant_sample_zero(self):
+        from repro.metrics.stats import confidence_interval95
+
+        assert confidence_interval95([2.0, 2.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        from repro.metrics.stats import confidence_interval95
+
+        # Sample std of [0, 2] is sqrt(2); half-width = 1.96*sqrt(2/2).
+        assert confidence_interval95([0.0, 2.0]) == pytest.approx(
+            1.96 * (2.0 ** 0.5) / (2.0 ** 0.5)
+        )
+
+    def test_shrinks_with_sample_size(self):
+        from repro.metrics.stats import confidence_interval95
+
+        small = confidence_interval95([0.0, 1.0] * 3)
+        large = confidence_interval95([0.0, 1.0] * 30)
+        assert large < small

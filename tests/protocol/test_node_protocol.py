@@ -1,0 +1,129 @@
+"""Tests for repro.protocol.node -- single-node handler behavior."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.protocol import NodeConfig, ProtocolCluster
+from repro.protocol import messages as m
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+def two_node_cluster(dual_peer=True):
+    cluster = ProtocolCluster(
+        BOUNDS, seed=1, config=NodeConfig(dual_peer=dual_peer)
+    )
+    first = cluster.join_node(Point(16, 16), capacity=10)
+    second = cluster.join_node(Point(48, 48), capacity=5)
+    cluster.settle(10)
+    return cluster, first, second
+
+
+class TestJoinGrants:
+    def test_first_node_owns_bounds(self):
+        cluster = ProtocolCluster(BOUNDS, seed=1)
+        first = cluster.join_node(Point(10, 10))
+        assert first.is_primary()
+        assert first.owned.rect == BOUNDS
+
+    def test_dual_peer_second_join_fills_secondary(self):
+        cluster, first, second = two_node_cluster(dual_peer=True)
+        assert first.is_primary()
+        assert second.is_secondary()
+        assert second.owned.rect == BOUNDS
+        assert first.owned.peer == second.address
+
+    def test_basic_mode_always_splits(self):
+        cluster, first, second = two_node_cluster(dual_peer=False)
+        assert first.is_primary() and second.is_primary()
+        assert first.owned.rect != second.owned.rect
+        cluster.check_partition()
+
+    def test_joiner_gets_covering_half(self):
+        cluster, first, second = two_node_cluster(dual_peer=False)
+        assert second.owned.rect.covers(
+            second.node.coord, closed_low_x=True, closed_low_y=True
+        )
+
+    def test_split_updates_neighbor_tables(self):
+        cluster = ProtocolCluster(BOUNDS, seed=2, config=NodeConfig(dual_peer=False))
+        nodes = [
+            cluster.join_node(Point(x, y))
+            for x, y in [(10, 10), (50, 50), (50, 10), (10, 50)]
+        ]
+        cluster.settle(30)
+        for node in nodes:
+            for rect in node.neighbor_table:
+                assert node.owned.rect.is_neighbor_of(rect)
+
+    def test_items_partitioned_on_split(self):
+        cluster = ProtocolCluster(BOUNDS, seed=3, config=NodeConfig(dual_peer=False))
+        first = cluster.join_node(Point(10, 10))
+        cluster.publish(first.node.node_id, Point(5, 5), "west-item")
+        cluster.publish(first.node.node_id, Point(60, 60), "east-item")
+        second = cluster.join_node(Point(50, 50))
+        cluster.settle(10)
+        all_items = {
+            item
+            for node in (first, second)
+            for _, item in node.owned.items
+        }
+        assert all_items == {"west-item", "east-item"}
+        for node in (first, second):
+            for point, _ in node.owned.items:
+                assert node.owned.rect.covers(
+                    point, closed_low_x=True, closed_low_y=True
+                )
+
+
+class TestApplicationApi:
+    def test_route_to_own_region_is_zero_hops(self):
+        cluster = ProtocolCluster(BOUNDS, seed=4)
+        first = cluster.join_node(Point(10, 10))
+        ack = cluster.lookup(first.node.node_id, Point(20, 20))
+        assert ack.hops == 0
+        assert ack.executor == first.address
+
+    def test_publish_replicated_to_secondary(self):
+        cluster, first, second = two_node_cluster(dual_peer=True)
+        cluster.publish(first.node.node_id, Point(30, 30), "item")
+        assert ("item" in [i for _, i in first.owned.items]) or (
+            "item" in [i for _, i in second.owned.items]
+        )
+        # The secondary holds the replica.
+        assert any(i == "item" for _, i in second.owned.items)
+
+    def test_query_returns_stored_items(self):
+        cluster, first, second = two_node_cluster()
+        cluster.publish(first.node.node_id, Point(30, 30), "find-me")
+        results = cluster.query(second.node.node_id, Rect(28, 28, 4, 4))
+        items = [item for r in results for _, item in r.items]
+        assert "find-me" in items
+
+    def test_query_excludes_items_outside_rect(self):
+        cluster, first, second = two_node_cluster()
+        cluster.publish(first.node.node_id, Point(5, 5), "far-away")
+        results = cluster.query(second.node.node_id, Rect(30, 30, 4, 4))
+        items = [item for r in results for _, item in r.items]
+        assert "far-away" not in items
+
+
+class TestDeparture:
+    def test_secondary_promoted_on_primary_departure(self):
+        cluster, first, second = two_node_cluster()
+        cluster.depart_node(first.node.node_id)
+        cluster.settle(15)
+        assert second.is_primary()
+        assert second.owned.rect == BOUNDS
+
+    def test_departed_node_leaves_bootstrap(self):
+        cluster, first, second = two_node_cluster()
+        count = cluster.bootstrap.known_count()
+        cluster.depart_node(second.node.node_id)
+        assert cluster.bootstrap.known_count() == count - 1
+
+    def test_departing_twice_raises(self):
+        cluster, first, second = two_node_cluster()
+        cluster.depart_node(second.node.node_id)
+        with pytest.raises(Exception):
+            cluster.depart_node(second.node.node_id)

@@ -1,0 +1,89 @@
+"""Protocol behavior under network partitions.
+
+The transport supports named partition groups; these tests check that a
+partition does not corrupt protocol state and that healing restores
+service -- the "graceful degradation" story a decentralized location
+service needs.
+"""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.protocol import ProtocolCluster
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+def build(seed=21, count=12):
+    cluster = ProtocolCluster(BOUNDS, seed=seed)
+    rng = random.Random(seed)
+    nodes = [
+        cluster.join_node(
+            Point(rng.uniform(0.5, 63.5), rng.uniform(0.5, 63.5)),
+            capacity=rng.choice([1, 10, 100]),
+        )
+        for _ in range(count)
+    ]
+    cluster.settle(40)
+    return cluster, nodes
+
+
+class TestPartitions:
+    def test_lookup_within_partition_side_still_works(self):
+        cluster, nodes = build()
+        # Split the network down the middle by node coordinate.
+        for pnode in cluster.nodes.values():
+            group = "west" if pnode.node.coord.x < 32 else "east"
+            cluster.network.set_partition(pnode.address, group)
+        west = [n for n in nodes if n.node.coord.x < 32 and n.is_primary()]
+        if len(west) >= 1:
+            origin = west[0]
+            target = origin.owned.rect.center
+            ack = cluster.lookup(origin.node.node_id, target)
+            assert ack.executor == origin.address
+
+    def test_cross_partition_messages_dropped(self):
+        cluster, nodes = build()
+        for pnode in cluster.nodes.values():
+            group = "west" if pnode.node.coord.x < 32 else "east"
+            cluster.network.set_partition(pnode.address, group)
+        before = cluster.network.stats.dropped_partition
+        cluster.run_for(30)
+        assert cluster.network.stats.dropped_partition > before
+
+    def test_heal_restores_full_service(self):
+        cluster, nodes = build()
+        for pnode in cluster.nodes.values():
+            group = "west" if pnode.node.coord.x < 32 else "east"
+            cluster.network.set_partition(pnode.address, group)
+        cluster.run_for(20)
+        cluster.network.heal_partitions()
+        cluster.settle(120)  # heartbeat gossip repairs suspicion state
+        west_origin = next(
+            n for n in nodes if n.node.coord.x < 32 and n.alive
+        )
+        ack = cluster.lookup(
+            west_origin.node.node_id, Point(60, 60), timeout=120.0
+        )
+        assert ack is not None
+
+    def test_short_partition_does_not_duplicate_primaries(self):
+        """A partition shorter than failover timeouts must not cause any
+        secondary to usurp its primary's region."""
+        cluster, nodes = build()
+        rects_before = sorted(
+            (r.x, r.y, r.width, r.height) for r in cluster.primary_rects()
+        )
+        for pnode in cluster.nodes.values():
+            group = "west" if pnode.node.coord.x < 32 else "east"
+            cluster.network.set_partition(pnode.address, group)
+        cluster.run_for(4)  # shorter than peer timeout (2.0 * 4.0)
+        cluster.network.heal_partitions()
+        cluster.settle(60)
+        cluster.check_partition()
+        rects_after = sorted(
+            (r.x, r.y, r.width, r.height) for r in cluster.primary_rects()
+        )
+        assert rects_after == rects_before

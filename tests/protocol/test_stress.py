@@ -1,0 +1,115 @@
+"""Property-based stress: the protocol under randomized adverse networks.
+
+Hypothesis drives the seed, loss rate, and growth pattern; the invariant
+is always the same: once the network quiesces, the live primaries tile
+the plane exactly, and a routed lookup reaches a region covering its
+target.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.protocol import NodeConfig, ProtocolCluster
+from repro.sim.latency import DistanceLatency, UniformLatency
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.data_too_large],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    drop=st.sampled_from([0.0, 0.01, 0.03]),
+    count=st.integers(min_value=6, max_value=18),
+)
+def test_growth_under_loss_and_latency(seed, drop, count):
+    cluster = ProtocolCluster(
+        BOUNDS, seed=seed, latency=DistanceLatency(),
+        drop_probability=drop,
+    )
+    rng = random.Random(seed)
+    nodes = [
+        cluster.join_node(
+            Point(rng.uniform(0.5, 63.5), rng.uniform(0.5, 63.5)),
+            capacity=rng.choice([1, 10, 100]),
+        )
+        for _ in range(count)
+    ]
+    cluster.settle(120)
+    # On a lossy network a lost grant can leave a caretaker hole that only
+    # the next join heals; the partition must still be fully *serviceable*
+    # (every point covered by a primary or a caretaker, no overlaps).
+    cluster.check_partition(allow_caretaker_holes=drop > 0.0)
+    origin = nodes[rng.randrange(len(nodes))]
+    target = Point(rng.uniform(1, 63), rng.uniform(1, 63))
+    ack = cluster.lookup(origin.node.node_id, target, timeout=120.0)
+    assert ack is not None
+    if drop == 0.0:
+        # On a loss-free network the executor is exactly the covering
+        # owner; under loss, degraded tables may answer best-effort.
+        executor = next(
+            n for n in cluster.nodes.values()
+            if n.alive and n.address == ack.executor
+        )
+        if executor.is_primary():
+            assert executor.owned.rect.covers(
+                target, closed_low_x=True, closed_low_y=True
+            )
+
+
+def test_lost_grant_hole_is_served_and_healed():
+    """The regression hypothesis found: at seed 1 with 3% loss, a lost
+    message orphans one region.  The hole must be caretaker-served at
+    quiescence and healed by the next join routed into it."""
+    cluster = ProtocolCluster(
+        BOUNDS, seed=1, latency=DistanceLatency(), drop_probability=0.03
+    )
+    rng = random.Random(1)
+    for _ in range(16):
+        cluster.join_node(
+            Point(rng.uniform(0.5, 63.5), rng.uniform(0.5, 63.5)),
+            capacity=rng.choice([1, 10, 100]),
+        )
+    cluster.settle(120)
+    cluster.check_partition(allow_caretaker_holes=True)
+    holes = cluster.caretaker_rects()
+    if holes:
+        hole = holes[0]
+        joiner = cluster.join_node(hole.center, capacity=10)
+        cluster.settle(60)
+        assert joiner.is_primary()
+        covered = sum(rect.area for rect in cluster.primary_rects())
+        assert covered >= BOUNDS.area - 1e-6
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    crashes=st.integers(min_value=1, max_value=3),
+)
+def test_failovers_under_random_crashes(seed, crashes):
+    cluster = ProtocolCluster(BOUNDS, seed=seed, latency=UniformLatency())
+    rng = random.Random(seed)
+    for _ in range(12):
+        cluster.join_node(
+            Point(rng.uniform(0.5, 63.5), rng.uniform(0.5, 63.5)),
+            capacity=rng.choice([1, 10, 100]),
+        )
+    cluster.settle(60)
+    for _ in range(crashes):
+        candidates = [
+            n for n in cluster.nodes.values()
+            if n.alive and n.is_primary() and n.owned.peer is not None
+        ]
+        if not candidates:
+            break
+        cluster.crash_node(rng.choice(candidates).node.node_id)
+        cluster.settle(60)
+    cluster.check_partition()

@@ -1,0 +1,127 @@
+"""Tests for repro.sim.churn."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.churn import ChurnConfig, ChurnProcess
+from repro.sim.scheduler import EventScheduler
+
+
+class FakeSystem:
+    """Counts churn callbacks and tracks a fake population."""
+
+    def __init__(self, population=10):
+        self.count = population
+        self.joins = 0
+        self.removals = []
+
+    def spawn(self):
+        self.count += 1
+        self.joins += 1
+        return True
+
+    def remove(self, graceful):
+        self.count -= 1
+        self.removals.append(graceful)
+        return True
+
+    def population(self):
+        return self.count
+
+
+def run_churn(config, duration=100.0, seed=2, population=10):
+    scheduler = EventScheduler()
+    system = FakeSystem(population)
+    process = ChurnProcess(
+        scheduler, random.Random(seed), config,
+        spawn=system.spawn, remove=system.remove,
+        population=system.population,
+    )
+    process.start()
+    scheduler.run_until(duration)
+    process.stop()
+    return system, process
+
+
+class TestChurnConfig:
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(join_rate=-1.0)
+
+    def test_all_zero_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(join_rate=0, leave_rate=0, fail_rate=0)
+
+    def test_population_band_validated(self):
+        with pytest.raises(ConfigurationError):
+            ChurnConfig(min_population=10, max_population=5)
+
+
+class TestChurnProcess:
+    def test_events_happen(self):
+        system, process = run_churn(ChurnConfig())
+        assert process.total_events > 50
+
+    def test_event_mix_follows_rates(self):
+        system, process = run_churn(
+            ChurnConfig(join_rate=10.0, leave_rate=1.0, fail_rate=1.0),
+            duration=50.0,
+        )
+        assert process.joins > process.departures + process.failures
+
+    def test_join_only(self):
+        system, process = run_churn(
+            ChurnConfig(join_rate=1.0, leave_rate=0.0, fail_rate=0.0)
+        )
+        assert process.departures == 0 and process.failures == 0
+        assert system.count == 10 + process.joins
+
+    def test_min_population_respected(self):
+        system, process = run_churn(
+            ChurnConfig(join_rate=0.0, leave_rate=5.0, fail_rate=5.0,
+                        min_population=5),
+            population=10,
+        )
+        assert system.count >= 5
+        assert process.suppressed > 0
+
+    def test_max_population_respected(self):
+        system, process = run_churn(
+            ChurnConfig(join_rate=5.0, leave_rate=0.0, fail_rate=0.0,
+                        max_population=15),
+            population=10,
+        )
+        assert system.count <= 15
+
+    def test_graceful_vs_failure_distinguished(self):
+        system, process = run_churn(
+            ChurnConfig(join_rate=1.0, leave_rate=3.0, fail_rate=3.0,
+                        min_population=1),
+            duration=200.0, population=500,
+        )
+        assert process.departures > 0 and process.failures > 0
+        assert system.removals.count(True) == process.departures
+        assert system.removals.count(False) == process.failures
+
+    def test_stop_halts_events(self):
+        scheduler = EventScheduler()
+        system = FakeSystem()
+        process = ChurnProcess(
+            scheduler, random.Random(1), ChurnConfig(),
+            spawn=system.spawn, remove=system.remove,
+            population=system.population,
+        )
+        process.start()
+        scheduler.run_until(10.0)
+        count = process.total_events
+        process.stop()
+        scheduler.run_until(100.0)
+        assert process.total_events <= count + 1
+
+    def test_deterministic_under_seed(self):
+        a_system, a_process = run_churn(ChurnConfig(), seed=9)
+        b_system, b_process = run_churn(ChurnConfig(), seed=9)
+        assert a_process.total_events == b_process.total_events
+        assert a_system.count == b_system.count

@@ -1,0 +1,66 @@
+"""Tests for repro.sim.latency."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point
+from repro.sim.latency import ConstantLatency, DistanceLatency, UniformLatency
+
+
+@pytest.fixture
+def rng():
+    return random.Random(5)
+
+
+class TestConstantLatency:
+    def test_constant(self, rng):
+        model = ConstantLatency(2.5)
+        assert model.delay(Point(0, 0), Point(60, 60), rng) == 2.5
+        assert model.delay(Point(0, 0), Point(0, 1), rng) == 2.5
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(0.0)
+
+
+class TestUniformLatency:
+    def test_within_range(self, rng):
+        model = UniformLatency(1.0, 3.0)
+        for _ in range(100):
+            delay = model.delay(Point(0, 0), Point(1, 1), rng)
+            assert 1.0 <= delay <= 3.0
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            UniformLatency(3.0, 1.0)
+
+
+class TestDistanceLatency:
+    def test_grows_with_distance(self, rng):
+        model = DistanceLatency(base=0.2, per_mile=0.05, jitter_fraction=0.0)
+        near = model.delay(Point(0, 0), Point(1, 0), rng)
+        far = model.delay(Point(0, 0), Point(60, 0), rng)
+        assert far > near
+        assert near == pytest.approx(0.25)
+        assert far == pytest.approx(0.2 + 3.0)
+
+    def test_jitter_bounded(self, rng):
+        model = DistanceLatency(base=1.0, per_mile=0.0, jitter_fraction=0.1)
+        for _ in range(100):
+            delay = model.delay(Point(0, 0), Point(5, 5), rng)
+            assert 0.9 <= delay <= 1.1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DistanceLatency(base=0.0)
+        with pytest.raises(ValueError):
+            DistanceLatency(jitter_fraction=1.0)
+
+    def test_geographic_gradient_motivates_geogrid(self, rng):
+        """Crossing the map costs ~an order of magnitude more than one
+        neighbor hop -- the proximity similarity the paper exploits."""
+        model = DistanceLatency(jitter_fraction=0.0)
+        neighbor_hop = model.delay(Point(0, 0), Point(4, 0), rng)
+        across = model.delay(Point(0, 0), Point(64, 0), rng)
+        assert across / neighbor_hop > 5

@@ -1,0 +1,159 @@
+"""Tests for repro.sim.scheduler."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.scheduler import EventScheduler
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.at(3.0, lambda: fired.append("c"))
+        scheduler.at(1.0, lambda: fired.append("a"))
+        scheduler.at(2.0, lambda: fired.append("b"))
+        scheduler.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_timestamps_fifo(self):
+        scheduler = EventScheduler()
+        fired = []
+        for label in "abcde":
+            scheduler.at(1.0, lambda l=label: fired.append(l))
+        scheduler.run_until(1.0)
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_times(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.at(2.5, lambda: seen.append(scheduler.now))
+        scheduler.run_until(5.0)
+        assert seen == [2.5]
+        assert scheduler.now == 5.0
+
+    def test_after_is_relative(self):
+        scheduler = EventScheduler(start_time=10.0)
+        seen = []
+        scheduler.after(1.5, lambda: seen.append(scheduler.now))
+        scheduler.run_until(20.0)
+        assert seen == [11.5]
+
+    def test_past_scheduling_rejected(self):
+        scheduler = EventScheduler(start_time=5.0)
+        with pytest.raises(SimulationError):
+            scheduler.at(4.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(SimulationError):
+            scheduler.after(-1.0, lambda: None)
+
+    def test_run_until_respects_horizon(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.at(1.0, lambda: fired.append(1))
+        scheduler.at(9.0, lambda: fired.append(9))
+        scheduler.run_until(5.0)
+        assert fired == [1]
+        scheduler.run_until(10.0)
+        assert fired == [1, 9]
+
+    def test_events_scheduled_during_run_fire_same_run(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def cascade():
+            fired.append("first")
+            scheduler.after(1.0, lambda: fired.append("second"))
+
+        scheduler.at(1.0, cascade)
+        scheduler.run_until(10.0)
+        assert fired == ["first", "second"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        scheduler = EventScheduler()
+        fired = []
+        event = scheduler.at(1.0, lambda: fired.append(1))
+        event.cancel()
+        scheduler.run_until(5.0)
+        assert fired == []
+
+    def test_pending_ignores_cancelled(self):
+        scheduler = EventScheduler()
+        event = scheduler.at(1.0, lambda: None)
+        scheduler.at(2.0, lambda: None)
+        assert scheduler.pending() == 2
+        event.cancel()
+        assert scheduler.pending() == 1
+
+
+class TestPeriodic:
+    def test_every_rearms(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.every(1.0, lambda: fired.append(scheduler.now))
+        scheduler.run_until(5.5)
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_every_cancel_stops(self):
+        scheduler = EventScheduler()
+        fired = []
+        handle = scheduler.every(1.0, lambda: fired.append(scheduler.now))
+        scheduler.run_until(2.5)
+        handle.cancel()
+        scheduler.run_until(10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_every_with_jitter(self):
+        scheduler = EventScheduler()
+        rng = random.Random(1)
+        fired = []
+        scheduler.every(
+            1.0, lambda: fired.append(scheduler.now), jitter=0.2, rng=rng
+        )
+        scheduler.run_until(10.0)
+        assert len(fired) >= 7
+        gaps = [b - a for a, b in zip(fired, fired[1:])]
+        assert all(0.7 <= gap <= 1.3 for gap in gaps)
+
+    def test_every_rejects_nonpositive_interval(self):
+        scheduler = EventScheduler()
+        with pytest.raises(SimulationError):
+            scheduler.every(0.0, lambda: None)
+
+
+class TestGuards:
+    def test_runaway_loop_detected(self):
+        scheduler = EventScheduler()
+
+        def rearm():
+            scheduler.after(0.0, rearm)
+
+        scheduler.at(0.0, rearm)
+        with pytest.raises(SimulationError):
+            scheduler.run_until(1.0, max_events=1000)
+
+    def test_run_all_drains_queue(self):
+        scheduler = EventScheduler()
+        fired = []
+        for t in (5.0, 1.0, 3.0):
+            scheduler.at(t, lambda t=t: fired.append(t))
+        count = scheduler.run_all()
+        assert count == 3
+        assert fired == [1.0, 3.0, 5.0]
+        assert scheduler.pending() == 0
+
+    def test_not_reentrant(self):
+        scheduler = EventScheduler()
+
+        def nested():
+            scheduler.run_until(10.0)
+
+        scheduler.at(1.0, nested)
+        with pytest.raises(SimulationError):
+            scheduler.run_until(5.0)

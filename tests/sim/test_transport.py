@@ -1,0 +1,194 @@
+"""Tests for repro.sim.transport -- the simulated network."""
+
+import random
+
+import pytest
+
+from repro.errors import TransportError
+from repro.geometry import Point
+from repro.core.node import NodeAddress
+from repro.sim.latency import ConstantLatency, DistanceLatency
+from repro.sim.scheduler import EventScheduler
+from repro.sim.transport import SimNetwork
+
+
+def make_network(drop=0.0, latency=None):
+    scheduler = EventScheduler()
+    network = SimNetwork(
+        scheduler, rng=random.Random(3), latency=latency, drop_probability=drop
+    )
+    return scheduler, network
+
+
+def make_endpoint(network, index, inbox):
+    address = NodeAddress(f"10.0.0.{index}", 7000)
+    network.register(address, Point(index, index), inbox.append)
+    return address
+
+
+class TestDelivery:
+    def test_send_delivers_after_latency(self):
+        scheduler, network = make_network(latency=ConstantLatency(2.0))
+        inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, inbox)
+        network.send(a, b, "ping", {"x": 1})
+        scheduler.run_until(1.0)
+        assert inbox == []
+        scheduler.run_until(3.0)
+        assert len(inbox) == 1
+        assert inbox[0].kind == "ping"
+        assert inbox[0].body == {"x": 1}
+        assert inbox[0].source == a
+
+    def test_latency_uses_destination_coordinate(self):
+        scheduler, network = make_network(latency=DistanceLatency(jitter_fraction=0.0))
+        near_inbox, far_inbox = [], []
+        src = NodeAddress("10.0.0.1", 7000)
+        network.register(src, Point(0, 0), lambda m: None)
+        near = NodeAddress("10.0.0.2", 7000)
+        network.register(near, Point(1, 0), near_inbox.append)
+        far = NodeAddress("10.0.0.3", 7000)
+        network.register(far, Point(50, 0), far_inbox.append)
+        network.send(src, near, "m", None)
+        network.send(src, far, "m", None)
+        scheduler.run_until(1.0)
+        assert near_inbox and not far_inbox
+
+    def test_stats_counted(self):
+        scheduler, network = make_network()
+        inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, inbox)
+        for _ in range(5):
+            network.send(a, b, "ping", None)
+        scheduler.run_all()
+        assert network.stats.sent == 5
+        assert network.stats.delivered == 5
+        assert network.stats.by_kind["ping"] == 5
+
+
+class TestFailureModes:
+    def test_unknown_destination_silently_dropped(self):
+        scheduler, network = make_network()
+        a = make_endpoint(network, 1, [])
+        ghost = NodeAddress("10.9.9.9", 7000)
+        network.send(a, ghost, "ping", None)
+        scheduler.run_all()
+        assert network.stats.dropped_dead == 1
+
+    def test_crashed_endpoint_drops_messages(self):
+        scheduler, network = make_network()
+        inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, inbox)
+        network.crash(b)
+        network.send(a, b, "ping", None)
+        scheduler.run_all()
+        assert inbox == []
+        assert network.stats.dropped_dead == 1
+        assert not network.is_alive(b)
+
+    def test_crash_unknown_raises(self):
+        _, network = make_network()
+        with pytest.raises(TransportError):
+            network.crash(NodeAddress("1.2.3.4", 1))
+
+    def test_crash_during_flight(self):
+        """A message in flight to a node that crashes is lost."""
+        scheduler, network = make_network(latency=ConstantLatency(5.0))
+        inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, inbox)
+        network.send(a, b, "ping", None)
+        scheduler.run_until(1.0)
+        network.crash(b)
+        scheduler.run_all()
+        assert inbox == []
+
+    def test_random_drop(self):
+        scheduler, network = make_network(drop=0.5)
+        inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, inbox)
+        for _ in range(200):
+            network.send(a, b, "ping", None)
+        scheduler.run_all()
+        assert 40 < len(inbox) < 160
+        assert network.stats.dropped_random == 200 - len(inbox)
+
+    def test_invalid_drop_probability(self):
+        scheduler = EventScheduler()
+        with pytest.raises(TransportError):
+            SimNetwork(scheduler, rng=random.Random(1), drop_probability=1.0)
+
+    def test_duplicate_registration_rejected(self):
+        _, network = make_network()
+        a = make_endpoint(network, 1, [])
+        with pytest.raises(TransportError):
+            network.register(a, Point(0, 0), lambda m: None)
+
+    def test_deregister_then_reregister(self):
+        _, network = make_network()
+        a = make_endpoint(network, 1, [])
+        network.deregister(a)
+        network.register(a, Point(0, 0), lambda m: None)  # no error
+
+
+class TestPartitions:
+    def test_partitioned_endpoints_cannot_talk(self):
+        scheduler, network = make_network()
+        inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, inbox)
+        network.set_partition(a, "west")
+        network.set_partition(b, "east")
+        network.send(a, b, "ping", None)
+        scheduler.run_all()
+        assert inbox == []
+        assert network.stats.dropped_partition == 1
+
+    def test_same_group_can_talk(self):
+        scheduler, network = make_network()
+        inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, inbox)
+        network.set_partition(a, "west")
+        network.set_partition(b, "west")
+        network.send(a, b, "ping", None)
+        scheduler.run_all()
+        assert len(inbox) == 1
+
+    def test_ungrouped_reaches_everyone(self):
+        scheduler, network = make_network()
+        inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, inbox)
+        network.set_partition(b, "east")
+        network.send(a, b, "ping", None)
+        scheduler.run_all()
+        assert len(inbox) == 1
+
+    def test_heal_partitions(self):
+        scheduler, network = make_network()
+        inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, inbox)
+        network.set_partition(a, "west")
+        network.set_partition(b, "east")
+        network.heal_partitions()
+        network.send(a, b, "ping", None)
+        scheduler.run_all()
+        assert len(inbox) == 1
+
+    def test_partition_applies_at_delivery_time(self):
+        """A partition that forms while a message is in flight eats it."""
+        scheduler, network = make_network(latency=ConstantLatency(5.0))
+        inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, inbox)
+        network.send(a, b, "ping", None)
+        network.set_partition(a, "west")
+        network.set_partition(b, "east")
+        scheduler.run_all()
+        assert inbox == []

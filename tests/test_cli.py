@@ -1,0 +1,70 @@
+"""Tests for the ``python -m repro`` experiment CLI."""
+
+import pytest
+
+from repro.cli import COMMANDS, DESCRIPTIONS, build_parser, main
+
+
+class TestParser:
+    def test_every_command_described(self):
+        assert set(COMMANDS) == set(DESCRIPTIONS)
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig2-3"])
+        assert args.trials == 3
+        assert args.seed == 20070625
+        assert args.population is None
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["fig5-6", "--trials", "1", "--population", "100", "--seed", "7"]
+        )
+        assert args.trials == 1
+        assert args.population == 100
+        assert args.seed == 7
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in COMMANDS:
+            assert name in out
+
+    def test_fig2_3_small(self, capsys):
+        code = main(["fig2-3", "--trials", "1", "--population", "60"])
+        assert code == 0
+        assert "Figures 2/3" in capsys.readouterr().out
+
+    def test_dualpeer_small(self, capsys):
+        code = main(["dualpeer", "--trials", "1", "--population", "150"])
+        assert code == 0
+        assert "failover" in capsys.readouterr().out
+
+    def test_routing_load_small(self, capsys):
+        code = main(["routing-load", "--trials", "1", "--population", "150"])
+        assert code == 0
+        assert "Routing workload balance" in capsys.readouterr().out
+
+    def test_out_writes_file(self, tmp_path, capsys):
+        code = main(
+            ["fig2-3", "--trials", "1", "--population", "60",
+             "--out", str(tmp_path)]
+        )
+        assert code == 0
+        written = tmp_path / "fig2-3.txt"
+        assert written.exists()
+        assert "Figures 2/3" in written.read_text()
+
+    def test_fig7_8_small(self, capsys):
+        code = main(
+            ["fig7-8", "--trials", "1", "--population", "150",
+             "--rounds", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "Figure 8" in out

@@ -1,0 +1,160 @@
+"""The public API surface: everything README advertises must import."""
+
+import pytest
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_core_types_exported(self):
+        from repro import (
+            BasicGeoGrid,
+            CellGrid,
+            Circle,
+            LocationQuery,
+            Node,
+            Point,
+            Rect,
+            Region,
+            Space,
+            SplitAxis,
+            Subscription,
+        )
+
+        assert BasicGeoGrid and Rect and Node  # imported fine
+
+    def test_error_hierarchy_exported(self):
+        import repro
+
+        for name in (
+            "GeoGridError",
+            "GeometryError",
+            "PartitionError",
+            "RoutingError",
+            "MembershipError",
+            "OwnershipError",
+            "AdaptationError",
+            "BootstrapError",
+            "TransportError",
+            "SimulationError",
+            "ConfigurationError",
+        ):
+            error = getattr(repro, name)
+            assert issubclass(error, Exception)
+            if name != "GeoGridError":
+                assert issubclass(error, repro.GeoGridError)
+
+    def test_all_names_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+
+class TestSubpackageExports:
+    def test_dualpeer(self):
+        from repro.dualpeer import DualPeerGeoGrid, JoinDecision, plan_join
+
+        assert DualPeerGeoGrid
+
+    def test_loadbalance(self):
+        from repro.loadbalance import (
+            AdaptationConfig,
+            AdaptationEngine,
+            TriggerRule,
+            WorkloadIndexCalculator,
+            default_mechanisms,
+            ttl_search,
+        )
+
+        assert len(default_mechanisms()) == 8
+
+    def test_workload(self):
+        from repro.workload import (
+            ClusteredPlacement,
+            GnutellaCapacityDistribution,
+            Hotspot,
+            HotspotField,
+            QueryGenerator,
+            UniformPlacement,
+        )
+
+        assert HotspotField
+
+    def test_sim(self):
+        from repro.sim import (
+            ChurnProcess,
+            ConstantLatency,
+            DistanceLatency,
+            EventScheduler,
+            RngStreams,
+            SimNetwork,
+        )
+
+        assert EventScheduler
+
+    def test_protocol(self):
+        from repro.protocol import NodeConfig, ProtocolCluster, ProtocolNode
+
+        assert ProtocolCluster
+
+    def test_experiments(self):
+        from repro.experiments import (
+            ExperimentConfig,
+            PAPER_POPULATIONS,
+            SystemVariant,
+            build_network,
+        )
+
+        assert len(PAPER_POPULATIONS) == 5
+
+    def test_metrics_and_viz(self):
+        from repro.metrics import StatSummary, gini, summarize
+        from repro.viz import render_histogram, render_owner_map, render_region_map
+
+        assert summarize([1.0]).mean == 1.0
+
+    def test_bootstrap(self):
+        from repro.bootstrap import BootstrapServer, HostCache
+
+        assert BootstrapServer
+
+
+class TestDocstrings:
+    def test_public_modules_documented(self):
+        import importlib
+
+        modules = [
+            "repro",
+            "repro.geometry",
+            "repro.core",
+            "repro.dualpeer",
+            "repro.loadbalance",
+            "repro.sim",
+            "repro.protocol",
+            "repro.bootstrap",
+            "repro.workload",
+            "repro.metrics",
+            "repro.viz",
+            "repro.experiments",
+        ]
+        for name in modules:
+            module = importlib.import_module(name)
+            assert module.__doc__, f"{name} lacks a module docstring"
+
+    def test_key_classes_documented(self):
+        from repro import BasicGeoGrid, Rect
+        from repro.dualpeer import DualPeerGeoGrid
+        from repro.loadbalance import AdaptationEngine
+
+        for cls in (BasicGeoGrid, DualPeerGeoGrid, AdaptationEngine, Rect):
+            assert cls.__doc__
+            public = [
+                name for name in vars(cls)
+                if not name.startswith("_") and callable(getattr(cls, name))
+            ]
+            for name in public:
+                assert getattr(cls, name).__doc__, f"{cls.__name__}.{name}"

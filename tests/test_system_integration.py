@@ -1,0 +1,136 @@
+"""Whole-system integration: everything running together over epochs.
+
+One scenario wires up all the moving parts the library ships -- dual-peer
+overlay, hot-spot workload with migration, adaptation engine, pub/sub
+service, churn, routing -- and checks global invariants at every epoch
+boundary.  This is the "would a downstream user's composition survive?"
+test.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import GeoPubSub
+from repro.core.query import LocationQuery
+from repro.dualpeer import DualPeerGeoGrid
+from repro.geometry import Point, Rect
+from repro.loadbalance import AdaptationEngine, WorkloadIndexCalculator
+from repro.workload import (
+    GnutellaCapacityDistribution,
+    HotspotField,
+    QueryGenerator,
+    UniformPlacement,
+)
+from tests.conftest import make_node
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+def run_epochs(seed: int, epochs: int = 6, population: int = 250) -> dict:
+    """Run the composed system and return final observations."""
+    rng = random.Random(seed)
+    field = HotspotField.random(BOUNDS, count=6, rng=rng)
+    grid = DualPeerGeoGrid(
+        BOUNDS, rng=random.Random(seed + 1), load_fn=field.region_load
+    )
+    placement = UniformPlacement(BOUNDS)
+    capacities = GnutellaCapacityDistribution()
+    nodes = []
+    next_id = 0
+    for _ in range(population):
+        node = make_node_from(placement, capacities, rng, next_id)
+        next_id += 1
+        grid.join(node)
+        nodes.append(node)
+
+    calc = WorkloadIndexCalculator(grid, field.region_load)
+    engine = AdaptationEngine(grid, calc)
+    service = GeoPubSub(grid)
+    generator = QueryGenerator(field)
+
+    clock = 0.0
+    notified = 0
+    for epoch in range(epochs):
+        # Mobile users register a few standing subscriptions.
+        for _ in range(3):
+            focal = grid.nodes[rng.choice(list(grid.nodes))]
+            center = generator.sample_center(rng)
+            service.subscribe(
+                LocationQuery.around(center, rng.uniform(1, 4), focal=focal),
+                duration=rng.uniform(5, 25),
+                now=clock,
+            )
+        # Sources publish events following the hot-spot density.
+        for _ in range(10):
+            origin = grid.nodes[rng.choice(list(grid.nodes))]
+            point = generator.sample_center(rng)
+            notified += len(
+                service.publish(origin, point, f"event@{epoch}", now=clock)
+            )
+        # Churn: a couple of joins and removals per epoch.
+        for _ in range(3):
+            node = make_node_from(placement, capacities, rng, next_id)
+            next_id += 1
+            grid.join(node)
+            nodes.append(node)
+        for _ in range(2):
+            live = [n for n in nodes if n.node_id in grid.nodes]
+            victim = live[rng.randrange(len(live))]
+            if rng.random() < 0.5:
+                grid.leave(victim)
+            else:
+                grid.fail(victim)
+        # The workload moves, adaptation responds.
+        field.migrate_epoch(rng)
+        engine.run_round()
+        service.expire(now=clock)
+        clock += 10.0
+
+        # Invariants hold at every epoch boundary.
+        grid.check_invariants()
+        service.check_consistency()
+
+    return {
+        "grid": grid,
+        "calc": calc,
+        "engine": engine,
+        "service": service,
+        "notified": notified,
+    }
+
+
+def make_node_from(placement, capacities, rng, node_id):
+    """One random node under the experiment distributions."""
+    return make_node(
+        node_id,
+        *placement.sample(rng).as_tuple(),
+        capacity=capacities.sample(rng),
+    )
+
+
+class TestComposedSystem:
+    def test_six_epochs_all_invariants(self):
+        outcome = run_epochs(seed=77)
+        grid = outcome["grid"]
+        assert grid.member_count() > 200
+        assert outcome["engine"].total_adaptations >= 0
+        # Pub/sub delivered something over the run.
+        assert outcome["service"].stats.publications == 60
+
+    def test_adaptation_keeps_system_balanced(self):
+        outcome = run_epochs(seed=78, epochs=8)
+        summary = outcome["calc"].summary()
+        # No single node drowns: the peak index stays within a small
+        # multiple of what the strongest hot spot could impose.
+        assert summary.maximum < 10.0
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_random_seeds(self, seed):
+        """The composed system survives arbitrary seeds."""
+        outcome = run_epochs(seed=seed, epochs=4, population=120)
+        outcome["grid"].check_invariants()
+        outcome["service"].check_consistency()

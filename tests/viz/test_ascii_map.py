@@ -1,0 +1,85 @@
+"""Tests for repro.viz.ascii_map."""
+
+import random
+
+import pytest
+
+from repro.core.overlay import BasicGeoGrid
+from repro.geometry import Rect
+from repro.viz import render_owner_map, render_region_map
+from repro.viz.ascii_map import SHADES
+from tests.conftest import make_node
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+def build_grid(n=20, seed=4):
+    rng = random.Random(seed)
+    grid = BasicGeoGrid(BOUNDS, rng=random.Random(seed + 1))
+    for i in range(n):
+        grid.join(
+            make_node(i, rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+        )
+    return grid
+
+
+class TestRegionMap:
+    def test_dimensions(self):
+        grid = build_grid()
+        output = render_region_map(
+            grid.space, lambda region: 0.0, width=40, height=10
+        )
+        lines = output.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_zero_values_render_blank(self):
+        grid = build_grid()
+        output = render_region_map(grid.space, lambda region: 0.0)
+        assert set(output) <= {SHADES[0], "\n"}
+
+    def test_hot_region_rendered_darker(self):
+        grid = build_grid(n=4)
+        regions = list(grid.space.regions)
+        hot = regions[0]
+        output = render_region_map(
+            grid.space,
+            lambda region: 10.0 if region is hot else 0.0,
+            width=32,
+            height=16,
+        )
+        assert SHADES[-1] in output
+        assert SHADES[0] in output
+
+    def test_max_value_pins_scale(self):
+        grid = build_grid(n=2)
+        output = render_region_map(
+            grid.space, lambda region: 1.0, max_value=10.0
+        )
+        assert SHADES[-1] not in output
+
+    def test_invalid_dimensions(self):
+        grid = build_grid(n=2)
+        with pytest.raises(ValueError):
+            render_region_map(grid.space, lambda r: 0.0, width=0)
+
+
+class TestOwnerMap:
+    def test_every_region_gets_a_letter(self):
+        grid = build_grid(n=8)
+        output = render_owner_map(grid.space, width=64, height=32)
+        letters = set(output) - {"\n"}
+        # Every region large enough to catch a sample point shows up.
+        assert 2 <= len(letters) <= 8
+
+    def test_contiguity_of_regions(self):
+        """A rectangular region renders as a contiguous block per row."""
+        grid = build_grid(n=4)
+        output = render_owner_map(grid.space, width=32, height=16)
+        for line in output.splitlines():
+            # Within a row, each letter appears in one contiguous run.
+            seen = []
+            for ch in line:
+                if not seen or seen[-1] != ch:
+                    seen.append(ch)
+            assert len(seen) == len(set(seen))

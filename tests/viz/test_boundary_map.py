@@ -1,0 +1,63 @@
+"""Tests for render_boundary_map (the Figure 1 look)."""
+
+import random
+
+import pytest
+
+from repro.core.overlay import BasicGeoGrid
+from repro.geometry import Rect
+from repro.viz.ascii_map import render_boundary_map
+from tests.conftest import make_node
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+def build_grid(n, seed=6):
+    rng = random.Random(seed)
+    grid = BasicGeoGrid(BOUNDS, rng=random.Random(seed + 1))
+    for i in range(n):
+        grid.join(
+            make_node(i, rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+        )
+    return grid
+
+
+class TestBoundaryMap:
+    def test_single_region_has_no_boundaries(self):
+        grid = build_grid(1)
+        output = render_boundary_map(grid.space, width=20, height=10)
+        assert set(output) <= {" ", "\n"}
+
+    def test_two_regions_draw_one_line(self):
+        grid = build_grid(2)
+        output = render_boundary_map(grid.space, width=20, height=10)
+        glyphs = set(output) - {" ", "\n"}
+        assert glyphs and glyphs <= {"|", "-", "+"}
+
+    def test_more_regions_more_boundary(self):
+        sparse = render_boundary_map(build_grid(3).space, width=40, height=20)
+        dense = render_boundary_map(build_grid(25).space, width=40, height=20)
+
+        def boundary_cells(text):
+            return sum(1 for ch in text if ch in "|-+")
+
+        assert boundary_cells(dense) > boundary_cells(sparse)
+
+    def test_dimensions(self):
+        grid = build_grid(5)
+        output = render_boundary_map(grid.space, width=33, height=7)
+        lines = output.splitlines()
+        assert len(lines) == 7
+        assert all(len(line) == 33 for line in lines)
+
+    def test_custom_interior(self):
+        grid = build_grid(2)
+        output = render_boundary_map(
+            grid.space, width=10, height=6, interior="."
+        )
+        assert "." in output
+
+    def test_invalid_dimensions(self):
+        grid = build_grid(2)
+        with pytest.raises(ValueError):
+            render_boundary_map(grid.space, width=0)

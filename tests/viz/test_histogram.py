@@ -1,0 +1,44 @@
+"""Tests for repro.viz.histogram."""
+
+import pytest
+
+from repro.viz import render_histogram
+
+
+class TestHistogram:
+    def test_empty(self):
+        assert render_histogram([]) == "(empty)"
+
+    def test_constant_sample(self):
+        output = render_histogram([2.0, 2.0, 2.0])
+        assert "all 3 values" in output
+
+    def test_bin_count(self):
+        output = render_histogram(range(100), bins=5)
+        assert len(output.splitlines()) == 5
+
+    def test_counts_sum_to_sample_size(self):
+        data = [0.1 * i for i in range(137)]
+        output = render_histogram(data, bins=7)
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in output.splitlines())
+        assert total == 137
+
+    def test_log_bins_for_capacities(self):
+        data = [1.0] * 10 + [10.0] * 5 + [10_000.0]
+        output = render_histogram(data, bins=4, log_bins=True)
+        assert len(output.splitlines()) == 4
+
+    def test_log_bins_reject_nonpositive(self):
+        with pytest.raises(ValueError):
+            render_histogram([0.0, 1.0], log_bins=True)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            render_histogram([1, 2], bins=0)
+        with pytest.raises(ValueError):
+            render_histogram([1, 2], width=0)
+
+    def test_peak_bar_has_max_width(self):
+        data = [1.0] * 50 + [2.0]
+        output = render_histogram(data, bins=2, width=20)
+        assert "#" * 20 in output

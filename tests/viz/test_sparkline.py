@@ -1,0 +1,49 @@
+"""Tests for repro.viz.sparkline."""
+
+import pytest
+
+from repro.metrics import TimeSeriesCollector, summarize
+from repro.viz import render_sparkline, series_sparkline
+from repro.viz.sparkline import BARS
+
+
+class TestRenderSparkline:
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+    def test_length_matches_input(self):
+        assert len(render_sparkline([1, 2, 3, 4])) == 4
+
+    def test_constant_series(self):
+        assert render_sparkline([5, 5, 5]) == BARS[1] * 3
+
+    def test_extremes_map_to_extreme_bars(self):
+        line = render_sparkline([0.0, 10.0])
+        assert line[0] == BARS[1]
+        assert line[-1] == BARS[-1]
+
+    def test_monotone_series_is_monotone(self):
+        line = render_sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        indices = [BARS.index(ch) for ch in line]
+        assert indices == sorted(indices)
+
+    def test_pinned_scale(self):
+        line = render_sparkline([5.0], minimum=0.0, maximum=10.0)
+        middle = BARS.index(line[0])
+        assert 3 <= middle <= 6
+
+    def test_convergence_shape(self):
+        """A decaying series renders high-to-low, the Figure 8 look."""
+        series = [0.16, 0.11, 0.07, 0.04, 0.03, 0.025, 0.025]
+        line = render_sparkline(series)
+        assert BARS.index(line[0]) > BARS.index(line[-1])
+
+
+class TestSeriesSparkline:
+    def test_from_collector(self):
+        collector = TimeSeriesCollector()
+        for x, value in enumerate([4.0, 2.0, 1.0]):
+            collector.record("s", x, summarize([value]))
+        line = series_sparkline(collector, "s", attribute="mean")
+        assert len(line) == 3
+        assert BARS.index(line[0]) > BARS.index(line[-1])

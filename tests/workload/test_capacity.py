@@ -1,0 +1,98 @@
+"""Tests for repro.workload.capacity."""
+
+import random
+
+import pytest
+
+from repro.workload import (
+    ConstantCapacity,
+    GnutellaCapacityDistribution,
+    ParetoCapacityDistribution,
+    UniformCapacityDistribution,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(8)
+
+
+class TestGnutella:
+    def test_samples_are_levels(self, rng):
+        dist = GnutellaCapacityDistribution()
+        levels = set(dist.levels)
+        for _ in range(500):
+            assert dist.sample(rng) in levels
+
+    def test_skew_matches_weights(self, rng):
+        dist = GnutellaCapacityDistribution()
+        samples = [dist.sample(rng) for _ in range(20_000)]
+        fraction_weak = sum(1 for s in samples if s <= 10) / len(samples)
+        fraction_super = sum(1 for s in samples if s >= 1000) / len(samples)
+        # Expected: 65% at levels 1/10, ~5% at 1000+.
+        assert 0.60 < fraction_weak < 0.70
+        assert 0.02 < fraction_super < 0.09
+
+    def test_four_orders_of_magnitude(self, rng):
+        dist = GnutellaCapacityDistribution()
+        samples = {dist.sample(rng) for _ in range(50_000)}
+        assert max(samples) / min(samples) >= 1000
+
+    def test_custom_levels(self, rng):
+        dist = GnutellaCapacityDistribution(levels=[2.0], weights=[1.0])
+        assert dist.sample(rng) == 2.0
+
+    @pytest.mark.parametrize(
+        "levels,weights",
+        [
+            ([1, 2], [0.5]),          # length mismatch
+            ([], []),                  # empty
+            ([0, 1], [0.5, 0.5]),      # non-positive level
+            ([1, 2], [-0.1, 1.1]),     # negative weight
+            ([1, 2], [0.0, 0.0]),      # zero mass
+        ],
+    )
+    def test_invalid_configurations(self, levels, weights):
+        with pytest.raises(ValueError):
+            GnutellaCapacityDistribution(levels=levels, weights=weights)
+
+
+class TestPareto:
+    def test_respects_minimum(self, rng):
+        dist = ParetoCapacityDistribution(alpha=1.5, minimum=2.0)
+        for _ in range(500):
+            assert dist.sample(rng) >= 2.0
+
+    def test_heavy_tail(self, rng):
+        dist = ParetoCapacityDistribution(alpha=1.0, minimum=1.0)
+        samples = [dist.sample(rng) for _ in range(5_000)]
+        assert max(samples) > 100 * min(samples)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ParetoCapacityDistribution(alpha=0.0)
+        with pytest.raises(ValueError):
+            ParetoCapacityDistribution(minimum=0.0)
+
+
+class TestUniform:
+    def test_within_range(self, rng):
+        dist = UniformCapacityDistribution(low=5.0, high=7.0)
+        for _ in range(200):
+            assert 5.0 <= dist.sample(rng) <= 7.0
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            UniformCapacityDistribution(low=0.0, high=1.0)
+        with pytest.raises(ValueError):
+            UniformCapacityDistribution(low=5.0, high=1.0)
+
+
+class TestConstant:
+    def test_constant(self, rng):
+        dist = ConstantCapacity(3.5)
+        assert {dist.sample(rng) for _ in range(10)} == {3.5}
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            ConstantCapacity(0.0)

@@ -1,0 +1,128 @@
+"""Tests for repro.workload.hotspot -- the Section 3.1 workload model."""
+
+import random
+
+import pytest
+
+from repro.core.region import Region
+from repro.geometry import Circle, Point, Rect
+from repro.workload import Hotspot, HotspotField
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(9)
+
+
+class TestHotspot:
+    def test_random_radius_in_paper_range(self, rng):
+        for _ in range(100):
+            hotspot = Hotspot.random(rng, BOUNDS)
+            assert 0.1 <= hotspot.radius <= 10.0
+
+    def test_random_center_inside_bounds(self, rng):
+        for _ in range(100):
+            hotspot = Hotspot.random(rng, BOUNDS)
+            assert BOUNDS.covers(
+                hotspot.center, closed_low_x=True, closed_low_y=True
+            )
+
+    def test_invalid_radius_range(self, rng):
+        with pytest.raises(ValueError):
+            Hotspot.random(rng, BOUNDS, radius_range=(5.0, 1.0))
+
+    def test_migration_step_bounded_by_2r(self, rng):
+        hotspot = Hotspot(Circle(Point(32, 32), 2.0))
+        for _ in range(100):
+            before = hotspot.center
+            hotspot.migrate(rng, BOUNDS)
+            # Clamping can only shorten the step.
+            assert before.distance_to(hotspot.center) <= 2 * 2.0 + 1e-9
+
+    def test_migration_keeps_center_inside(self, rng):
+        hotspot = Hotspot(Circle(Point(1, 1), 10.0))
+        for _ in range(100):
+            hotspot.migrate(rng, BOUNDS)
+            assert BOUNDS.covers(
+                hotspot.center, closed_low_x=True, closed_low_y=True
+            )
+
+    def test_migration_preserves_radius(self, rng):
+        hotspot = Hotspot(Circle(Point(32, 32), 3.0))
+        for _ in range(10):
+            hotspot.migrate(rng, BOUNDS)
+        assert hotspot.radius == 3.0
+
+
+class TestHotspotField:
+    def test_random_field_has_count(self, rng):
+        field = HotspotField.random(BOUNDS, count=7, rng=rng)
+        assert len(field.hotspots) == 7
+        assert field.total_load > 0
+
+    def test_zero_hotspots_is_flat(self, rng):
+        field = HotspotField.random(BOUNDS, count=0, rng=rng)
+        assert field.total_load == 0.0
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            HotspotField.random(BOUNDS, count=-1, rng=rng)
+
+    def test_region_load_peaks_at_hotspot(self, rng):
+        hotspot = Hotspot(Circle(Point(16, 16), 6.0))
+        field = HotspotField(BOUNDS, [hotspot])
+        hot_region = Region(rect=Rect(8, 8, 16, 16))
+        cold_region = Region(rect=Rect(40, 40, 16, 16))
+        assert field.region_load(hot_region) > 0
+        assert field.region_load(cold_region) == 0.0
+
+    def test_region_loads_partition_total(self, rng):
+        field = HotspotField.random(BOUNDS, count=5, rng=rng)
+        quarters = [
+            Rect(0, 0, 32, 32), Rect(32, 0, 32, 32),
+            Rect(0, 32, 32, 32), Rect(32, 32, 32, 32),
+        ]
+        total = sum(field.rect_load(q) for q in quarters)
+        assert total == pytest.approx(field.total_load)
+
+    def test_migrate_refreshes_grid(self, rng):
+        hotspot = Hotspot(Circle(Point(10, 10), 3.0))
+        field = HotspotField(BOUNDS, [hotspot])
+        west_before = field.rect_load(Rect(0, 0, 32, 64))
+        moved = False
+        for _ in range(20):
+            field.migrate(rng)
+            west = field.rect_load(Rect(0, 0, 32, 64))
+            if west != west_before:
+                moved = True
+                break
+        assert moved
+
+    def test_migrate_zero_steps_is_noop(self, rng):
+        field = HotspotField.random(BOUNDS, count=3, rng=rng)
+        before = field.total_load
+        field.migrate(rng, steps=0)
+        assert field.total_load == before
+
+    def test_migrate_epoch_steps_in_range(self, rng):
+        field = HotspotField.random(BOUNDS, count=2, rng=rng)
+        for _ in range(20):
+            steps = field.migrate_epoch(rng, steps_range=(4, 10))
+            assert 4 <= steps <= 10
+
+    def test_migrate_epoch_invalid_range(self, rng):
+        field = HotspotField.random(BOUNDS, count=1, rng=rng)
+        with pytest.raises(ValueError):
+            field.migrate_epoch(rng, steps_range=(5, 2))
+
+    def test_migrate_negative_rejected(self, rng):
+        field = HotspotField.random(BOUNDS, count=1, rng=rng)
+        with pytest.raises(ValueError):
+            field.migrate(rng, steps=-1)
+
+    def test_deterministic_under_seed(self):
+        a = HotspotField.random(BOUNDS, count=4, rng=random.Random(3))
+        b = HotspotField.random(BOUNDS, count=4, rng=random.Random(3))
+        assert a.total_load == b.total_load

@@ -1,0 +1,87 @@
+"""Tests for repro.workload.placement."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.workload import ClusteredPlacement, UniformPlacement
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(6)
+
+
+class TestUniformPlacement:
+    def test_samples_inside_bounds(self, rng):
+        placement = UniformPlacement(BOUNDS)
+        for _ in range(500):
+            p = placement.sample(rng)
+            assert BOUNDS.covers(p, closed_low_x=True, closed_low_y=True)
+
+    def test_spread_over_quadrants(self, rng):
+        placement = UniformPlacement(BOUNDS)
+        quadrants = set()
+        for _ in range(200):
+            p = placement.sample(rng)
+            quadrants.add((p.x > 32, p.y > 32))
+        assert len(quadrants) == 4
+
+
+class TestClusteredPlacement:
+    def test_samples_inside_bounds(self, rng):
+        placement = ClusteredPlacement(BOUNDS, cluster_count=3)
+        for _ in range(500):
+            p = placement.sample(rng)
+            assert BOUNDS.covers(p, closed_low_x=True, closed_low_y=True)
+
+    def test_concentrates_near_given_centers(self, rng):
+        center = Point(32, 32)
+        placement = ClusteredPlacement(
+            BOUNDS, centers=[center], sigma=0.05, background_fraction=0.0
+        )
+        near = 0
+        for _ in range(300):
+            if placement.sample(rng).distance_to(center) < 10:
+                near += 1
+        assert near > 250
+
+    def test_background_fraction_spreads(self, rng):
+        center = Point(8, 8)
+        placement = ClusteredPlacement(
+            BOUNDS, centers=[center], sigma=0.02, background_fraction=1.0
+        )
+        far = sum(
+            1 for _ in range(300)
+            if placement.sample(rng).distance_to(center) > 15
+        )
+        assert far > 100
+
+    def test_lazy_centers_deterministic_per_rng_stream(self):
+        placement = ClusteredPlacement(BOUNDS, cluster_count=4)
+        centers = placement.centers(random.Random(1))
+        assert placement.centers(random.Random(2)) == centers  # cached
+
+    def test_edge_hugging_cluster_stays_inside(self, rng):
+        placement = ClusteredPlacement(
+            BOUNDS, centers=[Point(0.5, 0.5)], sigma=0.1,
+            background_fraction=0.0,
+        )
+        for _ in range(300):
+            p = placement.sample(rng)
+            assert BOUNDS.covers(p, closed_low_x=True, closed_low_y=True)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cluster_count": 0},
+            {"sigma": 0.0},
+            {"background_fraction": 1.5},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusteredPlacement(BOUNDS, **kwargs)

@@ -1,0 +1,107 @@
+"""Tests for repro.workload.rushhour -- directional rush-hour drift."""
+
+import random
+
+import pytest
+
+from repro.geometry import Circle, Point, Rect
+from repro.workload import RushHourField
+from repro.workload.hotspot import Hotspot
+
+BOUNDS = Rect(0, 0, 64, 64)
+DOWNTOWN = Point(32, 32)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(14)
+
+
+def corner_field(jitter=0.1):
+    hotspots = [
+        Hotspot(Circle(Point(4, 4), 2.0)),
+        Hotspot(Circle(Point(60, 60), 2.0)),
+        Hotspot(Circle(Point(4, 60), 2.0)),
+    ]
+    return RushHourField(
+        BOUNDS, hotspots, downtown=DOWNTOWN, jitter_radians=jitter
+    )
+
+
+class TestPhases:
+    def test_starts_in_morning(self):
+        assert corner_field().phase == "morning"
+
+    def test_set_phase(self):
+        field = corner_field()
+        field.set_phase("afternoon")
+        assert field.phase == "afternoon"
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError):
+            corner_field().set_phase("midnight")
+
+
+class TestDrift:
+    def test_morning_drift_approaches_downtown(self, rng):
+        field = corner_field()
+        before = field.mean_distance_to_downtown()
+        field.migrate(rng, steps=8)
+        assert field.mean_distance_to_downtown() < before
+
+    def test_afternoon_drift_leaves_downtown(self, rng):
+        field = corner_field()
+        field.migrate(rng, steps=10)  # pull everything downtown first
+        field.set_phase("afternoon")
+        before = field.mean_distance_to_downtown()
+        field.migrate(rng, steps=6)
+        assert field.mean_distance_to_downtown() > before
+
+    def test_steps_bounded_by_2r(self, rng):
+        field = corner_field()
+        positions = [h.center for h in field.hotspots]
+        field.migrate(rng, steps=1)
+        for old, hotspot in zip(positions, field.hotspots):
+            assert old.distance_to(hotspot.center) <= 2 * hotspot.radius + 1e-9
+
+    def test_centers_stay_inside(self, rng):
+        field = corner_field(jitter=1.0)
+        for _ in range(30):
+            field.migrate(rng)
+            for hotspot in field.hotspots:
+                assert BOUNDS.covers(
+                    hotspot.center, closed_low_x=True, closed_low_y=True
+                )
+
+    def test_grid_refreshed_after_drift(self, rng):
+        field = corner_field()
+        downtown_rect = Rect(16, 16, 32, 32)
+        before = field.rect_load(downtown_rect)
+        field.migrate(rng, steps=25)
+        assert field.rect_load(downtown_rect) > before
+
+    def test_zero_steps_noop(self, rng):
+        field = corner_field()
+        total = field.total_load
+        field.migrate(rng, steps=0)
+        assert field.total_load == total
+
+    def test_negative_steps_rejected(self, rng):
+        with pytest.raises(ValueError):
+            corner_field().migrate(rng, steps=-1)
+
+
+class TestConstruction:
+    def test_random_factory(self, rng):
+        field = RushHourField.random(BOUNDS, count=5, rng=rng)
+        assert len(field.hotspots) == 5
+        assert field.downtown == BOUNDS.center
+
+    def test_invalid_jitter(self):
+        with pytest.raises(ValueError):
+            RushHourField(BOUNDS, [], jitter_radians=-1.0)
+
+    def test_migrate_epoch_inherited(self, rng):
+        field = corner_field()
+        steps = field.migrate_epoch(rng, steps_range=(2, 4))
+        assert 2 <= steps <= 4
