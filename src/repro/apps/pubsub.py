@@ -16,7 +16,7 @@ the overlay's structural listeners.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set
 
 from repro.geometry import Point

@@ -6,9 +6,14 @@ Usage::
     python -m repro fig5-6 --trials 3
     python -m repro fig7-8 --rounds 25
     python -m repro all --out results/
+    python -m repro bench
+    python -m repro routing --metrics
 
 Each command builds the experiment at paper scale (tunable), prints the
-paper-style table, and optionally writes it under ``--out``.
+paper-style table, and optionally writes it under ``--out``.  ``bench``
+writes the machine-readable ``BENCH_micro_ops.json`` / ``BENCH_routing.json``
+snapshots (see :mod:`repro.obs.bench`); ``--metrics`` runs any command
+under a live metrics registry and dumps it as JSON afterwards.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import pathlib
 import sys
 from typing import Callable, Dict, List, Optional
 
+from repro import obs
 from repro.experiments.config import (
     ExperimentConfig,
     PAPER_CONVERGENCE_POPULATION,
@@ -157,7 +163,26 @@ def _run_ablations(args: argparse.Namespace) -> str:
     return "\n\n".join(sections)
 
 
+def _run_bench(args: argparse.Namespace) -> str:
+    from repro.obs import bench
+
+    out_dir = args.out if args.out is not None else pathlib.Path(".")
+    if args.population:
+        paths = bench.write_bench_files(
+            out_dir,
+            population=args.population,
+            routing_populations=(args.population,),
+        )
+    else:
+        paths = bench.write_bench_files(out_dir)
+    report = bench.render_report(paths)
+    for path in paths:
+        print(f"[saved to {path}]", file=sys.stderr)
+    return report
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "bench": _run_bench,
     "fig2-3": _run_fig2_3,
     "fig5-6": _run_fig5_6,
     "fig7-8": _run_fig7_8,
@@ -171,6 +196,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
 }
 
 DESCRIPTIONS = {
+    "bench": "write BENCH_micro_ops.json / BENCH_routing.json snapshots",
     "fig2-3": "region size & load maps at 500 nodes (Figures 2/3)",
     "fig5-6": "workload-index std/mean vs population (Figures 5/6)",
     "fig7-8": "convergence by adaptation round (Figures 7/8)",
@@ -214,6 +240,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=pathlib.Path, default=None,
         help="directory to also write <command>.txt into",
     )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect runtime metrics during the run and dump the "
+             "registry as JSON after each command",
+    )
     return parser
 
 
@@ -225,15 +256,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:<14} {DESCRIPTIONS[name]}")
         return 0
     names = sorted(COMMANDS) if args.command == "all" else [args.command]
-    for name in names:
-        report = COMMANDS[name](args)
-        print(report)
-        print()
-        if args.out is not None:
-            args.out.mkdir(parents=True, exist_ok=True)
-            path = args.out / f"{name}.txt"
-            path.write_text(report + "\n")
-            print(f"[saved to {path}]", file=sys.stderr)
+    registry = obs.enable() if args.metrics else None
+    try:
+        for name in names:
+            report = COMMANDS[name](args)
+            print(report)
+            print()
+            if args.out is not None:
+                args.out.mkdir(parents=True, exist_ok=True)
+                path = args.out / f"{name}.txt"
+                path.write_text(report + "\n")
+                print(f"[saved to {path}]", file=sys.stderr)
+            if registry is not None:
+                dump = registry.to_json()
+                print(f"=== metrics: {name} ===")
+                print(dump)
+                print()
+                if args.out is not None:
+                    metrics_path = args.out / f"{name}.metrics.json"
+                    metrics_path.write_text(dump + "\n")
+                    print(f"[saved to {metrics_path}]", file=sys.stderr)
+                registry.reset()
+    finally:
+        if registry is not None:
+            obs.disable()
     return 0
 
 

@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
+from repro import obs
 from repro.errors import MembershipError, PartitionError
 from repro.geometry import Point, Rect, SplitAxis
 from repro.core.node import Node
@@ -265,6 +266,15 @@ class BasicGeoGrid:
         new_region = self._admit(node, covering)
         self._register_member(node)
         self.stats.joins += 1
+        registry = obs.active()
+        if registry is not None:
+            registry.inc("overlay.joins")
+            registry.trace(
+                "join",
+                node=node.node_id,
+                region=new_region.region_id,
+                members=len(self.nodes),
+            )
         return new_region
 
     def add_idle_member(self, node: Node) -> None:
@@ -361,6 +371,7 @@ class BasicGeoGrid:
         """Graceful departure: the node's regions are repaired away."""
         self._remove(node, graceful=True)
         self.stats.departures += 1
+        obs.inc("overlay.departures")
 
     def fail(self, node: Node) -> None:
         """Abrupt failure.  Structurally identical to departure in the
@@ -369,6 +380,7 @@ class BasicGeoGrid:
         with secondary-takeover semantics."""
         self._remove(node, graceful=False)
         self.stats.failures += 1
+        obs.inc("overlay.failures")
 
     def _remove(self, node: Node, graceful: bool) -> None:
         if node.node_id not in self.nodes:
@@ -450,6 +462,7 @@ class BasicGeoGrid:
         assert adopter is not None
         self.assign_primary(region, adopter)
         self.stats.takeovers += 1
+        obs.inc("overlay.takeovers")
         self._try_consolidate(adopter)
         return True
 

@@ -14,9 +14,11 @@ query region.
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import obs
 from repro.errors import RoutingError
 from repro.geometry import Point, Rect
 from repro.core.query import LocationQuery
@@ -33,9 +35,16 @@ class RouteResult:
     #: The region covering the destination coordinate.
     executor: Region
 
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError(
+                "RouteResult.path must contain at least the source region"
+            )
+
     @property
     def hops(self) -> int:
-        """Number of overlay hops (edges traversed)."""
+        """Number of overlay hops (edges traversed); 0 when the source
+        region already covers the destination."""
         return len(self.path) - 1
 
 
@@ -76,7 +85,17 @@ def route_to_point(
         raise RoutingError(f"destination {target} lies outside the service area")
     path: List[Region] = []
     executor = space.locate(target, hint=start, path=path)
-    return RouteResult(path=path, executor=executor)
+    result = RouteResult(path=path, executor=executor)
+    registry = obs.active()
+    if registry is not None:
+        registry.observe("routing.route.hops", result.hops)
+        registry.trace(
+            "route",
+            source=start.region_id,
+            executor=executor.region_id,
+            hops=result.hops,
+        )
+    return result
 
 
 def route_query(
@@ -93,15 +112,27 @@ def route_query(
     """
     route = route_to_point(space, start, query.target)
     covered = _fanout(space, route.executor, query.query_rect)
+    registry = obs.active()
+    if registry is not None:
+        registry.observe("routing.query.fanout_regions", len(covered))
+        registry.trace(
+            "query_fanout",
+            query=query.query_id,
+            executor=route.executor.region_id,
+            regions=len(covered),
+            hops=route.hops,
+        )
     return QueryRouteResult(route=route, covered=covered)
 
 
 def _fanout(space: Space, executor: Region, query_rect: Rect) -> List[Region]:
     """All regions overlapping ``query_rect``, discovered from ``executor``.
 
-    Breadth-first over region adjacency, expanding only through overlapping
-    regions (the overlapping set is edge-connected because the regions tile
-    the plane).
+    Breadth-first (FIFO frontier) over region adjacency, expanding only
+    through overlapping regions (the overlapping set is edge-connected
+    because the regions tile the plane), so regions are visited in
+    non-decreasing hop distance from the executor -- the order in which a
+    real deployment's forwarded copies arrive.
     """
     if not executor.rect.intersects(query_rect):
         # A degenerate query rectangle can have its center on the very
@@ -110,9 +141,9 @@ def _fanout(space: Space, executor: Region, query_rect: Rect) -> List[Region]:
         return [executor]
     covered: List[Region] = []
     seen = {executor}
-    frontier = [executor]
+    frontier = deque((executor,))
     while frontier:
-        region = frontier.pop()
+        region = frontier.popleft()
         covered.append(region)
         for neighbor in space.neighbors(region):
             if neighbor not in seen and neighbor.rect.intersects(query_rect):
@@ -151,6 +182,7 @@ def route_to_point_randomized(
     path = [current]
     for _ in range(max_steps):
         if space.region_covers(current, target):
+            obs.observe("routing.randomized.hops", len(path) - 1)
             return RouteResult(path=path, executor=current)
         candidates = []
         best = math.inf
@@ -173,6 +205,7 @@ def route_to_point_randomized(
         tail: List[Region] = []
         executor = space.locate(target, hint=current, path=tail)
         path.extend(tail[1:])
+        obs.observe("routing.randomized.hops", len(path) - 1)
         return RouteResult(path=path, executor=executor)
     raise RoutingError(
         f"randomized route from {start!r} to {target} exceeded "

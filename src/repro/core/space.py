@@ -17,8 +17,11 @@ experiments measure.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Set
+from collections import deque
+from collections.abc import Set as AbstractSet
+from typing import Dict, Iterable, Iterator, List, Optional, Set
 
+from repro import obs
 from repro.errors import GeometryError, PartitionError
 from repro.geometry import Point, Rect, SplitAxis
 from repro.core.region import Region
@@ -26,6 +29,38 @@ from repro.core.region import Region
 #: Strict-progress margin for the greedy walk; distances are in the same
 #: unit as the space (miles), so anything far below a cell size works.
 _PROGRESS_EPS = 1e-12
+
+
+class RegionSetView(AbstractSet):
+    """A live, read-only view of a space's region set.
+
+    Iteration, membership and set algebra all work (set operations return
+    plain ``frozenset`` results); there is no way to mutate the underlying
+    partition through the view.  Returned by :attr:`Space.regions` so
+    callers cannot corrupt the tiling by adding or removing regions behind
+    the partition manager's back.
+    """
+
+    __slots__ = ("_backing",)
+
+    def __init__(self, backing: Set[Region]) -> None:
+        self._backing = backing
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._backing
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self._backing)
+
+    def __len__(self) -> int:
+        return len(self._backing)
+
+    @classmethod
+    def _from_iterable(cls, iterable: Iterable[Region]) -> "frozenset[Region]":
+        return frozenset(iterable)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RegionSetView({len(self._backing)} regions)"
 
 
 class Space:
@@ -53,6 +88,7 @@ class Space:
         self._index_cell_w = bounds.width / index_resolution
         self._index_cell_h = bounds.height / index_resolution
         self._cell_hint: List[Optional[Region]] = [None] * (index_resolution * index_resolution)
+        self._regions_view = RegionSetView(self._regions)
         #: Cumulative counter of greedy-walk hops, exposed for experiments.
         self.walk_hops = 0
 
@@ -60,9 +96,14 @@ class Space:
     # Introspection
     # ------------------------------------------------------------------
     @property
-    def regions(self) -> Set[Region]:
-        """A live view of the current regions (do not mutate)."""
-        return self._regions
+    def regions(self) -> AbstractSet:
+        """A live, read-only view of the current regions.
+
+        The view tracks splits and merges as they happen; it cannot be
+        mutated (structural changes go through :meth:`split_region`,
+        :meth:`merge_regions` and friends).
+        """
+        return self._regions_view
 
     def region_count(self) -> int:
         """Number of regions currently tiling the space."""
@@ -155,6 +196,16 @@ class Space:
         self._adjacency[new_region] = new_neighbors_frozen
 
         self._reindex_rect(new_rect, new_region)
+        registry = obs.active()
+        if registry is not None:
+            registry.inc("space.splits")
+            registry.trace(
+                "region_split",
+                parent=region.region_id,
+                child=new_region.region_id,
+                axis=axis.value,
+                child_area=new_rect.area,
+            )
         return new_region
 
     def merge_regions(self, survivor: Region, absorbed: Region) -> Region:
@@ -193,6 +244,15 @@ class Space:
             self._adjacency[candidate].add(survivor)
 
         self._reindex_rect(merged_rect, survivor)
+        registry = obs.active()
+        if registry is not None:
+            registry.inc("space.merges")
+            registry.trace(
+                "region_merge",
+                survivor=survivor.region_id,
+                absorbed=absorbed.region_id,
+                merged_area=merged_rect.area,
+            )
         return survivor
 
     # ------------------------------------------------------------------
@@ -229,6 +289,23 @@ class Space:
         is given, every visited region (including start and destination) is
         appended to it, which is how the routing layer obtains hop counts.
         """
+        registry = obs.active()
+        if registry is None:
+            return self._locate(point, hint, path)
+        hops_before = self.walk_hops
+        region = self._locate(point, hint, path)
+        # One histogram record per call: its ``count`` doubles as the
+        # locate-call counter, keeping the hot path to a single update.
+        registry.observe("space.locate.hops", self.walk_hops - hops_before)
+        return region
+
+    def _locate(
+        self,
+        point: Point,
+        hint: Optional[Region] = None,
+        path: Optional[List[Region]] = None,
+    ) -> Region:
+        """The uninstrumented greedy walk behind :meth:`locate`."""
         if not self._regions:
             raise PartitionError("the space has no regions yet")
         if not self.covers_point(point):
@@ -278,6 +355,7 @@ class Space:
 
     def _scan(self, point: Point) -> Region:
         """O(N) fallback point location (boundary-exact)."""
+        obs.inc("space.locate.scan_fallback")
         for region in self._regions:
             if self.region_covers(region, point):
                 return region
@@ -356,26 +434,35 @@ class Space:
 
         Used by query fan-out: after a request reaches the region covering
         the query center, it is forwarded to every region overlapping the
-        spatial query rectangle.  Implemented as a BFS over adjacency from
-        the covering region, so it touches only the relevant corner of the
-        space.
+        spatial query rectangle.  Implemented as a breadth-first (FIFO)
+        traversal over adjacency from the covering region, so it touches
+        only the relevant corner of the space and yields regions in
+        non-decreasing hop distance from the start.
+
+        A degenerate or edge-hugging query rectangle (e.g. a sliver so thin
+        its center rounds onto a region boundary) may not share interior
+        area with any region at all; the located start region then answers
+        alone, consistent with the routing layer's executor-only fan-out
+        fallback (:func:`repro.core.routing._fanout`).
         """
         if not self._regions:
             return
         start = self.locate(rect.center)
+        if not start.rect.intersects(rect):
+            yield start
+            return
         seen = {start}
-        frontier = [start]
+        frontier = deque((start,))
         while frontier:
-            region = frontier.pop()
-            if region.rect.intersects(rect):
-                yield region
-                for neighbor in self._adjacency[region]:
-                    if neighbor not in seen:
-                        seen.add(neighbor)
-                        frontier.append(neighbor)
+            region = frontier.popleft()
+            yield region
             # Regions not intersecting the query rect do not expand the
             # search: the set of intersecting regions is edge-connected, so
             # the BFS reaches all of them through intersecting regions.
+            for neighbor in self._adjacency[region]:
+                if neighbor not in seen and neighbor.rect.intersects(rect):
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Space(bounds={self.bounds}, regions={len(self._regions)})"

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from repro import obs
 from repro.core.node import Node
 from repro.core.region import Region
 from repro.dualpeer.join import (
@@ -41,7 +42,9 @@ class DualPeerGeoGrid(BasicGeoGrid):
         )
         plan = plan_join(covering, neighbors, self.available_capacity)
         if plan.decision is JoinDecision.FILL_SECONDARY:
+            obs.inc("dualpeer.join.fill_secondary")
             return self._join_as_secondary(node, plan.target)
+        obs.inc("dualpeer.join.split")
         kept, handed = self.split_full_region(plan.target)
         target = pick_weaker_half(kept, handed, self.available_capacity)
         return self._join_as_secondary(node, target)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.core.policies import (
     fixed_axis_policy,
@@ -25,7 +25,7 @@ from repro.core.policies import (
 )
 from repro.core.routing import route_to_point
 from repro.dualpeer import DualPeerGeoGrid
-from repro.geometry import Point, Rect, SplitAxis
+from repro.geometry import SplitAxis
 from repro.loadbalance import (
     AdaptationConfig,
     AdaptationEngine,

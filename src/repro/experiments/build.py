@@ -9,7 +9,7 @@ RNG streams under the same master seed).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.node import Node
 from repro.core.overlay import BasicGeoGrid

@@ -5,7 +5,7 @@ from __future__ import annotations
 import enum
 import os
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.errors import ConfigurationError
 from repro.geometry import Rect

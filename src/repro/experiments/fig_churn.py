@@ -15,10 +15,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.core.node import Node
-from repro.metrics.stats import StatSummary, summarize
+from repro.metrics.stats import summarize
 from repro.sim.churn import ChurnConfig, ChurnProcess
 from repro.sim.rng import RngStreams
 from repro.sim.scheduler import EventScheduler

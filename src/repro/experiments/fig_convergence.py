@@ -18,11 +18,10 @@ Scenarios:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from repro.loadbalance import AdaptationEngine
 from repro.metrics.collector import TimeSeriesCollector
-from repro.metrics.stats import StatSummary
 from repro.sim.rng import RngStreams
 from repro.experiments.build import BuiltNetwork, build_field, build_network, draw_population
 from repro.experiments.config import (

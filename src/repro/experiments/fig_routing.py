@@ -11,7 +11,7 @@ physical/network proximity similarity GeoGrid exploits).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.core.routing import route_to_point, stretch
 from repro.metrics.stats import StatSummary, summarize

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.loadbalance.routing_load import RoutingLoadReport, RoutingLoadTracker
+from repro.loadbalance.routing_load import RoutingLoadTracker
 from repro.metrics.stats import StatSummary
 from repro.sim.rng import RngStreams
 from repro.workload.queries import QueryGenerator

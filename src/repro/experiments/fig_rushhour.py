@@ -11,7 +11,7 @@ adaptation engine running -- versus the same commute with adaptation off.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from repro.loadbalance import AdaptationEngine, WorkloadIndexCalculator
 from repro.dualpeer import DualPeerGeoGrid

@@ -15,7 +15,7 @@ first plan it gets.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.overlay import BasicGeoGrid

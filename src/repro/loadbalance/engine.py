@@ -14,9 +14,10 @@ and per individual adaptation (Figures 9/10).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
+from repro import obs
 from repro.errors import AdaptationError
 from repro.core.node import Node
 from repro.core.overlay import BasicGeoGrid
@@ -143,6 +144,19 @@ class AdaptationEngine:
             summary_after=self.calc.summary(),
         )
         self.round_reports.append(report)
+        registry = obs.active()
+        if registry is not None:
+            registry.inc("adapt.rounds")
+            registry.observe("adapt.round.triggered", triggered)
+            registry.observe("adapt.round.adaptations", len(records))
+            registry.trace(
+                "adaptation_round",
+                round=report.round_number,
+                triggered=triggered,
+                adaptations=len(records),
+                index_mean=report.summary_after.mean,
+                index_std=report.summary_after.std,
+            )
         return report
 
     def run_rounds(self, count: int) -> List[RoundReport]:
@@ -204,9 +218,27 @@ class AdaptationEngine:
                 # custom mechanisms may race each other): skip it and try
                 # the next mechanism rather than wedging the round.
                 self.failed_plans += 1
+                obs.inc("adapt.failed_plans")
                 continue
             messages = self._estimate_messages(plan)
             self.adaptation_messages += messages
+            registry = obs.active()
+            if registry is not None:
+                registry.inc(f"adapt.mechanism.{mechanism.key}")
+                registry.observe("adapt.messages", messages)
+                registry.trace(
+                    "adaptation",
+                    mechanism=mechanism.key,
+                    round=self.ctx.round_number,
+                    region=plan.region.region_id,
+                    partner=(
+                        plan.partner.region_id
+                        if plan.partner is not None else None
+                    ),
+                    index_before=plan.index_before,
+                    index_after=plan.index_after,
+                    messages=messages,
+                )
             return AdaptationRecord(
                 mechanism=mechanism.key,
                 round_number=self.ctx.round_number,

@@ -15,8 +15,8 @@ routing load -- the effect the ablation benchmark quantifies.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.core.node import Node
 from repro.core.overlay import BasicGeoGrid

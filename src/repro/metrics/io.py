@@ -10,7 +10,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict
 
-from repro.metrics.collector import SeriesPoint, TimeSeriesCollector
+from repro.metrics.collector import TimeSeriesCollector
 from repro.metrics.stats import StatSummary
 
 

@@ -1,0 +1,131 @@
+"""Runtime observability: metrics registry, trace events, bench snapshots.
+
+The paper's entire evaluation is metric-driven (hop counts, workload-index
+convergence, per-mechanism adaptation counts), and the ROADMAP's north star
+-- a production-scale GeoGrid -- demands that every perf PR can *prove* its
+win.  This package is the substrate for that: a lightweight metrics
+registry (counters, gauges, bounded histograms with p50/p95/p99) plus
+structured trace events, threaded through the routing, partition, overlay,
+adaptation, and simulation layers.
+
+Instrumentation is **off by default** and near-zero-cost when off: the
+module-level facade functions (:func:`inc`, :func:`observe`,
+:func:`set_gauge`, :func:`trace`) check one module global and return
+immediately when no registry is installed.  Enable collection with::
+
+    from repro import obs
+
+    registry = obs.enable()
+    ... run an experiment ...
+    print(registry.to_json())
+    obs.disable()
+
+or scoped::
+
+    with obs.capture() as registry:
+        ... run an experiment ...
+    snapshot = registry.snapshot()
+
+``python -m repro <figure> --metrics`` dumps the registry after any
+experiment; ``python -m repro bench`` writes ``BENCH_routing.json`` and
+``BENCH_micro_ops.json`` snapshots (see :mod:`repro.obs.bench`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TraceEvent,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceEvent",
+    "active",
+    "capture",
+    "disable",
+    "enable",
+    "inc",
+    "observe",
+    "set_gauge",
+    "trace",
+]
+
+#: The currently installed registry, or ``None`` (the no-op default).
+_active: Optional[MetricsRegistry] = None
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The installed registry, or ``None`` when collection is off.
+
+    Hot paths that want to amortize the facade's per-call check (or record
+    several related metrics atomically) fetch the registry once through
+    this and skip their whole instrumentation block when it is ``None``.
+    """
+    return _active
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Install ``registry`` (or a fresh one) as the collection target."""
+    global _active
+    _active = registry if registry is not None else MetricsRegistry()
+    return _active
+
+
+def disable() -> None:
+    """Remove the installed registry; all facade calls become no-ops."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def capture(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Context manager: collect into ``registry`` for the block's duration.
+
+    Restores whatever registry (or no-op state) was installed before.
+    """
+    global _active
+    previous = _active
+    _active = registry if registry is not None else MetricsRegistry()
+    try:
+        yield _active
+    finally:
+        _active = previous
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Increment counter ``name`` (no-op when collection is off)."""
+    if _active is not None:
+        _active.inc(name, amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name`` (no-op when off)."""
+    if _active is not None:
+        _active.observe(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (no-op when off)."""
+    if _active is not None:
+        _active.set_gauge(name, value)
+
+
+def trace(kind: str, /, **fields: object) -> None:
+    """Append a structured trace event (no-op when off).
+
+    ``kind`` is positional-only, so ``kind=...`` may appear in ``fields``.
+    """
+    if _active is not None:
+        _active.trace(kind, **fields)

@@ -17,7 +17,7 @@ from typing import Any, Dict, List, Optional
 from repro.errors import MembershipError, SimulationError
 from repro.geometry import Point, Rect
 from repro.bootstrap import BootstrapServer
-from repro.core.node import Node, NodeAddress
+from repro.core.node import Node
 from repro.sim.latency import LatencyModel
 from repro.sim.scheduler import EventScheduler
 from repro.sim.transport import SimNetwork

@@ -9,8 +9,8 @@ destination.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
 
 from repro.geometry import Point, Rect
 from repro.core.node import NodeAddress

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.errors import ConfigurationError
 from repro.sim.scheduler import EventScheduler

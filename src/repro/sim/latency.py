@@ -10,7 +10,7 @@ delay because consecutive hops are physical neighbors.
 from __future__ import annotations
 
 import random
-from typing import Optional, Protocol
+from typing import Protocol
 
 from repro.geometry import Point
 

@@ -4,6 +4,13 @@ Plain priority-queue design: events are ``(time, sequence, callback)``
 entries; ``run_until`` pops them in timestamp order and advances the
 clock.  Sequence numbers break timestamp ties FIFO, so simulations are
 deterministic under equal-time events.
+
+Cancelled events are not removed from the heap eagerly (that would be
+O(N) per cancel); instead the scheduler keeps a live-event counter so
+``pending()`` is O(1), and lazily compacts the heap whenever cancelled
+entries outnumber live ones -- long-running simulations with heavy timer
+churn (heartbeats re-armed and cancelled millions of times) stay bounded
+in memory.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro import obs
 from repro.errors import SimulationError
 
 #: An event body; receives no arguments (close over what you need).
@@ -28,10 +36,26 @@ class Event:
     sequence: int
     callback: EventCallback = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Back-reference so ``cancel`` can keep the owning scheduler's
+    #: live-event accounting exact; ``None`` for detached events.
+    _scheduler: Optional["EventScheduler"] = field(
+        default=None, compare=False, repr=False
+    )
+    #: Set once the callback has run; cancelling afterwards is a no-op.
+    _fired: bool = field(default=False, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Cancel the event; it stays queued but will not fire."""
+        """Cancel the event; it will not fire.
+
+        Idempotent, and a no-op after the event has fired.  The entry may
+        linger in the owning scheduler's queue until it is popped or
+        lazily purged, but it no longer counts as pending.
+        """
+        if self.cancelled or self._fired:
+            return
         self.cancelled = True
+        if self._scheduler is not None:
+            self._scheduler._on_cancel()
 
 
 class EventScheduler:
@@ -42,8 +66,12 @@ class EventScheduler:
         self._queue: List[Event] = []
         self._sequence = itertools.count()
         self._running = False
+        #: Cancelled entries still sitting in the queue.
+        self._cancelled_pending = 0
         #: Number of events fired over the scheduler's lifetime.
         self.fired = 0
+        #: Number of cancellations over the scheduler's lifetime.
+        self.cancelled_total = 0
 
     @property
     def now(self) -> float:
@@ -51,8 +79,8 @@ class EventScheduler:
         return self._now
 
     def pending(self) -> int:
-        """Number of queued (non-cancelled) events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of queued (non-cancelled) events; O(1)."""
+        return len(self._queue) - self._cancelled_pending
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -64,7 +92,12 @@ class EventScheduler:
                 f"cannot schedule into the past: now={self._now}, "
                 f"requested={time}"
             )
-        event = Event(time=time, sequence=next(self._sequence), callback=callback)
+        event = Event(
+            time=time,
+            sequence=next(self._sequence),
+            callback=callback,
+            _scheduler=self,
+        )
         heapq.heappush(self._queue, event)
         return event
 
@@ -111,6 +144,25 @@ class EventScheduler:
         return handle  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _on_cancel(self) -> None:
+        """Account one cancellation and compact the queue when stale
+        entries exceed half of it."""
+        self._cancelled_pending += 1
+        self.cancelled_total += 1
+        obs.inc("scheduler.cancelled")
+        if self._cancelled_pending > len(self._queue) // 2:
+            self._purge_cancelled()
+
+    def _purge_cancelled(self) -> None:
+        """Drop cancelled entries and re-heapify (amortized O(1) per
+        cancel: each purge is linear but halves the queue at least)."""
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
+
+    # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
     def run_until(self, time: float, max_events: Optional[int] = None) -> int:
@@ -133,7 +185,9 @@ class EventScheduler:
                     )
                 event = heapq.heappop(self._queue)
                 if event.cancelled:
+                    self._cancelled_pending -= 1
                     continue
+                event._fired = True
                 self._now = event.time
                 event.callback()
                 fired += 1
@@ -142,6 +196,11 @@ class EventScheduler:
                 self._now = max(self._now, time)
         finally:
             self._running = False
+            registry = obs.active()
+            if registry is not None:
+                registry.inc("scheduler.fired", fired)
+                registry.set_gauge("scheduler.pending", self.pending())
+                registry.set_gauge("scheduler.now", self._now)
         return fired
 
     def run_all(self, max_events: int = 1_000_000) -> int:

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from typing import Any, Callable, Dict, Optional
 
+from repro import obs
 from repro.errors import TransportError
 from repro.geometry import Point
 from repro.core.node import NodeAddress
@@ -160,6 +161,7 @@ class SimNetwork:
         protocol layer's job (heartbeats and timeouts).
         """
         self.stats.record_send(kind)
+        obs.inc("transport.sent")
         message = Message(
             source=source,
             destination=destination,
@@ -169,9 +171,11 @@ class SimNetwork:
         )
         if self._partitioned(source, destination):
             self.stats.dropped_partition += 1
+            obs.inc("transport.dropped.partition")
             return
         if self.drop_probability > 0.0 and self.rng.random() < self.drop_probability:
             self.stats.dropped_random += 1
+            obs.inc("transport.dropped.random")
             return
         source_endpoint = self._endpoints.get(source)
         source_coord = (
@@ -180,6 +184,7 @@ class SimNetwork:
         destination_endpoint = self._endpoints.get(destination)
         if destination_endpoint is None:
             self.stats.dropped_dead += 1
+            obs.inc("transport.dropped.dead")
             return
         delay = self.latency.delay(
             source_coord, destination_endpoint.coord, self.rng
@@ -190,11 +195,26 @@ class SimNetwork:
         endpoint = self._endpoints.get(message.destination)
         if endpoint is None or not endpoint.alive:
             self.stats.dropped_dead += 1
+            obs.inc("transport.dropped.dead")
             return
         if self._partitioned(message.source, message.destination):
             self.stats.dropped_partition += 1
+            obs.inc("transport.dropped.partition")
             return
         self.stats.delivered += 1
+        registry = obs.active()
+        if registry is not None:
+            registry.inc("transport.delivered")
+            registry.observe(
+                "transport.latency", self.scheduler.now - message.sent_at
+            )
+            registry.trace(
+                "delivery",
+                kind=message.kind,
+                source=str(message.source),
+                destination=str(message.destination),
+                latency=self.scheduler.now - message.sent_at,
+            )
         endpoint.handler(message)
 
     def endpoint_count(self) -> int:

@@ -166,3 +166,89 @@ class TestQueryFanout:
         assert outcome.total_messages == outcome.route.hops + len(
             [r for r in outcome.covered if r is not outcome.executor]
         )
+
+
+class TestRouteResultValidation:
+    """Regression: an empty path used to slip through and report -1 hops."""
+
+    def test_empty_path_rejected(self):
+        from repro.core.routing import RouteResult
+
+        region = Region(rect=Rect(0, 0, 64, 64))
+        with pytest.raises(ValueError):
+            RouteResult(path=[], executor=region)
+
+    def test_single_region_path_is_zero_hops(self):
+        from repro.core.routing import RouteResult
+
+        region = Region(rect=Rect(0, 0, 64, 64))
+        result = RouteResult(path=[region], executor=region)
+        assert result.hops == 0
+
+
+class TestFanoutOrder:
+    """Regression: the fan-out frontier was popped LIFO (depth-first)
+    while claiming BFS; forwarded copies now expand in hop order."""
+
+    def test_fanout_breadth_first(self):
+        from collections import deque
+
+        from repro.core.routing import _fanout
+
+        space = Space(Rect(0, 0, 64, 64))
+        root = Region(rect=Rect(0, 0, 64, 64))
+        space.add_root(root)
+        for axis in (SplitAxis.VERTICAL, SplitAxis.HORIZONTAL):
+            for region in list(space.regions):
+                space.split_region(region, axis=axis)
+        for axis in (SplitAxis.VERTICAL, SplitAxis.HORIZONTAL):
+            for region in list(space.regions):
+                space.split_region(region, axis=axis)
+        assert space.region_count() == 16
+
+        query = Rect(0.5, 0.5, 63.0, 63.0)  # overlaps every region
+        executor = space.locate(query.center)
+        order = _fanout(space, executor, query)
+        assert len(order) == 16
+        assert order[0] is executor
+
+        distance = {executor: 0}
+        frontier = deque([executor])
+        while frontier:
+            region = frontier.popleft()
+            for neighbor in space.neighbors(region):
+                if neighbor not in distance:
+                    distance[neighbor] = distance[region] + 1
+                    frontier.append(neighbor)
+        distances = [distance[region] for region in order]
+        assert distances == sorted(distances), (
+            f"not breadth-first: distances along fan-out order {distances}"
+        )
+
+
+class TestRouteToBoundaryPoints:
+    """Routing must terminate and agree with locate for boundary targets."""
+
+    def test_route_to_shared_edge_point(self):
+        grid, _ = build_grid(80)
+        start = grid.space.locate(Point(1, 1))
+        # Aim at an actual internal region corner, a worst case for the
+        # greedy walk's strict-progress rule.
+        region = max(
+            grid.space.regions, key=lambda r: (r.rect.x, r.rect.y)
+        )
+        target = Point(region.rect.x, region.rect.y)
+        result = route_to_point(grid.space, start, target)
+        assert grid.space.region_covers(result.executor, target)
+        assert result.executor is grid.space.locate(target)
+
+    def test_route_to_space_border_points(self):
+        grid, _ = build_grid(80)
+        start = grid.space.locate(Point(40, 40))
+        for target in (
+            Point(0.0, 17.0), Point(17.0, 0.0), Point(0.0, 0.0),
+            Point(64.0, 64.0), Point(64.0, 31.0),
+        ):
+            result = route_to_point(grid.space, start, target)
+            assert grid.space.region_covers(result.executor, target)
+            assert result.executor is grid.space.locate(target)

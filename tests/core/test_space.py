@@ -244,3 +244,182 @@ class TestInvariantsUnderRandomOperations:
                     regions.remove(mergeable[0])
                     merges += 1
         assert space.region_count() == 1 + splits - merges
+
+
+def grid_4x4():
+    """A uniform 4x4 tiling (two rounds of split-every-region)."""
+    space, root = make_space()
+    for _ in range(2):
+        for region in list(space.regions):
+            space.split_region(region, axis=SplitAxis.VERTICAL)
+        for region in list(space.regions):
+            space.split_region(region, axis=SplitAxis.HORIZONTAL)
+    space.check_invariants()
+    assert space.region_count() == 16
+    return space
+
+
+def hop_distances(space, start):
+    """Hop distance from ``start`` to every region (reference BFS)."""
+    from collections import deque
+
+    distance = {start: 0}
+    frontier = deque([start])
+    while frontier:
+        region = frontier.popleft()
+        for neighbor in space.neighbors(region):
+            if neighbor not in distance:
+                distance[neighbor] = distance[region] + 1
+                frontier.append(neighbor)
+    return distance
+
+
+class TestIterIntersectingDegenerate:
+    """Regression: a sliver query whose center rounds onto a region
+    boundary used to make ``iter_regions_intersecting`` yield nothing."""
+
+    def test_sliver_on_split_line_yields_start_region(self):
+        space, root = make_space()
+        space.split_region(root, axis=SplitAxis.VERTICAL)
+        # Width 1e-300 survives Rect's positive-extent check, but the
+        # center x collapses to exactly 32.0 -- the split line -- so the
+        # rect shares interior area with no region.
+        sliver = Rect(32.0, 10.0, 1e-300, 1.0)
+        start = space.locate(sliver.center)
+        assert not start.rect.intersects(sliver)
+        found = list(space.iter_regions_intersecting(sliver))
+        assert found == [start]
+
+    def test_sliver_matches_fanout_fallback(self):
+        from repro.core.routing import _fanout
+
+        space, root = make_space()
+        space.split_region(root, axis=SplitAxis.VERTICAL)
+        sliver = Rect(32.0, 10.0, 1e-300, 1.0)
+        start = space.locate(sliver.center)
+        assert list(space.iter_regions_intersecting(sliver)) == _fanout(
+            space, start, sliver
+        )
+
+
+class TestIterIntersectingOrder:
+    """Regression: the frontier was popped LIFO (depth-first) while the
+    docstring promised BFS; the traversal is now genuinely FIFO."""
+
+    def test_yields_in_nondecreasing_hop_distance(self):
+        space = grid_4x4()
+        query = Rect(0.5, 0.5, 63.0, 63.0)  # overlaps all 16 regions
+        order = list(space.iter_regions_intersecting(query))
+        assert len(order) == 16
+        distance = hop_distances(space, order[0])
+        distances = [distance[region] for region in order]
+        assert distances == sorted(distances), (
+            f"not breadth-first: distances along yield order {distances}"
+        )
+
+
+class TestRegionsView:
+    """Regression: ``Space.regions`` used to return the internal mutable
+    set, letting callers corrupt the partition."""
+
+    def test_view_is_not_mutable(self):
+        space, root = make_space()
+        view = space.regions
+        assert not hasattr(view, "add")
+        assert not hasattr(view, "discard")
+        with pytest.raises(AttributeError):
+            view.add(Region(rect=Rect(0, 0, 1, 1)))
+
+    def test_view_is_live(self):
+        space, root = make_space()
+        view = space.regions
+        assert len(view) == 1
+        new = space.split_region(root)
+        assert len(view) == 2
+        assert new in view
+        space.merge_regions(root, new)
+        assert len(view) == 1
+        assert new not in view
+
+    def test_view_supports_set_algebra(self):
+        space, root = make_space()
+        new = space.split_region(root)
+        others = space.regions - {root}
+        assert others == {new}
+        assert isinstance(others, frozenset)
+
+    def test_mutating_view_cannot_corrupt_partition(self):
+        space, root = make_space()
+        before = space.region_count()
+        try:
+            space.regions.add(Region(rect=Rect(0, 0, 1, 1)))
+        except AttributeError:
+            pass
+        assert space.region_count() == before
+        space.check_invariants()
+
+
+class TestBoundaryPointLocation:
+    """Every point of the bounds is covered by exactly one region, even on
+    shared edges, corner meeting points and the west/south border."""
+
+    def test_point_on_shared_vertical_edge(self):
+        space, root = make_space()
+        space.split_region(root, axis=SplitAxis.VERTICAL)
+        point = Point(32.0, 10.0)
+        located = space.locate(point)
+        # Half-open rule (open-low, closed-high): the west region owns
+        # its own east edge.
+        assert located.rect.x2 == 32.0
+        assert space.region_covers(located, point)
+
+    def test_point_on_shared_horizontal_edge(self):
+        space, root = make_space()
+        space.split_region(root, axis=SplitAxis.HORIZONTAL)
+        point = Point(10.0, 32.0)
+        located = space.locate(point)
+        assert located.rect.y2 == 32.0
+        assert space.region_covers(located, point)
+
+    def test_four_corner_meeting_point(self):
+        space = grid_4x4()
+        point = Point(32.0, 32.0)
+        located = space.locate(point)
+        covering = [
+            r for r in space.regions if space.region_covers(r, point)
+        ]
+        assert covering == [located]
+        # The region whose northeast corner this is owns the point.
+        assert located.rect.x2 == 32.0 and located.rect.y2 == 32.0
+
+    def test_west_border_is_closed(self):
+        space = grid_4x4()
+        point = Point(0.0, 10.0)
+        located = space.locate(point)
+        assert located.rect.x == 0.0
+        assert space.region_covers(located, point)
+
+    def test_south_border_is_closed(self):
+        space = grid_4x4()
+        point = Point(10.0, 0.0)
+        located = space.locate(point)
+        assert located.rect.y == 0.0
+        assert space.region_covers(located, point)
+
+    def test_origin_corner(self):
+        space = grid_4x4()
+        located = space.locate(Point(0.0, 0.0))
+        assert located.rect.x == 0.0 and located.rect.y == 0.0
+
+    def test_every_boundary_point_covered_exactly_once(self):
+        space = grid_4x4()
+        lines = [0.0, 16.0, 32.0, 48.0]
+        probes = [Point(x, y) for x in lines for y in lines]
+        probes += [Point(x, 23.5) for x in lines]
+        probes += [Point(23.5, y) for y in lines]
+        for point in probes:
+            covering = [
+                r for r in space.regions if space.region_covers(r, point)
+            ]
+            assert len(covering) == 1, f"{point} covered by {covering}"
+            assert space.locate(point) is covering[0]

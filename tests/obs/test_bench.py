@@ -1,0 +1,96 @@
+"""Tests for repro.obs.bench -- the BENCH_*.json snapshot harness."""
+
+import json
+
+from repro import obs
+from repro.obs import bench
+from repro.obs.registry import MetricsRegistry
+
+#: Small but structurally interesting population: enough joins to force
+#: several splits, small enough to keep the test fast.
+TINY = 40
+
+#: Precomputed overhead stub so tests never pay for the timing loops.
+FAKE_OVERHEAD = {"noop_s": 0.1, "instrumented_s": 0.104, "ratio": 1.04}
+
+SCHEMA_KEYS = {"count", "mean", "p50", "p95", "p99", "min", "max", "total"}
+
+
+def test_build_network_is_deterministic():
+    grid_a, _, _ = bench.build_network(TINY, seed=5)
+    grid_b, _, _ = bench.build_network(TINY, seed=5)
+    rects_a = sorted(str(r.rect) for r in grid_a.space.regions)
+    rects_b = sorted(str(r.rect) for r in grid_b.space.regions)
+    assert rects_a == rects_b
+
+
+def test_run_micro_ops_populates_expected_metrics():
+    registry = MetricsRegistry()
+    bench.run_micro_ops(
+        registry, population=TINY, points=16, routes=8, queries=4, repeats=1
+    )
+    snapshot = registry.snapshot()
+    for name in (
+        "micro.build_ms",
+        "micro.locate_batch_ms",
+        "micro.region_load_batch_ms",
+        "micro.route_batch_ms",
+        "micro.query_batch_ms",
+        "micro.adaptation_round_ms",
+    ):
+        assert name in snapshot, f"missing {name}"
+        assert snapshot[name]["count"] >= 1
+    # The instrumented core reported through the same registry.
+    assert "space.locate.hops" in snapshot
+    assert "overlay.joins" in snapshot
+    # Nothing leaked into the global facade.
+    assert obs.active() is None
+
+
+def test_run_routing_records_hops_per_population():
+    registry = MetricsRegistry()
+    bench.run_routing(registry, populations=(TINY,), samples=10)
+    snapshot = registry.snapshot()
+    hops = snapshot[f"routing.hops.n{TINY}"]
+    assert hops["count"] == 10
+    assert hops["mean"] >= 0.0
+    assert f"routing.stretch.n{TINY}" in snapshot
+
+
+def test_write_bench_files_schema(tmp_path):
+    paths = bench.write_bench_files(
+        tmp_path,
+        population=TINY,
+        routing_populations=(TINY,),
+        samples=10,
+        overhead=FAKE_OVERHEAD,
+    )
+    assert [p.name for p in paths] == [
+        "BENCH_micro_ops.json", "BENCH_routing.json",
+    ]
+    for path in paths:
+        snapshot = json.loads(path.read_text())
+        assert snapshot, f"{path.name} is empty"
+        for name, row in snapshot.items():
+            assert SCHEMA_KEYS <= set(row), f"{name} missing schema keys"
+    micro = json.loads(paths[0].read_text())
+    assert micro["bench.overhead_ratio"]["mean"] == FAKE_OVERHEAD["ratio"]
+
+
+def test_cli_bench_writes_files(tmp_path, capsys, monkeypatch):
+    from repro.cli import main
+
+    # The real overhead measurement repeats the workload many times for
+    # noise robustness; stub it so the CLI test stays fast.
+    monkeypatch.setattr(bench, "measure_overhead", lambda: FAKE_OVERHEAD)
+    code = main([
+        "bench", "--out", str(tmp_path), "--population", str(TINY),
+    ])
+    assert code == 0
+    assert (tmp_path / "BENCH_micro_ops.json").exists()
+    assert (tmp_path / "BENCH_routing.json").exists()
+    out = capsys.readouterr().out
+    assert "BENCH_micro_ops.json" in out
+
+    micro = json.loads((tmp_path / "BENCH_micro_ops.json").read_text())
+    assert micro["bench.overhead_ratio"]["mean"] == FAKE_OVERHEAD["ratio"]

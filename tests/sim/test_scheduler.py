@@ -157,3 +157,80 @@ class TestGuards:
         scheduler.at(1.0, nested)
         with pytest.raises(SimulationError):
             scheduler.run_until(5.0)
+
+
+class TestCancellationAccounting:
+    """Regression: pending() was an O(N) scan and cancelled events sat in
+    the heap forever; both are now O(1) with lazy compaction."""
+
+    def test_cancel_thousands_purges_queue(self):
+        scheduler = EventScheduler()
+        events = [
+            scheduler.at(float(t), lambda: None) for t in range(1, 5001)
+        ]
+        keep = events[::10]
+        for event in events:
+            if event not in keep:
+                event.cancel()
+        assert scheduler.pending() == len(keep)
+        # Lazy compaction keeps the heap proportional to the live events
+        # instead of retaining all 5000 entries.
+        assert len(scheduler._queue) <= 2 * len(keep) + 1
+        assert scheduler.cancelled_total == len(events) - len(keep)
+
+    def test_pending_tracks_cancel_and_fire(self):
+        scheduler = EventScheduler()
+        a = scheduler.at(1.0, lambda: None)
+        b = scheduler.at(2.0, lambda: None)
+        scheduler.at(3.0, lambda: None)
+        assert scheduler.pending() == 3
+        b.cancel()
+        assert scheduler.pending() == 2
+        scheduler.run_until(1.5)
+        assert scheduler.pending() == 1
+        scheduler.run_all()
+        assert scheduler.pending() == 0
+        assert a.cancelled is False
+
+    def test_cancel_is_idempotent(self):
+        scheduler = EventScheduler()
+        event = scheduler.at(1.0, lambda: None)
+        scheduler.at(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        event.cancel()
+        assert scheduler.pending() == 1
+        assert scheduler.cancelled_total == 1
+
+    def test_cancel_after_fire_is_noop(self):
+        scheduler = EventScheduler()
+        fired = []
+        event = scheduler.at(1.0, lambda: fired.append(1))
+        scheduler.at(2.0, lambda: None)
+        scheduler.run_until(1.5)
+        assert fired == [1]
+        event.cancel()
+        assert scheduler.pending() == 1
+        assert scheduler.cancelled_total == 0
+
+    def test_cancelled_events_do_not_fire(self):
+        scheduler = EventScheduler()
+        fired = []
+        for t in range(1, 101):
+            event = scheduler.at(float(t), lambda t=t: fired.append(t))
+            if t % 2 == 0:
+                event.cancel()
+        scheduler.run_all()
+        assert fired == list(range(1, 101, 2))
+        assert scheduler.pending() == 0
+
+    def test_heavy_timer_churn_stays_bounded(self):
+        scheduler = EventScheduler()
+        for _ in range(50):
+            batch = [
+                scheduler.after(1.0, lambda: None) for _ in range(200)
+            ]
+            for event in batch:
+                event.cancel()
+            assert len(scheduler._queue) <= 201
+        assert scheduler.pending() == 0
