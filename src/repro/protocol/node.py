@@ -106,6 +106,25 @@ class ProtocolNode:
         self.caretaker_rects: Set[Rect] = set()
         self.last_seen: Dict[NodeAddress, float] = {}
         self.suspected: Set[NodeAddress] = set()
+        #: Recent heartbeat-borne ownership claims (rect -> (info, heard
+        #: at)), direct and gossiped alike.  Split-brain owners of one
+        #: region can have disjoint neighbor sets, so no single neighbor
+        #: table ever holds both claims; this cache lets any bystander
+        #: notice the conflict and trigger a confrontation.
+        self._claims_heard: Dict[Rect, Tuple[m.NeighborInfo, float]] = {}
+        #: Conflicting claim pairs already pointed at each other, with the
+        #: time of the last notification (rate limit for the witness).
+        self._claims_confronted: Dict[
+            Tuple[Rect, NodeAddress, NodeAddress], float
+        ] = {}
+        #: Who was told about each split we granted (handed rect ->
+        #: (recipients, announced at)).  A decline-triggered merge must
+        #: retract the announcement from exactly this audience: the table
+        #: is pruned to the *kept* half's neighbors at split time, so by
+        #: merge time it can have forgotten neighbors of the handed half.
+        self._split_announced: Dict[
+            Rect, Tuple[Set[NodeAddress], float]
+        ] = {}
         #: Secondary's replicated view of the primary's neighbor table.
         self._replicated_neighbors: Tuple[m.NeighborInfo, ...] = ()
 
@@ -517,6 +536,17 @@ class ProtocolNode:
         recipients = {
             info.primary for info in self.neighbor_table.values()
         }
+        now = self.scheduler.now
+        horizon = (
+            self.config.heartbeat_interval
+            * self.config.failure_timeout_multiplier
+        )
+        self._split_announced = {
+            rect: (audience, at)
+            for rect, (audience, at) in self._split_announced.items()
+            if now - at <= horizon
+        }
+        self._split_announced[handed] = (set(recipients), now)
         for rect in stale:
             del self.neighbor_table[rect]
         self.neighbor_table[handed] = joiner_info
@@ -668,16 +698,96 @@ class ProtocolNode:
                 ),
             )
             return False
+        # Hand over cleanly before yielding.  Complementary caretaker
+        # grants can give the two claimants disjoint views of the same
+        # region, so the winner may lack exactly the neighbor links we
+        # hold: ship them over, and point our own neighbors at the winner
+        # so they re-route there instead of timing us out and declaring
+        # the region a hole all over again.
+        for neighbor in self.neighbor_table.values():
+            if neighbor.primary == info.primary:
+                continue
+            self.network.send(
+                self.address, info.primary, m.NEIGHBOR_UPDATE,
+                m.NeighborUpdateBody(info=neighbor),
+            )
+        self._broadcast_update(m.NeighborUpdateBody(info=info))
         self.owned = None
         self.joined = False
         self.neighbor_table = {}
         self.caretaker_rects = set()
+        self._claims_heard = {}
+        self._claims_confronted = {}
         self._replicated_neighbors = ()
         for timer in self._timers:
             timer.cancel()
         self._timers.clear()
         self.start_join()
         return True
+
+    def _witness_claim(self, info: m.NeighborInfo) -> None:
+        """Arbitrate third-party ownership claims heard in heartbeats.
+
+        The neighbor-table witness in ``_on_heartbeat`` only fires when
+        one table holds both conflicting claims.  After a double
+        hole-grant the two claimants can have *disjoint* neighbor sets
+        (each caretaker handed its joiner a different side of the region),
+        so the claims only ever co-occur in the gossip streams crossing
+        some bystander.  That bystander remembers recent claims here and,
+        when two live claims for the *same* rect name different primaries,
+        sends each party the other's claim; the ensuing direct
+        confrontation makes the deterministic loser yield on first-hand
+        evidence.  Only exact-rect conflicts are arbitrated -- a double
+        grant hands out the identical region, while merely-overlapping
+        claims arise transiently around every split -- and a per-pair
+        cooldown bounds the witness to one notification per heartbeat
+        interval.
+        """
+        if info.primary == self.address:
+            return
+        now = self.scheduler.now
+        horizon = (
+            self.config.heartbeat_interval
+            * self.config.failure_timeout_multiplier
+        )
+        stale = [
+            rect for rect, (_, heard_at) in self._claims_heard.items()
+            if now - heard_at > horizon
+        ]
+        for rect in stale:
+            del self._claims_heard[rect]
+        cached = self._claims_heard.get(info.rect)
+        if (
+            cached is not None
+            and now - cached[1] <= horizon
+            and cached[0].primary != info.primary
+            and cached[0].primary != self.address
+            and cached[0].primary not in self.suspected
+            and info.primary not in self.suspected
+        ):
+            other = cached[0]
+            first, second = sorted(
+                (other.primary, info.primary),
+                key=lambda address: (address.ip, address.port),
+            )
+            pair = (info.rect, first, second)
+            last = self._claims_confronted.get(pair)
+            if last is None or now - last >= self.config.heartbeat_interval:
+                self._claims_confronted = {
+                    key: at
+                    for key, at in self._claims_confronted.items()
+                    if now - at <= horizon
+                }
+                self._claims_confronted[pair] = now
+                self.network.send(
+                    self.address, other.primary, m.NEIGHBOR_UPDATE,
+                    m.NeighborUpdateBody(info=info),
+                )
+                self.network.send(
+                    self.address, info.primary, m.NEIGHBOR_UPDATE,
+                    m.NeighborUpdateBody(info=other),
+                )
+        self._claims_heard[info.rect] = (info, now)
 
     def _on_neighbor_update(self, message: Message) -> None:
         body: m.NeighborUpdateBody = message.body
@@ -763,6 +873,12 @@ class ProtocolNode:
             return
         if self.owned is not None and body.rect != self.owned.rect:
             self.neighbor_stats[body.rect] = (body.index, body.capacity)
+        self._witness_claim(
+            m.NeighborInfo(
+                rect=body.rect, primary=message.source,
+                secondary=body.secondary,
+            )
+        )
         existing = self.neighbor_table.get(body.rect)
         if (
             existing is not None
@@ -807,6 +923,7 @@ class ProtocolNode:
             # confrontation (never an abandonment -- gossip can be stale,
             # and a probe to a genuinely dead claimant costs one message).
             self._resolve_ownership_conflict(info, direct=False)
+            self._witness_claim(info)
             if info.primary in self.suspected:
                 continue
             if info.rect in self.neighbor_table:
@@ -932,6 +1049,7 @@ class ProtocolNode:
         self.owned = None
         self.joined = False
         self.neighbor_table = {}
+        self._claims_heard = {}
         self._replicated_neighbors = ()
         for timer in self._timers:
             timer.cancel()
@@ -1103,6 +1221,17 @@ class ProtocolNode:
                 self.owned.peer = None
                 self._announce_self()
             return
+        # The split announcement went to the *pre-split* neighborhood, but
+        # the table has since been pruned to the kept half's neighbors --
+        # by now it can have forgotten neighbors of the handed half.  The
+        # retraction must reach the original audience, or the survivors
+        # keep a phantom entry for the declined region, time its
+        # never-speaking "owner" out, and caretake (then re-grant) ground
+        # that was never vacated.
+        announced = self._split_announced.pop(body.rect, None)
+        audience: Set[NodeAddress] = set() if announced is None else set(
+            announced[0]
+        )
         if self.owned.role == "primary" and self.owned.rect.can_merge_with(
             body.rect
         ):
@@ -1115,20 +1244,36 @@ class ProtocolNode:
                 for rect, info in self.neighbor_table.items()
                 if self.owned.rect.is_neighbor_of(rect)
             }
-            self._broadcast_update(
-                m.NeighborUpdateBody(
-                    info=self._my_info(), removed_rect=old_rect
+            for info in self.neighbor_table.values():
+                audience.add(info.primary)
+                if info.secondary is not None:
+                    audience.add(info.secondary)
+            audience.discard(self.address)
+            for recipient in audience:
+                self.network.send(
+                    self.address, recipient, m.NEIGHBOR_UPDATE,
+                    m.NeighborUpdateBody(
+                        info=self._my_info(), removed_rect=old_rect
+                    ),
                 )
-            )
-            self._broadcast_update(
-                m.NeighborUpdateBody(
-                    info=self._my_info(), removed_rect=body.rect
+                self.network.send(
+                    self.address, recipient, m.NEIGHBOR_UPDATE,
+                    m.NeighborUpdateBody(
+                        info=self._my_info(), removed_rect=body.rect
+                    ),
                 )
-            )
             self._send_sync()
             return
         # Cannot merge it back (we re-split since): serve it best-effort
-        # until a join fills it.
+        # until a join fills it, still retracting the stale announcement.
+        audience.discard(self.address)
+        for recipient in audience:
+            self.network.send(
+                self.address, recipient, m.NEIGHBOR_UPDATE,
+                m.NeighborUpdateBody(
+                    info=self._my_info(), removed_rect=body.rect
+                ),
+            )
         self.caretaker_rects.add(body.rect)
 
     # ------------------------------------------------------------------

@@ -89,6 +89,57 @@ def test_lost_grant_hole_is_served_and_healed():
         assert covered >= BOUNDS.area - 1e-6
 
 
+def test_double_hole_grant_split_brain_resolves():
+    """The regression hypothesis found: at seed 492 with 1% loss, a lost
+    split grant leaves a region whose believed owner never joined.  Two
+    nodes independently time the silent owner out and caretake the
+    orphan; one heals it by granting it to the retrying joiner, but the
+    other -- reachable from the healer only through a corner, so never
+    told -- later grants the *same* rect to a fresh joiner.  The two
+    primaries have disjoint neighbor sets, so only the claim gossip
+    crossing a bystander can expose the conflict; the witness must point
+    the claimants at each other and the deterministic loser must yield,
+    restoring an exact partition."""
+    cluster = ProtocolCluster(
+        BOUNDS, seed=492, latency=DistanceLatency(), drop_probability=0.01
+    )
+    rng = random.Random(492)
+    for _ in range(14):
+        cluster.join_node(
+            Point(rng.uniform(0.5, 63.5), rng.uniform(0.5, 63.5)),
+            capacity=rng.choice([1, 10, 100]),
+        )
+    cluster.settle(120)
+    cluster.check_partition(allow_caretaker_holes=True)
+    rects = cluster.primary_rects()
+    assert len(rects) == len({rect.as_tuple() for rect in rects})
+
+
+def test_declined_split_retraction_reaches_presplit_neighbors():
+    """Regression for a phantom region on a *loss-free* network (found by
+    soaking the growth scenario: seed 896043, 12 nodes, no drops).  A
+    slow secondary grant makes the granter split for the same joiner's
+    retry; the joiner declines and the granter merges back -- but its
+    table was already pruned to the kept half's neighbors, so the
+    retraction missed a pre-split neighbor.  That survivor kept a phantom
+    entry for the declined half, timed out its never-speaking "owner",
+    caretook ground inside a live region, and re-granted it, cascading
+    into overlap conflicts that orphaned a quarter of the plane.  The
+    merge must retract the split announcement from its original audience,
+    leaving an exact partition."""
+    cluster = ProtocolCluster(
+        BOUNDS, seed=896043, latency=DistanceLatency(), drop_probability=0.0
+    )
+    rng = random.Random(896043)
+    for _ in range(12):
+        cluster.join_node(
+            Point(rng.uniform(0.5, 63.5), rng.uniform(0.5, 63.5)),
+            capacity=rng.choice([1, 10, 100]),
+        )
+    cluster.settle(120)
+    cluster.check_partition(allow_caretaker_holes=False)
+
+
 @settings(max_examples=6, deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=100_000),
