@@ -8,17 +8,27 @@ Usage::
     python -m repro all --out results/
     python -m repro bench
     python -m repro routing --metrics
+    python -m repro flightrec --demo
+    python -m repro flightrec journal.jsonl --around 103.8 --window 5
 
 Each command builds the experiment at paper scale (tunable), prints the
 paper-style table, and optionally writes it under ``--out``.  ``bench``
 writes the machine-readable ``BENCH_micro_ops.json`` / ``BENCH_routing.json``
 snapshots (see :mod:`repro.obs.bench`); ``--metrics`` runs any command
 under a live metrics registry and dumps it as JSON afterwards.
+
+``flightrec`` is the flight-recorder inspector: it filters and
+pretty-prints a journal written by
+:meth:`repro.obs.flightrec.FlightRecorder.dump_jsonl` (or, with
+``--demo``, replays the seed-492 split brain under fault injection and
+prints the auditor's forensics dump).  It takes its own options, so it is
+parsed separately from the figure commands.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 from typing import Callable, Dict, List, Optional
@@ -248,12 +258,140 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_flightrec_parser() -> argparse.ArgumentParser:
+    """The ``flightrec`` subcommand's parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro flightrec",
+        description=(
+            "Dump/filter/pretty-print a flight-recorder journal, or "
+            "replay the seed-492 split brain with --demo."
+        ),
+    )
+    parser.add_argument(
+        "journal", nargs="?", type=pathlib.Path, default=None,
+        help="JSONL journal written by FlightRecorder.dump_jsonl",
+    )
+    parser.add_argument(
+        "--demo", action="store_true",
+        help="replay the seed-492 double hole-grant under fault "
+             "injection and print the forensics dump",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=492, help="demo scenario seed"
+    )
+    parser.add_argument(
+        "--around", type=float, default=None,
+        help="keep events within --window of this sim time",
+    )
+    parser.add_argument(
+        "--window", type=float, default=10.0,
+        help="half-width of the --around time window",
+    )
+    parser.add_argument(
+        "--last", type=int, default=None,
+        help="keep only the final N surviving events",
+    )
+    parser.add_argument(
+        "--kind", action="append", default=None,
+        help="keep this event kind (repeatable)",
+    )
+    parser.add_argument(
+        "--trace", type=int, default=None,
+        help="keep one causal trace by id",
+    )
+    parser.add_argument(
+        "--grep", default=None,
+        help="keep events whose rendered fields contain this substring",
+    )
+    parser.add_argument(
+        "--tree", action="store_true",
+        help="render surviving traces as span trees instead of a flat "
+             "event listing",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="also write the surviving events as JSONL to this file",
+    )
+    return parser
+
+
+def _flightrec_main(argv: List[str]) -> int:
+    from repro.obs import causal
+    # Not ``from repro.obs import flightrec``: the facade *function* of
+    # the same name shadows the submodule as a package attribute.
+    from repro.obs.flightrec import filter_events, load_jsonl, render_events
+
+    args = build_flightrec_parser().parse_args(argv)
+    if args.demo:
+        from repro.protocol.forensics import run_split_brain_repro
+
+        report = run_split_brain_repro(seed=args.seed)
+        print(report.render())
+        if args.out is not None:
+            report.recorder.dump_jsonl(args.out)
+            print(f"[saved journal to {args.out}]", file=sys.stderr)
+        return 0
+    if args.journal is None:
+        print(
+            "error: provide a journal file or --demo "
+            "(see python -m repro flightrec --help)",
+            file=sys.stderr,
+        )
+        return 2
+    events = load_jsonl(args.journal)
+    selected = filter_events(
+        events,
+        around=args.around,
+        window=args.window,
+        last=args.last,
+        kind=args.kind,
+        trace_id=args.trace,
+        grep=args.grep,
+    )
+    if args.tree:
+        for trace_id in causal.trace_ids(selected):
+            print(f"--- trace {trace_id} ---")
+            # Build from the *full* journal so filtered-out parents still
+            # shape the tree; the filter chooses which traces to show.
+            print(causal.render_trace(causal.build_trace(events, trace_id)))
+            print()
+    else:
+        print(render_events(selected))
+    if args.out is not None:
+        import json
+
+        args.out.write_text(
+            "".join(
+                json.dumps(event, sort_keys=True, default=str) + "\n"
+                for event in selected
+            )
+        )
+        print(f"[saved {len(selected)} events to {args.out}]", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # ``flightrec`` takes its own option set (journal filters), so it is
+    # routed before the figure parser sees -- and rejects -- its flags.
+    if argv and argv[0] == "flightrec":
+        try:
+            return _flightrec_main(list(argv[1:]))
+        except BrokenPipeError:
+            # Journal dumps are routinely piped into ``head``; a closed
+            # pipe is a normal end of output, not an error.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return 0
     args = build_parser().parse_args(argv)
     if args.command == "list":
         for name in sorted(COMMANDS):
             print(f"{name:<14} {DESCRIPTIONS[name]}")
+        print(
+            f"{'flightrec':<14} inspect flight-recorder journals "
+            f"(own flags; see 'flightrec --help')"
+        )
         return 0
     names = sorted(COMMANDS) if args.command == "all" else [args.command]
     registry = obs.enable() if args.metrics else None

@@ -206,6 +206,14 @@ class Space:
                 axis=axis.value,
                 child_area=new_rect.area,
             )
+        obs.record(
+            "region_split",
+            None,
+            parent=region.region_id,
+            child=new_region.region_id,
+            kept=str(kept_rect),
+            rect=str(new_rect),
+        )
         return new_region
 
     def merge_regions(self, survivor: Region, absorbed: Region) -> Region:
@@ -253,6 +261,13 @@ class Space:
                 absorbed=absorbed.region_id,
                 merged_area=merged_rect.area,
             )
+        obs.record(
+            "region_merge",
+            None,
+            survivor=survivor.region_id,
+            absorbed=absorbed.region_id,
+            rect=str(merged_rect),
+        )
         return survivor
 
     # ------------------------------------------------------------------

@@ -29,13 +29,23 @@ or scoped::
 ``python -m repro <figure> --metrics`` dumps the registry after any
 experiment; ``python -m repro bench`` writes ``BENCH_routing.json`` and
 ``BENCH_micro_ops.json`` snapshots (see :mod:`repro.obs.bench`).
+
+Alongside the metrics registry lives a second, independently switchable
+collector: the **flight recorder** (:mod:`repro.obs.flightrec`), a
+bounded deterministic journal of causally-linked events that
+:mod:`repro.obs.causal` turns into per-request span trees and
+:mod:`repro.obs.audit` feeds with invariant-violation reports.  Enable it
+with :func:`enable_flightrec` / :func:`flight_capture`; like the
+registry, it is off by default and every instrumentation site checks one
+module global.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -46,6 +56,7 @@ from repro.obs.registry import (
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -53,15 +64,23 @@ __all__ = [
     "active",
     "capture",
     "disable",
+    "disable_flightrec",
     "enable",
+    "enable_flightrec",
+    "flight_capture",
+    "flightrec",
     "inc",
     "observe",
+    "record",
     "set_gauge",
     "trace",
 ]
 
 #: The currently installed registry, or ``None`` (the no-op default).
 _active: Optional[MetricsRegistry] = None
+
+#: The currently installed flight recorder, or ``None`` (journal off).
+_flightrec: Optional[FlightRecorder] = None
 
 
 def active() -> Optional[MetricsRegistry]:
@@ -129,3 +148,70 @@ def trace(kind: str, /, **fields: object) -> None:
     """
     if _active is not None:
         _active.trace(kind, **fields)
+
+
+# ----------------------------------------------------------------------
+# Flight recorder facade (independent switch from the metrics registry)
+# ----------------------------------------------------------------------
+def flightrec() -> Optional[FlightRecorder]:
+    """The installed flight recorder, or ``None`` when the journal is off.
+
+    Like :func:`active`, hot paths fetch this once and skip their whole
+    journal block when it is ``None``.
+    """
+    return _flightrec
+
+
+def enable_flightrec(
+    recorder: Optional[FlightRecorder] = None,
+    capacity: Optional[int] = None,
+    clock: Optional[Callable[[], float]] = None,
+) -> FlightRecorder:
+    """Install ``recorder`` (or a fresh one) as the journal target.
+
+    ``capacity``/``clock`` configure the fresh recorder when none is
+    passed; ``clock`` is typically ``lambda: scheduler.now`` so events
+    recorded by clock-less layers still carry simulation time.
+    """
+    global _flightrec
+    if recorder is None:
+        kwargs = {} if capacity is None else {"capacity": capacity}
+        recorder = FlightRecorder(clock=clock, **kwargs)
+    _flightrec = recorder
+    return recorder
+
+
+def disable_flightrec() -> None:
+    """Remove the installed recorder; journal calls become no-ops."""
+    global _flightrec
+    _flightrec = None
+
+
+@contextmanager
+def flight_capture(
+    recorder: Optional[FlightRecorder] = None,
+    capacity: Optional[int] = None,
+    clock: Optional[Callable[[], float]] = None,
+) -> Iterator[FlightRecorder]:
+    """Context manager: journal into ``recorder`` for the block's duration.
+
+    Restores whatever recorder (or off state) was installed before, also
+    on exceptions -- nesting works the same way as :func:`capture`.
+    """
+    global _flightrec
+    previous = _flightrec
+    installed = enable_flightrec(recorder, capacity=capacity, clock=clock)
+    try:
+        yield installed
+    finally:
+        _flightrec = previous
+
+
+def record(kind: str, t: Optional[float] = None, /, **fields: object) -> None:
+    """Append a journal event (no-op when the flight recorder is off).
+
+    ``kind``/``t`` are positional-only; with ``t=None`` the recorder's
+    attached clock supplies the timestamp.
+    """
+    if _flightrec is not None:
+        _flightrec.record(kind, t, **fields)

@@ -1,0 +1,377 @@
+"""The continuous invariant auditor for the message-level protocol.
+
+PR 2's split-brain and phantom-region bugs were only *noticed* at the end
+of a run, when a quiescence assertion failed -- by which point the trace
+ring held hours of unrelated traffic and the hunt for "when did coverage
+first break?" was manual.  The auditor closes that gap: attached to a
+:class:`~repro.protocol.cluster.ProtocolCluster` it re-checks the
+protocol's global invariants at a configurable sim-time interval and, on
+violation, records an ``audit_violation`` journal event so the flight
+recorder's slice around that moment *is* the forensic dump.
+
+Checks (each individually selectable):
+
+* ``overlap`` -- no two live primaries' regions intersect (the double
+  hole-grant split brain is exactly this).  **Hard**: reported the tick
+  it appears.
+* ``coverage`` -- live primaries plus caretakers cover the whole plane.
+* ``symmetry`` -- adjacent live primaries know each other (neighbor-link
+  symmetry; a one-sided link is how phantom regions and missed
+  retractions begin).
+* ``dualpeer`` -- a primary's ``peer`` points at a live secondary that
+  agrees on the rect and points back.
+
+All checks except ``overlap`` are **soft**: legitimately violated for a
+grant's flight time during growth, so a finding is only *reported* when
+it persists across two consecutive audit ticks (deterministic debounce).
+A reported violation stays active until its key clears, so the
+``violations`` list records state *transitions* -- the first entry is
+"when it first broke".
+
+The auditor reads only the same global test-harness view the cluster's
+own quiescence assertions use; it never mutates protocol state, so
+auditing a run cannot change its outcome (beyond consuming rng-free
+scheduler slots, which do not perturb message timing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro import obs
+from repro.errors import SimulationError
+
+__all__ = ["AuditError", "AuditViolation", "InvariantAuditor", "ALL_CHECKS"]
+
+#: Every check the auditor knows, in report order.
+ALL_CHECKS = ("overlap", "coverage", "symmetry", "dualpeer")
+
+#: Relative tolerance on area comparisons (matches the cluster checks).
+_AREA_EPS = 1e-6
+
+
+class AuditError(SimulationError):
+    """Raised when ``halt_on_violation`` is set and an invariant breaks."""
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One confirmed invariant violation."""
+
+    #: Sim time of the audit tick that confirmed the violation.
+    time: float
+    #: Which invariant broke (one of :data:`ALL_CHECKS`).
+    check: str
+    #: ``"hard"`` (structural, reported immediately) or ``"soft"``
+    #: (debounced across two ticks).
+    severity: str
+    #: Stable identity of the violation (rects/addresses involved), used
+    #: for debounce and journal correlation.
+    subject: str
+    #: Human-readable description.
+    detail: str
+    #: Machine-readable context (e.g. ``{"rects": [...], "owners": [...]}``)
+    #: for forensics tooling.
+    data: Dict[str, object] = field(default_factory=dict, compare=False)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"[t={self.time:g}] {self.check}/{self.severity}: {self.detail}"
+        )
+
+
+class InvariantAuditor:
+    """Periodically audit a protocol cluster's global invariants.
+
+    ``cluster`` is duck-typed: anything with ``nodes`` (mapping to
+    protocol nodes), ``bounds`` and ``scheduler`` works, so tests can
+    audit hand-built fixtures.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        interval: float = 5.0,
+        checks: Sequence[str] = ALL_CHECKS,
+        allow_caretaker_holes: bool = True,
+        halt_on_violation: bool = False,
+    ) -> None:
+        unknown = set(checks) - set(ALL_CHECKS)
+        if unknown:
+            raise ValueError(f"unknown audit checks: {sorted(unknown)}")
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.cluster = cluster
+        self.interval = interval
+        self.checks = tuple(checks)
+        self.allow_caretaker_holes = allow_caretaker_holes
+        self.halt_on_violation = halt_on_violation
+        #: Confirmed violations, in confirmation order (state transitions:
+        #: one entry per key per breakage episode).
+        self.violations: List[AuditViolation] = []
+        #: Number of completed audit ticks.
+        self.ticks = 0
+        self._timer = None
+        #: Soft findings seen last tick, awaiting confirmation.
+        self._pending: Dict[Tuple[str, str], AuditViolation] = {}
+        #: Keys currently in reported-violation state.
+        self._active: Set[Tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "InvariantAuditor":
+        """Arm the periodic audit timer on the cluster's scheduler."""
+        if self._timer is None:
+            self._timer = self.cluster.scheduler.every(
+                self.interval, self.tick
+            )
+        return self
+
+    def stop(self) -> None:
+        """Disarm the audit timer."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # Auditing
+    # ------------------------------------------------------------------
+    def tick(self) -> List[AuditViolation]:
+        """Run one audit pass; returns the violations confirmed this tick.
+
+        Hard findings confirm immediately; soft findings confirm on their
+        second consecutive sighting.  Confirmed violations are appended to
+        :attr:`violations`, journaled, and -- with ``halt_on_violation``
+        -- raised as :class:`AuditError`.
+        """
+        self.ticks += 1
+        now = self.cluster.scheduler.now
+        findings = self.run_checks()
+        confirmed: List[AuditViolation] = []
+        pending: Dict[Tuple[str, str], AuditViolation] = {}
+        seen: Set[Tuple[str, str]] = set()
+        for violation in findings:
+            key = (violation.check, violation.subject)
+            seen.add(key)
+            if key in self._active:
+                continue  # already reported; still broken
+            if violation.severity == "hard" or key in self._pending:
+                confirmed.append(violation)
+                self._active.add(key)
+            else:
+                pending[key] = violation
+        self._pending = pending
+        self._active &= seen  # cleared keys may be re-reported later
+        for violation in confirmed:
+            self.violations.append(violation)
+            obs.record(
+                "audit_violation",
+                now,
+                check=violation.check,
+                severity=violation.severity,
+                subject=violation.subject,
+                detail=violation.detail,
+            )
+        if confirmed and self.halt_on_violation:
+            raise AuditError(
+                f"invariant violation at t={now:g}: {confirmed[0].detail}"
+            )
+        return confirmed
+
+    def run_checks(self) -> List[AuditViolation]:
+        """One stateless audit pass: every enabled check, no debounce."""
+        now = self.cluster.scheduler.now
+        nodes = [node for node in self.cluster.nodes.values() if node.alive]
+        primaries = [
+            node
+            for node in nodes
+            if node.joined
+            and node.owned is not None
+            and node.owned.role == "primary"
+        ]
+        findings: List[AuditViolation] = []
+        if "overlap" in self.checks:
+            findings.extend(self._check_overlap(now, primaries))
+        if "coverage" in self.checks:
+            findings.extend(self._check_coverage(now, nodes, primaries))
+        if "symmetry" in self.checks:
+            findings.extend(self._check_symmetry(now, primaries))
+        if "dualpeer" in self.checks:
+            findings.extend(self._check_dualpeer(now, nodes, primaries))
+        return findings
+
+    # ------------------------------------------------------------------
+    # Individual checks
+    # ------------------------------------------------------------------
+    def _check_overlap(self, now, primaries) -> List[AuditViolation]:
+        findings = []
+        for i, a in enumerate(primaries):
+            for b in primaries[i + 1 :]:
+                ra, rb = a.owned.rect, b.owned.rect
+                if ra == rb or ra.intersects(rb):
+                    rects = sorted((str(ra), str(rb)))
+                    owners = sorted((str(a.address), str(b.address)))
+                    findings.append(
+                        AuditViolation(
+                            time=now,
+                            check="overlap",
+                            severity="hard",
+                            subject="|".join(rects),
+                            detail=(
+                                f"primaries {owners[0]} and {owners[1]} "
+                                f"both claim overlapping ground: "
+                                f"{rects[0]} vs {rects[1]}"
+                            ),
+                            data={"rects": rects, "owners": owners},
+                        )
+                    )
+        return findings
+
+    def _check_coverage(self, now, nodes, primaries) -> List[AuditViolation]:
+        bounds = self.cluster.bounds
+        covered = sum(node.owned.rect.area for node in primaries)
+        missing = bounds.area - covered
+        if missing <= _AREA_EPS * bounds.area:
+            return []
+        caretaken = 0.0
+        holes: Set[tuple] = set()
+        for node in nodes:
+            for rect in getattr(node, "caretaker_rects", ()):
+                key = rect.as_tuple()
+                if key not in holes:
+                    holes.add(key)
+                    caretaken += rect.area
+        if (
+            self.allow_caretaker_holes
+            and missing <= caretaken + _AREA_EPS * bounds.area
+        ):
+            return []  # the documented degraded-but-serviceable state
+        return [
+            AuditViolation(
+                time=now,
+                check="coverage",
+                severity="soft",
+                subject=f"missing~{missing:.6g}",
+                detail=(
+                    f"primaries cover {covered:g} of {bounds.area:g} "
+                    f"(caretakers stand in for {caretaken:g}); "
+                    f"{missing - caretaken:g} of the plane is unserved"
+                ),
+                data={"missing": missing, "caretaken": caretaken},
+            )
+        ]
+
+    def _check_symmetry(self, now, primaries) -> List[AuditViolation]:
+        findings = []
+        for i, a in enumerate(primaries):
+            for b in primaries[i + 1 :]:
+                ra, rb = a.owned.rect, b.owned.rect
+                if not ra.is_neighbor_of(rb):
+                    continue
+                a_knows = rb in a.neighbor_table
+                b_knows = ra in b.neighbor_table
+                if a_knows and b_knows:
+                    continue
+                gaps = []
+                if not a_knows:
+                    gaps.append(f"{a.address} lacks {rb}")
+                if not b_knows:
+                    gaps.append(f"{b.address} lacks {ra}")
+                owners = sorted((str(a.address), str(b.address)))
+                findings.append(
+                    AuditViolation(
+                        time=now,
+                        check="symmetry",
+                        severity="soft",
+                        subject="~".join(owners),
+                        detail=(
+                            "neighbor link broken between adjacent "
+                            f"primaries: {'; '.join(gaps)}"
+                        ),
+                        data={"owners": owners},
+                    )
+                )
+        return findings
+
+    def _check_dualpeer(self, now, nodes, primaries) -> List[AuditViolation]:
+        findings = []
+        by_address = {node.address: node for node in nodes}
+        for primary in primaries:
+            peer_address = primary.owned.peer
+            if peer_address is None:
+                continue
+            peer = by_address.get(peer_address)
+            if peer is None or not peer.alive:
+                continue  # the failure sweep will evict it; not split state
+            agrees = (
+                peer.owned is not None
+                and peer.owned.role == "secondary"
+                and peer.owned.rect == primary.owned.rect
+                and peer.owned.peer == primary.address
+            )
+            if agrees:
+                continue
+            findings.append(
+                AuditViolation(
+                    time=now,
+                    check="dualpeer",
+                    severity="soft",
+                    subject=f"{primary.address}+{peer_address}",
+                    detail=(
+                        f"primary {primary.address} of "
+                        f"{primary.owned.rect} names live peer "
+                        f"{peer_address}, which does not reciprocate"
+                    ),
+                    data={
+                        "primary": str(primary.address),
+                        "secondary": str(peer_address),
+                        "rect": str(primary.owned.rect),
+                    },
+                )
+            )
+        return findings
+
+    # ------------------------------------------------------------------
+    # Forensics
+    # ------------------------------------------------------------------
+    def journal_slice(
+        self,
+        violation: AuditViolation,
+        window: float = 30.0,
+        events: Optional[Iterable[dict]] = None,
+    ) -> List[dict]:
+        """The journal slice that explains ``violation``.
+
+        Events within ``window`` sim-time units before the violation,
+        plus -- regardless of age -- every event naming one of the
+        violation's rects or owners (so the grants that *created* a
+        split brain surface even when they predate the window).
+        """
+        if events is None:
+            recorder = obs.flightrec()
+            events = recorder.events() if recorder is not None else []
+        needles = [
+            str(value)
+            for key in ("rects", "owners")
+            for value in violation.data.get(key, ())  # type: ignore[union-attr]
+        ]
+        sliced = []
+        for event in events:
+            t = float(event.get("t", 0.0))
+            if violation.time - window <= t <= violation.time:
+                sliced.append(event)
+                continue
+            if needles:
+                rendered = " ".join(str(v) for v in event.values())
+                if any(needle in rendered for needle in needles):
+                    sliced.append(event)
+        return sliced
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InvariantAuditor(ticks={self.ticks}, "
+            f"violations={len(self.violations)}, "
+            f"checks={'/'.join(self.checks)})"
+        )

@@ -1,0 +1,264 @@
+"""The flight recorder: a bounded, deterministic journal of causal events.
+
+PR 2's hardest protocol bugs (the double hole-grant split brain, the
+declined-split retraction miss) each took a seed-by-seed forensic hunt,
+because the metrics layer records *events* but not *causality*.  The
+flight recorder is the black box that turns those hunts into a one-command
+replay: every message send/delivery/drop and every protocol decision
+(grants, yields, failovers, caretaker adoptions, audit violations) is
+appended to one bounded ring, stamped with the virtual time and the causal
+span that produced it.
+
+Design constraints match the metrics registry's:
+
+1. **Off by default, near-free when off.**  Instrumentation sites check
+   :func:`repro.obs.flightrec` (one module global) and return.
+2. **Deterministic.**  Events are keyed by sim time plus monotonic
+   sequence, trace and span ids come from per-recorder counters, and no
+   wall-clock or process-random state is ever recorded -- two identical
+   runs produce byte-identical journals.
+3. **Bounded.**  The ring keeps the most recent ``capacity`` events; the
+   interesting window around a failure is always the *recent* past, which
+   is exactly what survives.
+
+Events are plain dicts (``{"t", "seq", "kind", ...fields}``) so they can
+be filtered, sliced, and round-tripped through JSONL without a schema
+migration every time an instrumentation site adds a field.  The causal
+fields -- ``trace_id``, ``span_id``, ``parent_span``, ``msg_id`` -- are
+what :mod:`repro.obs.causal` uses to rebuild hop-by-hop span trees.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import pathlib
+from collections import deque
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
+
+__all__ = [
+    "FlightRecorder",
+    "filter_events",
+    "load_jsonl",
+    "render_events",
+]
+
+#: Default bound on the journal ring.
+DEFAULT_CAPACITY = 65_536
+
+#: One journal record.  Kept as a plain dict for JSONL round-tripping.
+JournalEvent = Dict[str, object]
+
+
+class FlightRecorder:
+    """A bounded ring of causally-linked journal events.
+
+    ``clock`` supplies the default timestamp for events recorded without
+    an explicit time (e.g. from layers that have no scheduler handle);
+    wire it to the simulation scheduler with
+    ``FlightRecorder(clock=lambda: scheduler.now)``.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.clock = clock
+        self._events: Deque[JournalEvent] = deque(maxlen=capacity)
+        #: Events appended over the recorder's lifetime (the ring only
+        #: retains the most recent ``capacity`` of them).
+        self.appended = 0
+        self._seq = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Id allocation (used by repro.obs.causal and the transport)
+    # ------------------------------------------------------------------
+    def next_trace_id(self) -> int:
+        """A fresh trace id (one per causally-independent operation)."""
+        return next(self._trace_ids)
+
+    def next_span_id(self) -> int:
+        """A fresh span id (one per message or operation span)."""
+        return next(self._span_ids)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(
+        self, kind: str, t: Optional[float] = None, /, **fields: object
+    ) -> JournalEvent:
+        """Append one journal event and return it.
+
+        ``kind`` and ``t`` are positional-only so instrumentation sites
+        may use ``kind=...`` / ``t=...`` as ordinary event fields.  With
+        ``t=None`` the recorder's ``clock`` supplies the timestamp (0.0
+        when no clock is attached).
+        """
+        if t is None:
+            t = self.clock() if self.clock is not None else 0.0
+        event: JournalEvent = {"t": t, "seq": next(self._seq), "kind": kind}
+        event.update(fields)
+        self._events.append(event)
+        self.appended += 1
+        return event
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def events(
+        self,
+        kind: Optional[Union[str, Sequence[str]]] = None,
+        trace_id: Optional[int] = None,
+    ) -> List[JournalEvent]:
+        """Retained events, optionally filtered by kind and/or trace."""
+        return filter_events(self._events, kind=kind, trace_id=trace_id)
+
+    def slice(
+        self,
+        around: Optional[float] = None,
+        window: float = 10.0,
+        last: Optional[int] = None,
+        kind: Optional[Union[str, Sequence[str]]] = None,
+        trace_id: Optional[int] = None,
+        grep: Optional[str] = None,
+    ) -> List[JournalEvent]:
+        """The journal slice around a failure (see :func:`filter_events`)."""
+        return filter_events(
+            self._events,
+            around=around,
+            window=window,
+            last=last,
+            kind=kind,
+            trace_id=trace_id,
+            grep=grep,
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def dumps_jsonl(self) -> str:
+        """The retained journal as JSON-lines text (one event per line)."""
+        return "\n".join(
+            json.dumps(event, sort_keys=True, default=str)
+            for event in self._events
+        )
+
+    def dump_jsonl(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the retained journal to ``path`` as JSONL."""
+        path = pathlib.Path(path)
+        text = self.dumps_jsonl()
+        path.write_text(text + "\n" if text else "")
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FlightRecorder(events={len(self._events)}/{self.capacity}, "
+            f"appended={self.appended})"
+        )
+
+
+def load_jsonl(path: Union[str, pathlib.Path]) -> List[JournalEvent]:
+    """Read a journal written by :meth:`FlightRecorder.dump_jsonl`."""
+    events: List[JournalEvent] = []
+    for line in pathlib.Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            events.append(json.loads(line))
+    return events
+
+
+def filter_events(
+    events: Iterable[JournalEvent],
+    around: Optional[float] = None,
+    window: float = 10.0,
+    last: Optional[int] = None,
+    kind: Optional[Union[str, Sequence[str]]] = None,
+    trace_id: Optional[int] = None,
+    grep: Optional[str] = None,
+) -> List[JournalEvent]:
+    """Select journal events for inspection.
+
+    * ``around``/``window`` keep events with ``t`` in
+      ``[around - window, around + window]`` -- the "last N seconds
+      around a failure" view.
+    * ``kind`` keeps one kind (or any of a sequence of kinds).
+    * ``trace_id`` keeps one causal trace.
+    * ``grep`` keeps events whose rendered fields contain the substring
+      (how a contested rect or address is chased through the journal).
+    * ``last`` keeps only the final N of whatever survived the filters.
+    """
+    kinds = None
+    if kind is not None:
+        kinds = {kind} if isinstance(kind, str) else set(kind)
+    selected: List[JournalEvent] = []
+    for event in events:
+        if kinds is not None and event.get("kind") not in kinds:
+            continue
+        if trace_id is not None and event.get("trace_id") != trace_id:
+            continue
+        if around is not None:
+            t = float(event.get("t", 0.0))
+            if not (around - window <= t <= around + window):
+                continue
+        if grep is not None and grep not in _render_fields(event):
+            continue
+        selected.append(event)
+    if last is not None and last >= 0:
+        selected = selected[-last:] if last else []
+    return selected
+
+
+#: Keys rendered in the fixed prefix columns rather than the field list.
+_PREFIX_KEYS = ("t", "seq", "kind", "trace_id", "span_id", "parent_span")
+
+
+def _render_fields(event: JournalEvent) -> str:
+    parts = [
+        f"{key}={event[key]}"
+        for key in event
+        if key not in _PREFIX_KEYS
+    ]
+    return " ".join(parts)
+
+
+def render_events(events: Sequence[JournalEvent]) -> str:
+    """Pretty-print a journal slice, one aligned line per event."""
+    if not events:
+        return "(no events)"
+    lines = []
+    for event in events:
+        trace = event.get("trace_id")
+        span = event.get("span_id")
+        causal = ""
+        if trace is not None:
+            causal = f"  [trace {trace}"
+            if span is not None:
+                parent = event.get("parent_span")
+                causal += f" span {span}"
+                if parent is not None:
+                    causal += f"<-{parent}"
+            causal += "]"
+        lines.append(
+            f"t={float(event.get('t', 0.0)):>10.3f}  "
+            f"{str(event.get('kind', '?')):<18}"
+            f"{causal:<24}  {_render_fields(event)}"
+        )
+    return "\n".join(lines)

@@ -271,6 +271,19 @@ class ProtocolCluster:
                         f"primary regions {a} and {b} overlap"
                     )
 
+    def attach_auditor(self, interval: float = 5.0, **kwargs):
+        """Attach a started continuous invariant auditor to this cluster.
+
+        Convenience wrapper around
+        :class:`repro.obs.audit.InvariantAuditor` (imported lazily so the
+        obs layer stays optional for plain protocol tests); forwards
+        ``kwargs`` (``checks``, ``halt_on_violation``, ...) and returns
+        the running auditor.
+        """
+        from repro.obs.audit import InvariantAuditor
+
+        return InvariantAuditor(self, interval=interval, **kwargs).start()
+
     def alive_count(self) -> int:
         """Number of running protocol nodes."""
         return sum(1 for pnode in self.nodes.values() if pnode.alive)

@@ -18,6 +18,7 @@ from repro.errors import BootstrapError, MembershipError
 from repro.geometry import Point, Rect
 from repro.bootstrap import BootstrapServer, HostCache
 from repro.core.node import Node, NodeAddress
+from repro.obs import causal
 from repro.sim.scheduler import EventScheduler
 from repro.sim.transport import Message, SimNetwork
 from repro.protocol import messages as m
@@ -63,6 +64,12 @@ class NodeConfig:
     adaptation_interval: float = 15.0
     #: Trigger ratio over the lowest neighbor index (paper: sqrt(2)).
     adaptation_trigger_ratio: float = 1.4142135623730951
+    #: Whether bystanders arbitrate third-party ownership claims heard in
+    #: heartbeat gossip (the PR-2 split-brain witness).  Disabling this is
+    #: a *fault-injection knob*: it re-opens the double hole-grant split
+    #: brain so the invariant auditor and flight recorder can be exercised
+    #: against a real historical failure (see repro.protocol.forensics).
+    claim_witness_enabled: bool = True
 
 
 @dataclass
@@ -215,10 +222,21 @@ class ProtocolNode:
             joiner=self.address, coord=self.node.coord,
             capacity=self.node.capacity, nonce=self._join_attempt,
         )
-        self.network.send(self.address, entry, m.JOIN_REQUEST, body)
-        self.scheduler.after(
-            self.config.join_retry_interval, self._retry_join
+        # The whole join -- request, retries, and the eventual grant -- is
+        # one causal trace rooted here (a retry is a *child* of the span
+        # that armed it, so the trace shows attempt lineage).
+        ctx = causal.operation(
+            "join_start",
+            joiner=str(self.address),
+            coord=str(self.node.coord),
+            attempt=self._join_attempt,
+            entry=str(entry),
         )
+        with causal.using(ctx):
+            self.network.send(self.address, entry, m.JOIN_REQUEST, body)
+            self.scheduler.after(
+                self.config.join_retry_interval, self._retry_join
+            )
 
     def _retry_join(self) -> None:
         """Re-issue the join through a fresh entry if still unjoined."""
@@ -328,13 +346,24 @@ class ProtocolNode:
             origin=self.address, target=target, payload=payload,
             request_id=request_id,
         )
-        self._handle_route(body)
+        ctx = causal.operation(
+            "route_request",
+            origin=str(self.address),
+            target=str(target),
+            request_id=request_id,
+        )
+        with causal.using(ctx):
+            self._handle_route(body)
         return request_id
 
     def publish(self, point: Point, item: Any) -> None:
         """Store a geo-tagged item at the region covering ``point``."""
         body = m.PublishBody(origin=self.address, point=point, item=item)
-        self._handle_publish(body)
+        ctx = causal.operation(
+            "publish", origin=str(self.address), point=str(point)
+        )
+        with causal.using(ctx):
+            self._handle_publish(body)
 
     def query_rect(self, rect: Rect) -> int:
         """Issue a location query over ``rect``.
@@ -344,7 +373,14 @@ class ProtocolNode:
         """
         request_id = next(_request_ids)
         body = m.QueryBody(origin=self.address, rect=rect, request_id=request_id)
-        self._handle_query(body)
+        ctx = causal.operation(
+            "query_rect",
+            origin=str(self.address),
+            rect=str(rect),
+            request_id=request_id,
+        )
+        with causal.using(ctx):
+            self._handle_query(body)
         return request_id
 
     # ------------------------------------------------------------------
@@ -469,6 +505,12 @@ class ProtocolNode:
     def _grant_secondary(self, body: m.JoinRequestBody) -> None:
         """Fill this region's empty secondary slot with the joiner."""
         assert self.owned is not None
+        causal.annotate(
+            "grant_secondary",
+            granter=str(self.address),
+            joiner=str(body.joiner),
+            rect=str(self.owned.rect),
+        )
         self.owned.peer = body.joiner
         # Start the liveness clock now: the joiner cannot heartbeat before
         # the grant completes its round trip.
@@ -502,6 +544,13 @@ class ProtocolNode:
             kept, handed = high, low
         else:
             kept, handed = low, high
+        causal.annotate(
+            "grant_split",
+            granter=str(self.address),
+            joiner=str(body.joiner),
+            kept=str(kept),
+            rect=str(handed),
+        )
         self.owned.rect = kept
         kept_items = [
             (point, item) for point, item in self.owned.items
@@ -563,6 +612,12 @@ class ProtocolNode:
 
     def _grant_hole(self, body: m.JoinRequestBody, hole: Rect) -> None:
         """Fill an orphaned region (all owners dead) with the joiner."""
+        causal.annotate(
+            "grant_hole",
+            granter=str(self.address),
+            joiner=str(body.joiner),
+            rect=str(hole),
+        )
         neighbors = [
             info for info in self.neighbor_table.values()
             if hole.is_neighbor_of(info.rect)
@@ -591,10 +646,23 @@ class ProtocolNode:
             decline = m.GrantDeclineBody(
                 role=body.role, rect=body.rect, items=body.items
             )
+            causal.annotate(
+                "grant_declined",
+                joiner=str(self.address),
+                granter=str(message.source),
+                rect=str(body.rect),
+            )
             self.network.send(
                 self.address, message.source, m.GRANT_DECLINE, decline
             )
             return
+        causal.annotate(
+            "grant_accepted",
+            joiner=str(self.address),
+            granter=str(message.source),
+            role=body.role,
+            rect=str(body.rect),
+        )
         self.owned = OwnedRegion(
             rect=body.rect,
             role=body.role,
@@ -704,6 +772,13 @@ class ProtocolNode:
         # hold: ship them over, and point our own neighbors at the winner
         # so they re-route there instead of timing us out and declaring
         # the region a hole all over again.
+        causal.annotate(
+            "ownership_yield",
+            loser=str(self.address),
+            winner=str(info.primary),
+            rect=str(self.owned.rect),
+            claimed=str(info.rect),
+        )
         for neighbor in self.neighbor_table.values():
             if neighbor.primary == info.primary:
                 continue
@@ -743,6 +818,8 @@ class ProtocolNode:
         cooldown bounds the witness to one notification per heartbeat
         interval.
         """
+        if not self.config.claim_witness_enabled:
+            return
         if info.primary == self.address:
             return
         now = self.scheduler.now
@@ -779,6 +856,12 @@ class ProtocolNode:
                     if now - at <= horizon
                 }
                 self._claims_confronted[pair] = now
+                causal.annotate(
+                    "claim_confront",
+                    witness=str(self.address),
+                    rect=str(info.rect),
+                    claimants=f"{first}/{second}",
+                )
                 self.network.send(
                     self.address, other.primary, m.NEIGHBOR_UPDATE,
                     m.NeighborUpdateBody(info=info),
@@ -881,7 +964,8 @@ class ProtocolNode:
         )
         existing = self.neighbor_table.get(body.rect)
         if (
-            existing is not None
+            self.config.claim_witness_enabled
+            and existing is not None
             and existing.primary != message.source
             and existing.primary != self.address
             and existing.primary not in self.suspected
@@ -894,6 +978,12 @@ class ProtocolNode:
             winner, loser = sorted(
                 (existing.primary, message.source),
                 key=lambda address: (address.ip, address.port),
+            )
+            causal.annotate(
+                "claim_confront",
+                witness=str(self.address),
+                rect=str(body.rect),
+                claimants=f"{winner}/{loser}",
             )
             self.network.send(
                 self.address, loser, m.NEIGHBOR_UPDATE,
@@ -974,6 +1064,12 @@ class ProtocolNode:
             )
             seen = self.last_seen.get(self.owned.peer)
             if seen is not None and now - seen > timeout:
+                causal.annotate(
+                    "peer_evicted",
+                    primary=str(self.address),
+                    peer=str(self.owned.peer),
+                    rect=str(self.owned.rect),
+                )
                 self.suspected.add(self.owned.peer)
                 self.owned.peer = None
                 self._announce_self()
@@ -1007,6 +1103,12 @@ class ProtocolNode:
                 continue
             # Last owner of the region is gone: become a caretaker until a
             # join fills the hole.
+            causal.annotate(
+                "caretake_adopt",
+                caretaker=str(self.address),
+                rect=str(rect),
+                suspect=str(info.primary),
+            )
             del self.neighbor_table[rect]
             self.caretaker_rects.add(rect)
 
@@ -1014,6 +1116,12 @@ class ProtocolNode:
         """Dual-peer failover: activate the backup (Section 2.3)."""
         assert self.owned is not None
         failed = self.owned.peer
+        causal.annotate(
+            "failover",
+            successor=str(self.address),
+            failed=str(failed),
+            rect=str(self.owned.rect),
+        )
         self.owned.role = "primary"
         self.owned.peer = None
         if self._replicated_neighbors:
@@ -1101,6 +1209,12 @@ class ProtocolNode:
             )
         self.neighbor_stats = {}
         self.switches_completed += 1
+        causal.annotate(
+            "switch_installed",
+            owner=str(self.address),
+            rect=str(state.rect),
+            counterpart=str(counterpart),
+        )
         self._announce_self()
         self._send_sync()
         self._send_neighbor_heartbeats()
@@ -1143,6 +1257,12 @@ class ProtocolNode:
         )
         self._switch_pending = True
         self._switch_shipped_count = len(self.owned.items)
+        causal.annotate(
+            "switch_proposed",
+            initiator=str(self.address),
+            target=str(target),
+            rect=str(self.owned.rect),
+        )
         self.network.send(self.address, target, m.SWITCH_REQUEST, request)
         # Clear the pending flag if no answer ever arrives (lost message,
         # crashed counterpart) so adaptation is not wedged forever.
@@ -1236,6 +1356,12 @@ class ProtocolNode:
             body.rect
         ):
             old_rect = self.owned.rect
+            causal.annotate(
+                "decline_merge",
+                owner=str(self.address),
+                rect=str(body.rect),
+                merged=str(self.owned.rect.merge_with(body.rect)),
+            )
             self.owned.rect = self.owned.rect.merge_with(body.rect)
             self.owned.items.extend(body.items)
             self.neighbor_table.pop(body.rect, None)
@@ -1266,6 +1392,11 @@ class ProtocolNode:
             return
         # Cannot merge it back (we re-split since): serve it best-effort
         # until a join fills it, still retracting the stale announcement.
+        causal.annotate(
+            "decline_caretake",
+            owner=str(self.address),
+            rect=str(body.rect),
+        )
         audience.discard(self.address)
         for recipient in audience:
             self.network.send(
@@ -1286,6 +1417,12 @@ class ProtocolNode:
         if self._forward_to_my_primary(m.ROUTE, body):
             return
         if self._owns_point(body.target) or self._caretaker_for(body.target):
+            causal.annotate(
+                "route_served",
+                executor=str(self.address),
+                request_id=body.request_id,
+                hops=body.hops,
+            )
             self._window_served += 1
             if self.on_deliver is not None:
                 self.on_deliver(body.target, body.payload)

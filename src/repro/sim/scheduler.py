@@ -23,6 +23,7 @@ from typing import Callable, List, Optional
 
 from repro import obs
 from repro.errors import SimulationError
+from repro.obs import causal
 
 #: An event body; receives no arguments (close over what you need).
 EventCallback = Callable[[], None]
@@ -36,6 +37,12 @@ class Event:
     sequence: int
     callback: EventCallback = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Causal context captured at scheduling time and restored around the
+    #: callback, so timer-driven retries stay attributed to the operation
+    #: that armed them.  ``None`` whenever tracing is off.
+    ctx: Optional[causal.SpanContext] = field(
+        default=None, compare=False, repr=False
+    )
     #: Back-reference so ``cancel`` can keep the owning scheduler's
     #: live-event accounting exact; ``None`` for detached events.
     _scheduler: Optional["EventScheduler"] = field(
@@ -96,6 +103,9 @@ class EventScheduler:
             time=time,
             sequence=next(self._sequence),
             callback=callback,
+            # Direct module-global read (not causal.current()) keeps the
+            # disabled-mode cost of this hot path to one attribute lookup.
+            ctx=causal._current,
             _scheduler=self,
         )
         heapq.heappush(self._queue, event)
@@ -128,11 +138,20 @@ class EventScheduler:
         handle_box: List[Event] = []
 
         def fire() -> None:
-            callback()
-            period = interval
-            if jitter > 0.0 and rng is not None:
-                period = max(1e-9, interval + rng.uniform(-jitter, jitter))
-            handle_box[0] = self.after(period, fire)
+            # Periodic timers run *detached* from whatever context armed
+            # them: heartbeats and sweeps are causal roots, otherwise every
+            # firing for the rest of the run would accrete onto the trace
+            # that happened to start the timer.  The re-arm happens while
+            # detached too, so the chain stays clean.
+            previous = causal.detach()
+            try:
+                callback()
+                period = interval
+                if jitter > 0.0 and rng is not None:
+                    period = max(1e-9, interval + rng.uniform(-jitter, jitter))
+                handle_box[0] = self.after(period, fire)
+            finally:
+                causal.restore(previous)
 
         handle_box.append(self.after(interval, fire))
 
@@ -189,7 +208,11 @@ class EventScheduler:
                     continue
                 event._fired = True
                 self._now = event.time
-                event.callback()
+                if event.ctx is not None:
+                    with causal.using(event.ctx):
+                        event.callback()
+                else:
+                    event.callback()
                 fired += 1
                 self.fired += 1
             if math.isfinite(time):

@@ -13,14 +13,17 @@ the protocol layer is tested against:
 
 from __future__ import annotations
 
+import itertools
 import random
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
 from repro import obs
 from repro.errors import TransportError
 from repro.geometry import Point
 from repro.core.node import NodeAddress
+from repro.obs import causal
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.scheduler import EventScheduler
 
@@ -34,6 +37,12 @@ class Message:
     kind: str
     body: Any
     sent_at: float
+    #: Monotonic per-network id; makes every send (and hence every drop)
+    #: individually attributable.  ``-1`` only for hand-built messages.
+    msg_id: int = -1
+    #: Causal span of this message, inherited from the sender's context
+    #: (``None`` when tracing is off).
+    span: Optional[causal.SpanContext] = None
 
 
 #: An endpoint's receive handler.
@@ -50,6 +59,10 @@ class Endpoint:
     alive: bool = True
 
 
+#: How many recent drops :class:`TransportStats` remembers individually.
+RECENT_DROP_LIMIT = 256
+
+
 @dataclass
 class TransportStats:
     """Counters describing everything the transport did."""
@@ -60,11 +73,28 @@ class TransportStats:
     dropped_dead: int = 0
     dropped_partition: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
+    #: The most recent drops as ``(msg_id, kind, reason)`` -- enough to
+    #: attribute a silent failure to a specific send without the journal.
+    recent_drops: Deque[Tuple[int, str, str]] = field(
+        default_factory=lambda: deque(maxlen=RECENT_DROP_LIMIT)
+    )
 
     def record_send(self, kind: str) -> None:
         """Account one send of a message of ``kind``."""
         self.sent += 1
         self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+    def record_drop(self, msg_id: int, kind: str, reason: str) -> None:
+        """Account one drop (``reason`` in random/dead/partition)."""
+        if reason == "random":
+            self.dropped_random += 1
+        elif reason == "dead":
+            self.dropped_dead += 1
+        elif reason == "partition":
+            self.dropped_partition += 1
+        else:
+            raise TransportError(f"unknown drop reason {reason!r}")
+        self.recent_drops.append((msg_id, kind, reason))
 
 
 class SimNetwork:
@@ -89,6 +119,7 @@ class SimNetwork:
         self.stats = TransportStats()
         self._endpoints: Dict[NodeAddress, Endpoint] = {}
         self._partition_of: Dict[NodeAddress, str] = {}
+        self._msg_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
     # Membership
@@ -162,20 +193,51 @@ class SimNetwork:
         """
         self.stats.record_send(kind)
         obs.inc("transport.sent")
+        recorder = obs.flightrec()
+        span = None
+        if recorder is not None:
+            # Each message is one span of the sender's current trace (or a
+            # fresh trace when the send is a causal root, e.g. a client
+            # request arriving from outside the simulation).
+            parent = causal.current()
+            span = causal.SpanContext(
+                trace_id=(
+                    parent.trace_id
+                    if parent is not None
+                    else recorder.next_trace_id()
+                ),
+                span_id=recorder.next_span_id(),
+            )
         message = Message(
             source=source,
             destination=destination,
             kind=kind,
             body=body,
             sent_at=self.scheduler.now,
+            msg_id=next(self._msg_ids),
+            span=span,
         )
+        if recorder is not None:
+            recorder.record(
+                "send",
+                self.scheduler.now,
+                msg_id=message.msg_id,
+                msg_kind=kind,
+                source=str(source),
+                destination=str(destination),
+                trace_id=span.trace_id,
+                span_id=span.span_id,
+                parent_span=(
+                    causal.current().span_id
+                    if causal.current() is not None
+                    else None
+                ),
+            )
         if self._partitioned(source, destination):
-            self.stats.dropped_partition += 1
-            obs.inc("transport.dropped.partition")
+            self._drop(message, "partition")
             return
         if self.drop_probability > 0.0 and self.rng.random() < self.drop_probability:
-            self.stats.dropped_random += 1
-            obs.inc("transport.dropped.random")
+            self._drop(message, "random")
             return
         source_endpoint = self._endpoints.get(source)
         source_coord = (
@@ -183,23 +245,36 @@ class SimNetwork:
         )
         destination_endpoint = self._endpoints.get(destination)
         if destination_endpoint is None:
-            self.stats.dropped_dead += 1
-            obs.inc("transport.dropped.dead")
+            self._drop(message, "dead")
             return
         delay = self.latency.delay(
             source_coord, destination_endpoint.coord, self.rng
         )
         self.scheduler.after(delay, lambda: self._deliver(message))
 
+    def _drop(self, message: Message, reason: str) -> None:
+        """Account a dropped message in stats, metrics, and the journal."""
+        self.stats.record_drop(message.msg_id, message.kind, reason)
+        obs.inc(f"transport.dropped.{reason}")
+        recorder = obs.flightrec()
+        if recorder is not None:
+            fields: Dict[str, Any] = {
+                "msg_id": message.msg_id,
+                "msg_kind": message.kind,
+                "reason": reason,
+            }
+            if message.span is not None:
+                fields["trace_id"] = message.span.trace_id
+                fields["span_id"] = message.span.span_id
+            recorder.record("drop", self.scheduler.now, **fields)
+
     def _deliver(self, message: Message) -> None:
         endpoint = self._endpoints.get(message.destination)
         if endpoint is None or not endpoint.alive:
-            self.stats.dropped_dead += 1
-            obs.inc("transport.dropped.dead")
+            self._drop(message, "dead")
             return
         if self._partitioned(message.source, message.destination):
-            self.stats.dropped_partition += 1
-            obs.inc("transport.dropped.partition")
+            self._drop(message, "partition")
             return
         self.stats.delivered += 1
         registry = obs.active()
@@ -211,11 +286,25 @@ class SimNetwork:
             registry.trace(
                 "delivery",
                 kind=message.kind,
+                msg_id=message.msg_id,
                 source=str(message.source),
                 destination=str(message.destination),
                 latency=self.scheduler.now - message.sent_at,
             )
-        endpoint.handler(message)
+        recorder = obs.flightrec()
+        if recorder is not None:
+            fields = {
+                "msg_id": message.msg_id,
+                "latency": self.scheduler.now - message.sent_at,
+            }
+            if message.span is not None:
+                fields["trace_id"] = message.span.trace_id
+                fields["span_id"] = message.span.span_id
+            recorder.record("deliver", self.scheduler.now, **fields)
+        # The handler runs *inside* the message's causal context, so any
+        # message it sends (or timer it arms) chains to this delivery.
+        with causal.using(message.span):
+            endpoint.handler(message)
 
     def endpoint_count(self) -> int:
         """Number of live endpoints."""

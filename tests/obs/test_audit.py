@@ -1,0 +1,300 @@
+"""Tests for repro.obs.audit -- the continuous invariant auditor."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro import obs
+from repro.geometry import Point, Rect
+from repro.obs.audit import ALL_CHECKS, AuditError, InvariantAuditor
+from repro.protocol import ProtocolCluster
+from repro.sim.scheduler import EventScheduler
+
+BOUNDS = Rect(0, 0, 10, 10)
+LEFT = Rect(0, 0, 5, 10)
+RIGHT = Rect(5, 0, 5, 10)
+
+
+def make_node(
+    address,
+    rect,
+    role="primary",
+    peer=None,
+    alive=True,
+    joined=True,
+    neighbors=(),
+    caretakes=(),
+):
+    return SimpleNamespace(
+        address=address,
+        alive=alive,
+        joined=joined,
+        owned=(
+            SimpleNamespace(rect=rect, role=role, peer=peer)
+            if rect is not None
+            else None
+        ),
+        neighbor_table={r: object() for r in neighbors},
+        caretaker_rects=set(caretakes),
+    )
+
+
+def make_cluster(*nodes, now=0.0):
+    return SimpleNamespace(
+        nodes={i: node for i, node in enumerate(nodes)},
+        bounds=BOUNDS,
+        scheduler=SimpleNamespace(now=now),
+    )
+
+
+def healthy_cluster():
+    return make_cluster(
+        make_node("a", LEFT, neighbors=[RIGHT]),
+        make_node("b", RIGHT, neighbors=[LEFT]),
+    )
+
+
+class TestConstruction:
+    def test_rejects_unknown_checks(self):
+        with pytest.raises(ValueError, match="unknown audit checks"):
+            InvariantAuditor(healthy_cluster(), checks=("overlap", "vibes"))
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError, match="interval"):
+            InvariantAuditor(healthy_cluster(), interval=0.0)
+
+    def test_all_checks_is_the_default(self):
+        auditor = InvariantAuditor(healthy_cluster())
+        assert auditor.checks == ALL_CHECKS
+
+
+class TestChecks:
+    def test_healthy_tiling_is_clean(self):
+        assert InvariantAuditor(healthy_cluster()).run_checks() == []
+
+    def test_overlap_found(self):
+        cluster = make_cluster(
+            make_node("a", LEFT, neighbors=[RIGHT]),
+            make_node("b", Rect(3, 0, 7, 10), neighbors=[LEFT]),
+        )
+        auditor = InvariantAuditor(cluster, checks=("overlap",))
+        (violation,) = auditor.run_checks()
+        assert violation.check == "overlap"
+        assert violation.severity == "hard"
+        assert sorted(violation.data["owners"]) == ["a", "b"]
+        assert str(LEFT) in violation.subject
+
+    def test_overlap_ignores_secondaries_and_dead_nodes(self):
+        cluster = make_cluster(
+            make_node("a", LEFT, neighbors=[RIGHT]),
+            make_node("b", RIGHT, neighbors=[LEFT]),
+            make_node("s", LEFT, role="secondary"),
+            make_node("z", LEFT, alive=False),
+        )
+        assert InvariantAuditor(cluster, checks=("overlap",)).run_checks() == []
+
+    def test_coverage_hole_found(self):
+        cluster = make_cluster(make_node("a", LEFT))
+        auditor = InvariantAuditor(cluster, checks=("coverage",))
+        (violation,) = auditor.run_checks()
+        assert violation.check == "coverage"
+        assert violation.severity == "soft"
+        assert violation.data["missing"] == pytest.approx(50.0)
+
+    def test_caretaker_fills_the_hole(self):
+        cluster = make_cluster(make_node("a", LEFT, caretakes=[RIGHT]))
+        assert (
+            InvariantAuditor(cluster, checks=("coverage",)).run_checks() == []
+        )
+
+    def test_caretaker_tolerance_is_optional(self):
+        cluster = make_cluster(make_node("a", LEFT, caretakes=[RIGHT]))
+        auditor = InvariantAuditor(
+            cluster, checks=("coverage",), allow_caretaker_holes=False
+        )
+        (violation,) = auditor.run_checks()
+        assert violation.check == "coverage"
+
+    def test_one_sided_neighbor_link_found(self):
+        cluster = make_cluster(
+            make_node("a", LEFT, neighbors=[RIGHT]),
+            make_node("b", RIGHT),  # b never learned about a
+        )
+        auditor = InvariantAuditor(cluster, checks=("symmetry",))
+        (violation,) = auditor.run_checks()
+        assert violation.check == "symmetry"
+        assert f"b lacks {LEFT}" in violation.detail
+
+    def test_non_adjacent_primaries_need_no_link(self):
+        cluster = make_cluster(
+            make_node("a", Rect(0, 0, 2, 10)),
+            make_node("b", Rect(8, 0, 2, 10)),
+        )
+        assert (
+            InvariantAuditor(cluster, checks=("symmetry",)).run_checks() == []
+        )
+
+    def test_dualpeer_disagreement_found(self):
+        secondary = make_node("s", RIGHT, role="secondary", peer="elsewhere")
+        cluster = make_cluster(
+            make_node("a", LEFT, peer="s", neighbors=[RIGHT]),
+            make_node("b", RIGHT, neighbors=[LEFT]),
+            secondary,
+        )
+        auditor = InvariantAuditor(cluster, checks=("dualpeer",))
+        (violation,) = auditor.run_checks()
+        assert violation.check == "dualpeer"
+        assert violation.data["primary"] == "a"
+        assert violation.data["secondary"] == "s"
+
+    def test_dead_peer_is_the_failure_sweeps_problem(self):
+        dead = make_node("s", RIGHT, role="secondary", peer="a", alive=False)
+        cluster = make_cluster(
+            make_node("a", LEFT, peer="s", neighbors=[RIGHT]),
+            make_node("b", RIGHT, neighbors=[LEFT]),
+            dead,
+        )
+        assert (
+            InvariantAuditor(cluster, checks=("dualpeer",)).run_checks() == []
+        )
+
+    def test_consistent_dual_peer_is_clean(self):
+        secondary = make_node("s", LEFT, role="secondary", peer="a")
+        cluster = make_cluster(
+            make_node("a", LEFT, peer="s", neighbors=[RIGHT]),
+            make_node("b", RIGHT, neighbors=[LEFT]),
+            secondary,
+        )
+        assert (
+            InvariantAuditor(cluster, checks=("dualpeer",)).run_checks() == []
+        )
+
+
+class TestDebounce:
+    def _symmetry_break(self):
+        b = make_node("b", RIGHT)
+        cluster = make_cluster(make_node("a", LEFT, neighbors=[RIGHT]), b)
+        auditor = InvariantAuditor(cluster, checks=("symmetry",))
+        return cluster, b, auditor
+
+    def test_hard_violations_confirm_immediately(self):
+        cluster = make_cluster(
+            make_node("a", LEFT), make_node("b", Rect(3, 0, 7, 10))
+        )
+        auditor = InvariantAuditor(cluster, checks=("overlap",))
+        assert len(auditor.tick()) == 1
+        assert len(auditor.violations) == 1
+        # Still broken: reported once, not every tick.
+        assert auditor.tick() == []
+        assert len(auditor.violations) == 1
+
+    def test_soft_violations_need_two_consecutive_ticks(self):
+        _, _, auditor = self._symmetry_break()
+        assert auditor.tick() == []
+        (violation,) = auditor.tick()
+        assert violation.check == "symmetry"
+        assert auditor.tick() == []  # persisting, already reported
+
+    def test_transient_soft_findings_are_swallowed(self):
+        cluster, b, auditor = self._symmetry_break()
+        assert auditor.tick() == []
+        b.neighbor_table[LEFT] = object()  # link repaired in flight
+        assert auditor.tick() == []
+        assert auditor.violations == []
+
+    def test_cleared_violations_can_be_reported_again(self):
+        cluster, b, auditor = self._symmetry_break()
+        auditor.tick(), auditor.tick()
+        assert len(auditor.violations) == 1
+        b.neighbor_table[LEFT] = object()
+        auditor.tick()  # clean tick clears the active key
+        del b.neighbor_table[LEFT]
+        auditor.tick(), auditor.tick()
+        assert len(auditor.violations) == 2
+
+    def test_halt_on_violation_raises(self):
+        cluster = make_cluster(
+            make_node("a", LEFT), make_node("b", Rect(3, 0, 7, 10))
+        )
+        auditor = InvariantAuditor(
+            cluster, checks=("overlap",), halt_on_violation=True
+        )
+        with pytest.raises(AuditError, match="invariant violation"):
+            auditor.tick()
+
+    def test_confirmed_violations_are_journaled(self):
+        cluster = make_cluster(
+            make_node("a", LEFT), make_node("b", Rect(3, 0, 7, 10))
+        )
+        cluster.scheduler.now = 42.0
+        auditor = InvariantAuditor(cluster, checks=("overlap",))
+        with obs.flight_capture() as recorder:
+            auditor.tick()
+        (event,) = recorder.events(kind="audit_violation")
+        assert event["t"] == 42.0
+        assert event["check"] == "overlap"
+        assert event["severity"] == "hard"
+
+
+class TestJournalSlice:
+    def test_window_plus_subject_matches(self):
+        cluster = make_cluster(
+            make_node("10.0.0.1:7000", LEFT),
+            make_node("10.0.0.2:7000", Rect(3, 0, 7, 10)),
+        )
+        cluster.scheduler.now = 100.0
+        auditor = InvariantAuditor(cluster, checks=("overlap",))
+        with obs.flight_capture() as recorder:
+            recorder.record("grant_hole", 5.0, rect=str(LEFT), granter="g")
+            recorder.record("heartbeat", 6.0, who="unrelated")
+            recorder.record("send", 95.0, msg_id=9)
+            (violation,) = auditor.tick()
+            events = auditor.journal_slice(violation, window=30.0)
+        kinds = [e["kind"] for e in events]
+        # The in-window send and the audit record itself...
+        assert "send" in kinds and "audit_violation" in kinds
+        # ...plus the ancient grant naming the offending rect,
+        assert "grant_hole" in kinds
+        # ...but not old unrelated noise.
+        assert "heartbeat" not in kinds
+
+    def test_explicit_events_bypass_the_facade(self):
+        cluster = make_cluster(
+            make_node("a", LEFT), make_node("b", Rect(3, 0, 7, 10))
+        )
+        cluster.scheduler.now = 50.0
+        auditor = InvariantAuditor(cluster, checks=("overlap",))
+        (violation,) = auditor.tick()
+        events = [{"t": 45.0, "seq": 1, "kind": "send"}]
+        assert auditor.journal_slice(violation, events=events) == events
+        assert auditor.journal_slice(violation) == []  # no recorder: empty
+
+
+class TestLifecycle:
+    def test_start_arms_periodic_timer(self):
+        cluster = healthy_cluster()
+        cluster.scheduler = EventScheduler()
+        auditor = InvariantAuditor(cluster, interval=2.0)
+        assert auditor.start() is auditor
+        cluster.scheduler.run_until(7.0)
+        assert auditor.ticks == 3
+        auditor.stop()
+        cluster.scheduler.run_until(20.0)
+        assert auditor.ticks == 3
+
+    def test_start_is_idempotent(self):
+        cluster = healthy_cluster()
+        cluster.scheduler = EventScheduler()
+        auditor = InvariantAuditor(cluster, interval=2.0)
+        auditor.start().start()
+        cluster.scheduler.run_until(5.0)
+        assert auditor.ticks == 2
+
+    def test_attach_auditor_on_a_real_cluster(self):
+        cluster = ProtocolCluster(Rect(0, 0, 32, 32), seed=11)
+        auditor = cluster.attach_auditor(interval=5.0)
+        for x, y in [(4, 4), (24, 6), (9, 27), (22, 21)]:
+            cluster.join_node(Point(x, y))
+        cluster.settle(60)
+        assert auditor.ticks >= 10
+        assert auditor.violations == []

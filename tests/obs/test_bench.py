@@ -72,7 +72,14 @@ def test_write_bench_files_schema(tmp_path):
         snapshot = json.loads(path.read_text())
         assert snapshot, f"{path.name} is empty"
         for name, row in snapshot.items():
+            if name.startswith("_"):
+                continue  # provenance header, not a metric
             assert SCHEMA_KEYS <= set(row), f"{name} missing schema keys"
+        meta = snapshot["_meta"]
+        assert set(meta) == {"git_sha", "timestamp_utc", "python"}
+        assert meta["python"].count(".") == 2
+        # ISO-8601 with explicit UTC offset.
+        assert meta["timestamp_utc"].endswith("+00:00")
     micro = json.loads(paths[0].read_text())
     assert micro["bench.overhead_ratio"]["mean"] == FAKE_OVERHEAD["ratio"]
 

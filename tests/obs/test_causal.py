@@ -1,0 +1,276 @@
+"""Tests for repro.obs.causal -- span contexts, propagation, trees."""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.geometry import Point
+from repro.core.node import NodeAddress
+from repro.obs import causal
+from repro.sim.latency import ConstantLatency
+from repro.sim.scheduler import EventScheduler
+from repro.sim.transport import SimNetwork
+
+
+@pytest.fixture(autouse=True)
+def clean_context():
+    """Every test starts and ends detached with the journal off."""
+    causal.restore(None)
+    obs.disable_flightrec()
+    yield
+    causal.restore(None)
+    obs.disable_flightrec()
+
+
+def make_network(drop=0.0):
+    scheduler = EventScheduler()
+    network = SimNetwork(
+        scheduler,
+        rng=random.Random(3),
+        latency=ConstantLatency(1.0),
+        drop_probability=drop,
+    )
+    return scheduler, network
+
+
+class TestContext:
+    def test_using_installs_and_restores(self):
+        ctx = causal.SpanContext(1, 2)
+        assert causal.current() is None
+        with causal.using(ctx):
+            assert causal.current() is ctx
+        assert causal.current() is None
+
+    def test_using_none_is_transparent(self):
+        outer = causal.SpanContext(1, 2)
+        with causal.using(outer):
+            with causal.using(None):
+                assert causal.current() is outer
+            assert causal.current() is outer
+
+    def test_detach_restore(self):
+        ctx = causal.SpanContext(1, 2)
+        with causal.using(ctx):
+            previous = causal.detach()
+            assert causal.current() is None
+            causal.restore(previous)
+            assert causal.current() is ctx
+
+    def test_operation_is_none_when_off(self):
+        assert causal.operation("join_start") is None
+        causal.annotate("grant_hole")  # no recorder: must not raise
+
+    def test_operation_roots_and_nests(self):
+        recorder = obs.enable_flightrec()
+        root = causal.operation("join_start", 1.0, joiner="n1")
+        assert root is not None
+        with causal.using(root):
+            child = causal.operation("route_request", 2.0)
+        other = causal.operation("publish", 3.0)
+        assert child.trace_id == root.trace_id
+        assert child.span_id != root.span_id
+        assert other.trace_id != root.trace_id
+        events = recorder.events()
+        assert events[1]["parent_span"] == root.span_id
+        assert events[2]["parent_span"] is None
+
+    def test_annotate_attaches_to_current_span(self):
+        recorder = obs.enable_flightrec()
+        ctx = causal.operation("join_start", 1.0)
+        with causal.using(ctx):
+            causal.annotate("grant_hole", 2.0, rect="R")
+        causal.annotate("orphan", 3.0)
+        attached, orphan = recorder.events()[1:]
+        assert attached["span_id"] == ctx.span_id
+        assert attached["trace_id"] == ctx.trace_id
+        assert "span_id" not in orphan
+
+
+class TestTransportPropagation:
+    def test_messages_get_ids_and_spans(self):
+        scheduler, network = make_network()
+        recorder = obs.enable_flightrec(clock=lambda: scheduler.now)
+        inbox = []
+        a = NodeAddress("10.0.0.1", 7000)
+        b = NodeAddress("10.0.0.2", 7000)
+        network.register(a, Point(1, 1), lambda m: None)
+        network.register(b, Point(2, 2), inbox.append)
+        ctx = causal.operation("route_request", 0.0)
+        with causal.using(ctx):
+            network.send(a, b, "ping", None)
+        scheduler.run_until(5.0)
+        (message,) = inbox
+        assert message.msg_id == 1
+        assert message.span.trace_id == ctx.trace_id
+        assert message.span.span_id != ctx.span_id
+        send, deliver = recorder.events(kind="send"), recorder.events(
+            kind="deliver"
+        )
+        assert send[0]["parent_span"] == ctx.span_id
+        assert send[0]["msg_kind"] == "ping"
+        assert deliver[0]["msg_id"] == 1
+        assert deliver[0]["latency"] == 1.0
+
+    def test_msg_ids_are_monotonic_without_recorder(self):
+        scheduler, network = make_network()
+        inbox = []
+        a = NodeAddress("10.0.0.1", 7000)
+        b = NodeAddress("10.0.0.2", 7000)
+        network.register(a, Point(1, 1), lambda m: None)
+        network.register(b, Point(2, 2), inbox.append)
+        for _ in range(3):
+            network.send(a, b, "ping", None)
+        scheduler.run_until(5.0)
+        assert [m.msg_id for m in inbox] == [1, 2, 3]
+        assert all(m.span is None for m in inbox)
+
+    def test_handler_runs_in_message_context(self):
+        scheduler, network = make_network()
+        obs.enable_flightrec(clock=lambda: scheduler.now)
+        seen = []
+        a = NodeAddress("10.0.0.1", 7000)
+        b = NodeAddress("10.0.0.2", 7000)
+        network.register(a, Point(1, 1), lambda m: None)
+        network.register(b, Point(2, 2), lambda m: seen.append(causal.current()))
+        ctx = causal.operation("route_request", 0.0)
+        with causal.using(ctx):
+            network.send(a, b, "ping", None)
+        scheduler.run_until(5.0)
+        (handler_ctx,) = seen
+        assert handler_ctx.trace_id == ctx.trace_id
+        assert handler_ctx.span_id != ctx.span_id
+
+    def test_sends_in_handler_become_child_spans(self):
+        scheduler, network = make_network()
+        recorder = obs.enable_flightrec(clock=lambda: scheduler.now)
+        a = NodeAddress("10.0.0.1", 7000)
+        b = NodeAddress("10.0.0.2", 7000)
+        c = NodeAddress("10.0.0.3", 7000)
+        network.register(a, Point(1, 1), lambda m: None)
+        network.register(
+            b, Point(2, 2), lambda m: network.send(b, c, "hop", None)
+        )
+        network.register(c, Point(3, 3), lambda m: None)
+        ctx = causal.operation("route_request", 0.0)
+        with causal.using(ctx):
+            network.send(a, b, "ping", None)
+        scheduler.run_until(5.0)
+        first, second = recorder.events(kind="send")
+        assert second["trace_id"] == first["trace_id"]
+        assert second["parent_span"] == first["span_id"]
+
+    def test_drop_attribution(self):
+        scheduler, network = make_network(drop=0.999)
+        recorder = obs.enable_flightrec(clock=lambda: scheduler.now)
+        a = NodeAddress("10.0.0.1", 7000)
+        b = NodeAddress("10.0.0.2", 7000)
+        network.register(a, Point(1, 1), lambda m: None)
+        network.register(b, Point(2, 2), lambda m: None)
+        network.send(a, b, "ping", None)
+        (drop,) = recorder.events(kind="drop")
+        assert drop["msg_id"] == 1
+        assert drop["reason"] == "random"
+        assert drop["span_id"] is not None
+        assert network.stats.recent_drops[-1] == (1, "ping", "random")
+
+    def test_spanless_send_roots_fresh_trace(self):
+        scheduler, network = make_network()
+        recorder = obs.enable_flightrec(clock=lambda: scheduler.now)
+        a = NodeAddress("10.0.0.1", 7000)
+        b = NodeAddress("10.0.0.2", 7000)
+        network.register(a, Point(1, 1), lambda m: None)
+        network.register(b, Point(2, 2), lambda m: None)
+        network.send(a, b, "ping", None)
+        network.send(a, b, "ping", None)
+        first, second = recorder.events(kind="send")
+        assert first["parent_span"] is None
+        assert first["trace_id"] != second["trace_id"]
+
+
+class TestSchedulerPropagation:
+    def test_one_shot_events_carry_context(self):
+        scheduler = EventScheduler()
+        obs.enable_flightrec()
+        seen = []
+        ctx = causal.operation("join_start", 0.0)
+        with causal.using(ctx):
+            scheduler.after(1.0, lambda: seen.append(causal.current()))
+        scheduler.after(1.0, lambda: seen.append(causal.current()))
+        scheduler.run_until(2.0)
+        assert seen == [ctx, None]
+
+    def test_periodic_timers_run_detached(self):
+        scheduler = EventScheduler()
+        obs.enable_flightrec()
+        seen = []
+        ctx = causal.operation("join_start", 0.0)
+        with causal.using(ctx):
+            scheduler.every(1.0, lambda: seen.append(causal.current()))
+        scheduler.run_until(3.5)
+        assert seen == [None, None, None]
+
+
+class TestTraceTrees:
+    def _journal(self):
+        recorder = obs.enable_flightrec()
+        ctx = causal.operation("route_request", 0.0, target="(5, 5)")
+        recorder.record(
+            "send", 0.0, msg_id=1, msg_kind="route", source="a",
+            destination="b", trace_id=ctx.trace_id, span_id=10,
+            parent_span=ctx.span_id,
+        )
+        recorder.record(
+            "deliver", 1.5, msg_id=1, trace_id=ctx.trace_id, span_id=10
+        )
+        recorder.record(
+            "route_served", 1.5, trace_id=ctx.trace_id, span_id=10, hops=0
+        )
+        recorder.record(
+            "send", 1.5, msg_id=2, msg_kind="route_delivered", source="b",
+            destination="a", trace_id=ctx.trace_id, span_id=11,
+            parent_span=10,
+        )
+        recorder.record(
+            "drop", 2.0, msg_id=2, reason="random",
+            trace_id=ctx.trace_id, span_id=11,
+        )
+        return recorder, ctx
+
+    def test_trace_ids_first_seen_order(self):
+        recorder, ctx = self._journal()
+        recorder.record("send", 9.0, msg_kind="x", trace_id=99, span_id=50)
+        assert causal.trace_ids(recorder.events()) == [ctx.trace_id, 99]
+
+    def test_build_trace_structure(self):
+        recorder, ctx = self._journal()
+        (root,) = causal.build_trace(recorder.events(), ctx.trace_id)
+        assert root.kind == "route_request"
+        assert root.status == "op"
+        (hop,) = root.children
+        assert hop.kind == "route"
+        assert hop.status == "delivered"
+        assert hop.latency == 1.5
+        assert [a["kind"] for a in hop.annotations] == ["route_served"]
+        (ack,) = hop.children
+        assert ack.status == "dropped:random"
+
+    def test_orphan_events_collect_under_evicted(self):
+        obs.enable_flightrec()
+        recorder = obs.flightrec()
+        recorder.record("grant_hole", 5.0, trace_id=7, span_id=123)
+        roots = causal.build_trace(recorder.events(), 7)
+        assert [r.kind for r in roots] == ["(evicted)"]
+        assert roots[0].annotations[0]["kind"] == "grant_hole"
+
+    def test_render_trace(self):
+        recorder, ctx = self._journal()
+        text = causal.render_trace(
+            causal.build_trace(recorder.events(), ctx.trace_id)
+        )
+        assert "route_request" in text
+        assert "route a -> b (msg 1)" in text
+        assert "delivered +1.5" in text
+        assert "DROPPED:RANDOM" in text
+        assert "* route_served" in text
+        assert causal.render_trace([]) == "(empty trace)"

@@ -1,0 +1,167 @@
+"""Tests for repro.obs.flightrec -- the bounded deterministic journal."""
+
+import json
+
+from repro import obs
+from repro.obs.flightrec import (
+    FlightRecorder,
+    filter_events,
+    load_jsonl,
+    render_events,
+)
+
+
+class TestRecorder:
+    def test_record_builds_prefixed_events(self):
+        recorder = FlightRecorder()
+        event = recorder.record("send", 3.5, msg_id=7, reason="x")
+        assert event == {
+            "t": 3.5, "seq": 1, "kind": "send", "msg_id": 7, "reason": "x",
+        }
+        assert recorder.record("drop", 4.0)["seq"] == 2
+        assert len(recorder) == 2
+        assert recorder.appended == 2
+
+    def test_ring_is_bounded_but_counts_all_appends(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(10):
+            recorder.record("tick", float(i), i=i)
+        assert len(recorder) == 4
+        assert recorder.appended == 10
+        assert [e["i"] for e in recorder.events()] == [6, 7, 8, 9]
+
+    def test_clock_supplies_missing_timestamps(self):
+        now = [0.0]
+        recorder = FlightRecorder(clock=lambda: now[0])
+        now[0] = 12.25
+        assert recorder.record("tick")["t"] == 12.25
+        assert recorder.record("tick", 1.0)["t"] == 1.0
+        assert FlightRecorder().record("tick")["t"] == 0.0
+
+    def test_id_counters_are_per_recorder(self):
+        a, b = FlightRecorder(), FlightRecorder()
+        assert a.next_trace_id() == 1
+        assert a.next_trace_id() == 2
+        assert a.next_span_id() == 1
+        assert b.next_trace_id() == 1
+
+    def test_kind_and_t_collisions_are_expressible(self):
+        # Positional-only parameters let events carry their own "kind"/"t"
+        # fields (a message kind, say) without clashing.
+        recorder = FlightRecorder()
+        event = recorder.record("send", 1.0, kind="route", t="payload")
+        assert event["kind"] == "route"
+        assert event["t"] == "payload"
+
+
+class TestFilters:
+    def _journal(self):
+        recorder = FlightRecorder()
+        for i in range(20):
+            recorder.record(
+                "send" if i % 2 == 0 else "deliver",
+                float(i),
+                trace_id=i % 3,
+                detail=f"node-{i}",
+            )
+        return recorder
+
+    def test_around_window(self):
+        events = self._journal().slice(around=10.0, window=2.0)
+        assert [e["t"] for e in events] == [8.0, 9.0, 10.0, 11.0, 12.0]
+
+    def test_kind_and_sequence_of_kinds(self):
+        recorder = self._journal()
+        assert all(e["kind"] == "send" for e in recorder.events(kind="send"))
+        both = recorder.events(kind=("send", "deliver"))
+        assert len(both) == 20
+
+    def test_trace_filter(self):
+        events = self._journal().events(trace_id=1)
+        assert events and all(e["trace_id"] == 1 for e in events)
+
+    def test_grep_matches_rendered_fields(self):
+        events = self._journal().slice(grep="node-7")
+        assert [e["t"] for e in events] == [7.0]
+
+    def test_last_keeps_the_tail(self):
+        events = self._journal().slice(last=3)
+        assert [e["t"] for e in events] == [17.0, 18.0, 19.0]
+        assert self._journal().slice(last=0) == []
+
+    def test_filters_compose(self):
+        events = self._journal().slice(
+            around=10.0, window=6.0, kind="send", last=2
+        )
+        assert [e["t"] for e in events] == [14.0, 16.0]
+
+
+class TestPersistence:
+    def test_jsonl_round_trip(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record("send", 1.0, msg_id=1, source="a")
+        recorder.record("drop", 2.0, msg_id=1, reason="random")
+        path = recorder.dump_jsonl(tmp_path / "journal.jsonl")
+        assert load_jsonl(path) == recorder.events()
+
+    def test_empty_journal_round_trip(self, tmp_path):
+        path = FlightRecorder().dump_jsonl(tmp_path / "empty.jsonl")
+        assert load_jsonl(path) == []
+
+    def test_non_json_fields_are_stringified(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record("send", 1.0, where={1, 2})  # a set: not JSON
+        path = recorder.dump_jsonl(tmp_path / "journal.jsonl")
+        assert json.loads(path.read_text())["where"]
+
+    def test_render_events(self):
+        recorder = FlightRecorder()
+        recorder.record(
+            "send", 1.0, trace_id=3, span_id=4, parent_span=2, msg_id=9
+        )
+        text = render_events(recorder.events())
+        assert "[trace 3 span 4<-2]" in text
+        assert "msg_id=9" in text
+        assert render_events([]) == "(no events)"
+
+
+class TestFacade:
+    def test_record_is_noop_when_off(self):
+        assert obs.flightrec() is None
+        obs.record("send", 1.0, msg_id=1)  # must not raise
+
+    def test_enable_disable(self):
+        recorder = obs.enable_flightrec(capacity=8)
+        try:
+            assert obs.flightrec() is recorder
+            obs.record("send", 1.0)
+            assert len(recorder) == 1
+        finally:
+            obs.disable_flightrec()
+        assert obs.flightrec() is None
+
+    def test_flight_capture_restores_previous(self):
+        outer = obs.enable_flightrec()
+        try:
+            with obs.flight_capture() as inner:
+                assert obs.flightrec() is inner
+                assert inner is not outer
+                obs.record("send", 1.0)
+            assert obs.flightrec() is outer
+            assert len(inner) == 1
+            assert len(outer) == 0
+        finally:
+            obs.disable_flightrec()
+
+    def test_flight_capture_restores_on_exception(self):
+        try:
+            with obs.flight_capture():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert obs.flightrec() is None
+
+    def test_filter_events_function_is_shared(self):
+        events = [{"t": 1.0, "seq": 1, "kind": "send"}]
+        assert filter_events(events, kind="send") == events
+        assert filter_events(events, kind="drop") == []

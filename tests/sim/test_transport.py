@@ -192,3 +192,65 @@ class TestPartitions:
         network.set_partition(b, "east")
         scheduler.run_all()
         assert inbox == []
+
+
+class TestMessageIds:
+    def test_msg_ids_start_at_one_and_increase(self):
+        scheduler, network = make_network()
+        inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, inbox)
+        for _ in range(4):
+            network.send(a, b, "ping", None)
+        scheduler.run_all()
+        assert [message.msg_id for message in inbox] == [1, 2, 3, 4]
+
+    def test_dropped_messages_consume_ids_too(self):
+        """msg_id counts sends, not deliveries: gaps point at drops."""
+        scheduler, network = make_network(latency=ConstantLatency(1.0))
+        inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, inbox)
+        network.send(a, b, "ping", None)
+        scheduler.run_all()
+        network.crash(b)
+        network.send(a, b, "lost", None)
+        scheduler.run_all()
+        network.register(b, Point(2, 2), inbox.append)
+        network.send(a, b, "ping", None)
+        scheduler.run_all()
+        assert [message.msg_id for message in inbox] == [1, 3]
+        assert network.stats.recent_drops[-1] == (2, "lost", "dead")
+
+    def test_recent_drops_attribute_each_loss(self):
+        scheduler, network = make_network(latency=ConstantLatency(1.0))
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, [])
+        network.crash(b)
+        network.send(a, b, "heartbeat", None)
+        network.send(a, b, "join_request", None)
+        scheduler.run_all()
+        assert list(network.stats.recent_drops) == [
+            (1, "heartbeat", "dead"),
+            (2, "join_request", "dead"),
+        ]
+
+    def test_recent_drops_ring_is_bounded(self):
+        from repro.sim.transport import RECENT_DROP_LIMIT
+
+        scheduler, network = make_network(latency=ConstantLatency(1.0))
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, [])
+        network.crash(b)
+        for _ in range(RECENT_DROP_LIMIT + 10):
+            network.send(a, b, "ping", None)
+        scheduler.run_all()
+        drops = network.stats.recent_drops
+        assert len(drops) == RECENT_DROP_LIMIT
+        assert drops[0][0] == 11  # the oldest ten were evicted
+        assert network.stats.dropped_dead == RECENT_DROP_LIMIT + 10
+
+    def test_record_drop_rejects_unknown_reason(self):
+        _, network = make_network()
+        with pytest.raises(TransportError):
+            network.stats.record_drop(1, "ping", "gremlins")
