@@ -7,6 +7,7 @@ Usage::
     python -m repro fig7-8 --rounds 25
     python -m repro all --out results/
     python -m repro bench
+    python -m repro bench store
     python -m repro routing --metrics
     python -m repro flightrec --demo
     python -m repro flightrec journal.jsonl --around 103.8 --window 5
@@ -177,14 +178,24 @@ def _run_bench(args: argparse.Namespace) -> str:
     from repro.obs import bench
 
     out_dir = args.out if args.out is not None else pathlib.Path(".")
-    if args.population:
-        paths = bench.write_bench_files(
-            out_dir,
-            population=args.population,
-            routing_populations=(args.population,),
-        )
-    else:
-        paths = bench.write_bench_files(out_dir)
+    suite = getattr(args, "suite", None)
+    paths: List[pathlib.Path] = []
+    if suite in (None, "all"):
+        if args.population:
+            paths += bench.write_bench_files(
+                out_dir,
+                population=args.population,
+                routing_populations=(args.population,),
+            )
+        else:
+            paths += bench.write_bench_files(out_dir)
+    if suite in ("store", "all"):
+        if args.population:
+            paths += bench.write_store_bench_file(
+                out_dir, population=args.population
+            )
+        else:
+            paths += bench.write_store_bench_file(out_dir)
     report = bench.render_report(paths)
     for path in paths:
         print(f"[saved to {path}]", file=sys.stderr)
@@ -206,7 +217,8 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
 }
 
 DESCRIPTIONS = {
-    "bench": "write BENCH_micro_ops.json / BENCH_routing.json snapshots",
+    "bench": "write BENCH_micro_ops.json / BENCH_routing.json snapshots "
+             "('bench store' writes BENCH_store.json)",
     "fig2-3": "region size & load maps at 500 nodes (Figures 2/3)",
     "fig5-6": "workload-index std/mean vs population (Figures 5/6)",
     "fig7-8": "convergence by adaptation round (Figures 7/8)",
@@ -230,6 +242,11 @@ def build_parser() -> argparse.ArgumentParser:
         "command",
         choices=sorted(COMMANDS) + ["list", "all"],
         help="which experiment to run ('list' prints descriptions)",
+    )
+    parser.add_argument(
+        "suite", nargs="?", choices=["store", "all"], default=None,
+        help="bench only: 'store' writes BENCH_store.json instead of the "
+             "micro/routing snapshots; 'all' writes all three",
     )
     parser.add_argument(
         "--trials", type=int, default=3,
@@ -385,6 +402,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
             return 0
     args = build_parser().parse_args(argv)
+    if args.suite is not None and args.command != "bench":
+        print(
+            f"error: the '{args.suite}' suite argument only applies to "
+            f"'bench'",
+            file=sys.stderr,
+        )
+        return 2
     if args.command == "list":
         for name in sorted(COMMANDS):
             print(f"{name:<14} {DESCRIPTIONS[name]}")

@@ -113,6 +113,14 @@ class BasicGeoGrid:
         #: re-home per-region state.
         self.split_listeners: List[Callable[[Region, Region], None]] = []
         self.merge_listeners: List[Callable[[Region, Region], None]] = []
+        #: Ownership-motion listeners: ``on_ownership(region, event)``
+        #: fires when a region's serving state moves between *nodes*
+        #: without the region itself changing -- primary switches
+        #: (``"switch"``), primary/secondary role swaps (``"role_swap"``),
+        #: secondary steals (``"replica_seed"``/``"replica_drop"``), and
+        #: failure promotions (``"promote"``).  The location store counts
+        #: these as state migrations.
+        self.ownership_listeners: List[Callable[[Region, str], None]] = []
 
     def _notify_split(self, parent: Region, child: Region) -> None:
         for listener in self.split_listeners:
@@ -121,6 +129,10 @@ class BasicGeoGrid:
     def _notify_merge(self, survivor: Region, absorbed: Region) -> None:
         for listener in self.merge_listeners:
             listener(survivor, absorbed)
+
+    def _notify_ownership(self, region: Region, event: str) -> None:
+        for listener in self.ownership_listeners:
+            listener(region, event)
 
     # ------------------------------------------------------------------
     # Ownership registry
@@ -191,6 +203,8 @@ class BasicGeoGrid:
         self.release_primary(b)
         self.assign_primary(a, node_b)
         self.assign_primary(b, node_a)
+        self._notify_ownership(a, "switch")
+        self._notify_ownership(b, "switch")
 
     def swap_region_roles(self, region: Region) -> None:
         """Exchange a region's primary and secondary owner (registry-aware).
@@ -209,6 +223,7 @@ class BasicGeoGrid:
         region.swap_owner_roles()
         self._primary_of.setdefault(secondary, set()).add(region)
         self._secondary_of.setdefault(primary, set()).add(region)
+        self._notify_ownership(region, "role_swap")
 
     def move_secondary(self, source: Region, target: Region) -> Node:
         """Move the secondary owner of ``source`` into ``target``'s slot.
@@ -228,6 +243,8 @@ class BasicGeoGrid:
             )
         self.release_secondary(source)
         self.assign_secondary(target, node)
+        self._notify_ownership(source, "replica_drop")
+        self._notify_ownership(target, "replica_seed")
         return node
 
     def roles_of(self, node: Node) -> List[str]:
@@ -400,6 +417,7 @@ class BasicGeoGrid:
                 region.promote_secondary()
                 self._primary_of.setdefault(promoted, set()).add(region)
                 self.stats.promotions += 1
+                self._notify_ownership(region, "promote")
             else:
                 self.release_primary(region)
                 vacated.append(region)

@@ -24,6 +24,20 @@ FilterCondition = Optional[Callable[[Any], bool]]
 _query_ids = itertools.count(1)
 
 
+def reset_query_ids() -> None:
+    """Rewind the process-wide query-id counter back to 1.
+
+    Query ids only need to be unique within a run, but letting them
+    accumulate across a test session makes every id depend on how many
+    tests ran before -- so a single test reproduces differently alone
+    than in the suite.  The test harness calls this (and its siblings in
+    :mod:`repro.core.region` and :mod:`repro.protocol.node`) before each
+    test for order-independent ids.
+    """
+    global _query_ids
+    _query_ids = itertools.count(1)
+
+
 @dataclass(eq=False)
 class LocationQuery:
     """A location service request.

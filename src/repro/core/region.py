@@ -24,6 +24,17 @@ def _next_region_id() -> int:
     return next(_region_ids)
 
 
+def reset_region_ids() -> None:
+    """Rewind the process-wide region-id counter back to 1.
+
+    See :func:`repro.core.query.reset_query_ids`: the test harness calls
+    this before each test so region ids do not depend on how many tests
+    ran earlier in the session.
+    """
+    global _region_ids
+    _region_ids = itertools.count(1)
+
+
 @dataclass(eq=False)
 class Region:
     """A rectangular region of the GeoGrid partition and its owners.

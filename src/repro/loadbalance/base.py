@@ -16,12 +16,15 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.core.overlay import BasicGeoGrid
 from repro.core.region import Region
 from repro.loadbalance.config import AdaptationConfig
 from repro.loadbalance.workload import WorkloadIndexCalculator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.overlay_store import OverlayStore
 
 
 @dataclass
@@ -35,6 +38,34 @@ class AdaptationContext:
     round_number: int = 0
     #: Message cost accrued by TTL searches this context has run.
     search_messages: int = 0
+    #: The location store riding this overlay, when one is attached.
+    #: Mechanisms drain its pending-motion counter after executing so
+    #: migrated objects are attributed to the mechanism that moved them.
+    store: Optional["OverlayStore"] = None
+    #: Objects migrated per mechanism key, accumulated across rounds.
+    store_motion: Dict[str, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.store_motion is None:
+            self.store_motion = {}
+
+    def collect_store_motion(self, mechanism_key: str) -> int:
+        """Attribute store records moved by the adaptation just executed.
+
+        Each mechanism calls this at the end of ``execute``; the store's
+        structural listeners have already counted every record that
+        changed region or serving node, and this drains that counter
+        under the mechanism's key.  Returns the number collected (0 when
+        no store is attached).
+        """
+        if self.store is None:
+            return 0
+        moved = self.store.take_pending_motion()
+        if moved:
+            self.store_motion[mechanism_key] = (
+                self.store_motion.get(mechanism_key, 0) + moved
+            )
+        return moved
 
     def region_index(self, region: Region) -> float:
         """Convenience passthrough to the index calculator."""

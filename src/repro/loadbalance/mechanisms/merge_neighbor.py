@@ -86,3 +86,4 @@ class MergeWithNeighbor(Mechanism):
         if other.capacity > region.primary.capacity:
             overlay.swap_region_roles(region)
         ctx.mark_adapted(region)
+        ctx.collect_store_motion(self.key)

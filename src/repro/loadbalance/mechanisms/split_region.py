@@ -79,3 +79,4 @@ class SplitRegion(Mechanism):
         assert isinstance(overlay, DualPeerGeoGrid)
         kept, handed = overlay.split_full_region(region)
         ctx.mark_adapted(kept, handed)
+        ctx.collect_store_motion(self.key)

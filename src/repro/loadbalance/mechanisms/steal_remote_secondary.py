@@ -95,4 +95,6 @@ class StealRemoteSecondary(Mechanism):
         overlay.assign_primary(region, stolen)
         if resigned is not None:
             overlay.assign_secondary(region, resigned)
+        overlay._notify_ownership(region, "steal_remote_secondary")
         ctx.mark_adapted(region, donor)
+        ctx.collect_store_motion(self.key)

@@ -83,4 +83,6 @@ class StealSecondaryOwner(Mechanism):
         overlay.assign_primary(region, stolen)
         if demoted is not None:
             overlay.assign_secondary(region, demoted)
+        overlay._notify_ownership(region, "steal_secondary")
         ctx.mark_adapted(region, donor)
+        ctx.collect_store_motion(self.key)

@@ -79,3 +79,4 @@ class SwitchPrimaryOwners(Mechanism):
             )
         ctx.overlay.swap_primaries(region, partner)
         ctx.mark_adapted(region, partner)
+        ctx.collect_store_motion(self.key)

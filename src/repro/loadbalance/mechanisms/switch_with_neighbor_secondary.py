@@ -85,4 +85,6 @@ class SwitchPrimaryWithNeighborSecondary(Mechanism):
         overlay.assign_primary(region, incoming)
         if outgoing is not None:
             overlay.assign_secondary(partner, outgoing)
+        overlay._notify_ownership(region, "switch_in_secondary")
         ctx.mark_adapted(region, partner)
+        ctx.collect_store_motion(self.key)

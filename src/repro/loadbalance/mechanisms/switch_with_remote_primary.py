@@ -91,3 +91,4 @@ class SwitchPrimaryWithRemotePrimary(Mechanism):
             )
         ctx.overlay.swap_primaries(region, partner)
         ctx.mark_adapted(region, partner)
+        ctx.collect_store_motion(self.key)

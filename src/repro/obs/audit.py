@@ -20,6 +20,16 @@ Checks (each individually selectable):
   retractions begin).
 * ``dualpeer`` -- a primary's ``peer`` points at a live secondary that
   agrees on the rect and points back.
+* ``store_placement`` -- the latest version of every stored location
+  object resides at an owner whose territory covers its position (stale
+  older copies awaiting eviction are tolerated; lookups deduplicate them
+  last-writer-wins).
+* ``store_replication`` -- a primary's store and its live secondary's
+  replica converge at quiescence.  The violation subject includes the
+  divergence fingerprint, so divergence that keeps *changing* (updates in
+  flight) never confirms -- only divergence frozen across two ticks,
+  which is exactly what the bounded anti-entropy pass should have
+  repaired, does.
 
 All checks except ``overlap`` are **soft**: legitimately violated for a
 grant's flight time during growth, so a finding is only *reported* when
@@ -36,6 +46,7 @@ scheduler slots, which do not perturb message timing).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -45,7 +56,14 @@ from repro.errors import SimulationError
 __all__ = ["AuditError", "AuditViolation", "InvariantAuditor", "ALL_CHECKS"]
 
 #: Every check the auditor knows, in report order.
-ALL_CHECKS = ("overlap", "coverage", "symmetry", "dualpeer")
+ALL_CHECKS = (
+    "overlap",
+    "coverage",
+    "symmetry",
+    "dualpeer",
+    "store_placement",
+    "store_replication",
+)
 
 #: Relative tolerance on area comparisons (matches the cluster checks).
 _AREA_EPS = 1e-6
@@ -200,6 +218,12 @@ class InvariantAuditor:
             findings.extend(self._check_symmetry(now, primaries))
         if "dualpeer" in self.checks:
             findings.extend(self._check_dualpeer(now, nodes, primaries))
+        if "store_placement" in self.checks:
+            findings.extend(self._check_store_placement(now, nodes, primaries))
+        if "store_replication" in self.checks:
+            findings.extend(
+                self._check_store_replication(now, nodes, primaries)
+            )
         return findings
 
     # ------------------------------------------------------------------
@@ -328,6 +352,112 @@ class InvariantAuditor:
                         "primary": str(primary.address),
                         "secondary": str(peer_address),
                         "rect": str(primary.owned.rect),
+                    },
+                )
+            )
+        return findings
+
+    def _check_store_placement(
+        self, now, nodes, primaries
+    ) -> List[AuditViolation]:
+        """Every live object's latest version sits at a covering owner."""
+        holders: List[tuple] = []  # (node, record)
+        best: Dict[object, object] = {}
+        for node in primaries:
+            store = getattr(node.owned, "store", None)
+            if store is None:
+                continue
+            for record in store.records():
+                holders.append((node, record))
+                current = best.get(record.object_id)
+                if current is None or record.version > current.version:
+                    best[record.object_id] = record
+        findings = []
+        for node, record in holders:
+            if record is not best.get(record.object_id):
+                continue  # a stale copy awaiting eviction; lookups LWW it away
+            rect = node.owned.rect
+            placed = rect.covers(
+                record.point, closed_low_x=True, closed_low_y=True
+            ) or any(
+                hole.covers(record.point, closed_low_x=True, closed_low_y=True)
+                for hole in getattr(node, "caretaker_rects", ())
+            )
+            if placed:
+                continue
+            findings.append(
+                AuditViolation(
+                    time=now,
+                    check="store_placement",
+                    severity="soft",
+                    subject=f"{record.object_id!r}@v{record.version}",
+                    detail=(
+                        f"object {record.object_id!r} v{record.version} at "
+                        f"{record.point} is stored by {node.address}, whose "
+                        f"territory {rect} does not cover it"
+                    ),
+                    data={
+                        "object_id": str(record.object_id),
+                        "owners": [str(node.address)],
+                        "rects": [str(rect)],
+                    },
+                )
+            )
+        return findings
+
+    def _check_store_replication(
+        self, now, nodes, primaries
+    ) -> List[AuditViolation]:
+        """Primary store and live secondary replica converge at quiescence."""
+        by_address = {node.address: node for node in nodes}
+        findings = []
+        for primary in primaries:
+            store = getattr(primary.owned, "store", None)
+            peer_address = primary.owned.peer
+            if store is None or peer_address is None:
+                continue
+            peer = by_address.get(peer_address)
+            if (
+                peer is None
+                or not peer.alive
+                or peer.owned is None
+                or peer.owned.role != "secondary"
+                or peer.owned.rect != primary.owned.rect
+                or getattr(peer.owned, "store", None) is None
+            ):
+                continue  # dualpeer check owns the disagreement case
+            divergent = store.diff_keys(peer.owned.store.digest())
+            if not divergent:
+                continue
+            # Fingerprint the divergence: confirming requires the *same*
+            # buckets to disagree in the *same* way on two consecutive
+            # ticks, so in-flight traffic (ever-changing digests) never
+            # reports, while frozen divergence -- lost replication the
+            # anti-entropy pass failed to repair -- does.
+            local = store.digest()
+            remote = peer.owned.store.digest()
+            fingerprint = "|".join(
+                f"{key}:{local.get(key)}vs{remote.get(key)}"
+                for key in divergent
+            )
+            findings.append(
+                AuditViolation(
+                    time=now,
+                    check="store_replication",
+                    severity="soft",
+                    subject=(
+                        f"{primary.address}+{peer_address}"
+                        f"#{zlib.crc32(fingerprint.encode()):08x}"
+                    ),
+                    detail=(
+                        f"store replicas of {primary.owned.rect} diverge in "
+                        f"{len(divergent)} bucket(s) between primary "
+                        f"{primary.address} and secondary {peer_address}"
+                    ),
+                    data={
+                        "owners": [str(primary.address), str(peer_address)],
+                        "rects": [str(primary.owned.rect)],
+                        "buckets": [str(key) for key in divergent],
                     },
                 )
             )

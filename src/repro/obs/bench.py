@@ -5,7 +5,10 @@ metrics registry and writes machine-readable ``BENCH_micro_ops.json`` and
 ``BENCH_routing.json`` snapshots (schema: metric name ->
 ``{count, mean, p50, p95, p99, min, max, total}``), so the performance
 trajectory of the codebase accumulates across PRs instead of living only
-in transient pytest-benchmark output.
+in transient pytest-benchmark output.  ``python -m repro bench store``
+additionally runs the location-store suite and writes
+``BENCH_store.json`` (update throughput, update/lookup hop counts, and
+objects migrated per adaptation).
 
 The micro-ops run also measures the *instrumentation overhead*: the same
 hot-path workload is timed with the no-op facade (collection off) and
@@ -57,6 +60,15 @@ MICRO_POPULATION = 600
 
 #: Default populations swept by the routing benchmark.
 ROUTING_POPULATIONS = (256, 1024)
+
+#: Default node population for the store benchmark.
+STORE_POPULATION = 400
+
+#: Default moving-object population driven through the store benchmark.
+STORE_OBJECTS = 256
+
+#: Default movement steps (each object reports once per step).
+STORE_STEPS = 12
 
 
 def bench_meta() -> Dict[str, str]:
@@ -219,6 +231,105 @@ def run_routing(
                     registry.observe(stretch_name, quality)
 
 
+def run_store_bench(
+    registry: MetricsRegistry,
+    population: int = STORE_POPULATION,
+    objects: int = STORE_OBJECTS,
+    steps: int = STORE_STEPS,
+    lookups_per_step: int = 8,
+    adaptation_rounds: int = 3,
+    seed: int = 5,
+) -> None:
+    """Record the location-store benchmark into ``registry``.
+
+    Drives a :class:`~repro.workload.moving.MovingObjectWorkload` through
+    an :class:`~repro.store.overlay_store.OverlayStore` on a dual-peer
+    overlay: every object reports its position each step (updates routed
+    greedily to the covering region), interleaved with range lookups that
+    follow the population.  Afterwards the adaptation engine runs with
+    the store attached, so the records each executed mechanism moved land
+    in the ``store.migrated_per_adaptation`` histogram plus per-mechanism
+    and per-event counters.
+
+    Headline metrics: ``store.updates_per_s`` (routed update throughput),
+    ``store.update_hops`` / ``store.lookup_hops`` (routing cost per
+    operation), and ``store.migrated_per_adaptation`` (state shipped per
+    load-balance adaptation).
+    """
+    from repro.store import OverlayStore
+    from repro.workload import MovingObjectWorkload
+
+    with obs.capture(registry):
+        grid, field, rng = build_network(population, dual=True, seed=seed)
+        store = OverlayStore(grid)
+        workload = MovingObjectWorkload(
+            BOUNDS, population=objects, rng=random.Random(seed + 1)
+        )
+        origins = [grid.random_node() for _ in range(64)]
+
+        def drive(reports) -> int:
+            count = 0
+            for report in reports:
+                before = store.stats.update_hops
+                store.update(
+                    rng.choice(origins),
+                    report.object_id,
+                    report.point,
+                    version=report.version,
+                )
+                registry.observe(
+                    "store.update_hops", store.stats.update_hops - before
+                )
+                count += 1
+            return count
+
+        updates = 0
+        update_s = 0.0
+        start = time.perf_counter()
+        updates += drive(workload.initial_reports())
+        update_s += time.perf_counter() - start
+        for _ in range(steps):
+            start = time.perf_counter()
+            updates += drive(workload.step())
+            update_s += time.perf_counter() - start
+            for _ in range(lookups_per_step):
+                before = store.stats.lookup_hops
+                found = store.lookup(
+                    rng.choice(origins), workload.lookup_rect()
+                )
+                registry.observe(
+                    "store.lookup_hops", store.stats.lookup_hops - before
+                )
+                registry.observe("store.lookup_results", len(found))
+        registry.observe(
+            "store.updates_per_s",
+            updates / update_s if update_s > 0 else 0.0,
+        )
+        registry.observe("store.objects", store.object_count())
+
+        calc = WorkloadIndexCalculator(grid, field.region_load)
+        migrated_before = store.stats.migrated
+
+        def per_adaptation(total: int, record) -> None:
+            nonlocal migrated_before
+            registry.observe(
+                "store.migrated_per_adaptation",
+                store.stats.migrated - migrated_before,
+            )
+            migrated_before = store.stats.migrated
+
+        engine = AdaptationEngine(grid, calc, on_adaptation=per_adaptation)
+        engine.ctx.store = store
+        engine.run_rounds(adaptation_rounds)
+        for mechanism, moved in sorted(engine.ctx.store_motion.items()):
+            registry.observe(f"store.migrated.mech_{mechanism}", moved)
+        for event, moved in sorted(store.stats.migrated_by_event.items()):
+            registry.observe(f"store.migrated.event_{event}", moved)
+        # The bench doubles as an invariant sweep: after all the churn,
+        # every record must still be homed at the region covering it.
+        store.check_placement()
+
+
 def measure_overhead(
     population: int = 300,
     points: int = 512,
@@ -345,6 +456,34 @@ def write_bench_files(
     routing_path.write_text(_stamped_json(routing, meta) + "\n")
 
     return [micro_path, routing_path]
+
+
+def write_store_bench_file(
+    out_dir: pathlib.Path,
+    population: int = STORE_POPULATION,
+    objects: int = STORE_OBJECTS,
+    steps: int = STORE_STEPS,
+    adaptation_rounds: int = 3,
+) -> List[pathlib.Path]:
+    """Run the store benchmark and write ``BENCH_store.json``.
+
+    Returns the written path in a one-element list (same shape as
+    :func:`write_bench_files`, so callers can concatenate and feed
+    :func:`render_report`).
+    """
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    registry = MetricsRegistry()
+    run_store_bench(
+        registry,
+        population=population,
+        objects=objects,
+        steps=steps,
+        adaptation_rounds=adaptation_rounds,
+    )
+    path = out_dir / "BENCH_store.json"
+    path.write_text(_stamped_json(registry, bench_meta()) + "\n")
+    return [path]
 
 
 def _stamped_json(registry: MetricsRegistry, meta: Dict[str, str]) -> str:

@@ -21,6 +21,7 @@ from repro.core.node import Node
 from repro.sim.latency import LatencyModel
 from repro.sim.scheduler import EventScheduler
 from repro.sim.transport import SimNetwork
+from repro.store.spatial import ObjectRecord
 from repro.protocol import messages as m
 from repro.protocol.node import NodeConfig, ProtocolNode
 
@@ -202,6 +203,93 @@ class ProtocolCluster:
         request_id = origin.query_rect(rect)
         self.run_for(wait)
         return origin.query_results.get(request_id, [])
+
+    # ------------------------------------------------------------------
+    # Location store operations
+    # ------------------------------------------------------------------
+    def store_update(
+        self,
+        from_node_id: int,
+        object_id: Any,
+        point: Point,
+        payload: Any = None,
+        version: int = 0,
+        prev_point: Optional[Point] = None,
+        timeout: float = 60.0,
+        attempts: int = 3,
+    ) -> m.StoreAckBody:
+        """Store an object position and wait for the executor's ack.
+
+        Like :meth:`lookup`, the update is retransmitted up to
+        ``attempts`` times on a lossy network -- updates are idempotent
+        (last-writer-wins by version), so retries are safe.
+        """
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        origin = self._protocol_node(from_node_id)
+        per_attempt = timeout / attempts
+        request_ids: List[int] = []
+        for _ in range(attempts):
+            request_id = origin.store_update(
+                object_id, point, payload=payload, version=version,
+                prev_point=prev_point,
+            )
+            request_ids.append(request_id)
+            deadline = self.scheduler.now + per_attempt
+            while self.scheduler.now < deadline:
+                for rid in request_ids:
+                    ack = origin.store_acks.get(rid)
+                    if ack is not None:
+                        return ack
+                if self.scheduler.pending() == 0:
+                    break
+                self.scheduler.run_until(
+                    min(deadline, self.scheduler.now + 1.0)
+                )
+        for rid in request_ids:
+            ack = origin.store_acks.get(rid)
+            if ack is not None:
+                return ack
+        raise SimulationError(
+            f"store update of {object_id!r} from node {from_node_id} was "
+            f"not acknowledged within {timeout} time units "
+            f"({attempts} attempts)"
+        )
+
+    def store_lookup(
+        self,
+        from_node_id: int,
+        rect: Rect,
+        wait: float = 20.0,
+    ) -> List["ObjectRecord"]:
+        """Range-lookup stored objects, deduplicated last-writer-wins.
+
+        Returns the records collected from every answering region (the
+        per-region raw answers stay available on the origin node's
+        ``store_results``).
+        """
+        origin = self._protocol_node(from_node_id)
+        request_id = origin.store_lookup(rect)
+        self.run_for(wait)
+        seen: Dict[Any, "ObjectRecord"] = {}
+        for result in origin.store_results.get(request_id, []):
+            for record in result.records:
+                if record.supersedes(seen.get(record.object_id)):
+                    seen[record.object_id] = record
+        return sorted(seen.values(), key=lambda r: repr(r.object_id))
+
+    def store_object_count(self) -> int:
+        """Distinct objects held by live primaries (global test view)."""
+        seen = set()
+        for pnode in self.nodes.values():
+            if (
+                pnode.alive
+                and pnode.owned is not None
+                and pnode.owned.role == "primary"
+            ):
+                for record in pnode.owned.store.records():
+                    seen.add(record.object_id)
+        return len(seen)
 
     # ------------------------------------------------------------------
     # Global-view extraction (for assertions only)

@@ -109,7 +109,12 @@ def run_split_brain_repro(
         seed=seed,
         latency=DistanceLatency(),
         drop_probability=drop,
-        config=NodeConfig(claim_witness_enabled=False),
+        # Both reliability layers off: the witness (PR-2) would resolve
+        # the split brain, and the grant ack/resend exchange would repair
+        # the lost grants that set it up in the first place.
+        config=NodeConfig(
+            claim_witness_enabled=False, grant_resend_attempts=0
+        ),
     )
     with obs.flight_capture(
         capacity=capacity, clock=lambda: cluster.scheduler.now

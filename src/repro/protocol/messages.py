@@ -10,16 +10,18 @@ destination.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from typing import Any, Hashable, Optional, Tuple
 
 from repro.geometry import Point, Rect
 from repro.core.node import NodeAddress
+from repro.store.spatial import BucketKey, ObjectRecord
 
 # ---------------------------------------------------------------------
 # Management message kinds
 # ---------------------------------------------------------------------
 JOIN_REQUEST = "join_request"
 JOIN_GRANT = "join_grant"
+GRANT_ACK = "grant_ack"
 GRANT_DECLINE = "grant_decline"
 NEIGHBOR_UPDATE = "neighbor_update"
 HEARTBEAT = "heartbeat"
@@ -40,6 +42,20 @@ QUERY_FANOUT = "query_fanout"
 QUERY_RESULT = "query_result"
 PUBLISH = "publish"
 REPLICATE = "replicate"
+
+# ---------------------------------------------------------------------
+# Location-store message kinds (the repro.store data plane)
+# ---------------------------------------------------------------------
+STORE_UPDATE = "store_update"
+STORE_REMOVE = "store_remove"
+STORE_ACK = "store_ack"
+STORE_LOOKUP = "store_lookup"
+STORE_FANOUT = "store_fanout"
+STORE_RESULT = "store_result"
+STORE_REPLICATE = "store_replicate"
+STORE_SYNC = "store_sync"
+STORE_PULL = "store_pull"
+STORE_REPAIR = "store_repair"
 
 
 @dataclass(frozen=True)
@@ -87,6 +103,22 @@ class JoinGrantBody:
     items: Tuple[Tuple[Point, Any], ...] = ()
     #: Echo of the join request's nonce.
     nonce: int = 0
+    #: Location-store records riding the grant: a split hands the new
+    #: half's objects, a secondary grant seeds the replica.
+    objects: Tuple[ObjectRecord, ...] = ()
+
+
+@dataclass(frozen=True)
+class GrantAckBody:
+    """The joiner confirms a grant arrived (accept, duplicate, or refuse).
+
+    A split grant is the only copy of the handed half's records while in
+    flight; the granter resends it until this ack (or a decline) arrives,
+    so one dropped message cannot lose them.
+    """
+
+    nonce: int
+    rect: Rect
 
 
 @dataclass(frozen=True)
@@ -96,6 +128,8 @@ class GrantDeclineBody:
     role: str
     rect: Rect
     items: Tuple[Tuple[Point, Any], ...] = ()
+    #: Location-store records returned with the declined region.
+    objects: Tuple[ObjectRecord, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -246,6 +280,8 @@ class RegionStateBody:
     peer: Optional[NodeAddress]
     items: Tuple[Tuple[Point, Any], ...]
     neighbors: Tuple[NeighborInfo, ...]
+    #: Location-store records moving with the region.
+    objects: Tuple[ObjectRecord, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -291,3 +327,159 @@ class DepartBody:
     rect: Rect
     #: Items handed to the surviving peer or adopter.
     items: Tuple[Tuple[Point, Any], ...]
+    #: Location-store records handed with the region.
+    objects: Tuple[ObjectRecord, ...] = ()
+
+
+# ---------------------------------------------------------------------
+# Location-store bodies
+# ---------------------------------------------------------------------
+@dataclass(frozen=True)
+class StoreUpdateBody:
+    """A moving object's position report, routed to the covering region.
+
+    ``prev_point`` is where the reporter last placed the object; when the
+    update lands in a different region, the executor routes a versioned
+    :class:`StoreRemoveBody` toward it to evict the stale copy.
+    """
+
+    origin: NodeAddress
+    record: ObjectRecord
+    request_id: int
+    prev_point: Optional[Point] = None
+    hops: int = 0
+
+    def forwarded(self) -> "StoreUpdateBody":
+        """Copy with the hop count bumped."""
+        return StoreUpdateBody(
+            origin=self.origin,
+            record=self.record,
+            request_id=self.request_id,
+            prev_point=self.prev_point,
+            hops=self.hops + 1,
+        )
+
+
+@dataclass(frozen=True)
+class StoreRemoveBody:
+    """Versioned eviction of a stale copy, routed toward its old position.
+
+    Only copies at or below ``version`` are removed, so an eviction that
+    loses a race with a newer update (the object moved back) is a no-op.
+    """
+
+    object_id: Hashable
+    point: Point
+    version: int
+    hops: int = 0
+
+    def forwarded(self) -> "StoreRemoveBody":
+        """Copy with the hop count bumped."""
+        return StoreRemoveBody(
+            object_id=self.object_id,
+            point=self.point,
+            version=self.version,
+            hops=self.hops + 1,
+        )
+
+
+@dataclass(frozen=True)
+class StoreAckBody:
+    """The executor's acknowledgment of a stored update."""
+
+    request_id: int
+    executor: NodeAddress
+    hops: int
+
+
+@dataclass(frozen=True)
+class StoreLookupBody:
+    """A range lookup over stored objects; fans out like a query."""
+
+    origin: NodeAddress
+    rect: Rect
+    request_id: int
+    hops: int = 0
+    #: Addresses that already served this lookup (fan-out dedup).
+    served: Tuple[NodeAddress, ...] = ()
+
+    def forwarded(self) -> "StoreLookupBody":
+        """Copy with the hop count bumped."""
+        return StoreLookupBody(
+            origin=self.origin,
+            rect=self.rect,
+            request_id=self.request_id,
+            hops=self.hops + 1,
+            served=self.served,
+        )
+
+    def marked_served(self, address: NodeAddress) -> "StoreLookupBody":
+        """Copy with ``address`` appended to the served set."""
+        return StoreLookupBody(
+            origin=self.origin,
+            rect=self.rect,
+            request_id=self.request_id,
+            hops=self.hops,
+            served=self.served + (address,),
+        )
+
+
+@dataclass(frozen=True)
+class StoreResultBody:
+    """One region's partial answer to a store range lookup."""
+
+    request_id: int
+    executor: NodeAddress
+    region: Rect
+    records: Tuple[ObjectRecord, ...]
+    hops: int
+    #: Whether a secondary replica served this (primary unreachable).
+    from_replica: bool = False
+
+
+@dataclass(frozen=True)
+class StoreReplicateBody:
+    """Synchronous primary-to-secondary replication of one store change.
+
+    Exactly one of ``record`` (an upsert) or ``removed_id`` (a versioned
+    eviction) is set.
+    """
+
+    record: Optional[ObjectRecord] = None
+    removed_id: Optional[Hashable] = None
+    removed_version: int = 0
+
+
+@dataclass(frozen=True)
+class StoreSyncBody:
+    """Primary's per-bucket store digest, sent on the sync timer.
+
+    The secondary diffs this against its replica and pulls divergent
+    buckets -- the bounded anti-entropy pass that repairs lossy handover.
+    """
+
+    rect: Rect
+    digest: Tuple[Tuple[BucketKey, int], ...]
+
+
+@dataclass(frozen=True)
+class StorePullBody:
+    """Secondary asks its primary for the content of divergent buckets."""
+
+    rect: Rect
+    keys: Tuple[BucketKey, ...]
+
+
+@dataclass(frozen=True)
+class StoreRepairBody:
+    """Authoritative bucket contents answering a pull (or a handoff).
+
+    When ``authoritative`` is set the receiver replaces each named
+    bucket's content wholesale; otherwise the records are merged
+    last-writer-wins (used when a yielding owner ships its store to the
+    winner of an ownership conflict).
+    """
+
+    rect: Rect
+    buckets: Tuple[Tuple[BucketKey, Tuple[ObjectRecord, ...]], ...]
+    authoritative: bool = True

@@ -18,15 +18,28 @@ from repro.errors import BootstrapError, MembershipError
 from repro.geometry import Point, Rect
 from repro.bootstrap import BootstrapServer, HostCache
 from repro.core.node import Node, NodeAddress
+from repro import obs
 from repro.obs import causal
 from repro.sim.scheduler import EventScheduler
 from repro.sim.transport import Message, SimNetwork
+from repro.store.spatial import GridIndex, ObjectRecord
 from repro.protocol import messages as m
 
 #: Application callback for routed payloads arriving at the executor node.
 DeliverCallback = Callable[[Point, Any], None]
 
 _request_ids = itertools.count(1)
+
+
+def reset_request_ids() -> None:
+    """Rewind the process-wide request-id counter back to 1.
+
+    See :func:`repro.core.query.reset_query_ids`: the test harness calls
+    this before each test so lookup/store request ids do not depend on
+    how many tests ran earlier in the session.
+    """
+    global _request_ids
+    _request_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -70,6 +83,18 @@ class NodeConfig:
     #: brain so the invariant auditor and flight recorder can be exercised
     #: against a real historical failure (see repro.protocol.forensics).
     claim_witness_enabled: bool = True
+    #: How many times an unacknowledged join grant is resent before the
+    #: joiner is given up on.  A split grant is the only copy of the
+    #: handed half's store records while in flight, so one dropped grant
+    #: would lose them for good.  ``0`` disables the ack/resend exchange
+    #: entirely -- a *fault-injection knob* like ``claim_witness_enabled``,
+    #: used by the forensics replay to re-open the historical lost-grant
+    #: failure modes.
+    grant_resend_attempts: int = 3
+    #: How many divergent store buckets one anti-entropy round may pull.
+    #: Bounds the repair traffic after a lossy handover; remaining
+    #: divergence drains over subsequent sync intervals.
+    store_repair_max_buckets: int = 8
 
 
 @dataclass
@@ -80,6 +105,9 @@ class OwnedRegion:
     role: str  # "primary" | "secondary"
     peer: Optional[NodeAddress]
     items: List[Tuple[Point, Any]] = field(default_factory=list)
+    #: The location store for this region: the authoritative copy on the
+    #: primary, the replica on the secondary.
+    store: GridIndex = field(default_factory=GridIndex)
 
 
 class ProtocolNode:
@@ -138,6 +166,17 @@ class ProtocolNode:
         self.delivered: List[m.RouteDeliveredBody] = []
         self.query_results: Dict[int, List[m.QueryResultBody]] = {}
         self._served_queries: Set[int] = set()
+        #: Acknowledged store updates issued from this node.
+        self.store_acks: Dict[int, m.StoreAckBody] = {}
+        #: Misplaced records re-routed home, awaiting the executor's ack
+        #: before the local copy may be dropped (request_id -> id, version).
+        self._rehome_pending: Dict[int, Tuple[Any, int]] = {}
+        #: Grants sent but not yet confirmed by the joiner; resent until
+        #: the (joiner, nonce) key is acked or the attempts run out.
+        self._unacked_grants: Set[Tuple[NodeAddress, int]] = set()
+        #: Store lookup answers, one entry per answering region.
+        self.store_results: Dict[int, List[m.StoreResultBody]] = {}
+        self._served_store_lookups: Set[int] = set()
         self._timers: List[Any] = []
 
         #: Requests served in the current statistics window.
@@ -156,6 +195,7 @@ class ProtocolNode:
         self._handlers = {
             m.JOIN_REQUEST: self._on_join_request,
             m.JOIN_GRANT: self._on_join_grant,
+            m.GRANT_ACK: self._on_grant_ack,
             m.GRANT_DECLINE: self._on_grant_decline,
             m.NEIGHBOR_UPDATE: self._on_neighbor_update,
             m.HEARTBEAT: self._on_heartbeat,
@@ -172,6 +212,16 @@ class ProtocolNode:
             m.QUERY_RESULT: self._on_query_result,
             m.PUBLISH: self._on_publish,
             m.REPLICATE: self._on_replicate,
+            m.STORE_UPDATE: self._on_store_update,
+            m.STORE_REMOVE: self._on_store_remove,
+            m.STORE_ACK: self._on_store_ack,
+            m.STORE_LOOKUP: self._on_store_lookup,
+            m.STORE_FANOUT: self._on_store_fanout,
+            m.STORE_RESULT: self._on_store_result,
+            m.STORE_REPLICATE: self._on_store_replicate,
+            m.STORE_SYNC: self._on_store_sync,
+            m.STORE_PULL: self._on_store_pull,
+            m.STORE_REPAIR: self._on_store_repair,
         }
 
     # ------------------------------------------------------------------
@@ -256,11 +306,24 @@ class ProtocolNode:
         if not self.alive:
             raise MembershipError(f"node {self.node.node_id} is not running")
         if self.owned is not None and self.owned.peer is not None:
+            if len(self.owned.store):
+                causal.annotate(
+                    "store_handover",
+                    event="depart",
+                    source=str(self.address),
+                    target=str(self.owned.peer),
+                    objects=len(self.owned.store),
+                )
+                obs.inc("store.node.migrated", len(self.owned.store))
             self.network.send(
                 self.address,
                 self.owned.peer,
                 m.DEPART,
-                m.DepartBody(rect=self.owned.rect, items=tuple(self.owned.items)),
+                m.DepartBody(
+                    rect=self.owned.rect,
+                    items=tuple(self.owned.items),
+                    objects=tuple(self.owned.store.records()),
+                ),
             )
         self._detach(graceful=True)
 
@@ -383,6 +446,64 @@ class ProtocolNode:
             self._handle_query(body)
         return request_id
 
+    def store_update(
+        self,
+        object_id: Any,
+        point: Point,
+        payload: Any = None,
+        version: int = 0,
+        prev_point: Optional[Point] = None,
+    ) -> int:
+        """Report a moving object's position into the location store.
+
+        The update routes greedily to the region covering ``point``; the
+        executor stores it, replicates it to the dual-peer secondary, and
+        acknowledges (the ack lands in :attr:`store_acks`).  Pass the
+        previously reported position as ``prev_point`` so the stale copy
+        is evicted when the object crossed a region boundary.  Returns
+        the request id.
+        """
+        request_id = next(_request_ids)
+        record = ObjectRecord(
+            object_id=object_id, point=point, payload=payload, version=version
+        )
+        body = m.StoreUpdateBody(
+            origin=self.address, record=record, request_id=request_id,
+            prev_point=prev_point,
+        )
+        ctx = causal.operation(
+            "store_update",
+            origin=str(self.address),
+            object_id=str(object_id),
+            point=str(point),
+            version=version,
+            request_id=request_id,
+        )
+        with causal.using(ctx):
+            self._handle_store_update(body)
+        return request_id
+
+    def store_lookup(self, rect: Rect) -> int:
+        """Issue a range lookup over the location store.
+
+        Answers accumulate under the returned request id in
+        :attr:`store_results`, one entry per answering region (primary or,
+        when the primary is unreachable, its secondary replica).
+        """
+        request_id = next(_request_ids)
+        body = m.StoreLookupBody(
+            origin=self.address, rect=rect, request_id=request_id
+        )
+        ctx = causal.operation(
+            "store_lookup",
+            origin=str(self.address),
+            rect=str(rect),
+            request_id=request_id,
+        )
+        with causal.using(ctx):
+            self._handle_store_lookup(body)
+        return request_id
+
     # ------------------------------------------------------------------
     # Message dispatch
     # ------------------------------------------------------------------
@@ -435,7 +556,8 @@ class ProtocolNode:
         best_distance = own_distance
         for info in self.neighbor_table.values():
             endpoint = self._live_endpoint(info)
-            if endpoint is None:
+            if endpoint is None or endpoint == self.address:
+                # A stale entry naming ourselves is never a hop.
                 continue
             distance = info.rect.distance_to_point(target)
             if distance < best_distance - 1e-12:
@@ -522,8 +644,13 @@ class ProtocolNode:
             neighbors=tuple(self.neighbor_table.values()),
             items=tuple(self.owned.items),
             nonce=body.nonce,
+            objects=tuple(self.owned.store.records()),
         )
         self.network.send(self.address, body.joiner, m.JOIN_GRANT, grant)
+        # A lost replica grant costs no data (we keep the records), but
+        # the region would sit half-full until the peer timeout; resend
+        # until the joiner confirms.
+        self._track_grant(grant, body.joiner, body.nonce)
         self._announce_self()
 
     def _grant_split(self, body: m.JoinRequestBody) -> None:
@@ -561,6 +688,16 @@ class ProtocolNode:
             if not self._covers(kept, point)
         )
         self.owned.items = kept_items
+        handed_objects = tuple(self.owned.store.split_off(kept))
+        if handed_objects:
+            obs.inc("store.node.migrated", len(handed_objects))
+            causal.annotate(
+                "store_handover",
+                event="split",
+                source=str(self.address),
+                target=str(body.joiner),
+                objects=len(handed_objects),
+            )
 
         joiner_neighbors = [
             info for info in self.neighbor_table.values()
@@ -574,8 +711,13 @@ class ProtocolNode:
             neighbors=tuple(joiner_neighbors),
             items=handed_items,
             nonce=body.nonce,
+            objects=handed_objects,
         )
         self.network.send(self.address, body.joiner, m.JOIN_GRANT, grant)
+        # The grant carries the handed half's records and the network is
+        # lossy: resend until the joiner confirms receipt, else the
+        # records die with the one dropped message.
+        self._track_grant(grant, body.joiner, body.nonce)
 
         joiner_info = m.NeighborInfo(rect=handed, primary=body.joiner)
         stale = [
@@ -610,6 +752,63 @@ class ProtocolNode:
             )
         self._send_sync()
 
+    def _track_grant(
+        self, grant: m.JoinGrantBody, joiner: NodeAddress, nonce: int
+    ) -> None:
+        attempts = self.config.grant_resend_attempts
+        if attempts <= 0:
+            return
+        self._unacked_grants.add((joiner, nonce))
+        self._schedule_grant_resend(grant, joiner, nonce, attempts)
+
+    def _schedule_grant_resend(
+        self,
+        grant: m.JoinGrantBody,
+        joiner: NodeAddress,
+        nonce: int,
+        attempts: int,
+    ) -> None:
+        self.scheduler.after(
+            self.config.heartbeat_interval,
+            lambda: self._maybe_resend_grant(grant, joiner, nonce, attempts),
+        )
+
+    def _maybe_resend_grant(
+        self,
+        grant: m.JoinGrantBody,
+        joiner: NodeAddress,
+        nonce: int,
+        attempts: int,
+    ) -> None:
+        """Resend a grant the joiner has not confirmed with a GRANT_ACK.
+
+        Resending is safe: a joiner that did install the region (its ack
+        was the lost message) recognizes the duplicate by rect and role
+        and only acks again.  Once the attempts run out the usual
+        hole/caretaker machinery deals with the (actually dead) joiner.
+        """
+        if not self.alive:
+            return
+        if (joiner, nonce) not in self._unacked_grants:
+            return
+        if attempts <= 0:
+            self._unacked_grants.discard((joiner, nonce))
+            return
+        causal.annotate(
+            "grant_resend",
+            granter=str(self.address),
+            joiner=str(joiner),
+            rect=str(grant.rect),
+            attempts_left=attempts - 1,
+        )
+        obs.inc("protocol.grant_resends")
+        self.network.send(self.address, joiner, m.JOIN_GRANT, grant)
+        self._schedule_grant_resend(grant, joiner, nonce, attempts - 1)
+
+    def _on_grant_ack(self, message: Message) -> None:
+        body: m.GrantAckBody = message.body
+        self._unacked_grants.discard((message.source, body.nonce))
+
     def _grant_hole(self, body: m.JoinRequestBody, hole: Rect) -> None:
         """Fill an orphaned region (all owners dead) with the joiner."""
         causal.annotate(
@@ -637,14 +836,34 @@ class ProtocolNode:
 
     def _on_join_grant(self, message: Message) -> None:
         body: m.JoinGrantBody = message.body
+        # Confirm receipt whatever we decide: the granter resends split
+        # grants (the only copy of the handed records while in flight)
+        # until this ack or a decline reaches it.
+        if self.config.grant_resend_attempts > 0:
+            self.network.send(
+                self.address, message.source, m.GRANT_ACK,
+                m.GrantAckBody(nonce=body.nonce, rect=body.rect),
+            )
         if self.joined:
+            if (
+                self.owned is not None
+                and body.rect == self.owned.rect
+                and body.role == self.owned.role
+            ):
+                # A granter that had not heard from us yet resent the
+                # grant we already accepted: make ourselves heard rather
+                # than declining the region back to it.
+                if self.owned.role == "primary":
+                    self._announce_self()
+                return
             # We already hold a region (a slower grant from a retried
             # attempt arrived): hand this one straight back so no region
             # is orphaned.  Accepting whichever grant arrives first --
             # regardless of attempt -- avoids declining a perfectly good
             # region that merely lost a race with the retry timer.
             decline = m.GrantDeclineBody(
-                role=body.role, rect=body.rect, items=body.items
+                role=body.role, rect=body.rect, items=body.items,
+                objects=body.objects,
             )
             causal.annotate(
                 "grant_declined",
@@ -668,6 +887,7 @@ class ProtocolNode:
             role=body.role,
             peer=body.peer,
             items=list(body.items),
+            store=GridIndex(records=body.objects),
         )
         self.neighbor_table = {
             info.rect: info
@@ -779,6 +999,31 @@ class ProtocolNode:
             rect=str(self.owned.rect),
             claimed=str(info.rect),
         )
+        if len(self.owned.store):
+            # Ship our store to the winner before abandoning: a non-
+            # authoritative repair merges LWW on its side, so whichever
+            # copies are fresher survive the conflict.
+            records = tuple(self.owned.store.records())
+            causal.annotate(
+                "store_handover",
+                event="ownership_yield",
+                source=str(self.address),
+                target=str(info.primary),
+                objects=len(records),
+            )
+            obs.inc("store.node.migrated", len(records))
+            buckets = tuple(
+                (key, tuple(self.owned.store.bucket_records(key)))
+                for key in sorted(self.owned.store.digest())
+            )
+            self.network.send(
+                self.address, info.primary, m.STORE_REPAIR,
+                m.StoreRepairBody(
+                    rect=self.owned.rect,
+                    buckets=buckets,
+                    authoritative=False,
+                ),
+            )
         for neighbor in self.neighbor_table.values():
             if neighbor.primary == info.primary:
                 continue
@@ -916,9 +1161,15 @@ class ProtocolNode:
             # A peer heartbeat from someone who believes it is our
             # secondary; if we disagree (we evicted it, or replaced it),
             # tell it so it can rejoin instead of promoting stale state.
+            # Only authoritative for the region we serve *right now*: a
+            # primary that just switched regions still receives a few
+            # beats addressed to the old region's primary, and releasing
+            # that secondary would strip the old region (whose new
+            # primary inherited it as peer) of its replica.
             if (
                 self.owned is not None
                 and self.owned.role == "primary"
+                and body.rect == self.owned.rect
                 and self.owned.peer != message.source
             ):
                 self.network.send(
@@ -1027,6 +1278,7 @@ class ProtocolNode:
     def _send_sync(self) -> None:
         if not self.alive or self.owned is None:
             return
+        self._rehome_misplaced()
         if self.owned.role != "primary" or self.owned.peer is None:
             return
         body = m.SyncStateBody(
@@ -1035,6 +1287,10 @@ class ProtocolNode:
             items=tuple(self.owned.items),
         )
         self.network.send(self.address, self.owned.peer, m.SYNC_STATE, body)
+        # The store does not ship its full content on every sync; the
+        # primary sends a per-bucket digest instead and the secondary
+        # pulls only divergent buckets (bounded anti-entropy).
+        self._send_store_sync()
 
     def _on_sync_state(self, message: Message) -> None:
         body: m.SyncStateBody = message.body
@@ -1121,7 +1377,17 @@ class ProtocolNode:
             successor=str(self.address),
             failed=str(failed),
             rect=str(self.owned.rect),
+            store_objects=len(self.owned.store),
         )
+        if len(self.owned.store):
+            obs.inc("store.node.migrated", len(self.owned.store))
+            causal.annotate(
+                "store_handover",
+                event="failover",
+                source=str(failed),
+                target=str(self.address),
+                objects=len(self.owned.store),
+            )
         self.owned.role = "primary"
         self.owned.peer = None
         if self._replicated_neighbors:
@@ -1144,6 +1410,9 @@ class ProtocolNode:
             and self.owned.rect == body.rect
         ):
             self.owned.items = list(body.items)
+            # The departing primary's store is authoritative; merging LWW
+            # also keeps anything fresher the replica saw in a race.
+            self.owned.store.merge(body.objects)
             self._replicated_neighbors = self._replicated_neighbors or ()
             self._take_over_primary()
 
@@ -1174,6 +1443,7 @@ class ProtocolNode:
             peer=self.owned.peer,
             items=tuple(self.owned.items),
             neighbors=tuple(self.neighbor_table.values()),
+            objects=tuple(self.owned.store.records()),
         )
 
     def _install_state(
@@ -1195,11 +1465,25 @@ class ProtocolNode:
             role="primary",
             peer=state.peer,
             items=list(state.items),
+            store=GridIndex(records=state.objects),
         )
+        if state.objects:
+            obs.inc("store.node.migrated", len(state.objects))
+            causal.annotate(
+                "store_handover",
+                event="switch",
+                source=str(counterpart),
+                target=str(self.address),
+                objects=len(state.objects),
+            )
         self.neighbor_table = {
             info.rect: info
             for info in state.neighbors
             if state.rect.is_neighbor_of(info.rect)
+            # After a chain of switches the shipped table can still name
+            # *us* as primary of a region we owned earlier; routing via
+            # such an entry would forward messages to ourselves forever.
+            and info.primary != self.address
         }
         if given_away is not None and state.rect.is_neighbor_of(given_away):
             self.neighbor_table[given_away] = m.NeighborInfo(
@@ -1257,6 +1541,12 @@ class ProtocolNode:
         )
         self._switch_pending = True
         self._switch_shipped_count = len(self.owned.items)
+        #: Versions captured with the request; store records written after
+        #: this snapshot must be replayed if the switch completes.
+        self._switch_shipped_versions = {
+            record.object_id: record.version
+            for record in self.owned.store.records()
+        }
         causal.annotate(
             "switch_proposed",
             initiator=str(self.address),
@@ -1314,6 +1604,13 @@ class ProtocolNode:
         # the old region's new owner.
         shipped = getattr(self, "_switch_shipped_count", len(self.owned.items))
         leftovers = list(self.owned.items[shipped:])
+        shipped_versions = getattr(self, "_switch_shipped_versions", None)
+        store_leftovers = [
+            record
+            for record in self.owned.store.records()
+            if shipped_versions is not None
+            and record.version > shipped_versions.get(record.object_id, -1)
+        ]
         old_rect = self.owned.rect
         old_peer = self.owned.peer
         self._install_state(
@@ -1326,6 +1623,18 @@ class ProtocolNode:
             if not self._covers(self.owned.rect, point):
                 self._handle_publish(
                     m.PublishBody(origin=self.address, point=point, item=item)
+                )
+        # Store records written after the state capture were not shipped
+        # with it; replay them through normal update routing so they reach
+        # the old region's new owner.
+        for record in store_leftovers:
+            if not self._covers(self.owned.rect, record.point):
+                self._handle_store_update(
+                    m.StoreUpdateBody(
+                        origin=self.address,
+                        record=record,
+                        request_id=next(_request_ids),
+                    )
                 )
 
     def _on_switch_reject(self, message: Message) -> None:
@@ -1364,6 +1673,16 @@ class ProtocolNode:
             )
             self.owned.rect = self.owned.rect.merge_with(body.rect)
             self.owned.items.extend(body.items)
+            if body.objects:
+                merged_back = self.owned.store.merge(body.objects)
+                obs.inc("store.node.migrated", merged_back)
+                causal.annotate(
+                    "store_handover",
+                    event="decline_merge",
+                    source=str(message.source),
+                    target=str(self.address),
+                    objects=merged_back,
+                )
             self.neighbor_table.pop(body.rect, None)
             self.neighbor_table = {
                 rect: info
@@ -1397,6 +1716,8 @@ class ProtocolNode:
             owner=str(self.address),
             rect=str(body.rect),
         )
+        if body.objects:
+            self.owned.store.merge(body.objects)
         audience.discard(self.address)
         for recipient in audience:
             self.network.send(
@@ -1541,6 +1862,367 @@ class ProtocolNode:
     def _on_query_result(self, message: Message) -> None:
         body: m.QueryResultBody = message.body
         self.query_results.setdefault(body.request_id, []).append(body)
+
+    # ------------------------------------------------------------------
+    # Location store: data plane
+    # ------------------------------------------------------------------
+    def _on_store_update(self, message: Message) -> None:
+        self._handle_store_update(message.body)
+
+    def _handle_store_update(self, body: m.StoreUpdateBody) -> None:
+        if self._forward_to_my_primary(m.STORE_UPDATE, body):
+            return
+        point = body.record.point
+        if self._owns_point(point) or self._caretaker_for(point):
+            self._store_accept_update(body)
+            return
+        next_hop = self._next_hop(point)
+        if next_hop is None:
+            # Border position nobody is closer to: store best-effort here,
+            # mirroring the route/publish border rule.
+            if self.owned is not None:
+                self._store_accept_update(body)
+            return
+        self.network.send(
+            self.address, next_hop, m.STORE_UPDATE, body.forwarded()
+        )
+
+    def _store_accept_update(self, body: m.StoreUpdateBody) -> None:
+        """Executor side of a store update: insert, replicate, ack."""
+        assert self.owned is not None
+        self._window_served += 1
+        record = body.record
+        fresh = self.owned.store.upsert(record)
+        causal.annotate(
+            "store_update_served",
+            executor=str(self.address),
+            object_id=str(record.object_id),
+            version=record.version,
+            fresh=fresh,
+            hops=body.hops,
+        )
+        obs.inc("store.node.updates")
+        if fresh:
+            if self.owned.role == "primary" and self.owned.peer is not None:
+                self.network.send(
+                    self.address, self.owned.peer, m.STORE_REPLICATE,
+                    m.StoreReplicateBody(record=record),
+                )
+                obs.inc("store.node.replicated")
+            if body.prev_point is not None and not self._covers(
+                self.owned.rect, body.prev_point
+            ):
+                # The object crossed a region boundary: evict the stale
+                # copy at its old home (versioned, so a newer update
+                # there wins any race).
+                self._handle_store_remove(
+                    m.StoreRemoveBody(
+                        object_id=record.object_id,
+                        point=body.prev_point,
+                        version=record.version,
+                    )
+                )
+        else:
+            obs.inc("store.node.stale_updates")
+        ack = m.StoreAckBody(
+            request_id=body.request_id, executor=self.address, hops=body.hops
+        )
+        self.network.send(self.address, body.origin, m.STORE_ACK, ack)
+
+    def _on_store_remove(self, message: Message) -> None:
+        self._handle_store_remove(message.body)
+
+    def _handle_store_remove(self, body: m.StoreRemoveBody) -> None:
+        if self._forward_to_my_primary(m.STORE_REMOVE, body):
+            return
+        if self._owns_point(body.point) or self._caretaker_for(body.point):
+            assert self.owned is not None
+            removed = self.owned.store.remove(
+                body.object_id, version=body.version
+            )
+            if removed is not None:
+                obs.inc("store.node.evicted")
+                if (
+                    self.owned.role == "primary"
+                    and self.owned.peer is not None
+                ):
+                    self.network.send(
+                        self.address, self.owned.peer, m.STORE_REPLICATE,
+                        m.StoreReplicateBody(
+                            removed_id=body.object_id,
+                            removed_version=body.version,
+                        ),
+                    )
+            return
+        next_hop = self._next_hop(body.point)
+        if next_hop is None:
+            if self.owned is not None:
+                self.owned.store.remove(body.object_id, version=body.version)
+            return
+        self.network.send(
+            self.address, next_hop, m.STORE_REMOVE, body.forwarded()
+        )
+
+    def _on_store_ack(self, message: Message) -> None:
+        body: m.StoreAckBody = message.body
+        self.store_acks[body.request_id] = body
+        pending = self._rehome_pending.pop(body.request_id, None)
+        if pending is None or body.executor == self.address:
+            # Not a rehome ack, or the routed update dead-ended right
+            # back here: keep the copy, the next sweep tries again.
+            return
+        object_id, version = pending
+        if self.owned is None:
+            return
+        removed = self.owned.store.remove(object_id, version=version)
+        if removed is not None:
+            obs.inc("store.node.rehomed")
+            causal.annotate(
+                "store_rehome",
+                owner=str(self.address),
+                executor=str(body.executor),
+                object_id=str(object_id),
+                version=version,
+            )
+            if self.owned.peer is not None:
+                self.network.send(
+                    self.address, self.owned.peer, m.STORE_REPLICATE,
+                    m.StoreReplicateBody(
+                        removed_id=object_id, removed_version=version
+                    ),
+                )
+
+    def _rehome_misplaced(self) -> None:
+        """Route records our territory does not cover back to their home.
+
+        Misplaced records enter through best-effort dead-end accepts and
+        through stores shipped by yielding owners whose region differed
+        from ours (a stale ownership claim arriving right after a
+        switch).  Each is re-sent as a normal routed update; the local
+        copy is dropped only once the covering executor acks it (see
+        :meth:`_on_store_ack`), so a lossy network can never lose the
+        only copy mid-rehome.  Runs on the sync timer.
+        """
+        if self.owned is None or self.owned.role != "primary":
+            return
+        self._rehome_pending.clear()
+        for record in self.owned.store.records():
+            if self._covers(self.owned.rect, record.point):
+                continue
+            if any(
+                self._covers(hole, record.point)
+                for hole in self.caretaker_rects
+            ):
+                continue  # legitimately served here until the hole fills
+            request_id = next(_request_ids)
+            self._rehome_pending[request_id] = (
+                record.object_id, record.version,
+            )
+            self._handle_store_update(
+                m.StoreUpdateBody(
+                    origin=self.address,
+                    record=record,
+                    request_id=request_id,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Location store: range lookups with fan-out
+    # ------------------------------------------------------------------
+    def _on_store_lookup(self, message: Message) -> None:
+        self._handle_store_lookup(message.body)
+
+    def _handle_store_lookup(self, body: m.StoreLookupBody) -> None:
+        target = body.rect.center
+        if (
+            self.owned is not None
+            and self.owned.role == "secondary"
+            and self._covers(self.owned.rect, target)
+        ):
+            # Dual-peer reads: the replica can answer for its own region
+            # directly instead of relaying to the primary.
+            self._serve_store_lookup(body, from_replica=True)
+            return
+        if self._forward_to_my_primary(m.STORE_LOOKUP, body):
+            return
+        if self._owns_point(target) or self._caretaker_for(target):
+            self._serve_store_lookup(body)
+            return
+        next_hop = self._next_hop(target)
+        if next_hop is None:
+            self._serve_store_lookup(body)
+            return
+        self.network.send(
+            self.address, next_hop, m.STORE_LOOKUP, body.forwarded()
+        )
+
+    def _on_store_fanout(self, message: Message) -> None:
+        body: m.StoreLookupBody = message.body
+        if self.owned is None:
+            return
+        if not self.owned.rect.intersects(body.rect):
+            return
+        # Primary or secondary alike may serve the fan-out: the sender
+        # falls back to the replica endpoint when the primary is suspected.
+        self._serve_store_lookup(
+            body, from_replica=self.owned.role == "secondary"
+        )
+
+    def _serve_store_lookup(
+        self, body: m.StoreLookupBody, from_replica: bool = False
+    ) -> None:
+        if body.request_id in self._served_store_lookups:
+            return
+        self._served_store_lookups.add(body.request_id)
+        self._window_served += 1
+        assert self.owned is not None
+        matches = tuple(self.owned.store.query(body.rect))
+        result = m.StoreResultBody(
+            request_id=body.request_id,
+            executor=self.address,
+            region=self.owned.rect,
+            records=matches,
+            hops=body.hops,
+            from_replica=from_replica,
+        )
+        obs.inc("store.node.lookups_served")
+        self.network.send(self.address, body.origin, m.STORE_RESULT, result)
+        # Fan out to neighbor regions overlapping the lookup rectangle.
+        # A replica serving for a dead primary uses the replicated
+        # neighbor table it would activate on failover.
+        marked = body.marked_served(self.address)
+        if self.owned.peer is not None:
+            marked = marked.marked_served(self.owned.peer)
+        neighbors = self.neighbor_table.values()
+        if from_replica and not self.neighbor_table:
+            neighbors = list(self._replicated_neighbors)
+        for info in neighbors:
+            if info.primary in marked.served:
+                continue
+            if not info.rect.intersects(body.rect):
+                continue
+            endpoint = self._live_endpoint(info)
+            if endpoint is None or endpoint in marked.served:
+                continue
+            self.network.send(
+                self.address, endpoint, m.STORE_FANOUT, marked.forwarded()
+            )
+
+    def _on_store_result(self, message: Message) -> None:
+        body: m.StoreResultBody = message.body
+        self.store_results.setdefault(body.request_id, []).append(body)
+
+    # ------------------------------------------------------------------
+    # Location store: replication and anti-entropy
+    # ------------------------------------------------------------------
+    def _on_store_replicate(self, message: Message) -> None:
+        body: m.StoreReplicateBody = message.body
+        if self.owned is None or self.owned.role != "secondary":
+            return
+        if body.record is not None:
+            self.owned.store.upsert(body.record)
+        elif body.removed_id is not None:
+            self.owned.store.remove(
+                body.removed_id, version=body.removed_version
+            )
+
+    def _send_store_sync(self) -> None:
+        """Ship the primary's store digest to its secondary (sync timer).
+
+        An empty store sends nothing: deployments that never touch the
+        location store pay zero extra messages, and the handover paths
+        always ship full stores, so an empty primary facing a non-empty
+        replica can only arise transiently mid-handover.
+        """
+        assert self.owned is not None and self.owned.peer is not None
+        if not len(self.owned.store):
+            return
+        digest = tuple(sorted(self.owned.store.digest().items()))
+        self.network.send(
+            self.address, self.owned.peer, m.STORE_SYNC,
+            m.StoreSyncBody(rect=self.owned.rect, digest=digest),
+        )
+
+    def _on_store_sync(self, message: Message) -> None:
+        body: m.StoreSyncBody = message.body
+        if (
+            self.owned is None
+            or self.owned.role != "secondary"
+            or message.source != self.owned.peer
+        ):
+            return
+        divergent = self.owned.store.diff_keys(dict(body.digest))
+        if not divergent:
+            return
+        bounded = tuple(divergent[: self.config.store_repair_max_buckets])
+        obs.inc("store.node.repair_pulls")
+        causal.annotate(
+            "store_antientropy_pull",
+            replica=str(self.address),
+            primary=str(message.source),
+            divergent=len(divergent),
+            pulled=len(bounded),
+        )
+        self.network.send(
+            self.address, message.source, m.STORE_PULL,
+            m.StorePullBody(rect=body.rect, keys=bounded),
+        )
+
+    def _on_store_pull(self, message: Message) -> None:
+        body: m.StorePullBody = message.body
+        if (
+            self.owned is None
+            or self.owned.role != "primary"
+            or message.source != self.owned.peer
+        ):
+            return
+        buckets = tuple(
+            (key, tuple(self.owned.store.bucket_records(key)))
+            for key in body.keys
+        )
+        self.network.send(
+            self.address, message.source, m.STORE_REPAIR,
+            m.StoreRepairBody(rect=self.owned.rect, buckets=buckets),
+        )
+
+    def _on_store_repair(self, message: Message) -> None:
+        body: m.StoreRepairBody = message.body
+        if self.owned is None:
+            return
+        if body.authoritative:
+            # Our primary answering a pull: its bucket content replaces
+            # ours wholesale (still LWW per record, so a racing fresher
+            # replication is not clobbered).
+            if (
+                self.owned.role != "secondary"
+                or message.source != self.owned.peer
+            ):
+                return
+            changed = 0
+            for key, records in body.buckets:
+                changed += self.owned.store.replace_bucket(key, records)
+            if changed:
+                obs.inc("store.node.repaired_records", changed)
+        else:
+            # A yielding owner shipping its store to us: merge LWW.
+            merged = self.owned.store.merge(
+                record for _, records in body.buckets for record in records
+            )
+            if merged:
+                obs.inc("store.node.repaired_records", merged)
+                if self.owned.role == "primary" and self.owned.peer is not None:
+                    for _, records in body.buckets:
+                        for record in records:
+                            self.network.send(
+                                self.address, self.owned.peer,
+                                m.STORE_REPLICATE,
+                                m.StoreReplicateBody(record=record),
+                            )
+                # The yielder's region may differ from ours (it lost a
+                # stale-claim fight for territory we no longer serve):
+                # adopt the records for safety, then route the strays to
+                # whoever actually covers them.
+                self._rehome_misplaced()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         role = self.owned.role if self.owned is not None else "none"

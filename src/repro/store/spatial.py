@@ -1,0 +1,270 @@
+"""The grid-bucketed spatial object index behind ``repro.store``.
+
+A location store holds *moving objects*: keyed records ``(object_id,
+position, payload, version)`` where the version is a per-object update
+sequence number assigned by the object's reporter.  Every mutation is
+last-writer-wins by version, so replicas converge no matter in which
+order (or how often) replication and anti-entropy deliver the same
+record.
+
+The index buckets records on a fixed global grid (cell side
+:data:`DEFAULT_CELL`), *not* on a per-region grid: bucket keys are
+``(floor(x / cell), floor(y / cell))`` regardless of which region the
+index serves.  That makes every structural handover cheap -- splitting a
+region never re-buckets the kept records, and merging two indexes is a
+bucket-wise union -- and it gives primary and secondary replicas an
+identical bucket layout, which the digest-based anti-entropy exchange
+(:meth:`GridIndex.digest` / :meth:`GridIndex.diff_keys`) relies on.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.geometry import Point, Rect
+
+__all__ = ["DEFAULT_CELL", "ObjectRecord", "GridIndex", "BucketKey"]
+
+#: Default side length of one bucket cell, in coordinate units.  The
+#: paper's service area is 64 x 64 miles; 4-mile cells bound the index at
+#: 256 buckets while keeping range scans tight.
+DEFAULT_CELL = 4.0
+
+#: A bucket coordinate on the fixed global grid.
+BucketKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ObjectRecord:
+    """One stored location object (immutable; updates replace records)."""
+
+    object_id: Hashable
+    point: Point
+    payload: Any = None
+    #: Per-object update sequence number; higher wins everywhere.
+    version: int = 0
+
+    def supersedes(self, other: Optional["ObjectRecord"]) -> bool:
+        """Last-writer-wins: whether this record replaces ``other``."""
+        return other is None or self.version > other.version
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"obj({self.object_id}@{self.point} v{self.version})"
+        )
+
+
+class GridIndex:
+    """A grid-bucketed index of :class:`ObjectRecord` by position.
+
+    All mutating operations are last-writer-wins by ``version``; stale
+    writes are rejected (returned as no-ops), so applying a stream of
+    replicated records is idempotent and order-insensitive.
+    """
+
+    def __init__(
+        self,
+        cell: float = DEFAULT_CELL,
+        records: Iterable[ObjectRecord] = (),
+    ) -> None:
+        if cell <= 0:
+            raise ValueError(f"cell must be positive, got {cell}")
+        self.cell = cell
+        self._buckets: Dict[BucketKey, Dict[Hashable, ObjectRecord]] = {}
+        self._by_id: Dict[Hashable, ObjectRecord] = {}
+        for record in records:
+            self.upsert(record)
+
+    # ------------------------------------------------------------------
+    # Bucketing
+    # ------------------------------------------------------------------
+    def key_for(self, point: Point) -> BucketKey:
+        """The fixed-grid bucket covering ``point``."""
+        return (
+            int(math.floor(point.x / self.cell)),
+            int(math.floor(point.y / self.cell)),
+        )
+
+    def _keys_intersecting(self, rect: Rect) -> Iterator[BucketKey]:
+        """Bucket keys whose cell intersects ``rect`` (closed edges)."""
+        x_lo = int(math.floor(rect.x / self.cell))
+        x_hi = int(math.floor(rect.x2 / self.cell))
+        y_lo = int(math.floor(rect.y / self.cell))
+        y_hi = int(math.floor(rect.y2 / self.cell))
+        for bx in range(x_lo, x_hi + 1):
+            for by in range(y_lo, y_hi + 1):
+                yield (bx, by)
+
+    # ------------------------------------------------------------------
+    # Mutation (last-writer-wins)
+    # ------------------------------------------------------------------
+    def upsert(self, record: ObjectRecord) -> bool:
+        """Insert or replace a record; returns False on a stale write."""
+        existing = self._by_id.get(record.object_id)
+        if existing is not None and not record.supersedes(existing):
+            return False
+        if existing is not None:
+            old_key = self.key_for(existing.point)
+            bucket = self._buckets.get(old_key)
+            if bucket is not None:
+                bucket.pop(record.object_id, None)
+                if not bucket:
+                    del self._buckets[old_key]
+        self._by_id[record.object_id] = record
+        self._buckets.setdefault(self.key_for(record.point), {})[
+            record.object_id
+        ] = record
+        return True
+
+    def remove(
+        self, object_id: Hashable, version: Optional[int] = None
+    ) -> Optional[ObjectRecord]:
+        """Remove ``object_id`` (only copies at or below ``version``).
+
+        A versioned remove is the eviction half of a cross-region move:
+        it must not delete a record *newer* than the update that caused
+        it (the object may have moved back).  Returns the removed record
+        or ``None``.
+        """
+        existing = self._by_id.get(object_id)
+        if existing is None:
+            return None
+        if version is not None and existing.version > version:
+            return None
+        del self._by_id[object_id]
+        key = self.key_for(existing.point)
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.pop(object_id, None)
+            if not bucket:
+                del self._buckets[key]
+        return existing
+
+    def merge(self, records: Iterable[ObjectRecord]) -> int:
+        """Bulk last-writer-wins upsert; returns how many records won."""
+        return sum(1 for record in records if self.upsert(record))
+
+    def split_off(self, kept: Rect) -> List[ObjectRecord]:
+        """Remove and return every record *not* covered by ``kept``.
+
+        The handover half of a region split: the caller keeps this index
+        (now pruned to ``kept``) and ships the returned records to the
+        new owner.  Coverage is closed on all edges, matching the
+        protocol layer's routing predicate.
+        """
+        moved = [
+            record
+            for record in self._by_id.values()
+            if not kept.covers(record.point, closed_low_x=True, closed_low_y=True)
+        ]
+        for record in moved:
+            self.remove(record.object_id)
+        return moved
+
+    def clear(self) -> None:
+        """Drop every record."""
+        self._buckets.clear()
+        self._by_id.clear()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, object_id: Hashable) -> Optional[ObjectRecord]:
+        """The current record for ``object_id``, if present."""
+        return self._by_id.get(object_id)
+
+    def query(self, rect: Rect) -> List[ObjectRecord]:
+        """All records whose position lies in ``rect`` (closed edges)."""
+        matches: List[ObjectRecord] = []
+        for key in self._keys_intersecting(rect):
+            bucket = self._buckets.get(key)
+            if not bucket:
+                continue
+            for record in bucket.values():
+                if rect.covers(
+                    record.point, closed_low_x=True, closed_low_y=True
+                ):
+                    matches.append(record)
+        return matches
+
+    def records(self) -> List[ObjectRecord]:
+        """Every stored record (snapshot list, stable under mutation)."""
+        return list(self._by_id.values())
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, object_id: Hashable) -> bool:
+        return object_id in self._by_id
+
+    # ------------------------------------------------------------------
+    # Anti-entropy digests
+    # ------------------------------------------------------------------
+    def digest(self) -> Dict[BucketKey, int]:
+        """A per-bucket content digest for replica reconciliation.
+
+        Each bucket digests to a CRC over its sorted ``(id, version)``
+        pairs -- cheap, deterministic, and identical across replicas that
+        hold the same records (the fixed global grid guarantees identical
+        bucketing).  Position/payload ride along with the version because
+        a record is immutable per version.
+        """
+        out: Dict[BucketKey, int] = {}
+        for key, bucket in self._buckets.items():
+            acc = 0
+            for object_id in sorted(bucket, key=repr):
+                record = bucket[object_id]
+                acc = zlib.crc32(
+                    f"{object_id!r}:{record.version}".encode(), acc
+                )
+            out[key] = acc
+        return out
+
+    def diff_keys(self, remote: Dict[BucketKey, int]) -> List[BucketKey]:
+        """Bucket keys whose content differs from ``remote``'s digest.
+
+        Includes buckets present on only one side.  Sorted, so a bounded
+        repair pass drains divergence deterministically.
+        """
+        local = self.digest()
+        keys = set(local) | set(remote)
+        return sorted(
+            key for key in keys if local.get(key) != remote.get(key)
+        )
+
+    def bucket_records(self, key: BucketKey) -> List[ObjectRecord]:
+        """The records currently in bucket ``key`` (may be empty)."""
+        bucket = self._buckets.get(key)
+        return list(bucket.values()) if bucket else []
+
+    def replace_bucket(
+        self, key: BucketKey, records: Iterable[ObjectRecord]
+    ) -> int:
+        """Install the authoritative content of one bucket.
+
+        Used by the replica side of anti-entropy: every local record
+        bucketed at ``key`` that the authoritative set does not name is
+        dropped, and the authoritative records are upserted (still
+        last-writer-wins, so a racing fresher replication is not
+        clobbered).  Returns the number of records changed.
+        """
+        records = list(records)
+        keep = {record.object_id for record in records}
+        changed = 0
+        for record in self.bucket_records(key):
+            if record.object_id not in keep:
+                self.remove(record.object_id)
+                changed += 1
+        for record in records:
+            if self.upsert(record):
+                changed += 1
+        return changed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GridIndex(objects={len(self._by_id)}, "
+            f"buckets={len(self._buckets)}, cell={self.cell:g})"
+        )

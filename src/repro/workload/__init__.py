@@ -11,6 +11,9 @@
   fall-off (``1 - d/r``) and the epoch-based random migration model.
 * :mod:`repro.workload.queries` -- location-query traffic whose spatial
   distribution follows the hot-spot field.
+* :mod:`repro.workload.moving` -- moving-object position-report traffic
+  for the location store (heading-following random walks with range
+  lookups that track the population).
 """
 
 from repro.workload.capacity import (
@@ -26,6 +29,7 @@ from repro.workload.placement import (
     PlacementDistribution,
     UniformPlacement,
 )
+from repro.workload.moving import MovingObjectWorkload, StepReport
 from repro.workload.queries import QueryGenerator
 from repro.workload.rushhour import RushHourField
 
@@ -40,6 +44,8 @@ __all__ = [
     "PlacementDistribution",
     "UniformPlacement",
     "ClusteredPlacement",
+    "MovingObjectWorkload",
+    "StepReport",
     "QueryGenerator",
     "RushHourField",
 ]

@@ -139,6 +139,57 @@ class TestRestructuring:
         notifications = service.publish(nodes[0], Point(20, 20), "after churn")
         assert len(notifications) == 1
 
+    def test_split_then_merge_round_trip_keeps_one_registration(self):
+        """A split followed by the reverse merge must be a no-op.
+
+        Regression guard: the split hands a copy of every overlapping
+        subscription to the new half, and the merge folds it back into
+        the survivor -- without id-based dedup that round trip would
+        leave the survivor hosting the subscription twice (double
+        notifications), and stale region keys would keep phantom
+        registrations alive at dead regions.
+        """
+        service, grid, nodes = build_service(n=2)
+        query = LocationQuery(query_rect=Rect(1, 1, 62, 62), focal=nodes[0])
+        service.subscribe(query, duration=60.0)
+        hosted_before = sum(
+            len(service.subscriptions_at(region))
+            for region in grid.space.regions
+        )
+        # Split: a third joiner takes half of some region; the wide
+        # subscription overlaps both halves, so it is copied across.
+        joiner = make_node(100, 48.0, 48.0)
+        grid.join(joiner)
+        assert service.stats.rehomed_on_split >= 1
+        service.check_consistency()
+        # Merge: the joiner departs again, folding its half (and the
+        # copied subscription) back into a neighbor.
+        grid.leave(joiner)
+        service.check_consistency()
+        # Round trip complete: same number of live registrations as
+        # before, every host region holds the subscription exactly once,
+        # and none live at regions no longer in the partition.
+        assert service.active_subscription_count(now=0.0) == 1
+        hosted_after = 0
+        for region in grid.space.regions:
+            hosts = [
+                s
+                for s in service.subscriptions_at(region)
+                if s.query is query
+            ]
+            assert len(hosts) <= 1, f"duplicate registration at {region!r}"
+            hosted_after += len(hosts)
+        assert hosted_after == hosted_before
+        phantom_regions = [
+            region
+            for region in service._by_region
+            if region not in grid.space.regions
+        ]
+        assert not phantom_regions
+        # And exactly one notification for a matching event.
+        notifications = service.publish(nodes[0], Point(48, 48), "ping")
+        assert len(notifications) == 1
+
     def test_consistency_under_dual_peer_churn(self):
         service, grid, nodes = build_service(n=40, dual=True)
         rng = random.Random(7)

@@ -6,6 +6,23 @@ import pytest
 
 from repro.geometry import Point, Rect
 from repro.core.node import Node
+from repro.core.query import reset_query_ids
+from repro.core.region import reset_region_ids
+from repro.protocol.node import reset_request_ids
+
+
+@pytest.fixture(autouse=True)
+def _fresh_id_counters():
+    """Rewind the module-level id counters before every test.
+
+    Query, region, and protocol request ids come from process-wide
+    ``itertools.count`` streams; without this reset, every id depends on
+    how many tests ran earlier, so a failing test can reproduce
+    differently under ``pytest path::test`` than inside the full suite.
+    """
+    reset_query_ids()
+    reset_region_ids()
+    reset_request_ids()
 
 
 @pytest.fixture

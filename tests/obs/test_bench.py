@@ -57,6 +57,43 @@ def test_run_routing_records_hops_per_population():
     assert f"routing.stretch.n{TINY}" in snapshot
 
 
+def test_run_store_bench_populates_expected_metrics():
+    registry = MetricsRegistry()
+    bench.run_store_bench(
+        registry, population=TINY, objects=16, steps=2,
+        lookups_per_step=2, adaptation_rounds=1,
+    )
+    snapshot = registry.snapshot()
+    for name in (
+        "store.updates_per_s",
+        "store.update_hops",
+        "store.lookup_hops",
+        "store.lookup_results",
+        "store.objects",
+    ):
+        assert name in snapshot, f"missing {name}"
+        assert snapshot[name]["count"] >= 1
+    # Every inserted object is still placed at its covering region
+    # (run_store_bench ends with check_placement), and all of them are
+    # accounted for.
+    assert snapshot["store.objects"]["max"] == 16
+    assert obs.active() is None
+
+
+def test_write_store_bench_file_schema(tmp_path):
+    paths = bench.write_store_bench_file(
+        tmp_path, population=TINY, objects=16, steps=2, adaptation_rounds=1
+    )
+    assert [p.name for p in paths] == ["BENCH_store.json"]
+    snapshot = json.loads(paths[0].read_text())
+    for name, row in snapshot.items():
+        if name.startswith("_"):
+            continue
+        assert SCHEMA_KEYS <= set(row), f"{name} missing schema keys"
+    assert set(snapshot["_meta"]) == {"git_sha", "timestamp_utc", "python"}
+    assert "store.updates_per_s" in snapshot
+
+
 def test_write_bench_files_schema(tmp_path):
     paths = bench.write_bench_files(
         tmp_path,

@@ -1,0 +1,141 @@
+"""Tests for repro.store.overlay_store -- the store on the overlay model."""
+
+import random
+
+import pytest
+
+from repro.core.node import Node
+from repro.core.overlay import BasicGeoGrid
+from repro.dualpeer import DualPeerGeoGrid
+from repro.geometry import Point, Rect
+from repro.loadbalance import AdaptationEngine, WorkloadIndexCalculator
+from repro.store import OverlayStore
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+def build(n=30, seed=3, dual=False):
+    cls = DualPeerGeoGrid if dual else BasicGeoGrid
+    grid = cls(BOUNDS, rng=random.Random(seed))
+    rng = random.Random(seed + 1)
+    nodes = []
+    for i in range(n):
+        node = Node(
+            node_id=i,
+            coord=Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64)),
+            capacity=rng.choice([1.0, 10.0, 100.0]),
+        )
+        grid.join(node)
+        nodes.append(node)
+    return grid, OverlayStore(grid), nodes, rng
+
+
+class TestDataPlane:
+    def test_update_lands_at_covering_region(self):
+        grid, store, nodes, rng = build()
+        store.update(nodes[0], "car1", Point(20, 20), version=1)
+        home = grid.space.locate(Point(20, 20))
+        assert store.region_object_count(home) == 1
+        store.check_placement()
+
+    def test_lookup_finds_stored_objects(self):
+        grid, store, nodes, rng = build()
+        for i in range(10):
+            store.update(
+                nodes[0], f"obj{i}", Point(10 + i, 30), version=1
+            )
+        found = store.lookup(nodes[1], Rect(9, 29, 12, 2))
+        assert {r.object_id for r in found} == {f"obj{i}" for i in range(10)}
+
+    def test_cross_region_move_evicts_stale_copy(self):
+        grid, store, nodes, rng = build()
+        store.update(nodes[0], "car1", Point(5, 5), version=1)
+        store.update(nodes[0], "car1", Point(60, 60), version=2)
+        assert store.object_count() == 1
+        (found,) = store.lookup(nodes[1], Rect(0, 0, 64, 64))
+        assert found.version == 2
+        store.check_placement()
+
+    def test_stale_update_ignored(self):
+        grid, store, nodes, rng = build()
+        store.update(nodes[0], "car1", Point(5, 5), version=3)
+        store.update(nodes[0], "car1", Point(60, 60), version=2)
+        assert store.stats.stale_updates == 1
+        (found,) = store.lookup(nodes[1], Rect(0, 0, 64, 64))
+        assert found.point == Point(5, 5)
+
+    def test_hops_accumulate(self):
+        grid, store, nodes, rng = build()
+        store.update(nodes[0], "a", Point(40, 40), version=1)
+        store.lookup(nodes[0], Rect(39, 39, 2, 2))
+        assert store.stats.updates == 1
+        assert store.stats.lookups == 1
+        assert store.stats.update_hops >= 0
+        assert store.stats.lookup_hops >= 0
+
+
+class TestStateMotion:
+    def test_split_moves_records_to_new_region(self):
+        grid, store, nodes, rng = build(n=2)
+        for i in range(40):
+            store.update(
+                nodes[0],
+                f"obj{i}",
+                Point(rng.uniform(0.1, 63.9), rng.uniform(0.1, 63.9)),
+                version=1,
+            )
+        before = store.object_count()
+        for i in range(20):
+            grid.join(
+                Node(
+                    node_id=100 + i,
+                    coord=Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64)),
+                    capacity=1.0,
+                )
+            )
+        assert store.object_count() == before
+        assert store.stats.rebucketed > 0
+        store.check_placement()
+
+    def test_merge_folds_records_into_survivor(self):
+        grid, store, nodes, rng = build(n=30)
+        for i in range(40):
+            store.update(
+                nodes[0],
+                f"obj{i}",
+                Point(rng.uniform(0.1, 63.9), rng.uniform(0.1, 63.9)),
+                version=1,
+            )
+        leavers = [n for n in nodes[1:] if n.node_id in grid.nodes][:15]
+        for node in leavers:
+            grid.leave(node)
+        assert store.object_count() == 40
+        store.check_placement()
+        found = store.lookup(nodes[0], Rect(0, 0, 64, 64))
+        assert len(found) == 40
+
+    def test_adaptation_round_attributes_migration(self):
+        grid, store, nodes, rng = build(n=60, seed=9, dual=True)
+        for i in range(120):
+            store.update(
+                nodes[0],
+                f"obj{i}",
+                Point(rng.uniform(0.1, 63.9), rng.uniform(0.1, 63.9)),
+                version=1,
+            )
+        # A hot corner forces the engine to adapt.
+        hot = Rect(0, 0, 16, 16)
+
+        def load(region):
+            overlap = region.rect.intersection(hot)
+            return 500.0 * overlap.area / hot.area if overlap else 1.0
+
+        calc = WorkloadIndexCalculator(grid, load)
+        engine = AdaptationEngine(grid, calc)
+        engine.ctx.store = store
+        engine.run_rounds(3)
+        if engine.total_adaptations:
+            # Whatever moved was attributed to a mechanism key.
+            assert sum(engine.ctx.store_motion.values()) == store.stats.migrated
+        assert store.object_count() == 120
+        store.check_placement()

@@ -1,0 +1,148 @@
+"""Tests for repro.store.spatial -- the grid-bucketed LWW index."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.store import DEFAULT_CELL, GridIndex, ObjectRecord
+
+
+def rec(object_id, x, y, version=0, payload=None):
+    return ObjectRecord(
+        object_id=object_id, point=Point(x, y), payload=payload,
+        version=version,
+    )
+
+
+class TestBucketing:
+    def test_key_is_fixed_global_grid(self):
+        index = GridIndex(cell=4.0)
+        assert index.key_for(Point(0.0, 0.0)) == (0, 0)
+        assert index.key_for(Point(3.999, 3.999)) == (0, 0)
+        assert index.key_for(Point(4.0, 0.0)) == (1, 0)
+        assert index.key_for(Point(17.0, 9.0)) == (4, 2)
+
+    def test_cell_must_be_positive(self):
+        with pytest.raises(ValueError):
+            GridIndex(cell=0.0)
+
+
+class TestLastWriterWins:
+    def test_upsert_and_get(self):
+        index = GridIndex()
+        assert index.upsert(rec("a", 1, 1, version=1))
+        assert index.get("a").point == Point(1, 1)
+        assert "a" in index
+        assert len(index) == 1
+
+    def test_stale_write_rejected(self):
+        index = GridIndex()
+        index.upsert(rec("a", 1, 1, version=5))
+        assert not index.upsert(rec("a", 9, 9, version=4))
+        assert not index.upsert(rec("a", 9, 9, version=5))
+        assert index.get("a").point == Point(1, 1)
+
+    def test_fresh_write_moves_record_between_buckets(self):
+        index = GridIndex(cell=4.0)
+        index.upsert(rec("a", 1, 1, version=1))
+        assert index.upsert(rec("a", 30, 30, version=2))
+        assert index.query(Rect(0, 0, 4, 4)) == []
+        (found,) = index.query(Rect(28, 28, 4, 4))
+        assert found.version == 2
+
+    def test_versioned_remove_spares_newer_record(self):
+        index = GridIndex()
+        index.upsert(rec("a", 1, 1, version=3))
+        assert index.remove("a", version=2) is None
+        assert "a" in index
+        removed = index.remove("a", version=3)
+        assert removed.version == 3
+        assert "a" not in index
+
+    def test_merge_counts_only_winners(self):
+        index = GridIndex()
+        index.upsert(rec("a", 1, 1, version=5))
+        won = index.merge(
+            [rec("a", 2, 2, version=1), rec("b", 3, 3, version=1)]
+        )
+        assert won == 1
+        assert index.get("a").version == 5
+
+
+class TestQuery:
+    def test_query_closed_edges(self):
+        index = GridIndex()
+        index.merge(
+            [rec("on_corner", 8, 8), rec("inside", 9, 9), rec("out", 12.1, 8)]
+        )
+        found = {r.object_id for r in index.query(Rect(8, 8, 4, 4))}
+        assert found == {"on_corner", "inside"}
+
+    def test_records_snapshot(self):
+        index = GridIndex()
+        index.merge([rec("a", 1, 1), rec("b", 2, 2)])
+        snapshot = index.records()
+        index.clear()
+        assert len(snapshot) == 2
+        assert len(index) == 0
+
+
+class TestSplitOff:
+    def test_split_off_partitions_by_kept_rect(self):
+        index = GridIndex()
+        index.merge([rec("west", 10, 10), rec("east", 50, 10)])
+        moved = index.split_off(Rect(0, 0, 32, 64))
+        assert [r.object_id for r in moved] == ["east"]
+        assert "west" in index and "east" not in index
+
+    def test_split_off_closed_cover_keeps_boundary_record(self):
+        index = GridIndex()
+        index.upsert(rec("edge", 32, 10))
+        assert index.split_off(Rect(0, 0, 32, 64)) == []
+        assert "edge" in index
+
+
+class TestAntiEntropy:
+    def test_identical_indexes_have_identical_digests(self):
+        a, b = GridIndex(), GridIndex()
+        for index in (a, b):
+            index.merge([rec("x", 1, 1, version=2), rec("y", 30, 30, version=1)])
+        assert a.digest() == b.digest()
+        assert a.diff_keys(b.digest()) == []
+
+    def test_diff_keys_names_only_divergent_buckets(self):
+        a, b = GridIndex(cell=4.0), GridIndex(cell=4.0)
+        shared = [rec("x", 1, 1, version=2), rec("y", 30, 30, version=1)]
+        a.merge(shared)
+        b.merge(shared)
+        a.upsert(rec("z", 50, 50, version=1))       # only on a
+        b.upsert(rec("y", 30, 30, version=7))       # newer on b
+        diverged = a.diff_keys(b.digest())
+        assert diverged == sorted([(12, 12), (7, 7)])
+
+    def test_replace_bucket_installs_authoritative_content(self):
+        replica = GridIndex(cell=4.0)
+        replica.merge(
+            [rec("stale", 1, 1, version=1), rec("keep", 2, 2, version=3)]
+        )
+        key = replica.key_for(Point(1, 1))
+        changed = replica.replace_bucket(
+            key, [rec("keep", 2, 2, version=3), rec("fresh", 3, 3, version=1)]
+        )
+        assert changed == 2  # stale dropped + fresh added
+        assert "stale" not in replica
+        assert {r.object_id for r in replica.bucket_records(key)} == {
+            "keep", "fresh",
+        }
+
+    def test_replace_bucket_never_clobbers_newer_record(self):
+        replica = GridIndex(cell=4.0)
+        replica.upsert(rec("a", 1, 1, version=9))
+        key = replica.key_for(Point(1, 1))
+        replica.replace_bucket(key, [rec("a", 1, 1, version=2)])
+        # The "authoritative" copy was older -- LWW keeps version 9, but
+        # the id is named so the record is not dropped either.
+        assert replica.get("a").version == 9
+
+    def test_default_cell_is_four(self):
+        assert DEFAULT_CELL == 4.0
+        assert GridIndex().cell == 4.0

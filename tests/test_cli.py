@@ -28,6 +28,36 @@ class TestParser:
         assert args.seed == 7
 
 
+class TestBenchSuiteArg:
+    def test_store_suite_parses(self):
+        args = build_parser().parse_args(["bench", "store"])
+        assert args.suite == "store"
+
+    def test_suite_rejected_outside_bench(self, capsys):
+        assert main(["list", "store"]) == 2
+        assert "only applies to 'bench'" in capsys.readouterr().err
+
+    def test_bench_store_writes_only_store_file(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.obs import bench
+
+        # The real store bench simulates hundreds of nodes; shrink it so
+        # the CLI wiring test stays fast.
+        orig = bench.write_store_bench_file
+        monkeypatch.setattr(
+            bench, "write_store_bench_file",
+            lambda out_dir, **kw: orig(
+                out_dir, population=40, objects=8, steps=1,
+                adaptation_rounds=1,
+            ),
+        )
+        assert main(["bench", "store", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "BENCH_store.json").exists()
+        assert not (tmp_path / "BENCH_micro_ops.json").exists()
+        assert "BENCH_store.json" in capsys.readouterr().out
+
+
 class TestMain:
     def test_list(self, capsys):
         assert main(["list"]) == 0

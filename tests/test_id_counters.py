@@ -1,0 +1,83 @@
+"""The module-level id counters must be resettable for test isolation.
+
+Query, region, and protocol request ids are process-wide
+``itertools.count`` streams.  The autouse ``_fresh_id_counters`` fixture
+in ``conftest.py`` rewinds them before every test; these tests pin the
+reset hooks themselves, so a failing test always sees the same ids
+whether it runs alone or after a thousand other tests.
+"""
+
+import random
+
+from repro.geometry import Point, Rect
+from repro.core.node import Node
+from repro.core.overlay import BasicGeoGrid
+from repro.core.query import LocationQuery, reset_query_ids
+from repro.core.region import Region, reset_region_ids
+from repro.protocol import node as protocol_node
+from repro.protocol.node import reset_request_ids
+
+from .conftest import make_node
+
+
+def test_query_ids_rewind_to_one():
+    reset_query_ids()
+    first = LocationQuery(
+        query_rect=Rect(1, 1, 2, 2), focal=make_node(0, 1.0, 1.0)
+    )
+    second = LocationQuery(
+        query_rect=Rect(3, 3, 2, 2), focal=make_node(1, 3.0, 3.0)
+    )
+    assert (first.query_id, second.query_id) == (1, 2)
+    reset_query_ids()
+    again = LocationQuery(
+        query_rect=Rect(1, 1, 2, 2), focal=make_node(2, 1.0, 1.0)
+    )
+    assert again.query_id == 1
+
+
+def test_region_ids_rewind_to_one():
+    reset_region_ids()
+    first = Region(rect=Rect(0, 0, 4, 4))
+    second = Region(rect=Rect(4, 0, 4, 4))
+    assert (first.region_id, second.region_id) == (1, 2)
+    reset_region_ids()
+    assert Region(rect=Rect(0, 0, 4, 4)).region_id == 1
+
+
+def test_request_ids_rewind_to_one():
+    reset_request_ids()
+    assert next(protocol_node._request_ids) == 1
+    assert next(protocol_node._request_ids) == 2
+    reset_request_ids()
+    assert next(protocol_node._request_ids) == 1
+
+
+def test_same_run_reproduces_identical_ids_after_reset():
+    """An overlay build hands out identical ids on a rebuilt from reset.
+
+    This is the property the autouse fixture buys: a scenario's ids (and
+    therefore its logs, journals, and assertion messages) are a function
+    of the scenario alone, not of suite position.
+    """
+
+    def build():
+        reset_query_ids()
+        reset_region_ids()
+        rng = random.Random(7)
+        grid = BasicGeoGrid(Rect(0, 0, 64, 64), rng=random.Random(8))
+        for i in range(40):
+            grid.join(
+                Node(
+                    i,
+                    Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64)),
+                    capacity=1.0,
+                )
+            )
+        region_ids = sorted(r.region_id for r in grid.space.regions)
+        query = LocationQuery.around(
+            Point(32, 32), 4.0, focal=grid.random_node()
+        )
+        return region_ids, query.query_id
+
+    assert build() == build()
