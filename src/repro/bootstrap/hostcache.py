@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 from collections import OrderedDict
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.node import NodeAddress
 
@@ -17,11 +17,16 @@ class HostCache:
     tries the next candidate).
     """
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(self, capacity: int = 64, max_strikes: int = 2) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_strikes < 1:
+            raise ValueError(f"max_strikes must be >= 1, got {max_strikes}")
         self.capacity = capacity
+        #: Failed contact attempts tolerated before an entry is evicted.
+        self.max_strikes = max_strikes
         self._entries: "OrderedDict[NodeAddress, None]" = OrderedDict()
+        self._strikes: Dict[NodeAddress, int] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -30,13 +35,19 @@ class HostCache:
         return address in self._entries
 
     def remember(self, address: NodeAddress) -> None:
-        """Record ``address`` as most-recently seen, evicting the oldest."""
+        """Record ``address`` as most-recently seen, evicting the oldest.
+
+        Seeing the address alive again also clears any strikes recorded
+        against it by :meth:`penalize`.
+        """
+        self._strikes.pop(address, None)
         if address in self._entries:
             self._entries.move_to_end(address)
             return
         self._entries[address] = None
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._strikes.pop(evicted, None)
 
     def remember_all(self, addresses: Iterable[NodeAddress]) -> None:
         """Record a batch of addresses (e.g. a received neighbor list)."""
@@ -46,6 +57,29 @@ class HostCache:
     def forget(self, address: NodeAddress) -> None:
         """Drop an address observed to be dead."""
         self._entries.pop(address, None)
+        self._strikes.pop(address, None)
+
+    def penalize(self, address: NodeAddress) -> bool:
+        """Record a failed contact attempt against ``address``.
+
+        A cached address that repeatedly fails to answer (e.g. the node a
+        rejoining member last saw has since crashed) is evicted after
+        ``max_strikes`` failures, so :meth:`pick_entry` stops re-offering
+        it forever.  Returns ``True`` when this call evicted the entry.
+        Unknown addresses are ignored.
+        """
+        if address not in self._entries:
+            return False
+        strikes = self._strikes.get(address, 0) + 1
+        if strikes >= self.max_strikes:
+            self.forget(address)
+            return True
+        self._strikes[address] = strikes
+        return False
+
+    def strikes(self, address: NodeAddress) -> int:
+        """Failed contact attempts currently recorded against ``address``."""
+        return self._strikes.get(address, 0)
 
     def entries(self) -> List[NodeAddress]:
         """All cached addresses, most recent last."""

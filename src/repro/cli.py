@@ -21,7 +21,7 @@ under a live metrics registry and dumps it as JSON afterwards.
 ``flightrec`` is the flight-recorder inspector: it filters and
 pretty-prints a journal written by
 :meth:`repro.obs.flightrec.FlightRecorder.dump_jsonl` (or, with
-``--demo``, replays the seed-492 split brain under fault injection and
+``--demo``, replays the double hole-grant split brain under fault injection and
 prints the auditor's forensics dump).  It takes its own options, so it is
 parsed separately from the figure commands.
 """
@@ -189,6 +189,15 @@ def _run_bench(args: argparse.Namespace) -> str:
             )
         else:
             paths += bench.write_bench_files(out_dir)
+    if suite == "routing":
+        # Just the greedy-vs-cached routing comparison, skipping the
+        # micro-ops (and their overhead measurement) for a fast CI run.
+        if args.population:
+            paths += bench.write_routing_bench_file(
+                out_dir, populations=(args.population,)
+            )
+        else:
+            paths += bench.write_routing_bench_file(out_dir)
     if suite in ("store", "all"):
         if args.population:
             paths += bench.write_store_bench_file(
@@ -218,7 +227,8 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
 
 DESCRIPTIONS = {
     "bench": "write BENCH_micro_ops.json / BENCH_routing.json snapshots "
-             "('bench store' writes BENCH_store.json)",
+             "('bench routing' compares greedy vs shortcut-cached routing; "
+             "'bench store' writes BENCH_store.json)",
     "fig2-3": "region size & load maps at 500 nodes (Figures 2/3)",
     "fig5-6": "workload-index std/mean vs population (Figures 5/6)",
     "fig7-8": "convergence by adaptation round (Figures 7/8)",
@@ -244,9 +254,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="which experiment to run ('list' prints descriptions)",
     )
     parser.add_argument(
-        "suite", nargs="?", choices=["store", "all"], default=None,
-        help="bench only: 'store' writes BENCH_store.json instead of the "
-             "micro/routing snapshots; 'all' writes all three",
+        "suite", nargs="?", choices=["routing", "store", "all"], default=None,
+        help="bench only: 'routing' writes just the greedy-vs-cached "
+             "BENCH_routing.json; 'store' writes BENCH_store.json instead "
+             "of the micro/routing snapshots; 'all' writes all three",
     )
     parser.add_argument(
         "--trials", type=int, default=3,
@@ -281,7 +292,7 @@ def build_flightrec_parser() -> argparse.ArgumentParser:
         prog="python -m repro flightrec",
         description=(
             "Dump/filter/pretty-print a flight-recorder journal, or "
-            "replay the seed-492 split brain with --demo."
+            "replay the fault-injected split brain with --demo."
         ),
     )
     parser.add_argument(
@@ -290,11 +301,11 @@ def build_flightrec_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--demo", action="store_true",
-        help="replay the seed-492 double hole-grant under fault "
+        help="replay the double hole-grant split brain under fault "
              "injection and print the forensics dump",
     )
     parser.add_argument(
-        "--seed", type=int, default=492, help="demo scenario seed"
+        "--seed", type=int, default=14, help="demo scenario seed"
     )
     parser.add_argument(
         "--around", type=float, default=None,

@@ -14,7 +14,7 @@ query region.
 from __future__ import annotations
 
 import math
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -126,18 +126,27 @@ def route_query(
 
 
 def _fanout(space: Space, executor: Region, query_rect: Rect) -> List[Region]:
-    """All regions overlapping ``query_rect``, discovered from ``executor``.
+    """All regions touching ``query_rect``, discovered from ``executor``.
 
     Breadth-first (FIFO frontier) over region adjacency, expanding only
-    through overlapping regions (the overlapping set is edge-connected
-    because the regions tile the plane), so regions are visited in
-    non-decreasing hop distance from the executor -- the order in which a
-    real deployment's forwarded copies arrive.
+    through touching regions, so regions are visited in non-decreasing hop
+    distance from the executor -- the order in which a real deployment's
+    forwarded copies arrive.
+
+    Membership uses :meth:`Rect.touches` (closed rectangles, so edge and
+    corner contact count), not :meth:`Rect.intersects` (interior overlap
+    only).  Point coverage is closed at a region's *high* edges, so a
+    region meeting the query rectangle only at its own northeast corner or
+    north/east edge can still own matching points; interior overlap would
+    silently drop it from the covered set.  The touch set of a rectangle
+    in a rectangular tiling is edge-connected (around any contact point
+    the touching regions are pairwise reachable through shared edges), so
+    the BFS still finds every member.
     """
-    if not executor.rect.intersects(query_rect):
+    if not executor.rect.touches(query_rect):
         # A degenerate query rectangle can have its center on the very
-        # border of the executor without sharing interior area; the
-        # executor still answers it alone.
+        # border of the executor without even touching it; the executor
+        # still answers it alone.
         return [executor]
     covered: List[Region] = []
     seen = {executor}
@@ -146,7 +155,7 @@ def _fanout(space: Space, executor: Region, query_rect: Rect) -> List[Region]:
         region = frontier.popleft()
         covered.append(region)
         for neighbor in space.neighbors(region):
-            if neighbor not in seen and neighbor.rect.intersects(query_rect):
+            if neighbor not in seen and neighbor.rect.touches(query_rect):
                 seen.add(neighbor)
                 frontier.append(neighbor)
     return covered
@@ -177,12 +186,14 @@ def route_to_point_randomized(
         raise RoutingError(f"destination {target} lies outside the service area")
     if slack < 1.0:
         raise ValueError(f"slack must be >= 1, got {slack!r}")
+    registry = obs.active()
     current = start
     current_dist = current.rect.distance_to_point(target)
     path = [current]
     for _ in range(max_steps):
         if space.region_covers(current, target):
-            obs.observe("routing.randomized.hops", len(path) - 1)
+            if registry is not None:
+                registry.observe("routing.randomized.hops", len(path) - 1)
             return RouteResult(path=path, executor=current)
         candidates = []
         best = math.inf
@@ -205,12 +216,164 @@ def route_to_point_randomized(
         tail: List[Region] = []
         executor = space.locate(target, hint=current, path=tail)
         path.extend(tail[1:])
-        obs.observe("routing.randomized.hops", len(path) - 1)
+        if registry is not None:
+            registry.observe("routing.randomized.hops", len(path) - 1)
         return RouteResult(path=path, executor=executor)
+    if registry is not None:
+        registry.observe("routing.randomized.hops", len(path) - 1)
+        registry.inc("routing.randomized.exhausted")
     raise RoutingError(
         f"randomized route from {start!r} to {target} exceeded "
         f"{max_steps} steps; the partition is corrupt"
     )
+
+
+class ShortcutTable:
+    """Learned long-range routing entries for the model layer.
+
+    Mirrors the protocol layer's per-node shortcut cache at paper scale:
+    each region keeps a bounded LRU of *non-neighbor* regions it has seen
+    on paths it routed or forwarded.  :func:`route_to_point_cached`
+    consults these entries alongside plain neighbors under the same
+    strict-progress rule, so greedy termination is untouched while the
+    hop count drops toward O(log N) once the cache is warm.
+
+    Entries referencing regions that have since left the space (splits
+    and merges replace ``Region`` objects) are dropped lazily when
+    consulted, matching the protocol layer's lazy MISROUTE repair.
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity!r}")
+        self.capacity = capacity
+        #: Routing decisions where a shortcut beat every plain neighbor.
+        self.hits = 0
+        #: Routing decisions that fell back to a plain neighbor hop.
+        self.misses = 0
+        #: Stale entries dropped when consulted (the model-layer analogue
+        #: of the protocol's lazy MISROUTE repair).
+        self.repairs = 0
+        self._tables: dict = {}
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the table stores anything (capacity zero disables)."""
+        return self.capacity > 0
+
+    def learn(self, source: Region, remote: Region) -> None:
+        """Remember that ``source`` has seen traffic involving ``remote``."""
+        if not self.enabled or source is remote:
+            return
+        table = self._tables.get(source)
+        if table is None:
+            table = self._tables[source] = OrderedDict()
+        if remote in table:
+            table.move_to_end(remote)
+        else:
+            table[remote] = None
+            while len(table) > self.capacity:
+                table.popitem(last=False)
+
+    def shortcuts(self, source: Region) -> List[Region]:
+        """The cached remote regions of ``source``, oldest first."""
+        table = self._tables.get(source)
+        return [] if table is None else list(table)
+
+    def forget(self, region: Region) -> None:
+        """Drop ``region`` both as a cache owner and as a cached entry."""
+        self._tables.pop(region, None)
+        for table in self._tables.values():
+            table.pop(region, None)
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/repair counters (e.g. after a warmup phase)."""
+        self.hits = 0
+        self.misses = 0
+        self.repairs = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of routing decisions resolved through a shortcut."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return sum(len(table) for table in self._tables.values())
+
+
+def route_to_point_cached(
+    space: Space,
+    start: Region,
+    target: Point,
+    table: ShortcutTable,
+) -> RouteResult:
+    """Greedy routing that also considers learned shortcut entries.
+
+    Each hop picks the strictly-closest candidate among the current
+    region's neighbors *and* its live shortcut entries; because every
+    candidate must still make strict progress on the region-to-target
+    distance, the walk terminates exactly like :func:`route_to_point`
+    and reaches the identical executor (the covering region is unique).
+    After arrival, every region on the path learns both endpoints, so
+    repeated traffic between the same areas keeps shortening its paths.
+    """
+    if start not in space:
+        raise RoutingError(f"start region {start!r} is not part of the space")
+    if not space.covers_point(target):
+        raise RoutingError(f"destination {target} lies outside the service area")
+    registry = obs.active()
+    current = start
+    current_dist = current.rect.distance_to_point(target)
+    path = [current]
+    max_steps = space.region_count() + 4
+    for _ in range(max_steps):
+        if space.region_covers(current, target):
+            break
+        best: Optional[Region] = None
+        best_dist = current_dist - 1e-12
+        for neighbor in space.neighbors(current):
+            distance = neighbor.rect.distance_to_point(target)
+            if distance < best_dist:
+                best, best_dist = neighbor, distance
+        via_shortcut = False
+        for remote in table.shortcuts(current):
+            if remote not in space:
+                table.forget(remote)
+                table.repairs += 1
+                continue
+            distance = remote.rect.distance_to_point(target)
+            if distance < best_dist:
+                best, best_dist, via_shortcut = remote, distance, True
+        if best is None:
+            # Boundary stall (shared edges, corner contact): finish with
+            # the deterministic walk, which handles those cases.
+            tail: List[Region] = []
+            executor = space.locate(target, hint=current, path=tail)
+            path.extend(tail[1:])
+            current = executor
+            break
+        if table.enabled:
+            if via_shortcut:
+                table.hits += 1
+            else:
+                table.misses += 1
+        current = best
+        current_dist = current.rect.distance_to_point(target)
+        path.append(current)
+    else:
+        raise RoutingError(
+            f"cached route from {start!r} to {target} exceeded "
+            f"{max_steps} steps; the partition is corrupt"
+        )
+    executor = current
+    for region in path:
+        table.learn(region, executor)
+        table.learn(region, start)
+    result = RouteResult(path=path, executor=executor)
+    if registry is not None:
+        registry.observe("routing.cached.hops", result.hops)
+    return result
 
 
 def path_length_miles(result: RouteResult) -> float:

@@ -445,7 +445,7 @@ class Space:
                     )
 
     def iter_regions_intersecting(self, rect: Rect) -> Iterable[Region]:
-        """All regions sharing interior area with ``rect``.
+        """All regions touching ``rect`` (edge and corner contact included).
 
         Used by query fan-out: after a request reaches the region covering
         the query center, it is forwarded to every region overlapping the
@@ -454,16 +454,22 @@ class Space:
         only the relevant corner of the space and yields regions in
         non-decreasing hop distance from the start.
 
-        A degenerate or edge-hugging query rectangle (e.g. a sliver so thin
-        its center rounds onto a region boundary) may not share interior
-        area with any region at all; the located start region then answers
-        alone, consistent with the routing layer's executor-only fan-out
-        fallback (:func:`repro.core.routing._fanout`).
+        Membership uses the closed-rectangle :meth:`Rect.touches`
+        predicate rather than interior-overlap :meth:`Rect.intersects`:
+        point coverage is closed at a region's high edges, so a region
+        meeting the query rectangle only at its own northeast corner can
+        still own matching points and must receive the query
+        (:func:`repro.core.routing._fanout` explains the connectivity
+        argument).
+
+        A degenerate query rectangle whose center rounds outside every
+        closed region (possible only for hand-built rects outside the
+        space) falls back to the located start region answering alone.
         """
         if not self._regions:
             return
         start = self.locate(rect.center)
-        if not start.rect.intersects(rect):
+        if not start.rect.touches(rect):
             yield start
             return
         seen = {start}
@@ -471,11 +477,11 @@ class Space:
         while frontier:
             region = frontier.popleft()
             yield region
-            # Regions not intersecting the query rect do not expand the
-            # search: the set of intersecting regions is edge-connected, so
-            # the BFS reaches all of them through intersecting regions.
+            # Regions not touching the query rect do not expand the
+            # search: the set of touching regions is edge-connected, so
+            # the BFS reaches all of them through touching regions.
             for neighbor in self._adjacency[region]:
-                if neighbor not in seen and neighbor.rect.intersects(rect):
+                if neighbor not in seen and neighbor.rect.touches(rect):
                     seen.add(neighbor)
                     frontier.append(neighbor)
 

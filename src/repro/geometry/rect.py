@@ -147,6 +147,22 @@ class Rect:
             and other.y < self.y2
         )
 
+    def touches(self, other: "Rect") -> bool:
+        """Whether the two *closed* rectangles have a non-empty intersection.
+
+        Unlike :meth:`intersects` this also reports contact of measure
+        zero: a shared edge piece or a single shared corner point.  Query
+        fan-out needs this weaker predicate because point coverage is
+        closed at the high edges -- a region can own points of a query
+        rectangle that it merely touches at its northeast corner.
+        """
+        return (
+            self.x <= other.x2 + EDGE_TOLERANCE
+            and other.x <= self.x2 + EDGE_TOLERANCE
+            and self.y <= other.y2 + EDGE_TOLERANCE
+            and other.y <= self.y2 + EDGE_TOLERANCE
+        )
+
     def intersection(self, other: "Rect") -> Optional["Rect"]:
         """The overlapping rectangle, or ``None`` when no area is shared."""
         if not self.intersects(other):

@@ -30,6 +30,13 @@ Checks (each individually selectable):
   flight) never confirms -- only divergence frozen across two ticks,
   which is exactly what the bounded anti-entropy pass should have
   repaired, does.
+* ``shortcuts`` -- every node's routing shortcut cache is structurally
+  consistent: within capacity, never naming the node itself, never
+  overlapping the node's own region, and never duplicating a
+  neighbor-table rect (a shortcut is by definition a *non-neighbor*
+  entry).  Staleness against the *global* partition is deliberately not
+  checked -- lagging entries are the cache's normal state and the
+  MISROUTE path repairs them lazily.
 
 All checks except ``overlap`` are **soft**: legitimately violated for a
 grant's flight time during growth, so a finding is only *reported* when
@@ -63,6 +70,7 @@ ALL_CHECKS = (
     "dualpeer",
     "store_placement",
     "store_replication",
+    "shortcuts",
 )
 
 #: Relative tolerance on area comparisons (matches the cluster checks).
@@ -224,6 +232,8 @@ class InvariantAuditor:
             findings.extend(
                 self._check_store_replication(now, nodes, primaries)
             )
+        if "shortcuts" in self.checks:
+            findings.extend(self._check_shortcuts(now, nodes))
         return findings
 
     # ------------------------------------------------------------------
@@ -461,6 +471,53 @@ class InvariantAuditor:
                     },
                 )
             )
+        return findings
+
+    def _check_shortcuts(self, now, nodes) -> List[AuditViolation]:
+        """Shortcut caches stay structurally consistent with local state.
+
+        These are *locally enforceable* invariants -- the learning path
+        guards every one of them -- so a violation means the eager
+        invalidation hooks missed a partition change.  Global freshness
+        is deliberately unchecked: a lagging entry is the cache's normal
+        state, repaired lazily by the MISROUTE NACK.
+        """
+        findings = []
+        for node in nodes:
+            cache = getattr(node, "shortcuts", None)
+            if cache is None or node.owned is None:
+                continue
+            problems: List[str] = []
+            if len(cache) > cache.capacity:
+                problems.append(
+                    f"holds {len(cache)} entries over capacity "
+                    f"{cache.capacity}"
+                )
+            own = node.owned.rect
+            for info in cache.entries():
+                if info.primary == node.address:
+                    problems.append(f"entry {info.rect} names the node itself")
+                if info.rect == own or info.rect.intersects(own):
+                    problems.append(
+                        f"entry {info.rect} overlaps own region {own}"
+                    )
+                if info.rect in node.neighbor_table:
+                    problems.append(
+                        f"entry {info.rect} duplicates a neighbor-table rect"
+                    )
+            for problem in problems:
+                findings.append(
+                    AuditViolation(
+                        time=now,
+                        check="shortcuts",
+                        severity="soft",
+                        subject=f"{node.address}:{problem}",
+                        detail=(
+                            f"shortcut cache of {node.address}: {problem}"
+                        ),
+                        data={"owners": [str(node.address)]},
+                    )
+                )
         return findings
 
     # ------------------------------------------------------------------

@@ -45,7 +45,12 @@ from repro import obs
 from repro.core.overlay import BasicGeoGrid
 from repro.core.query import LocationQuery
 from repro.core.node import Node
-from repro.core.routing import route_to_point, stretch
+from repro.core.routing import (
+    ShortcutTable,
+    route_to_point,
+    route_to_point_cached,
+    stretch,
+)
 from repro.dualpeer import DualPeerGeoGrid
 from repro.geometry import Point, Rect
 from repro.loadbalance import AdaptationEngine, WorkloadIndexCalculator
@@ -207,28 +212,67 @@ def run_routing(
     registry: MetricsRegistry,
     populations: Sequence[int] = ROUTING_POPULATIONS,
     samples: int = 200,
+    warmup_routes: int = 400,
+    shortcut_capacity: int = 32,
 ) -> None:
-    """Record routing hop counts and stretch into ``registry``.
+    """Record greedy vs shortcut-cached routing into ``registry``.
 
     One histogram pair per population (``routing.hops.n<N>`` and
-    ``routing.stretch.n<N>``), which is the machine-readable form of the
-    paper's O(2*sqrt(N)) routing claim.
+    ``routing.stretch.n<N>``) is the machine-readable form of the
+    paper's O(2*sqrt(N)) routing claim.  Each population then reruns the
+    *same* source/target pairs through :func:`route_to_point_cached`
+    against a :class:`~repro.core.routing.ShortcutTable` warmed by
+    ``warmup_routes`` unrelated routes, recording
+    ``routing.cached.hops.n<N>`` plus the cache's hit/miss/repair
+    counters and hit rate -- the cached-vs-greedy comparison behind the
+    adaptive shortcut cache.
     """
     with obs.capture(registry):
         for population in populations:
             grid, _, rng = build_network(population, dual=False, seed=7)
             hops_name = f"routing.hops.n{population}"
             stretch_name = f"routing.stretch.n{population}"
+            pairs = []
             for _ in range(samples):
                 source = grid.space.locate(
                     Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64))
                 )
                 target = Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+                pairs.append((source, target))
+            for source, target in pairs:
                 result = route_to_point(grid.space, source, target)
                 registry.observe(hops_name, result.hops)
                 quality = stretch(result)
                 if quality is not None:
                     registry.observe(stretch_name, quality)
+
+            # Cached pass over the *identical* pairs: warm the table with
+            # unrelated traffic first (the steady-state a long-running
+            # deployment converges to), then measure.
+            table = ShortcutTable(capacity=shortcut_capacity)
+            for _ in range(warmup_routes):
+                source = grid.space.locate(
+                    Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+                )
+                target = Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+                route_to_point_cached(grid.space, source, target, table)
+            table.reset_counters()
+            cached_name = f"routing.cached.hops.n{population}"
+            for source, target in pairs:
+                result = route_to_point_cached(
+                    grid.space, source, target, table
+                )
+                registry.observe(cached_name, result.hops)
+            registry.inc(f"routing.shortcut.hits.n{population}", table.hits)
+            registry.inc(
+                f"routing.shortcut.misses.n{population}", table.misses
+            )
+            registry.inc(
+                f"routing.shortcut.repairs.n{population}", table.repairs
+            )
+            registry.observe(
+                f"routing.shortcut.hit_rate.n{population}", table.hit_rate
+            )
 
 
 def run_store_bench(
@@ -456,6 +500,34 @@ def write_bench_files(
     routing_path.write_text(_stamped_json(routing, meta) + "\n")
 
     return [micro_path, routing_path]
+
+
+def write_routing_bench_file(
+    out_dir: pathlib.Path,
+    populations: Sequence[int] = ROUTING_POPULATIONS,
+    samples: int = 200,
+    warmup_routes: int = 400,
+    shortcut_capacity: int = 32,
+) -> List[pathlib.Path]:
+    """Run the routing comparison and write ``BENCH_routing.json``.
+
+    Returns the written path in a one-element list (same shape as
+    :func:`write_bench_files`, so callers can concatenate and feed
+    :func:`render_report`).
+    """
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    registry = MetricsRegistry()
+    run_routing(
+        registry,
+        populations=populations,
+        samples=samples,
+        warmup_routes=warmup_routes,
+        shortcut_capacity=shortcut_capacity,
+    )
+    path = out_dir / "BENCH_routing.json"
+    path.write_text(_stamped_json(registry, bench_meta()) + "\n")
+    return [path]
 
 
 def write_store_bench_file(

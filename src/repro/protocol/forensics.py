@@ -1,8 +1,10 @@
 """One-command replay of the PR-2 double hole-grant split brain.
 
 This module is the "turning manual hunts into a repro" payoff of the
-observability stack: it re-runs the historical seed-492 stress scenario
-with the split-brain witness *disabled* (the
+observability stack: it re-runs the historical double hole-grant stress
+scenario (originally seed 492; re-pinned to seed 14 when the shortcut-
+cache PR's fan-out fix shifted the message sequence) with the
+split-brain witness *disabled* (the
 ``NodeConfig.claim_witness_enabled`` fault-injection knob), so the double
 hole-grant happens again -- and this time the continuous invariant
 auditor catches the overlap the moment it appears, the flight recorder
@@ -88,21 +90,24 @@ class ForensicsReport:
 
 
 def run_split_brain_repro(
-    seed: int = 492,
+    seed: int = 14,
     count: int = 14,
     drop: float = 0.01,
     settle: float = 120.0,
     audit_interval: float = 5.0,
     capacity: int = 200_000,
 ) -> ForensicsReport:
-    """Replay the seed-492 double hole-grant under full observability.
+    """Replay the double hole-grant split brain under full observability.
 
-    Mirrors ``test_double_hole_grant_split_brain_resolves`` exactly --
-    same bounds, seed, growth pattern, and settle time -- but with
+    Mirrors ``test_double_hole_grant_split_brain_resolves`` -- same
+    bounds, growth pattern, and settle time -- but with
     ``claim_witness_enabled=False`` so the PR-2 fix is out of the way and
     the split brain forms (and persists, giving the auditor something to
-    catch).  Runs with its own recorder/auditor installed and restores
-    the previous observability state on exit.
+    catch).  The default seed is whichever one reproduces the double
+    grant under the *current* message sequence (the corner fan-out fix
+    shifted it off the historical 492).  Runs with its own
+    recorder/auditor installed and restores the previous observability
+    state on exit.
     """
     cluster = ProtocolCluster(
         Rect(0, 0, 64, 64),
@@ -111,9 +116,13 @@ def run_split_brain_repro(
         drop_probability=drop,
         # Both reliability layers off: the witness (PR-2) would resolve
         # the split brain, and the grant ack/resend exchange would repair
-        # the lost grants that set it up in the first place.
+        # the lost grants that set it up in the first place.  The shortcut
+        # cache is also off so the replayed message sequence matches the
+        # historical (pre-shortcut) journal hop for hop.
         config=NodeConfig(
-            claim_witness_enabled=False, grant_resend_attempts=0
+            claim_witness_enabled=False,
+            grant_resend_attempts=0,
+            shortcut_cache_size=0,
         ),
     )
     with obs.flight_capture(

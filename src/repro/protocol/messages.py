@@ -37,6 +37,8 @@ SWITCH_REJECT = "switch_reject"
 # ---------------------------------------------------------------------
 ROUTE = "route"
 ROUTE_DELIVERED = "route_delivered"
+SHORTCUT_HOP = "shortcut_hop"
+MISROUTE = "misroute"
 QUERY = "query"
 QUERY_FANOUT = "query_fanout"
 QUERY_RESULT = "query_result"
@@ -86,6 +88,16 @@ class JoinRequestBody:
     #: The joiner's attempt counter; echoed in the grant so the joiner can
     #: recognize (and decline) grants from superseded retry attempts.
     nonce: int = 0
+
+    def forwarded(self) -> "JoinRequestBody":
+        """Copy with the hop count bumped."""
+        return JoinRequestBody(
+            joiner=self.joiner,
+            coord=self.coord,
+            capacity=self.capacity,
+            hops=self.hops + 1,
+            nonce=self.nonce,
+        )
 
 
 @dataclass(frozen=True)
@@ -160,6 +172,11 @@ class HeartbeatBody:
     #: exchange with their neighbors (Section 2.4).
     index: float = 0.0
     capacity: float = 0.0
+    #: Holes the sender is currently caretaking.  A hole has no owner to
+    #: heartbeat it into anyone's neighbor table, so this is the only
+    #: channel telling the hole's other neighbors which live node serves
+    #: that ground (receivers cache it as a routing shortcut).
+    caretaken: Tuple[Rect, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -199,6 +216,61 @@ class RouteDeliveredBody:
     request_id: int
     executor: NodeAddress
     hops: int
+    #: The executor's region rectangle; lets the origin learn a routing
+    #: shortcut from the return path (``None`` from older senders).
+    region: Optional[Rect] = None
+
+
+@dataclass(frozen=True)
+class ShortcutHopBody:
+    """A routed request jumping over a learned long-range shortcut.
+
+    The inner routed message (``kind`` + ``body``) is wrapped rather than
+    sent raw so the receiver can tell a shortcut hop from a plain
+    neighbor hop: a shortcut may land on a node whose region no longer
+    matches ``claimed_rect``, and only the wrapped form carries enough
+    context (``target``, ``sender_distance``) for the receiver to either
+    keep routing -- any strict-progress hop preserves greedy termination
+    -- or bounce a :class:`MisrouteBody` back to repair the sender's
+    cache.
+    """
+
+    #: Message kind of the wrapped routed request.
+    kind: str
+    #: The wrapped request body (hop count already bumped by the sender).
+    body: Any
+    #: The coordinate the wrapped request is routed toward.
+    target: Point
+    #: The region rectangle the sender's cache entry claimed.
+    claimed_rect: Rect
+    #: The sender's own region-to-target distance at send time; the
+    #: receiver must beat it strictly to keep the greedy bound.
+    sender_distance: float
+
+
+@dataclass(frozen=True)
+class MisrouteBody:
+    """NACK for a shortcut hop that landed on a non-covering node.
+
+    Returns the wrapped request so the sender can immediately re-route it
+    over the plain neighbor walk, plus the receiver's actual claim (and
+    a covering suggestion from its neighbor table, when it has one) so
+    the stale cache entry is repaired rather than merely evicted.
+    """
+
+    #: Message kind of the bounced routed request.
+    kind: str
+    #: The bounced request body, unchanged.
+    body: Any
+    #: The coordinate the bounced request was routed toward.
+    target: Point
+    #: The stale cache entry that caused the misroute.
+    claimed_rect: Rect
+    #: What the receiver actually owns right now (``None`` while it is
+    #: itself between regions, e.g. mid-join).
+    actual: Optional[NeighborInfo] = None
+    #: A neighbor-table entry of the receiver covering ``target``.
+    suggestion: Optional[NeighborInfo] = None
 
 
 @dataclass(frozen=True)
@@ -390,6 +462,9 @@ class StoreAckBody:
     request_id: int
     executor: NodeAddress
     hops: int
+    #: The executor's region rectangle; lets the origin learn a routing
+    #: shortcut from the return path (``None`` from older senders).
+    region: Optional[Rect] = None
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,7 @@ from repro.sim.scheduler import EventScheduler
 from repro.sim.transport import Message, SimNetwork
 from repro.store.spatial import GridIndex, ObjectRecord
 from repro.protocol import messages as m
+from repro.protocol.shortcuts import ShortcutCache
 
 #: Application callback for routed payloads arriving at the executor node.
 DeliverCallback = Callable[[Point, Any], None]
@@ -95,6 +96,14 @@ class NodeConfig:
     #: Bounds the repair traffic after a lossy handover; remaining
     #: divergence drains over subsequent sync intervals.
     store_repair_max_buckets: int = 8
+    #: Capacity of the adaptive routing shortcut cache: learned
+    #: ``(rect, primary, secondary)`` entries for non-neighbor regions,
+    #: consulted by the forwarding path under the same strict-progress
+    #: rule as plain neighbors.  ``0`` disables the cache entirely --
+    #: routing then degenerates to the pure neighbor walk, which forensic
+    #: replays rely on for bit-for-bit reproducibility against a journal
+    #: recorded without shortcuts.
+    shortcut_cache_size: int = 32
 
 
 @dataclass
@@ -136,6 +145,11 @@ class ProtocolNode:
         self.joined = False
         self.owned: Optional[OwnedRegion] = None
         self.neighbor_table: Dict[Rect, m.NeighborInfo] = {}
+        #: Learned long-range routing entries for non-neighbor regions.
+        self.shortcuts = ShortcutCache(self.config.shortcut_cache_size)
+        #: The entry node the in-flight join attempt went through; struck
+        #: in the host cache when the attempt times out.
+        self._join_entry: Optional[NodeAddress] = None
         #: Rects whose owners are all believed dead; this node answers for
         #: them best-effort until a join fills the hole.
         self.caretaker_rects: Set[Rect] = set()
@@ -222,6 +236,20 @@ class ProtocolNode:
             m.STORE_SYNC: self._on_store_sync,
             m.STORE_PULL: self._on_store_pull,
             m.STORE_REPAIR: self._on_store_repair,
+            m.SHORTCUT_HOP: self._on_shortcut_hop,
+            m.MISROUTE: self._on_misroute,
+        }
+        #: Handlers a shortcut hop (or its MISROUTE bounce) may wrap: the
+        #: routed-request subset of the protocol, dispatched by inner kind
+        #: on the unwrapped body.
+        self._routed_handlers = {
+            m.JOIN_REQUEST: self._handle_join_request,
+            m.ROUTE: self._handle_route,
+            m.PUBLISH: self._handle_publish,
+            m.QUERY: self._handle_query,
+            m.STORE_UPDATE: self._handle_store_update,
+            m.STORE_REMOVE: self._handle_store_remove,
+            m.STORE_LOOKUP: self._handle_store_lookup,
         }
 
     # ------------------------------------------------------------------
@@ -267,6 +295,7 @@ class ProtocolNode:
             )
             self.host_cache.remember_all(entries)
             entry = self.rng.choice(entries)
+        self._join_entry = entry
         self._join_attempt += 1
         body = m.JoinRequestBody(
             joiner=self.address, coord=self.node.coord,
@@ -292,6 +321,13 @@ class ProtocolNode:
         """Re-issue the join through a fresh entry if still unjoined."""
         if not self.alive or self.joined:
             return
+        if self._join_entry is not None:
+            # The attempt through that entry produced nothing within the
+            # retry interval; strike it so a dead cached address stops
+            # being re-picked forever.
+            if self.host_cache.penalize(self._join_entry):
+                obs.inc("bootstrap.hostcache.evicted")
+            self._join_entry = None
         try:
             self.start_join()
         except BootstrapError:
@@ -543,14 +579,33 @@ class ProtocolNode:
                 return rect
         return None
 
-    def _next_hop(self, target: Point) -> Optional[NodeAddress]:
-        """The neighbor endpoint whose region is closest to ``target``.
+    def _live_endpoint(self, info: m.NeighborInfo) -> Optional[NodeAddress]:
+        if info.primary not in self.suspected:
+            return info.primary
+        if info.secondary is not None and info.secondary not in self.suspected:
+            return info.secondary
+        return None
 
-        ``None`` when no neighbor makes strict progress (we are the
-        executor, or the best we can do is answer locally).
+    # ------------------------------------------------------------------
+    # Shortcut-aware forwarding
+    # ------------------------------------------------------------------
+    def _route_forward(self, kind: str, body: Any, target: Point) -> bool:
+        """Forward a routed request one hop toward ``target``.
+
+        Considers direct neighbors and cached shortcut entries under the
+        same strict-progress rule (every hop must be strictly closer to
+        the target than our own region, so greedy termination and the
+        executor invariant are untouched).  A shortcut is taken only when
+        it beats the best *neighbor* candidate, and travels wrapped in a
+        :class:`~repro.protocol.messages.ShortcutHopBody` so a stale
+        entry can be bounced back as a MISROUTE.
+
+        Returns ``True`` when the message was sent; ``False`` means no
+        candidate makes strict progress and the caller must answer
+        locally (the existing executor/border semantics).
         """
         if self.owned is None:
-            return None
+            return False
         own_distance = self.owned.rect.distance_to_point(target)
         best_address: Optional[NodeAddress] = None
         best_distance = own_distance
@@ -563,14 +618,151 @@ class ProtocolNode:
             if distance < best_distance - 1e-12:
                 best_distance = distance
                 best_address = endpoint
-        return best_address
+        if self.shortcuts.enabled:
+            shortcut = self.shortcuts.best(target, better_than=best_distance)
+            if shortcut is not None:
+                endpoint = self._live_endpoint(shortcut)
+                if endpoint is not None and endpoint != self.address:
+                    self.shortcuts.touch(shortcut.rect)
+                    self.shortcuts.hits += 1
+                    obs.inc("routing.shortcut.hit")
+                    causal.annotate(
+                        "shortcut_hop",
+                        sender=str(self.address),
+                        kind=kind,
+                        rect=str(shortcut.rect),
+                        endpoint=str(endpoint),
+                    )
+                    envelope = m.ShortcutHopBody(
+                        kind=kind,
+                        body=body.forwarded(),
+                        target=target,
+                        claimed_rect=shortcut.rect,
+                        sender_distance=own_distance,
+                    )
+                    self.network.send(
+                        self.address, endpoint, m.SHORTCUT_HOP, envelope
+                    )
+                    return True
+        if best_address is None:
+            return False
+        if self.shortcuts.enabled:
+            self.shortcuts.misses += 1
+            obs.inc("routing.shortcut.miss")
+        self.network.send(self.address, best_address, kind, body.forwarded())
+        return True
 
-    def _live_endpoint(self, info: m.NeighborInfo) -> Optional[NodeAddress]:
-        if info.primary not in self.suspected:
-            return info.primary
-        if info.secondary is not None and info.secondary not in self.suspected:
-            return info.secondary
-        return None
+    def _on_shortcut_hop(self, message: Message) -> None:
+        """Receiver side of a shortcut hop: serve, keep routing, or NACK.
+
+        The wrapped request is dispatched locally when this node serves
+        ``target`` (owner or caretaker) or still makes strict progress on
+        the sender's distance -- any such hop preserves the greedy bound.
+        Otherwise the sender's cache entry is stale *and* useless, so the
+        request bounces back as a MISROUTE carrying our actual claim and
+        a covering suggestion, repairing the sender's cache.
+        """
+        body: m.ShortcutHopBody = message.body
+        handler = self._routed_handlers.get(body.kind)
+        if handler is None:
+            return
+        if self.owned is not None:
+            serves = (
+                self._owns_point(body.target)
+                or self._caretaker_for(body.target) is not None
+            )
+            progress = (
+                self.owned.rect.distance_to_point(body.target)
+                < body.sender_distance - 1e-12
+            )
+            if serves or progress:
+                handler(body.body)
+                return
+        causal.annotate(
+            "shortcut_misroute",
+            receiver=str(self.address),
+            kind=body.kind,
+            claimed=str(body.claimed_rect),
+        )
+        actual: Optional[m.NeighborInfo] = None
+        if self.owned is not None and (
+            self.owned.role == "primary" or self.owned.peer is not None
+        ):
+            actual = self._my_info()
+        suggestion: Optional[m.NeighborInfo] = None
+        for info in self.neighbor_table.values():
+            if self._covers(info.rect, body.target):
+                suggestion = info
+                break
+        nack = m.MisrouteBody(
+            kind=body.kind,
+            body=body.body,
+            target=body.target,
+            claimed_rect=body.claimed_rect,
+            actual=actual,
+            suggestion=suggestion,
+        )
+        self.network.send(self.address, message.source, m.MISROUTE, nack)
+
+    def _on_misroute(self, message: Message) -> None:
+        """Sender side of the repair: fix the cache, re-route the request.
+
+        The stale entry is dropped (each misroute evicts at least one
+        cached rect, so repeated bounces are bounded by the cache size),
+        the receiver's fresh claims are learned, and the bounced request
+        re-enters the normal forwarding path -- which now falls back to
+        the plain neighbor walk unless a *different* shortcut helps.
+        """
+        body: m.MisrouteBody = message.body
+        self.shortcuts.repairs += 1
+        obs.inc("routing.shortcut.repair")
+        self.shortcuts.invalidate_rect(body.claimed_rect)
+        if body.actual is not None:
+            self._learn_shortcut(body.actual)
+        if body.suggestion is not None:
+            self._learn_shortcut(body.suggestion)
+        causal.annotate(
+            "shortcut_repaired",
+            sender=str(self.address),
+            kind=body.kind,
+            claimed=str(body.claimed_rect),
+        )
+        handler = self._routed_handlers.get(body.kind)
+        if handler is not None:
+            handler(body.body)
+
+    def _learn_shortcut(
+        self, info: m.NeighborInfo, allow_adjacent: bool = False
+    ) -> None:
+        """Cache a remote region's claim gleaned from passing traffic.
+
+        Entries for ourselves, our own region, or regions already in the
+        neighbor table are useless (neighbors are consulted directly);
+        claims adjacent to our region belong in the neighbor table's
+        repair machinery, not here.  ``allow_adjacent`` lifts that last
+        rule for caretaken holes: a hole has no owner to heartbeat it
+        into the neighbor table, so the caretaker's claim is cached even
+        when the hole abuts our region (routing toward the hole must
+        still find the live node serving it).
+        """
+        if not self.shortcuts.enabled or self.owned is None:
+            return
+        if info.primary == self.address or info.secondary == self.address:
+            return
+        if info.primary in self.suspected:
+            return
+        own = self.owned.rect
+        if info.rect == own or info.rect.intersects(own):
+            return
+        if info.rect.is_neighbor_of(own) and not allow_adjacent:
+            # Adjacent regions are neighbor-table business; drop any
+            # cached copy so the two tables never disagree.
+            self.shortcuts.invalidate_rect(info.rect)
+            return
+        if info.rect in self.neighbor_table:
+            return
+        if self.shortcuts.learn(info):
+            obs.inc("routing.shortcut.learned")
 
     # ------------------------------------------------------------------
     # Join handling
@@ -604,18 +796,10 @@ class ProtocolNode:
         if hole is not None:
             self._grant_hole(body, hole)
             return
-        next_hop = self._next_hop(body.coord)
-        if next_hop is None:
+        if not self._route_forward(m.JOIN_REQUEST, body, body.coord):
             # Nobody is strictly closer: the coordinate sits on a border we
             # do not own; admit here rather than dropping the join.
             self._admit_joiner(body)
-            return
-        forwarded = m.JoinRequestBody(
-            joiner=body.joiner, coord=body.coord,
-            capacity=body.capacity, hops=body.hops + 1,
-            nonce=body.nonce,
-        )
-        self.network.send(self.address, next_hop, m.JOIN_REQUEST, forwarded)
 
     def _admit_joiner(self, body: m.JoinRequestBody) -> None:
         assert self.owned is not None
@@ -830,8 +1014,13 @@ class ProtocolNode:
         self.network.send(self.address, body.joiner, m.JOIN_GRANT, grant)
         self.caretaker_rects.discard(hole)
         joiner_info = m.NeighborInfo(rect=hole, primary=body.joiner)
+        # Ownership of the hole just changed hands: any cached claim
+        # overlapping it is stale, and the fresh owner is worth caching.
+        self.shortcuts.invalidate_overlapping(hole)
         if self.owned is not None and hole.is_neighbor_of(self.owned.rect):
             self.neighbor_table[hole] = joiner_info
+        else:
+            self._learn_shortcut(joiner_info)
         self._broadcast_update(m.NeighborUpdateBody(info=joiner_info))
 
     def _on_join_grant(self, message: Message) -> None:
@@ -1039,6 +1228,7 @@ class ProtocolNode:
         self._claims_heard = {}
         self._claims_confronted = {}
         self._replicated_neighbors = ()
+        self.shortcuts.clear()
         for timer in self._timers:
             timer.cancel()
         self._timers.clear()
@@ -1121,6 +1311,9 @@ class ProtocolNode:
         body: m.NeighborUpdateBody = message.body
         if body.removed_rect is not None:
             self.neighbor_table.pop(body.removed_rect, None)
+            # The retracted region was split, merged away, or orphaned:
+            # any cached claim overlapping it is stale.
+            self.shortcuts.invalidate_overlapping(body.removed_rect)
         if self.owned is None:
             return
         info = body.info
@@ -1129,11 +1322,15 @@ class ProtocolNode:
             return
         if info.rect == self.owned.rect:
             return
+        # An announced partition change invalidates overlapping cached
+        # claims whether or not the new region is adjacent to us.
+        self.shortcuts.invalidate_overlapping(info.rect)
         if self.owned.rect.is_neighbor_of(info.rect):
             self.neighbor_table[info.rect] = info
             self.host_cache.remember(info.primary)
         else:
             self.neighbor_table.pop(info.rect, None)
+            self._learn_shortcut(info)
 
     # ------------------------------------------------------------------
     # Heartbeats, sync, failure detection
@@ -1145,6 +1342,7 @@ class ProtocolNode:
             rect=self.owned.rect, role="primary", secondary=self.owned.peer,
             neighbors=tuple(self.neighbor_table.values()),
             index=self.workload_index, capacity=self.node.capacity,
+            caretaken=tuple(self.caretaker_rects),
         )
         for info in self.neighbor_table.values():
             self.network.send(self.address, info.primary, m.HEARTBEAT, beat)
@@ -1249,12 +1447,20 @@ class ProtocolNode:
             self.owned is not None
             and self.owned.rect.is_neighbor_of(body.rect)
         )
+        sender_info = m.NeighborInfo(
+            rect=body.rect, primary=message.source,
+            secondary=body.secondary,
+        )
         if existing is not None or adjacent:
-            self.neighbor_table[body.rect] = m.NeighborInfo(
-                rect=body.rect, primary=message.source,
-                secondary=body.secondary,
-            )
-        # Gossip: adopt adjacent entries we are missing.
+            # A fresh first-hand claim supersedes any cached claim
+            # overlapping the same ground.
+            self.shortcuts.invalidate_overlapping(body.rect)
+            self.neighbor_table[body.rect] = sender_info
+        else:
+            # A first-hand claim from a non-neighbor (e.g. a probe or
+            # confrontation heartbeat): worth a shortcut entry.
+            self._learn_shortcut(sender_info)
+        # Gossip: adopt adjacent entries we are missing; cache the rest.
         if self.owned is None:
             return
         for info in body.neighbors:
@@ -1273,7 +1479,23 @@ class ProtocolNode:
                 continue
             if self.owned.rect.is_neighbor_of(info.rect):
                 self.caretaker_rects.discard(info.rect)
+                self.shortcuts.invalidate_rect(info.rect)
                 self.neighbor_table[info.rect] = info
+            else:
+                # Gossiped claims for far regions are exactly the passive
+                # traffic the shortcut cache learns from.
+                self._learn_shortcut(info)
+        # Caretaken holes have no owner to heartbeat them into our table;
+        # cache the caretaker's claim (even for an abutting hole) so
+        # routing toward the hole -- e.g. the store's re-home sweep --
+        # reaches the live node serving it instead of dead-ending.
+        for hole in body.caretaken:
+            if hole in self.neighbor_table:
+                continue
+            self._learn_shortcut(
+                m.NeighborInfo(rect=hole, primary=message.source),
+                allow_adjacent=True,
+            )
 
     def _send_sync(self) -> None:
         if not self.alive or self.owned is None:
@@ -1327,6 +1549,7 @@ class ProtocolNode:
                     rect=str(self.owned.rect),
                 )
                 self.suspected.add(self.owned.peer)
+                self.shortcuts.invalidate_address(self.owned.peer)
                 self.owned.peer = None
                 self._announce_self()
         # 1. Dual-peer failover: the secondary watches its primary at the
@@ -1353,6 +1576,7 @@ class ProtocolNode:
             if now - seen <= timeout:
                 continue
             self.suspected.add(info.primary)
+            self.shortcuts.invalidate_address(info.primary)
             if info.secondary is not None:
                 # The secondary will promote itself and announce; route via
                 # the secondary in the meantime.
@@ -1390,6 +1614,9 @@ class ProtocolNode:
             )
         self.owned.role = "primary"
         self.owned.peer = None
+        # Entries were learned in the secondary role; the rebuilt neighbor
+        # table may now contain rects the cache also holds.  Start fresh.
+        self.shortcuts.clear()
         if self._replicated_neighbors:
             self.neighbor_table = {
                 info.rect: info
@@ -1398,6 +1625,7 @@ class ProtocolNode:
             }
         if failed is not None:
             self.suspected.add(failed)
+            self.shortcuts.invalidate_address(failed)
             self.bootstrap.deregister(failed)
         self._announce_self()
 
@@ -1428,6 +1656,7 @@ class ProtocolNode:
         self.neighbor_table = {}
         self._claims_heard = {}
         self._replicated_neighbors = ()
+        self.shortcuts.clear()
         for timer in self._timers:
             timer.cancel()
         self._timers.clear()
@@ -1492,6 +1721,9 @@ class ProtocolNode:
                 secondary=given_away_peer,
             )
         self.neighbor_stats = {}
+        # The cache was learned from the old vantage point; entries may
+        # now overlap or neighbor the new region.  Start fresh.
+        self.shortcuts.clear()
         self.switches_completed += 1
         causal.annotate(
             "switch_installed",
@@ -1672,6 +1904,9 @@ class ProtocolNode:
                 merged=str(self.owned.rect.merge_with(body.rect)),
             )
             self.owned.rect = self.owned.rect.merge_with(body.rect)
+            # Our territory grew: cached claims overlapping (or now
+            # adjacent to) the merged rect are stale or misplaced.
+            self.shortcuts.invalidate_overlapping(self.owned.rect)
             self.owned.items.extend(body.items)
             if body.objects:
                 merged_back = self.owned.store.merge(body.objects)
@@ -1751,23 +1986,27 @@ class ProtocolNode:
                 request_id=body.request_id,
                 executor=self.address,
                 hops=body.hops,
+                region=self.owned.rect if self.owned is not None else None,
             )
             self.network.send(self.address, body.origin, m.ROUTE_DELIVERED, ack)
             return
-        next_hop = self._next_hop(body.target)
-        if next_hop is None:
+        if not self._route_forward(m.ROUTE, body, body.target):
             # Border target nobody is closer to: answer best-effort.
             ack = m.RouteDeliveredBody(
                 request_id=body.request_id,
                 executor=self.address,
                 hops=body.hops,
+                region=self.owned.rect if self.owned is not None else None,
             )
             self.network.send(self.address, body.origin, m.ROUTE_DELIVERED, ack)
-            return
-        self.network.send(self.address, next_hop, m.ROUTE, body.forwarded())
 
     def _on_route_delivered(self, message: Message) -> None:
-        self.delivered.append(message.body)
+        body: m.RouteDeliveredBody = message.body
+        if body.region is not None:
+            self._learn_shortcut(
+                m.NeighborInfo(rect=body.region, primary=body.executor)
+            )
+        self.delivered.append(body)
 
     def _on_publish(self, message: Message) -> None:
         self._handle_publish(message.body)
@@ -1785,12 +2024,9 @@ class ProtocolNode:
                     m.ReplicateBody(point=body.point, item=body.item),
                 )
             return
-        next_hop = self._next_hop(body.point)
-        if next_hop is None:
+        if not self._route_forward(m.PUBLISH, body, body.point):
             if self.owned is not None:
                 self.owned.items.append((body.point, body.item))
-            return
-        self.network.send(self.address, next_hop, m.PUBLISH, body.forwarded())
 
     def _on_replicate(self, message: Message) -> None:
         body: m.ReplicateBody = message.body
@@ -1810,17 +2046,17 @@ class ProtocolNode:
         if self._owns_point(target) or self._caretaker_for(target):
             self._serve_query(body)
             return
-        next_hop = self._next_hop(target)
-        if next_hop is None:
+        if not self._route_forward(m.QUERY, body, target):
             self._serve_query(body)
-            return
-        self.network.send(self.address, next_hop, m.QUERY, body.forwarded())
 
     def _on_query_fanout(self, message: Message) -> None:
         body: m.QueryBody = message.body
         if self.owned is None or self.owned.role != "primary":
             return
-        if not self.owned.rect.intersects(body.rect):
+        # Closed-rect touch, not interior overlap: a region meeting the
+        # query rect only at its own northeast corner can still own
+        # matching points (point coverage is closed at the high edges).
+        if not self.owned.rect.touches(body.rect):
             return
         self._serve_query(body)
 
@@ -1849,7 +2085,7 @@ class ProtocolNode:
         for info in self.neighbor_table.values():
             if info.primary in marked.served:
                 continue
-            if not info.rect.intersects(body.rect):
+            if not info.rect.touches(body.rect):
                 continue
             endpoint = self._live_endpoint(info)
             if endpoint is None:
@@ -1861,6 +2097,9 @@ class ProtocolNode:
 
     def _on_query_result(self, message: Message) -> None:
         body: m.QueryResultBody = message.body
+        self._learn_shortcut(
+            m.NeighborInfo(rect=body.region, primary=body.executor)
+        )
         self.query_results.setdefault(body.request_id, []).append(body)
 
     # ------------------------------------------------------------------
@@ -1876,16 +2115,11 @@ class ProtocolNode:
         if self._owns_point(point) or self._caretaker_for(point):
             self._store_accept_update(body)
             return
-        next_hop = self._next_hop(point)
-        if next_hop is None:
+        if not self._route_forward(m.STORE_UPDATE, body, point):
             # Border position nobody is closer to: store best-effort here,
             # mirroring the route/publish border rule.
             if self.owned is not None:
                 self._store_accept_update(body)
-            return
-        self.network.send(
-            self.address, next_hop, m.STORE_UPDATE, body.forwarded()
-        )
 
     def _store_accept_update(self, body: m.StoreUpdateBody) -> None:
         """Executor side of a store update: insert, replicate, ack."""
@@ -1925,7 +2159,10 @@ class ProtocolNode:
         else:
             obs.inc("store.node.stale_updates")
         ack = m.StoreAckBody(
-            request_id=body.request_id, executor=self.address, hops=body.hops
+            request_id=body.request_id,
+            executor=self.address,
+            hops=body.hops,
+            region=self.owned.rect,
         )
         self.network.send(self.address, body.origin, m.STORE_ACK, ack)
 
@@ -1954,17 +2191,16 @@ class ProtocolNode:
                         ),
                     )
             return
-        next_hop = self._next_hop(body.point)
-        if next_hop is None:
+        if not self._route_forward(m.STORE_REMOVE, body, body.point):
             if self.owned is not None:
                 self.owned.store.remove(body.object_id, version=body.version)
-            return
-        self.network.send(
-            self.address, next_hop, m.STORE_REMOVE, body.forwarded()
-        )
 
     def _on_store_ack(self, message: Message) -> None:
         body: m.StoreAckBody = message.body
+        if body.region is not None:
+            self._learn_shortcut(
+                m.NeighborInfo(rect=body.region, primary=body.executor)
+            )
         self.store_acks[body.request_id] = body
         pending = self._rehome_pending.pop(body.request_id, None)
         if pending is None or body.executor == self.address:
@@ -2048,19 +2284,14 @@ class ProtocolNode:
         if self._owns_point(target) or self._caretaker_for(target):
             self._serve_store_lookup(body)
             return
-        next_hop = self._next_hop(target)
-        if next_hop is None:
+        if not self._route_forward(m.STORE_LOOKUP, body, target):
             self._serve_store_lookup(body)
-            return
-        self.network.send(
-            self.address, next_hop, m.STORE_LOOKUP, body.forwarded()
-        )
 
     def _on_store_fanout(self, message: Message) -> None:
         body: m.StoreLookupBody = message.body
         if self.owned is None:
             return
-        if not self.owned.rect.intersects(body.rect):
+        if not self.owned.rect.touches(body.rect):
             return
         # Primary or secondary alike may serve the fan-out: the sender
         # falls back to the replica endpoint when the primary is suspected.
@@ -2099,7 +2330,7 @@ class ProtocolNode:
         for info in neighbors:
             if info.primary in marked.served:
                 continue
-            if not info.rect.intersects(body.rect):
+            if not info.rect.touches(body.rect):
                 continue
             endpoint = self._live_endpoint(info)
             if endpoint is None or endpoint in marked.served:
@@ -2110,6 +2341,12 @@ class ProtocolNode:
 
     def _on_store_result(self, message: Message) -> None:
         body: m.StoreResultBody = message.body
+        if not body.from_replica:
+            # Replica answers name the secondary as executor; caching that
+            # as a region's primary would poison the entry.
+            self._learn_shortcut(
+                m.NeighborInfo(rect=body.region, primary=body.executor)
+            )
         self.store_results.setdefault(body.request_id, []).append(body)
 
     # ------------------------------------------------------------------

@@ -67,3 +67,63 @@ class TestHostCache:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             HostCache(capacity=0)
+
+    def test_invalid_max_strikes(self):
+        with pytest.raises(ValueError):
+            HostCache(max_strikes=0)
+
+
+class TestPenalize:
+    """Regression: the cache remembered dead addresses forever -- a
+    cached-but-crashed entry node kept being handed out on every retry."""
+
+    def test_penalize_unknown_is_noop(self):
+        cache = HostCache()
+        assert cache.penalize(synthetic_address(9)) is False
+
+    def test_strikes_accumulate_until_eviction(self):
+        cache = HostCache(max_strikes=3)
+        addr = synthetic_address(1)
+        cache.remember(addr)
+        assert cache.penalize(addr) is False
+        assert cache.strikes(addr) == 1
+        assert cache.penalize(addr) is False
+        assert cache.strikes(addr) == 2
+        assert cache.penalize(addr) is True  # third strike evicts
+        assert addr not in cache
+        assert cache.strikes(addr) == 0
+
+    def test_remember_clears_strikes(self):
+        """A successful contact forgives earlier failures."""
+        cache = HostCache(max_strikes=2)
+        addr = synthetic_address(1)
+        cache.remember(addr)
+        cache.penalize(addr)
+        cache.remember(addr)
+        assert cache.strikes(addr) == 0
+        assert cache.penalize(addr) is False  # count restarts
+
+    def test_forget_drops_strikes(self):
+        cache = HostCache()
+        addr = synthetic_address(1)
+        cache.remember(addr)
+        cache.penalize(addr)
+        cache.forget(addr)
+        assert cache.strikes(addr) == 0
+
+    def test_capacity_eviction_drops_strikes(self):
+        cache = HostCache(capacity=1)
+        a, b = synthetic_address(1), synthetic_address(2)
+        cache.remember(a)
+        cache.penalize(a)
+        cache.remember(b)  # evicts a
+        assert cache.strikes(a) == 0
+
+    def test_penalized_entry_no_longer_picked(self):
+        cache = HostCache(max_strikes=1)
+        dead, live = synthetic_address(1), synthetic_address(2)
+        cache.remember(dead)
+        cache.remember(live)
+        assert cache.penalize(dead) is True
+        for seed in range(10):
+            assert cache.pick_entry(random.Random(seed)) == live

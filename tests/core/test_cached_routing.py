@@ -1,0 +1,218 @@
+"""The model layer's shortcut-cached routing (ShortcutTable +
+route_to_point_cached).
+
+The load-bearing property: cached routing reaches the *identical*
+executor as plain greedy routing -- the covering region is unique and
+strict progress is preserved -- while the warm cache shortens paths.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.overlay import BasicGeoGrid
+from repro.core.routing import (
+    ShortcutTable,
+    route_to_point,
+    route_to_point_cached,
+)
+from repro.geometry import Point, Rect
+from tests.conftest import make_node
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+def build_grid(n=120, seed=7):
+    rng = random.Random(seed)
+    grid = BasicGeoGrid(BOUNDS, rng=random.Random(seed + 1))
+    nodes = []
+    for i in range(n):
+        node = make_node(i, rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+        grid.join(node)
+        nodes.append(node)
+    return grid, nodes, rng
+
+
+def random_point(rng):
+    return Point(rng.uniform(0.001, 64), rng.uniform(0.001, 64))
+
+
+class TestShortcutTableUnit:
+    def regions(self, count):
+        grid, _, _ = build_grid(n=count * 3)
+        return list(grid.space.regions)[:count]
+
+    def test_learn_and_shortcuts(self):
+        a, b, c = self.regions(3)
+        table = ShortcutTable()
+        table.learn(a, b)
+        table.learn(a, c)
+        assert table.shortcuts(a) == [b, c]
+        assert len(table) == 2
+
+    def test_learn_self_is_noop(self):
+        (a,) = self.regions(1)
+        table = ShortcutTable()
+        table.learn(a, a)
+        assert table.shortcuts(a) == []
+
+    def test_capacity_bounds_each_source(self):
+        regions = self.regions(5)
+        source, rest = regions[0], regions[1:]
+        table = ShortcutTable(capacity=2)
+        for remote in rest:
+            table.learn(source, remote)
+        assert table.shortcuts(source) == rest[-2:]
+
+    def test_relearn_refreshes_recency(self):
+        a, b, c, d = self.regions(4)
+        table = ShortcutTable(capacity=2)
+        table.learn(a, b)
+        table.learn(a, c)
+        table.learn(a, b)  # refresh b; c is now oldest
+        table.learn(a, d)
+        assert table.shortcuts(a) == [b, d]
+
+    def test_capacity_zero_disables(self):
+        a, b = self.regions(2)
+        table = ShortcutTable(capacity=0)
+        assert not table.enabled
+        table.learn(a, b)
+        assert len(table) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ShortcutTable(capacity=-1)
+
+    def test_forget_drops_both_roles(self):
+        a, b, c = self.regions(3)
+        table = ShortcutTable()
+        table.learn(a, b)
+        table.learn(b, c)
+        table.forget(b)
+        assert table.shortcuts(a) == []
+        assert table.shortcuts(b) == []
+
+    def test_counters_and_hit_rate(self):
+        table = ShortcutTable()
+        assert table.hit_rate == 0.0
+        table.hits, table.misses, table.repairs = 3, 1, 2
+        assert table.hit_rate == 0.75
+        table.reset_counters()
+        assert (table.hits, table.misses, table.repairs) == (0, 0, 0)
+
+
+class TestExecutorEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_same_executor_as_greedy(self, seed):
+        """Cold cache, warm cache, any cache: the executor is the one
+        covering region, exactly as plain greedy finds it."""
+        grid, _, rng = build_grid(n=100, seed=seed)
+        table = ShortcutTable(capacity=16)
+        for _ in range(10):
+            start = grid.space.locate(random_point(rng))
+            target = random_point(rng)
+            greedy = route_to_point(grid.space, start, target)
+            cached = route_to_point_cached(grid.space, start, target, table)
+            assert cached.executor is greedy.executor
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_same_executor_across_churn(self, seed):
+        """Joins and departures replace Region objects, leaving stale
+        entries behind; lazy repair drops them without ever steering the
+        route to a wrong executor."""
+        grid, nodes, rng = build_grid(n=80, seed=seed)
+        table = ShortcutTable(capacity=16)
+        next_id = len(nodes)
+        for _ in range(4):
+            # Warm the cache on the current partition...
+            for _ in range(8):
+                start = grid.space.locate(random_point(rng))
+                route_to_point_cached(grid.space, start, random_point(rng), table)
+            # ...then churn it: a couple of joins and a departure.
+            for _ in range(2):
+                coord = random_point(rng)
+                node = make_node(next_id, coord.x, coord.y)
+                next_id += 1
+                grid.join(node)
+                nodes.append(node)
+            grid.leave(nodes.pop(rng.randrange(len(nodes))))
+            # Cached routing on the churned space still agrees.
+            for _ in range(5):
+                start = grid.space.locate(random_point(rng))
+                target = random_point(rng)
+                greedy = route_to_point(grid.space, start, target)
+                cached = route_to_point_cached(
+                    grid.space, start, target, table
+                )
+                assert cached.executor is greedy.executor
+
+    def test_stale_entries_repaired_lazily(self):
+        """Consulting an entry for a region that split/merged away drops
+        it and counts a repair."""
+        grid, nodes, rng = build_grid(n=100, seed=3)
+        table = ShortcutTable(capacity=32)
+        for _ in range(30):
+            start = grid.space.locate(random_point(rng))
+            route_to_point_cached(grid.space, start, random_point(rng), table)
+        assert len(table) > 0
+        # Heavy churn: half the nodes leave, invalidating their regions.
+        for _ in range(len(nodes) // 2):
+            grid.leave(nodes.pop(rng.randrange(len(nodes))))
+        before = table.repairs
+        for _ in range(30):
+            start = grid.space.locate(random_point(rng))
+            route_to_point_cached(grid.space, start, random_point(rng), table)
+        assert table.repairs > before
+
+
+class TestConvergence:
+    def test_repeat_traffic_shortens_paths(self):
+        """On a stable partition, repeated traffic between the same
+        areas converges: the warm pass needs strictly fewer total hops
+        and a higher hit rate than the cold pass."""
+        grid, _, rng = build_grid(n=200, seed=11)
+        table = ShortcutTable(capacity=32)
+        pairs = [
+            (grid.space.locate(random_point(rng)), random_point(rng))
+            for _ in range(25)
+        ]
+
+        def total_hops():
+            return sum(
+                route_to_point_cached(grid.space, start, target, table).hops
+                for start, target in pairs
+            )
+
+        cold = total_hops()
+        table.reset_counters()
+        warm = total_hops()
+        assert warm < cold
+        assert table.hit_rate > 0.0
+
+    def test_disabled_table_matches_greedy_hops(self):
+        """capacity=0 turns the feature off: identical walk, zero
+        counter movement."""
+        grid, _, rng = build_grid(n=150, seed=13)
+        table = ShortcutTable(capacity=0)
+        for _ in range(10):
+            start = grid.space.locate(random_point(rng))
+            target = random_point(rng)
+            greedy = route_to_point(grid.space, start, target)
+            cached = route_to_point_cached(grid.space, start, target, table)
+            assert cached.hops == greedy.hops
+            assert [r for r in cached.path] == [r for r in greedy.path]
+        assert (table.hits, table.misses, table.repairs) == (0, 0, 0)
+
+    def test_cached_hops_observed(self):
+        grid, _, rng = build_grid(n=60, seed=17)
+        table = ShortcutTable()
+        with obs.capture() as registry:
+            start = grid.space.locate(random_point(rng))
+            route_to_point_cached(grid.space, start, random_point(rng), table)
+        assert registry.snapshot()["routing.cached.hops"]["count"] == 1

@@ -5,6 +5,7 @@ import random
 
 import pytest
 
+from repro import obs
 from repro.errors import RoutingError
 from repro.core.overlay import BasicGeoGrid
 from repro.core.routing import route_to_point, route_to_point_randomized
@@ -117,3 +118,32 @@ class TestRandomizedRouting:
             route_to_point_randomized(
                 grid.space, start, Point(100, 100), rng
             )
+
+
+class TestObservability:
+    def test_hops_observed_on_normal_delivery(self):
+        grid, rng = build_grid(n=50)
+        start = grid.space.locate(Point(1, 1))
+        with obs.capture() as registry:
+            result = route_to_point_randomized(
+                grid.space, start, Point(63, 63), rng
+            )
+        snap = registry.snapshot()
+        assert snap["routing.randomized.hops"]["count"] == 1
+        assert snap["routing.randomized.hops"]["max"] == result.hops
+
+    def test_exhaustion_is_observed_before_raising(self):
+        """Regression: the step-budget exhaustion path raised without
+        recording anything, so a corrupt partition looked identical to
+        no traffic at all.  Now the partial walk's hops are observed and
+        a dedicated counter fires."""
+        grid, rng = build_grid(n=50)
+        start = grid.space.locate(Point(1, 1))
+        with obs.capture() as registry:
+            with pytest.raises(RoutingError):
+                route_to_point_randomized(
+                    grid.space, start, Point(63, 63), rng, max_steps=1
+                )
+        snap = registry.snapshot()
+        assert snap["routing.randomized.exhausted"]["total"] == 1
+        assert snap["routing.randomized.hops"]["count"] == 1

@@ -150,6 +150,40 @@ class TestIntersection:
             assert b.contains_rect(overlap)
 
 
+class TestTouches:
+    """Closed-rect contact: area overlap, shared edge, or shared corner."""
+
+    def test_area_overlap_touches(self):
+        assert Rect(0, 0, 4, 4).touches(Rect(2, 2, 4, 4))
+
+    def test_edge_contact_touches(self):
+        assert Rect(0, 0, 2, 2).touches(Rect(2, 0, 2, 2))
+
+    def test_corner_contact_touches(self):
+        assert Rect(0, 0, 2, 2).touches(Rect(2, 2, 2, 2))
+
+    def test_disjoint_does_not_touch(self):
+        assert not Rect(0, 0, 2, 2).touches(Rect(5, 5, 2, 2))
+        assert not Rect(0, 0, 2, 2).touches(Rect(3, 0, 2, 2))
+
+    def test_strictly_weaker_than_intersects(self):
+        # Zero-measure contact is exactly the gap between the two
+        # predicates -- the query fan-out bug hid in it.
+        edge, corner = Rect(2, 0, 2, 2), Rect(2, 2, 2, 2)
+        for other in (edge, corner):
+            assert Rect(0, 0, 2, 2).touches(other)
+            assert not Rect(0, 0, 2, 2).intersects(other)
+
+    @given(rects(), rects())
+    def test_symmetric(self, a, b):
+        assert a.touches(b) == b.touches(a)
+
+    @given(rects(), rects())
+    def test_implied_by_intersects(self, a, b):
+        if a.intersects(b):
+            assert a.touches(b)
+
+
 class TestDistance:
     def test_inside_is_zero(self):
         assert Rect(0, 0, 4, 4).distance_to_point(Point(2, 2)) == 0.0

@@ -8,6 +8,8 @@ from repro import obs
 from repro.geometry import Point, Rect
 from repro.obs.audit import ALL_CHECKS, AuditError, InvariantAuditor
 from repro.protocol import ProtocolCluster
+from repro.protocol import messages as m
+from repro.protocol.shortcuts import ShortcutCache
 from repro.sim.scheduler import EventScheduler
 
 BOUNDS = Rect(0, 0, 10, 10)
@@ -268,6 +270,77 @@ class TestJournalSlice:
         events = [{"t": 45.0, "seq": 1, "kind": "send"}]
         assert auditor.journal_slice(violation, events=events) == events
         assert auditor.journal_slice(violation) == []  # no recorder: empty
+
+
+class TestShortcutCheck:
+    """The 'shortcuts' check: locally enforceable cache consistency."""
+
+    def shortcut_node(self, address, rect, entries=(), neighbors=()):
+        node = make_node(address, rect, neighbors=neighbors)
+        node.shortcuts = ShortcutCache(capacity=4)
+        for entry in entries:
+            node.shortcuts.learn(entry)
+        return node
+
+    def test_clean_cache_passes(self):
+        remote = m.NeighborInfo(rect=Rect(5, 5, 5, 5), primary="b")
+        node = self.shortcut_node("a", Rect(0, 0, 5, 5), entries=[remote])
+        cluster = make_cluster(node)
+        auditor = InvariantAuditor(cluster, checks=("shortcuts",))
+        assert auditor.run_checks() == []
+
+    def test_nodes_without_cache_are_skipped(self):
+        # make_node builds no ``shortcuts`` attribute at all.
+        cluster = make_cluster(make_node("a", LEFT, neighbors=[RIGHT]))
+        auditor = InvariantAuditor(cluster, checks=("shortcuts",))
+        assert auditor.run_checks() == []
+
+    def test_entry_naming_the_node_itself(self):
+        bad = m.NeighborInfo(rect=Rect(5, 5, 5, 5), primary="a")
+        node = self.shortcut_node("a", Rect(0, 0, 5, 5), entries=[bad])
+        auditor = InvariantAuditor(
+            make_cluster(node), checks=("shortcuts",)
+        )
+        (violation,) = auditor.run_checks()
+        assert violation.check == "shortcuts"
+        assert violation.severity == "soft"
+        assert "names the node itself" in violation.subject
+
+    def test_entry_overlapping_own_region(self):
+        bad = m.NeighborInfo(rect=Rect(2, 2, 5, 5), primary="b")
+        node = self.shortcut_node("a", Rect(0, 0, 5, 5), entries=[bad])
+        auditor = InvariantAuditor(
+            make_cluster(node), checks=("shortcuts",)
+        )
+        (violation,) = auditor.run_checks()
+        assert "overlaps own region" in violation.subject
+        assert violation.data["owners"] == ["a"]
+
+    def test_entry_duplicating_neighbor_table(self):
+        bad = m.NeighborInfo(rect=Rect(5, 5, 5, 5), primary="b")
+        node = self.shortcut_node(
+            "a", Rect(0, 0, 5, 5),
+            entries=[bad], neighbors=[Rect(5, 5, 5, 5)],
+        )
+        auditor = InvariantAuditor(
+            make_cluster(node), checks=("shortcuts",)
+        )
+        (violation,) = auditor.run_checks()
+        assert "duplicates a neighbor-table rect" in violation.subject
+
+    def test_over_capacity_cache(self):
+        node = self.shortcut_node("a", Rect(0, 0, 5, 5))
+        # The API can never overfill the cache; force the state the check
+        # exists to catch.
+        for i in range(6):
+            node.shortcuts._entries[Rect(6 + i, 6, 0.5, 0.5)] = (
+                m.NeighborInfo(rect=Rect(6 + i, 6, 0.5, 0.5), primary="b")
+            )
+        auditor = InvariantAuditor(
+            make_cluster(node), checks=("shortcuts",)
+        )
+        (violation,) = auditor.run_checks()
+        assert "over capacity" in violation.subject
 
 
 class TestLifecycle:

@@ -57,6 +57,41 @@ def test_run_routing_records_hops_per_population():
     assert f"routing.stretch.n{TINY}" in snapshot
 
 
+def test_run_routing_compares_cached_against_greedy():
+    registry = MetricsRegistry()
+    bench.run_routing(
+        registry, populations=(TINY,), samples=10, warmup_routes=40
+    )
+    snapshot = registry.snapshot()
+    cached = snapshot[f"routing.cached.hops.n{TINY}"]
+    assert cached["count"] == 10
+    # Identical source/target pairs: the cached pass can only shorten.
+    assert cached["mean"] <= snapshot[f"routing.hops.n{TINY}"]["mean"]
+    for counter in ("hits", "misses", "repairs"):
+        assert f"routing.shortcut.{counter}.n{TINY}" in snapshot
+    hit_rate = snapshot[f"routing.shortcut.hit_rate.n{TINY}"]
+    assert 0.0 <= hit_rate["mean"] <= 1.0
+
+
+def test_write_routing_bench_file_schema(tmp_path):
+    (path,) = bench.write_routing_bench_file(
+        tmp_path, populations=(TINY,), samples=8, warmup_routes=20
+    )
+    assert path.name == "BENCH_routing.json"
+    snapshot = json.loads(path.read_text())
+    assert set(snapshot["_meta"]) == {"git_sha", "timestamp_utc", "python"}
+    for name in (
+        f"routing.hops.n{TINY}",
+        f"routing.cached.hops.n{TINY}",
+        f"routing.shortcut.hits.n{TINY}",
+        f"routing.shortcut.misses.n{TINY}",
+        f"routing.shortcut.repairs.n{TINY}",
+        f"routing.shortcut.hit_rate.n{TINY}",
+    ):
+        assert name in snapshot, f"missing {name}"
+        assert SCHEMA_KEYS <= set(snapshot[name])
+
+
 def test_run_store_bench_populates_expected_metrics():
     registry = MetricsRegistry()
     bench.run_store_bench(

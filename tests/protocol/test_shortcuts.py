@@ -1,0 +1,473 @@
+"""The adaptive routing shortcut cache on the protocol layer.
+
+Unit coverage for :class:`repro.protocol.shortcuts.ShortcutCache` plus
+message-level behavior: passive learning from return paths and gossip,
+the MISROUTE NACK repair of a poisoned entry, eager invalidation on
+partition changes, caretaker-hole advertisement, and a seeded churn
+property at 1% message loss.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.node import synthetic_address
+from repro.geometry import Point, Rect
+from repro.protocol import NodeConfig, ProtocolCluster
+from repro.protocol import messages as m
+from repro.protocol.shortcuts import ShortcutCache
+from repro.sim.latency import DistanceLatency
+from repro.sim.transport import Message
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+def info(rect, primary_id, secondary_id=None):
+    return m.NeighborInfo(
+        rect=rect,
+        primary=synthetic_address(primary_id),
+        secondary=(
+            synthetic_address(secondary_id)
+            if secondary_id is not None
+            else None
+        ),
+    )
+
+
+class TestShortcutCacheUnit:
+    def test_learn_and_get(self):
+        cache = ShortcutCache()
+        entry = info(Rect(0, 0, 8, 8), 1)
+        assert cache.learn(entry) is True
+        assert cache.get(Rect(0, 0, 8, 8)) == entry
+        assert Rect(0, 0, 8, 8) in cache
+        assert len(cache) == 1
+
+    def test_relearn_same_entry_reports_no_change(self):
+        cache = ShortcutCache()
+        entry = info(Rect(0, 0, 8, 8), 1)
+        cache.learn(entry)
+        assert cache.learn(entry) is False
+        assert cache.learn(info(Rect(0, 0, 8, 8), 2)) is True
+
+    def test_capacity_evicts_least_recently_used(self):
+        cache = ShortcutCache(capacity=2)
+        a, b, c = (
+            info(Rect(i * 10, 0, 8, 8), i + 1) for i in range(3)
+        )
+        cache.learn(a)
+        cache.learn(b)
+        cache.touch(a.rect)  # b is now least recently used
+        cache.learn(c)
+        assert a.rect in cache and c.rect in cache and b.rect not in cache
+
+    def test_capacity_zero_disables(self):
+        cache = ShortcutCache(capacity=0)
+        assert not cache.enabled
+        assert cache.learn(info(Rect(0, 0, 8, 8), 1)) is False
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ShortcutCache(capacity=-1)
+
+    def test_new_rect_replaces_overlapping_entries(self):
+        """A post-split/merge claim supersedes stale overlapping ones."""
+        cache = ShortcutCache()
+        cache.learn(info(Rect(0, 0, 16, 16), 1))
+        cache.learn(info(Rect(0, 0, 8, 8), 2))  # a split half
+        assert Rect(0, 0, 16, 16) not in cache
+        assert cache.get(Rect(0, 0, 8, 8)).primary == synthetic_address(2)
+
+    def test_invalidate_rect(self):
+        cache = ShortcutCache()
+        cache.learn(info(Rect(0, 0, 8, 8), 1))
+        assert cache.invalidate_rect(Rect(0, 0, 8, 8)) is True
+        assert cache.invalidate_rect(Rect(0, 0, 8, 8)) is False
+
+    def test_invalidate_overlapping(self):
+        cache = ShortcutCache()
+        cache.learn(info(Rect(0, 0, 8, 8), 1))
+        cache.learn(info(Rect(20, 20, 8, 8), 2))
+        assert cache.invalidate_overlapping(Rect(4, 4, 30, 30)) == 2
+        assert len(cache) == 0
+
+    def test_invalidate_address_drops_primary_entries(self):
+        cache = ShortcutCache()
+        cache.learn(info(Rect(0, 0, 8, 8), 1))
+        cache.learn(info(Rect(20, 20, 8, 8), 2, secondary_id=1))
+        assert cache.invalidate_address(synthetic_address(1)) == 1
+        assert Rect(0, 0, 8, 8) not in cache
+        # The entry naming it only as secondary survives, demoted.
+        survivor = cache.get(Rect(20, 20, 8, 8))
+        assert survivor.secondary is None
+
+    def test_clear(self):
+        cache = ShortcutCache()
+        cache.learn(info(Rect(0, 0, 8, 8), 1))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_best_requires_strict_progress(self):
+        cache = ShortcutCache()
+        near = info(Rect(30, 30, 8, 8), 1)
+        far = info(Rect(0, 0, 8, 8), 2)
+        cache.learn(near)
+        cache.learn(far)
+        target = Point(34, 34)
+        assert cache.best(target, better_than=1.0) == near
+        # Nothing strictly beats a zero bound.
+        assert cache.best(target, better_than=0.0) is None
+
+    def test_best_of_empty_cache(self):
+        assert ShortcutCache().best(Point(1, 1), better_than=100.0) is None
+
+
+def build_cluster(count=10, seed=11, drop=0.0, config=None, latency=None):
+    cluster = ProtocolCluster(
+        BOUNDS,
+        seed=seed,
+        latency=latency,
+        drop_probability=drop,
+        config=config,
+    )
+    rng = random.Random(seed)
+    nodes = []
+    for _ in range(count):
+        nodes.append(
+            cluster.join_node(
+                Point(rng.uniform(0.5, 63.5), rng.uniform(0.5, 63.5)),
+                capacity=rng.choice([1, 10, 100]),
+            )
+        )
+    cluster.settle(60)
+    return cluster, nodes, rng
+
+
+class TestPassiveLearning:
+    def test_traffic_populates_caches(self):
+        """Routed lookups plus gossip leave shortcut entries behind
+        without any dedicated cache-fill messages."""
+        cluster, nodes, rng = build_cluster(count=12)
+        for _ in range(20):
+            origin = rng.choice(nodes)
+            cluster.lookup(
+                origin.node.node_id,
+                Point(rng.uniform(1, 63), rng.uniform(1, 63)),
+            )
+        assert any(len(n.shortcuts) > 0 for n in nodes if n.alive)
+
+    def test_entries_are_structurally_consistent(self):
+        cluster, nodes, rng = build_cluster(count=12)
+        for _ in range(20):
+            origin = rng.choice(nodes)
+            cluster.lookup(
+                origin.node.node_id,
+                Point(rng.uniform(1, 63), rng.uniform(1, 63)),
+            )
+        for node in nodes:
+            if not node.alive or node.owned is None:
+                continue
+            for entry in node.shortcuts.entries():
+                assert entry.primary != node.address
+                assert not entry.rect.intersects(node.owned.rect)
+                assert entry.rect not in node.neighbor_table
+
+    def test_origin_learns_executor_region_from_delivery_ack(self):
+        cluster, nodes, _ = build_cluster(count=12)
+        origin = nodes[0]
+        origin.shortcuts.clear()
+        target = Point(63, 63)
+        ack = cluster.lookup(origin.node.node_id, target)
+        assert ack.region is not None
+        if ack.executor != origin.address and not ack.region.is_neighbor_of(
+            origin.owned.rect
+        ):
+            assert origin.shortcuts.get(ack.region) is not None
+
+    def test_disabled_cache_stays_empty(self):
+        cluster, nodes, rng = build_cluster(
+            count=8, config=NodeConfig(shortcut_cache_size=0)
+        )
+        for _ in range(10):
+            origin = rng.choice(nodes)
+            cluster.lookup(
+                origin.node.node_id,
+                Point(rng.uniform(1, 63), rng.uniform(1, 63)),
+            )
+        assert all(len(n.shortcuts) == 0 for n in nodes)
+
+
+class TestMisrouteRepair:
+    """Hand-deliver a SHORTCUT_HOP so the receiver's serve/progress/NACK
+    decision -- and the sender-side cache repair -- is deterministic,
+    free of background timer traffic polluting the counters."""
+
+    def poisoned_pair(self):
+        cluster, nodes, rng = build_cluster(count=10, seed=23)
+        origin = next(n for n in nodes if n.alive and n.is_primary())
+        victim = max(
+            (
+                n
+                for n in nodes
+                if n.alive
+                and n.is_primary()
+                and n.address != origin.address
+            ),
+            key=lambda n: n.owned.rect.center.distance_to(
+                origin.owned.rect.center
+            ),
+        )
+        return cluster, origin, victim
+
+    def deliver_hop(self, cluster, origin, victim, target, sender_distance):
+        body = m.RouteBody(
+            origin=origin.address,
+            target=target,
+            payload=None,
+            request_id=987_654,
+            hops=1,
+        )
+        envelope = m.ShortcutHopBody(
+            kind=m.ROUTE,
+            body=body,
+            target=target,
+            claimed_rect=Rect(
+                target.x - 0.25, target.y - 0.25, 0.5, 0.5
+            ),
+            sender_distance=sender_distance,
+        )
+        origin.shortcuts.clear()
+        origin.shortcuts.learn(
+            m.NeighborInfo(rect=envelope.claimed_rect, primary=victim.address)
+        )
+        victim._on_shortcut_hop(
+            Message(
+                source=origin.address,
+                destination=victim.address,
+                kind=m.SHORTCUT_HOP,
+                body=envelope,
+                sent_at=0.0,
+            )
+        )
+        cluster.settle(10)
+        return envelope.claimed_rect
+
+    def test_useless_hop_bounces_and_repairs_senders_cache(self):
+        """No serve, no progress: the receiver NACKs, the sender drops
+        the stale entry and counts a repair."""
+        cluster, origin, victim = self.poisoned_pair()
+        # Target inside the origin's own region: the victim cannot serve
+        # it, and (sender_distance=0) cannot make progress either.
+        target = origin.owned.rect.center
+        claimed = self.deliver_hop(
+            cluster, origin, victim, target, sender_distance=0.0
+        )
+        assert origin.shortcuts.repairs == 1
+        assert claimed not in origin.shortcuts
+
+    def test_nack_teaches_the_receivers_actual_claim(self):
+        cluster, origin, victim = self.poisoned_pair()
+        target = origin.owned.rect.center
+        self.deliver_hop(cluster, origin, victim, target, sender_distance=0.0)
+        if not victim.owned.rect.is_neighbor_of(origin.owned.rect):
+            learned = origin.shortcuts.get(victim.owned.rect)
+            assert learned is not None
+            assert learned.primary == victim.address
+
+    def test_hop_with_progress_is_served_not_bounced(self):
+        """A stale-rect hop that still makes strict progress keeps
+        routing instead of NACKing: staleness alone never costs a
+        round-trip when the hop helped."""
+        cluster, origin, victim = self.poisoned_pair()
+        target = victim.owned.rect.center
+        claimed = self.deliver_hop(
+            cluster, origin, victim, target, sender_distance=1_000.0
+        )
+        assert origin.shortcuts.repairs == 0
+        # No NACK came back.  The fictional claimed rect may still have
+        # been *superseded* -- the delivery ack teaches the executor's
+        # real region, which overlap-evicts it -- but never repaired.
+        if claimed not in origin.shortcuts:
+            assert any(
+                entry.rect.intersects(claimed)
+                for entry in origin.shortcuts.entries()
+            )
+
+
+class TestEagerInvalidation:
+    def test_crash_of_cached_primary_purges_entries(self):
+        """Suspicion of a node drops shortcut entries routed through it."""
+        cluster, nodes, rng = build_cluster(count=10, seed=29)
+        for _ in range(20):
+            origin = rng.choice(nodes)
+            cluster.lookup(
+                origin.node.node_id,
+                Point(rng.uniform(1, 63), rng.uniform(1, 63)),
+            )
+        victim = next(
+            n for n in reversed(nodes) if n.alive and n.is_primary()
+        )
+        cluster.crash_node(victim.node.node_id)
+        cluster.settle(90)
+        for node in nodes:
+            if not node.alive or node.owned is None:
+                continue
+            for entry in node.shortcuts.entries():
+                assert entry.primary != victim.address
+
+    def test_join_split_invalidates_overlapping_entries(self):
+        """A partition change heard via announcements evicts overlapping
+        cached claims instead of waiting for a MISROUTE."""
+        cluster, nodes, rng = build_cluster(count=8, seed=31)
+        for _ in range(16):
+            origin = rng.choice(nodes)
+            cluster.lookup(
+                origin.node.node_id,
+                Point(rng.uniform(1, 63), rng.uniform(1, 63)),
+            )
+        joiner = cluster.join_node(Point(40, 40), capacity=100)
+        cluster.settle(60)
+        # Wherever the joiner landed, no cache may still hold a claim for
+        # a rect overlapping its region under a *different* primary with
+        # the split announcement fully propagated.
+        for node in cluster.nodes.values():
+            if not node.alive or node.owned is None:
+                continue
+            for entry in node.shortcuts.entries():
+                if entry.rect == joiner.owned.rect:
+                    assert entry.primary in (
+                        joiner.address,
+                        joiner.owned.peer,
+                    )
+
+
+class TestCaretakerAdvertisement:
+    def test_heartbeats_advertise_caretaken_holes_as_shortcuts(self):
+        """A hole has no owner to heartbeat it into neighbor tables; the
+        caretaker's advertisement is cached so routing toward the hole
+        finds the node serving it."""
+        config = NodeConfig(dual_peer=False)
+        cluster = ProtocolCluster(BOUNDS, seed=3, config=config)
+        quadrants = [(16, 16), (48, 16), (16, 48), (48, 48)]
+        nodes = [cluster.join_node(Point(x, y)) for x, y in quadrants]
+        cluster.settle(40)
+        victim = next(
+            n
+            for n in nodes
+            if n.alive and n.owned.rect.covers(Point(48, 48))
+        )
+        hole = victim.owned.rect
+        cluster.crash_node(victim.node.node_id)
+        cluster.settle(90)
+        caretakers = {
+            n.address
+            for n in cluster.nodes.values()
+            if n.alive and hole in n.caretaker_rects
+        }
+        assert caretakers, "somebody must caretake the crashed quadrant"
+        cached = [
+            n.shortcuts.get(hole)
+            for n in cluster.nodes.values()
+            if n.alive and n.owned is not None
+        ]
+        assert any(
+            entry is not None and entry.primary in caretakers
+            for entry in cached
+        )
+
+
+class TestChurnProperty:
+    @settings(max_examples=3, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_routing_correct_under_churn_and_loss(self, seed):
+        """Seeded churn at 1% loss: joins, a departure, and a crash never
+        stop shortcut-cached routing from reaching an executor that
+        serves the target (the protocol analogue of the model layer's
+        executor-equivalence property)."""
+        cluster = ProtocolCluster(
+            BOUNDS,
+            seed=seed,
+            latency=DistanceLatency(),
+            drop_probability=0.01,
+        )
+        rng = random.Random(seed)
+        nodes = []
+        for _ in range(8):
+            nodes.append(
+                cluster.join_node(
+                    Point(rng.uniform(0.5, 63.5), rng.uniform(0.5, 63.5)),
+                    capacity=rng.choice([1, 10, 100]),
+                )
+            )
+        cluster.settle(60)
+        # Churn: two more joins, one graceful departure, one crash.
+        for _ in range(2):
+            nodes.append(
+                cluster.join_node(
+                    Point(rng.uniform(0.5, 63.5), rng.uniform(0.5, 63.5)),
+                    capacity=rng.choice([10, 100]),
+                )
+            )
+        departer = next(
+            n for n in nodes if n.alive and n.is_primary()
+        )
+        cluster.depart_node(departer.node.node_id)
+        cluster.settle(30)
+        victim = next(
+            n for n in reversed(nodes) if n.alive and n.is_primary()
+        )
+        cluster.crash_node(victim.node.node_id)
+        cluster.settle(90)
+        origins = [n for n in nodes if n.alive and n.joined]
+        for _ in range(6):
+            target = Point(rng.uniform(1, 63), rng.uniform(1, 63))
+            ack = cluster.lookup(
+                rng.choice(origins).node.node_id, target, timeout=120.0
+            )
+            executor = next(
+                n
+                for n in cluster.nodes.values()
+                if n.alive and n.address == ack.executor
+            )
+            rects = [executor.owned.rect] + list(executor.caretaker_rects)
+            assert any(
+                r.covers(target, closed_low_x=True, closed_low_y=True)
+                or r.distance_to_point(target) < 1e-9
+                for r in rects
+            )
+
+    def test_miss_rate_falls_once_cache_converges(self):
+        """On a stable partition the cache warms up: the second batch of
+        identical traffic resolves more hops through shortcuts than the
+        first."""
+        cluster, nodes, rng = build_cluster(count=14, seed=37)
+        for node in nodes:
+            node.shortcuts.clear()  # settle-phase traffic pre-warms them
+        pairs = [
+            (
+                rng.choice(nodes).node.node_id,
+                Point(rng.uniform(1, 63), rng.uniform(1, 63)),
+            )
+            for _ in range(15)
+        ]
+
+        def run_batch():
+            hits_before = sum(n.shortcuts.hits for n in nodes)
+            total_before = hits_before + sum(
+                n.shortcuts.misses for n in nodes
+            )
+            for origin_id, target in pairs:
+                cluster.lookup(origin_id, target)
+            hits = sum(n.shortcuts.hits for n in nodes) - hits_before
+            total = (
+                sum(n.shortcuts.hits + n.shortcuts.misses for n in nodes)
+                - total_before
+            )
+            return hits / total if total else 0.0
+
+        cold = run_batch()
+        warm = run_batch()
+        assert warm > cold

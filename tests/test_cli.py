@@ -57,6 +57,29 @@ class TestBenchSuiteArg:
         assert not (tmp_path / "BENCH_micro_ops.json").exists()
         assert "BENCH_store.json" in capsys.readouterr().out
 
+    def test_routing_suite_parses(self):
+        args = build_parser().parse_args(["bench", "routing"])
+        assert args.suite == "routing"
+
+    def test_bench_routing_writes_only_routing_file(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.obs import bench
+
+        # Shrink the populations so the CLI wiring test stays fast.
+        orig = bench.write_routing_bench_file
+        monkeypatch.setattr(
+            bench, "write_routing_bench_file",
+            lambda out_dir, **kw: orig(
+                out_dir, populations=(40,), samples=8, warmup_routes=20,
+            ),
+        )
+        assert main(["bench", "routing", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "BENCH_routing.json").exists()
+        assert not (tmp_path / "BENCH_micro_ops.json").exists()
+        assert not (tmp_path / "BENCH_store.json").exists()
+        assert "BENCH_routing.json" in capsys.readouterr().out
+
 
 class TestMain:
     def test_list(self, capsys):
