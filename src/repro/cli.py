@@ -11,6 +11,8 @@ Usage::
     python -m repro routing --metrics
     python -m repro flightrec --demo
     python -m repro flightrec journal.jsonl --around 103.8 --window 5
+    python -m repro chaos
+    python -m repro chaos --scenario crash_restart --seed 11
 
 Each command builds the experiment at paper scale (tunable), prints the
 paper-style table, and optionally writes it under ``--out``.  ``bench``
@@ -24,6 +26,12 @@ pretty-prints a journal written by
 ``--demo``, replays the double hole-grant split brain under fault injection and
 prints the auditor's forensics dump).  It takes its own options, so it is
 parsed separately from the figure commands.
+
+``chaos`` runs the seeded fault campaign of :mod:`repro.sim.chaos`
+against the message-level protocol and writes ``BENCH_chaos.json``; it
+exits non-zero when any scenario leaves a persistent invariant
+violation or loses a stored object.  Like ``flightrec`` it owns its
+option set and is parsed separately.
 """
 
 from __future__ import annotations
@@ -286,6 +294,114 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_chaos_parser() -> argparse.ArgumentParser:
+    """The ``chaos`` subcommand's parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description=(
+            "Run the seeded fault campaign (asymmetric partitions, gray "
+            "failures, crash-restart, regional outages, drop/latency "
+            "spikes, churn storms) against the message-level protocol "
+            "and write BENCH_chaos.json.  Exit code 1 when any scenario "
+            "leaves a persistent invariant violation or loses a stored "
+            "object."
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="campaign seed"
+    )
+    parser.add_argument(
+        "--scenario", action="append", default=None,
+        help="run only this scenario (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--population", type=int, default=10,
+        help="nodes joined before faults are injected",
+    )
+    parser.add_argument(
+        "--objects", type=int, default=16,
+        help="location objects stored and verified at the end",
+    )
+    parser.add_argument(
+        "--drop", type=float, default=0.05,
+        help="baseline random drop probability during scenarios",
+    )
+    parser.add_argument(
+        "--skip-overhead", action="store_true",
+        help="skip the reliable-layer wall-clock overhead measurement",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="directory to write BENCH_chaos.json into (default: cwd)",
+    )
+    return parser
+
+
+def _chaos_main(argv: List[str]) -> int:
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.obs.bench import bench_meta
+    from repro.sim.chaos import (
+        ChaosConfig,
+        SCENARIOS,
+        measure_reliable_overhead,
+        run_campaign,
+    )
+
+    args = build_chaos_parser().parse_args(argv)
+    if args.scenario:
+        unknown = [name for name in args.scenario if name not in SCENARIOS]
+        if unknown:
+            print(
+                f"error: unknown scenario(s) {unknown}; "
+                f"known: {sorted(SCENARIOS)}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        config = ChaosConfig(
+            seed=args.seed,
+            population=args.population,
+            objects=args.objects,
+            drop_probability=args.drop,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_campaign(config, scenarios=args.scenario)
+    print(report.render())
+
+    payload: Dict[str, object] = {"_meta": bench_meta()}
+    for result in report.results:
+        payload[f"chaos.{result.name}"] = {
+            "ok": result.ok,
+            "violations": len(result.violations),
+            "lost_objects": result.lost_objects,
+            "objects": result.objects,
+            "dead_letters": result.dead_letters,
+            "retries": result.retries,
+            "acked": result.acked,
+            "duplicates": result.duplicates,
+            "sim_time": result.sim_time,
+        }
+    if not args.skip_overhead:
+        overhead = measure_reliable_overhead(seed=args.seed)
+        payload["chaos.overhead"] = overhead
+        print()
+        print(
+            f"reliable-layer overhead (loss-free): "
+            f"{overhead['ratio']:.3f}x "
+            f"({overhead['enabled_s']:.3f}s vs {overhead['disabled_s']:.3f}s)"
+        )
+    out_dir = args.out if args.out is not None else pathlib.Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "BENCH_chaos.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    print(f"[saved to {path}]", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def build_flightrec_parser() -> argparse.ArgumentParser:
     """The ``flightrec`` subcommand's parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -412,6 +528,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             # pipe is a normal end of output, not an error.
             os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
             return 0
+    # ``chaos`` likewise owns its option set (fault-campaign knobs).
+    if argv and argv[0] == "chaos":
+        return _chaos_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     if args.suite is not None and args.command != "bench":
         print(
@@ -426,6 +545,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"{'flightrec':<14} inspect flight-recorder journals "
             f"(own flags; see 'flightrec --help')"
+        )
+        print(
+            f"{'chaos':<14} seeded fault campaign writing BENCH_chaos.json "
+            f"(own flags; see 'chaos --help')"
         )
         return 0
     names = sorted(COMMANDS) if args.command == "all" else [args.command]

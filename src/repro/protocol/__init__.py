@@ -32,6 +32,8 @@ from repro.protocol.messages import (
     PUBLISH,
     QUERY,
     QUERY_RESULT,
+    RELIABLE,
+    RELIABLE_ACK,
     REPLICATE,
     ROUTE,
     ROUTE_DELIVERED,
@@ -40,6 +42,12 @@ from repro.protocol.messages import (
 )
 from repro.protocol.node import NodeConfig, OwnedRegion, ProtocolNode
 from repro.protocol.cluster import ProtocolCluster
+from repro.protocol.reliable import (
+    DeadLetter,
+    ReliableChannel,
+    ReliableStats,
+    RetryPolicy,
+)
 
 __all__ = [
     "ProtocolNode",
@@ -47,6 +55,10 @@ __all__ = [
     "NodeConfig",
     "OwnedRegion",
     "NeighborInfo",
+    "ReliableChannel",
+    "ReliableStats",
+    "RetryPolicy",
+    "DeadLetter",
     "JOIN_REQUEST",
     "JOIN_GRANT",
     "NEIGHBOR_UPDATE",
@@ -56,6 +68,8 @@ __all__ = [
     "QUERY_RESULT",
     "PUBLISH",
     "REPLICATE",
+    "RELIABLE",
+    "RELIABLE_ACK",
     "HEARTBEAT",
     "SYNC_STATE",
 ]

@@ -75,6 +75,7 @@ class ProtocolCluster:
             bootstrap=self.bootstrap,
             rng=random.Random((node_id + 1) * 7919),
             config=self.config,
+            bounds=self.bounds,
         )
         self.nodes[node_id] = pnode
         return pnode

@@ -21,10 +21,10 @@ from repro.store.spatial import BucketKey, ObjectRecord
 # ---------------------------------------------------------------------
 JOIN_REQUEST = "join_request"
 JOIN_GRANT = "join_grant"
-GRANT_ACK = "grant_ack"
 GRANT_DECLINE = "grant_decline"
 NEIGHBOR_UPDATE = "neighbor_update"
 HEARTBEAT = "heartbeat"
+PERIMETER_PROBE = "perimeter_probe"
 SYNC_STATE = "sync_state"
 DEPART = "depart"
 SECONDARY_RELEASED = "secondary_released"
@@ -44,6 +44,12 @@ QUERY_FANOUT = "query_fanout"
 QUERY_RESULT = "query_result"
 PUBLISH = "publish"
 REPLICATE = "replicate"
+
+# ---------------------------------------------------------------------
+# Reliable-exchange envelope kinds (the repro.protocol.reliable substrate)
+# ---------------------------------------------------------------------
+RELIABLE = "reliable"
+RELIABLE_ACK = "reliable_ack"
 
 # ---------------------------------------------------------------------
 # Location-store message kinds (the repro.store data plane)
@@ -121,16 +127,32 @@ class JoinGrantBody:
 
 
 @dataclass(frozen=True)
-class GrantAckBody:
-    """The joiner confirms a grant arrived (accept, duplicate, or refuse).
+class ReliableBody:
+    """Envelope of one reliable exchange: the wrapped message plus a nonce.
 
     A split grant is the only copy of the handed half's records while in
-    flight; the granter resends it until this ack (or a decline) arrives,
-    so one dropped message cannot lose them.
+    flight (likewise a departure handoff, a replication delta, or a
+    merge-back retraction); the sender retransmits this envelope until a
+    matching :class:`ReliableAckBody` arrives, so one dropped message
+    cannot lose them.  The receiver acks every sighting and deduplicates
+    on ``(source, nonce)`` before dispatching the inner message.
     """
 
+    #: Sender-scoped exchange identifier matching envelope to ack.
     nonce: int
-    rect: Rect
+    #: Message kind of the wrapped payload.
+    kind: str
+    #: The wrapped payload body, dispatched as if it arrived raw.
+    body: Any
+    #: 1-based transmission counter (diagnostics only).
+    attempt: int = 1
+
+
+@dataclass(frozen=True)
+class ReliableAckBody:
+    """The receiver confirms a reliable envelope arrived."""
+
+    nonce: int
 
 
 @dataclass(frozen=True)
@@ -177,6 +199,38 @@ class HeartbeatBody:
     #: channel telling the hole's other neighbors which live node serves
     #: that ground (receivers cache it as a routing shortcut).
     caretaken: Tuple[Rect, ...] = ()
+
+
+@dataclass(frozen=True)
+class PerimeterProbeBody:
+    """A primary's self-repair probe for an uncovered perimeter stretch.
+
+    Grants born inside an incomplete neighborhood (a caretaker filling a
+    hole it only partly understands) can leave two adjacent primaries
+    mutually blind -- neither heartbeats the other, so the usual
+    heartbeat gossip never bridges the gap.  The probe is routed
+    greedily toward ``point`` (just outside the prober's uncovered
+    edge); whichever live node serves that ground installs the prober's
+    claim and answers with a direct heartbeat, healing both tables.
+    ``visited`` prevents forwarding loops; ``ttl`` bounds undeliverable
+    probes.
+    """
+
+    #: The prober's own claim (rect + endpoints).
+    info: NeighborInfo
+    #: The coordinate being probed (just outside the prober's region).
+    point: Point
+    ttl: int = 16
+    visited: Tuple[NodeAddress, ...] = ()
+
+    def forwarded(self, via: NodeAddress) -> "PerimeterProbeBody":
+        """Copy with ``via`` recorded and the ttl decremented."""
+        return PerimeterProbeBody(
+            info=self.info,
+            point=self.point,
+            ttl=self.ttl - 1,
+            visited=self.visited + (via,),
+        )
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ running the protocol on the simulated network.
 from __future__ import annotations
 
 import itertools
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
@@ -24,12 +25,33 @@ from repro.sim.scheduler import EventScheduler
 from repro.sim.transport import Message, SimNetwork
 from repro.store.spatial import GridIndex, ObjectRecord
 from repro.protocol import messages as m
+from repro.protocol.reliable import ReliableChannel, RetryPolicy
 from repro.protocol.shortcuts import ShortcutCache
 
 #: Application callback for routed payloads arriving at the executor node.
 DeliverCallback = Callable[[Point, Any], None]
 
+#: Routed-request kinds whose per-hop forwarding rides the reliable
+#: channel.  A store update is the object's only position report -- a
+#: dropped hop silently loses it until the next report -- whereas plain
+#: routes, publishes and queries are either retried by the application
+#: or repaired by anti-entropy, so hop-by-hop acks would only buy them
+#: message overhead.
+RELIABLE_ROUTED_KINDS = frozenset({m.STORE_UPDATE})
+
 _request_ids = itertools.count(1)
+
+
+def _address_order(address: NodeAddress) -> Tuple[str, int]:
+    """Deterministic sort key for address sets.
+
+    ``NodeAddress`` hashes through its ip *string*, so bare set iteration
+    order follows ``PYTHONHASHSEED`` -- and any fan-out that iterates a
+    set of addresses would emit messages in a per-process order, making
+    seeded simulations irreproducible across processes.  Every such
+    fan-out sorts with this key first.
+    """
+    return (address.ip, address.port)
 
 
 def reset_request_ids() -> None:
@@ -67,6 +89,11 @@ class NodeConfig:
     #: through a fresh entry node (join messages are best-effort like
     #: everything else and can be lost).
     join_retry_interval: float = 10.0
+    #: Seeded fractional jitter on ``join_retry_interval``: each retry is
+    #: scheduled after ``interval * (1 +- jitter)``.  Keeps a crowd of
+    #: joiners orphaned by the same heal/outage from retrying (and
+    #: hammering the bootstrap) in lockstep.
+    join_retry_jitter: float = 0.25
     #: Length of the sliding window over which served requests are counted
     #: toward the node's workload index.
     stat_interval: float = 10.0
@@ -104,6 +131,34 @@ class NodeConfig:
     #: replays rely on for bit-for-bit reproducibility against a journal
     #: recorded without shortcuts.
     shortcut_cache_size: int = 32
+    #: Whether critical exchanges (grants, replication deltas, merge-back
+    #: retractions, departure handoffs, store-update hops) ride the
+    #: reliable request/ack channel.  Disabling it reverts every exchange
+    #: to raw fire-and-forget sends -- the ablation/fault-injection knob
+    #: the chaos harness and forensic replays use.
+    reliable_enabled: bool = True
+    #: First-attempt ack deadline of the default reliable policy.
+    reliable_timeout: float = 4.0
+    #: Total transmissions (first send + retries) per reliable exchange.
+    reliable_max_attempts: int = 4
+    #: Multiplier applied to the ack deadline per retry.
+    reliable_backoff: float = 2.0
+    #: Seeded fractional jitter applied to every armed ack deadline.
+    reliable_jitter: float = 0.25
+    #: Whether a primary that sees a persistently uncovered stretch of
+    #: its own perimeter probes it.  Grants born inside an incomplete
+    #: neighborhood can leave two adjacent primaries mutually blind --
+    #: neither heartbeats the other, so heartbeat gossip (which needs a
+    #: third node adjacent to both) can never bridge the gap.  The probe
+    #: is routed greedily to a point just outside the gap; whoever
+    #: serves that ground installs the prober and answers with a direct
+    #: heartbeat, healing both tables.  Needs :attr:`ProtocolNode.bounds`
+    #: to tell real gaps from the world edge; disabled (like the other
+    #: fault-injection knobs) by forensic replays pinned to historical
+    #: message sequences.
+    perimeter_probe_enabled: bool = True
+    #: Hop budget of one perimeter probe.
+    perimeter_probe_ttl: int = 16
 
 
 @dataclass
@@ -131,6 +186,7 @@ class ProtocolNode:
         rng: random.Random,
         config: Optional[NodeConfig] = None,
         on_deliver: Optional[DeliverCallback] = None,
+        bounds: Optional[Rect] = None,
     ) -> None:
         self.node = node
         self.network = network
@@ -140,6 +196,11 @@ class ProtocolNode:
         self.config = config if config is not None else NodeConfig()
         self.on_deliver = on_deliver
         self.host_cache = HostCache()
+        #: The service-area bounds, when known (deployments hand every
+        #: node the world rect; hand-built unit fixtures may not).
+        #: Perimeter self-repair needs it to tell a real coverage gap
+        #: from the world edge and stays off without it.
+        self.bounds = bounds
 
         self.alive = False
         self.joined = False
@@ -176,6 +237,18 @@ class ProtocolNode:
         ] = {}
         #: Secondary's replicated view of the primary's neighbor table.
         self._replicated_neighbors: Tuple[m.NeighborInfo, ...] = ()
+        #: Whether this node, as primary, ever shipped a non-empty store
+        #: digest.  Once set, empty digests keep flowing too, so a
+        #: replica of since-rehomed content converges instead of
+        #: diverging silently forever.
+        self._store_announced = False
+        #: Damping state of perimeter self-repair: the last uncovered
+        #: stretch seen ((edge, lo, hi) signature) and for how many
+        #: consecutive heartbeat ticks.  A gap must persist two ticks
+        #: before it is probed -- transient blindness (an update still in
+        #: flight, a neighbor mid-split) heals itself without traffic.
+        self._perimeter_gap: Optional[Tuple[str, float, float]] = None
+        self._perimeter_gap_ticks = 0
 
         self.delivered: List[m.RouteDeliveredBody] = []
         self.query_results: Dict[int, List[m.QueryResultBody]] = {}
@@ -185,9 +258,6 @@ class ProtocolNode:
         #: Misplaced records re-routed home, awaiting the executor's ack
         #: before the local copy may be dropped (request_id -> id, version).
         self._rehome_pending: Dict[int, Tuple[Any, int]] = {}
-        #: Grants sent but not yet confirmed by the joiner; resent until
-        #: the (joiner, nonce) key is acked or the attempts run out.
-        self._unacked_grants: Set[Tuple[NodeAddress, int]] = set()
         #: Store lookup answers, one entry per answering region.
         self.store_results: Dict[int, List[m.StoreResultBody]] = {}
         self._served_store_lookups: Set[int] = set()
@@ -202,14 +272,57 @@ class ProtocolNode:
         self.neighbor_stats: Dict[Rect, Tuple[float, float]] = {}
         #: Set while a primary switch we initiated is in flight.
         self._switch_pending = False
+        #: The rect this node owned when it proposed its pending switch;
+        #: a (possibly retried) accept that arrives after ownership moved
+        #: on must not install the stale counterpart state.
+        self._switch_proposed_rect: Optional[Rect] = None
         #: Completed primary switches this node took part in.
         self.switches_completed = 0
+        #: After a primary switch installs, the counterpart may still emit
+        #: heartbeats claiming the region it just handed us (sent before
+        #: its own install, still in flight).  Yielding on that stale
+        #: first-hand evidence orphans the swapped region, so claims of
+        #: exactly ``rect`` from ``counterpart`` are demoted to
+        #: confront-grade evidence until the deadline passes:
+        #: (counterpart, rect, deadline).
+        self._switch_handoff: Optional[Tuple[NodeAddress, Rect, float]] = None
+
+        #: Set between a reliable departure handoff and its confirmation:
+        #: the node is no longer alive but its endpoint lingers so the
+        #: peer's ack (or the retry budget) can finish the handoff.
+        self._draining = False
+        #: The reliable request/ack channel critical exchanges ride.
+        #: Grants keep their historical cadence (fixed heartbeat-spaced
+        #: resends, ``grant_resend_attempts`` retries); everything else
+        #: uses the exponential-backoff default policy.
+        cfg = self.config
+        self.reliable = ReliableChannel(
+            address=self.address,
+            network=network,
+            scheduler=scheduler,
+            rng=rng,
+            policies={
+                m.JOIN_GRANT: RetryPolicy(
+                    timeout=cfg.heartbeat_interval,
+                    max_attempts=max(1, cfg.grant_resend_attempts + 1),
+                    backoff=1.0,
+                    jitter=cfg.reliable_jitter,
+                ),
+            },
+            default_policy=RetryPolicy(
+                timeout=cfg.reliable_timeout,
+                max_attempts=cfg.reliable_max_attempts,
+                backoff=cfg.reliable_backoff,
+                jitter=cfg.reliable_jitter,
+            ),
+            enabled=cfg.reliable_enabled,
+            is_alive=lambda: self.alive or self._draining,
+        )
 
         self._join_attempt = 0
         self._handlers = {
             m.JOIN_REQUEST: self._on_join_request,
             m.JOIN_GRANT: self._on_join_grant,
-            m.GRANT_ACK: self._on_grant_ack,
             m.GRANT_DECLINE: self._on_grant_decline,
             m.NEIGHBOR_UPDATE: self._on_neighbor_update,
             m.HEARTBEAT: self._on_heartbeat,
@@ -238,6 +351,9 @@ class ProtocolNode:
             m.STORE_REPAIR: self._on_store_repair,
             m.SHORTCUT_HOP: self._on_shortcut_hop,
             m.MISROUTE: self._on_misroute,
+            m.RELIABLE: self._on_reliable,
+            m.RELIABLE_ACK: self._on_reliable_ack,
+            m.PERIMETER_PROBE: self._on_perimeter_probe,
         }
         #: Handlers a shortcut hop (or its MISROUTE bounce) may wrap: the
         #: routed-request subset of the protocol, dispatched by inner kind
@@ -274,6 +390,7 @@ class ProtocolNode:
     def start_as_first(self, bounds: Rect) -> None:
         """Bootstrap the network: this node owns the whole plane."""
         self._attach()
+        self.bounds = bounds
         self.owned = OwnedRegion(rect=bounds, role="primary", peer=None)
         self.joined = True
         self._start_timers()
@@ -314,8 +431,22 @@ class ProtocolNode:
         with causal.using(ctx):
             self.network.send(self.address, entry, m.JOIN_REQUEST, body)
             self.scheduler.after(
-                self.config.join_retry_interval, self._retry_join
+                self._jittered_join_delay(), self._retry_join
             )
+
+    def _jittered_join_delay(self) -> float:
+        """The next join-retry delay, with seeded anti-herd jitter.
+
+        Joiners orphaned together (a healed partition, a regional outage)
+        would otherwise all retry exactly ``join_retry_interval`` apart
+        forever, stampeding the bootstrap and the entry nodes in lockstep
+        waves; each node's seeded rng desynchronizes them.
+        """
+        base = self.config.join_retry_interval
+        jitter = self.config.join_retry_jitter
+        if jitter <= 0.0:
+            return base
+        return base * (1.0 + self.rng.uniform(-jitter, jitter))
 
     def _retry_join(self) -> None:
         """Re-issue the join through a fresh entry if still unjoined."""
@@ -334,13 +465,22 @@ class ProtocolNode:
             # The bootstrap registry emptied out from under us; try again
             # later rather than giving up.
             self.scheduler.after(
-                self.config.join_retry_interval, self._retry_join
+                self._jittered_join_delay(), self._retry_join
             )
 
     def depart(self) -> None:
-        """Graceful departure with state handoff."""
+        """Graceful departure with state handoff.
+
+        The handoff message is the only copy of this primary's items and
+        store records once we stop serving, so it rides the reliable
+        channel: the node drops into a *draining* state -- dead to the
+        protocol, timers cancelled, struck from the bootstrap -- but its
+        endpoint lingers until the peer's ack (or the retry budget)
+        confirms the handoff, and only then leaves the network for good.
+        """
         if not self.alive:
             raise MembershipError(f"node {self.node.node_id} is not running")
+        handoff: Optional[Tuple[NodeAddress, m.DepartBody]] = None
         if self.owned is not None and self.owned.peer is not None:
             if len(self.owned.store):
                 causal.annotate(
@@ -351,17 +491,45 @@ class ProtocolNode:
                     objects=len(self.owned.store),
                 )
                 obs.inc("store.node.migrated", len(self.owned.store))
-            self.network.send(
-                self.address,
+            handoff = (
                 self.owned.peer,
-                m.DEPART,
                 m.DepartBody(
                     rect=self.owned.rect,
                     items=tuple(self.owned.items),
                     objects=tuple(self.owned.store.records()),
                 ),
             )
-        self._detach(graceful=True)
+        if handoff is None or not self.config.reliable_enabled:
+            if handoff is not None:
+                self.network.send(
+                    self.address, handoff[0], m.DEPART, handoff[1]
+                )
+            self._detach(graceful=True)
+            return
+        peer, body = handoff
+        self._begin_drain()
+        self.reliable.send(
+            peer, m.DEPART, body,
+            on_ack=self._finish_drain, on_give_up=self._finish_drain,
+        )
+
+    def _begin_drain(self) -> None:
+        """Stop being a protocol participant; keep the endpoint for acks."""
+        self._draining = True
+        self.alive = False
+        self.joined = False
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        self.bootstrap.deregister(self.address)
+
+    def _finish_drain(self) -> None:
+        """The handoff concluded (acked or given up): leave the network."""
+        if not self._draining:
+            return
+        self._draining = False
+        self.reliable.cancel_all()
+        self.network.deregister(self.address)
 
     def crash(self) -> None:
         """Abrupt failure: no goodbye messages, peers must detect it."""
@@ -370,6 +538,7 @@ class ProtocolNode:
         self._detach(graceful=False)
 
     def _attach(self) -> None:
+        self._draining = False
         self.network.register(self.address, self.node.coord, self._receive)
         self.bootstrap.register(self.address)
         self.alive = True
@@ -377,6 +546,7 @@ class ProtocolNode:
     def _detach(self, graceful: bool) -> None:
         self.alive = False
         self.joined = False
+        self.reliable.cancel_all()
         for timer in self._timers:
             timer.cancel()
         self._timers.clear()
@@ -545,12 +715,51 @@ class ProtocolNode:
     # ------------------------------------------------------------------
     def _receive(self, message: Message) -> None:
         if not self.alive:
+            if self._draining and message.kind == m.RELIABLE_ACK:
+                # The ack confirming our departure handoff (the one
+                # message a draining endpoint still cares about).
+                self._on_reliable_ack(message)
             return
         self.last_seen[message.source] = self.scheduler.now
         self.suspected.discard(message.source)
         handler = self._handlers.get(message.kind)
         if handler is not None:
             handler(message)
+
+    def _on_reliable(self, message: Message) -> None:
+        """Receiver side of a reliable envelope: ack, dedup, dispatch."""
+        self.reliable.on_receive(message, self._dispatch_reliable)
+
+    def _dispatch_reliable(
+        self, kind: str, body: Any, envelope: Message
+    ) -> None:
+        """Deliver an unwrapped reliable payload as if it arrived raw."""
+        handler = self._handlers.get(kind)
+        if handler is None:
+            return
+        handler(
+            Message(
+                source=envelope.source,
+                destination=envelope.destination,
+                kind=kind,
+                body=body,
+                sent_at=envelope.sent_at,
+                msg_id=envelope.msg_id,
+                span=envelope.span,
+            )
+        )
+
+    def _on_reliable_ack(self, message: Message) -> None:
+        body: m.ReliableAckBody = message.body
+        self.reliable.on_ack(message.source, body.nonce)
+
+    def _send_critical(self, destination: NodeAddress, kind: str, body: Any,
+                       on_ack: Optional[Callable[[], None]] = None,
+                       on_give_up: Optional[Callable[[], None]] = None) -> None:
+        """Ship one critical exchange over the reliable channel."""
+        self.reliable.send(
+            destination, kind, body, on_ack=on_ack, on_give_up=on_give_up
+        )
 
     # ------------------------------------------------------------------
     # Routing primitive
@@ -640,8 +849,8 @@ class ProtocolNode:
                         claimed_rect=shortcut.rect,
                         sender_distance=own_distance,
                     )
-                    self.network.send(
-                        self.address, endpoint, m.SHORTCUT_HOP, envelope
+                    self._send_hop(
+                        endpoint, m.SHORTCUT_HOP, envelope, inner_kind=kind
                     )
                     return True
         if best_address is None:
@@ -649,7 +858,7 @@ class ProtocolNode:
         if self.shortcuts.enabled:
             self.shortcuts.misses += 1
             obs.inc("routing.shortcut.miss")
-        self.network.send(self.address, best_address, kind, body.forwarded())
+        self._send_hop(best_address, kind, body.forwarded(), inner_kind=kind)
         return True
 
     def _on_shortcut_hop(self, message: Message) -> None:
@@ -702,7 +911,9 @@ class ProtocolNode:
             actual=actual,
             suggestion=suggestion,
         )
-        self.network.send(self.address, message.source, m.MISROUTE, nack)
+        # A critical request already acked at this hop would be lost for
+        # good if its bounce dropped, so the bounce is itself reliable.
+        self._send_hop(message.source, m.MISROUTE, nack, inner_kind=body.kind)
 
     def _on_misroute(self, message: Message) -> None:
         """Sender side of the repair: fix the cache, re-route the request.
@@ -780,9 +991,23 @@ class ProtocolNode:
         """
         if self.owned is not None and self.owned.role == "secondary":
             if self.owned.peer is not None:
-                self.network.send(self.address, self.owned.peer, kind, body)
+                self._send_hop(self.owned.peer, kind, body, inner_kind=kind)
             return True
         return False
+
+    def _send_hop(
+        self, destination: NodeAddress, kind: str, body: Any, inner_kind: str
+    ) -> None:
+        """One forwarding hop; reliable when the payload must not drop.
+
+        ``inner_kind`` is the routed request actually being moved --
+        ``kind`` itself for a plain hop, the wrapped kind for a
+        SHORTCUT_HOP envelope or a MISROUTE bounce.
+        """
+        if inner_kind in RELIABLE_ROUTED_KINDS:
+            self._send_critical(destination, kind, body)
+        else:
+            self.network.send(self.address, destination, kind, body)
 
     def _handle_join_request(self, body: m.JoinRequestBody) -> None:
         if self.owned is None:
@@ -830,11 +1055,10 @@ class ProtocolNode:
             nonce=body.nonce,
             objects=tuple(self.owned.store.records()),
         )
-        self.network.send(self.address, body.joiner, m.JOIN_GRANT, grant)
         # A lost replica grant costs no data (we keep the records), but
-        # the region would sit half-full until the peer timeout; resend
-        # until the joiner confirms.
-        self._track_grant(grant, body.joiner, body.nonce)
+        # the region would sit half-full until the peer timeout; the
+        # reliable channel retransmits until the joiner confirms.
+        self._send_grant(body.joiner, grant)
         self._announce_self()
 
     def _grant_split(self, body: m.JoinRequestBody) -> None:
@@ -897,11 +1121,11 @@ class ProtocolNode:
             nonce=body.nonce,
             objects=handed_objects,
         )
-        self.network.send(self.address, body.joiner, m.JOIN_GRANT, grant)
         # The grant carries the handed half's records and the network is
-        # lossy: resend until the joiner confirms receipt, else the
-        # records die with the one dropped message.
-        self._track_grant(grant, body.joiner, body.nonce)
+        # lossy: the reliable channel retransmits until the joiner
+        # confirms receipt, else the records die with the one dropped
+        # message.
+        self._send_grant(body.joiner, grant)
 
         joiner_info = m.NeighborInfo(rect=handed, primary=body.joiner)
         stale = [
@@ -925,7 +1149,7 @@ class ProtocolNode:
         for rect in stale:
             del self.neighbor_table[rect]
         self.neighbor_table[handed] = joiner_info
-        for recipient in recipients:
+        for recipient in sorted(recipients, key=_address_order):
             self.network.send(
                 self.address, recipient, m.NEIGHBOR_UPDATE,
                 m.NeighborUpdateBody(info=self._my_info(), removed_rect=old_rect),
@@ -936,62 +1160,23 @@ class ProtocolNode:
             )
         self._send_sync()
 
-    def _track_grant(
-        self, grant: m.JoinGrantBody, joiner: NodeAddress, nonce: int
+    def _send_grant(
+        self, joiner: NodeAddress, grant: m.JoinGrantBody
     ) -> None:
-        attempts = self.config.grant_resend_attempts
-        if attempts <= 0:
-            return
-        self._unacked_grants.add((joiner, nonce))
-        self._schedule_grant_resend(grant, joiner, nonce, attempts)
+        """Ship a join grant over the reliable channel.
 
-    def _schedule_grant_resend(
-        self,
-        grant: m.JoinGrantBody,
-        joiner: NodeAddress,
-        nonce: int,
-        attempts: int,
-    ) -> None:
-        self.scheduler.after(
-            self.config.heartbeat_interval,
-            lambda: self._maybe_resend_grant(grant, joiner, nonce, attempts),
-        )
-
-    def _maybe_resend_grant(
-        self,
-        grant: m.JoinGrantBody,
-        joiner: NodeAddress,
-        nonce: int,
-        attempts: int,
-    ) -> None:
-        """Resend a grant the joiner has not confirmed with a GRANT_ACK.
-
-        Resending is safe: a joiner that did install the region (its ack
-        was the lost message) recognizes the duplicate by rect and role
-        and only acks again.  Once the attempts run out the usual
-        hole/caretaker machinery deals with the (actually dead) joiner.
+        Retransmitting is safe: a joiner that did install the region (its
+        ack was the lost message) deduplicates the envelope and only acks
+        again.  ``grant_resend_attempts <= 0`` reverts to a raw one-shot
+        send -- the fault-injection knob the forensic replays use to
+        re-open the historical lost-grant failure modes.  Once the
+        attempts run out the usual hole/caretaker machinery deals with
+        the (actually dead) joiner.
         """
-        if not self.alive:
+        if self.config.grant_resend_attempts <= 0:
+            self.network.send(self.address, joiner, m.JOIN_GRANT, grant)
             return
-        if (joiner, nonce) not in self._unacked_grants:
-            return
-        if attempts <= 0:
-            self._unacked_grants.discard((joiner, nonce))
-            return
-        causal.annotate(
-            "grant_resend",
-            granter=str(self.address),
-            joiner=str(joiner),
-            rect=str(grant.rect),
-            attempts_left=attempts - 1,
-        )
-        obs.inc("protocol.grant_resends")
-        self.network.send(self.address, joiner, m.JOIN_GRANT, grant)
-        self._schedule_grant_resend(grant, joiner, nonce, attempts - 1)
-
-    def _on_grant_ack(self, message: Message) -> None:
-        body: m.GrantAckBody = message.body
-        self._unacked_grants.discard((message.source, body.nonce))
+        self._send_critical(joiner, m.JOIN_GRANT, grant)
 
     def _grant_hole(self, body: m.JoinRequestBody, hole: Rect) -> None:
         """Fill an orphaned region (all owners dead) with the joiner."""
@@ -1025,14 +1210,9 @@ class ProtocolNode:
 
     def _on_join_grant(self, message: Message) -> None:
         body: m.JoinGrantBody = message.body
-        # Confirm receipt whatever we decide: the granter resends split
-        # grants (the only copy of the handed records while in flight)
-        # until this ack or a decline reaches it.
-        if self.config.grant_resend_attempts > 0:
-            self.network.send(
-                self.address, message.source, m.GRANT_ACK,
-                m.GrantAckBody(nonce=body.nonce, rect=body.rect),
-            )
+        # Receipt confirmation is the reliable channel's business now: a
+        # grant shipped through it was already acked (and deduplicated)
+        # before this handler ran, whatever we decide below.
         if self.joined:
             if (
                 self.owned is not None
@@ -1122,7 +1302,7 @@ class ProtocolNode:
             if info.secondary is not None:
                 recipients.add(info.secondary)
         recipients.discard(self.address)
-        for recipient in recipients:
+        for recipient in sorted(recipients, key=_address_order):
             self.network.send(
                 self.address, recipient, m.NEIGHBOR_UPDATE, update
             )
@@ -1156,6 +1336,28 @@ class ProtocolNode:
         )
         if not overlaps:
             return False
+        if direct and self._switch_handoff is not None:
+            counterpart, handed_rect, deadline = self._switch_handoff
+            if self.scheduler.now >= deadline:
+                self._switch_handoff = None
+            elif (
+                info.primary == counterpart
+                and handed_rect == self.owned.rect
+            ):
+                # A primary switch hands this rect over in flight: until
+                # the counterpart installs our old region, its heartbeats
+                # still claim the one it shipped us.  That first-hand
+                # evidence is known-stale -- confront instead of yielding,
+                # so a counterpart that really still claims the ground
+                # (lost accept) keeps getting probed and the conflict
+                # resolves once the grace period lapses.
+                causal.annotate(
+                    "switch_claim_demoted",
+                    owner=str(self.address),
+                    counterpart=str(info.primary),
+                    rect=str(self.owned.rect),
+                )
+                direct = False
         mine = (self.address.ip, self.address.port)
         theirs = (info.primary.ip, info.primary.port)
         if not direct or mine <= theirs:
@@ -1227,6 +1429,7 @@ class ProtocolNode:
         self.caretaker_rects = set()
         self._claims_heard = {}
         self._claims_confronted = {}
+        self._switch_handoff = None
         self._replicated_neighbors = ()
         self.shortcuts.clear()
         for timer in self._timers:
@@ -1346,6 +1549,202 @@ class ProtocolNode:
         )
         for info in self.neighbor_table.values():
             self.network.send(self.address, info.primary, m.HEARTBEAT, beat)
+        self._probe_perimeter_gap()
+
+    # ------------------------------------------------------------------
+    # Perimeter self-repair
+    # ------------------------------------------------------------------
+    def _find_perimeter_gap(self) -> Optional[Tuple[str, float, float, Point]]:
+        """The first uncovered stretch of this region's perimeter.
+
+        Walks the four edges of the owned rect, subtracting the
+        projections of every claim this node knows about (neighbor
+        table, caretaken holes, cached shortcuts) and the world boundary.
+        Returns ``(edge, lo, hi, probe_point)`` for the first remaining
+        stretch, where ``probe_point`` lies just outside the gap's
+        midpoint, or ``None`` when the perimeter is fully accounted for.
+        """
+        assert self.owned is not None and self.bounds is not None
+        rect = self.owned.rect
+        known = [info.rect for info in self.neighbor_table.values()]
+        known.extend(self.caretaker_rects)
+        known.extend(info.rect for info in self.shortcuts.entries())
+        bounds = self.bounds
+        tol = 1e-9
+        offset = 1e-3
+        # (name, fixed coordinate, span lo, span hi, on world edge,
+        #  outward probe x/y for a vertical/horizontal edge)
+        edges = (
+            ("left", rect.x, rect.y, rect.y2,
+             rect.x - bounds.x <= tol, rect.x - offset, True),
+            ("right", rect.x2, rect.y, rect.y2,
+             bounds.x2 - rect.x2 <= tol, rect.x2 + offset, True),
+            ("bottom", rect.y, rect.x, rect.x2,
+             rect.y - bounds.y <= tol, rect.y - offset, False),
+            ("top", rect.y2, rect.x, rect.x2,
+             bounds.y2 - rect.y2 <= tol, rect.y2 + offset, False),
+        )
+        for name, fixed, lo, hi, on_world_edge, outside, vertical in edges:
+            if on_world_edge:
+                continue
+            intervals = []
+            for other in known:
+                # A claim covers part of this edge when it contains the
+                # just-outside probe line (``outside`` is the edge pushed
+                # one offset outward, so rects flush with the edge on the
+                # outer side count and rects flush on the inner side do
+                # not, for either edge orientation).
+                if vertical:
+                    touches = other.x <= outside <= other.x2
+                    span = (other.y, other.y2)
+                else:
+                    touches = other.y <= outside <= other.y2
+                    span = (other.x, other.x2)
+                if touches and span[1] > lo and span[0] < hi:
+                    intervals.append((max(lo, span[0]), min(hi, span[1])))
+            intervals.sort()
+            cursor = lo
+            for start, end in intervals:
+                if start > cursor + tol:
+                    break
+                cursor = max(cursor, end)
+            if cursor < hi - tol:
+                gap_hi = hi
+                for start, end in intervals:
+                    if start > cursor + tol:
+                        gap_hi = start
+                        break
+                mid = (cursor + gap_hi) / 2.0
+                point = (
+                    Point(outside, mid) if vertical else Point(mid, outside)
+                )
+                return (name, cursor, gap_hi, point)
+        return None
+
+    def _probe_perimeter_gap(self) -> None:
+        """Probe an uncovered perimeter stretch that survived damping."""
+        if (
+            not self.config.perimeter_probe_enabled
+            or self.bounds is None
+            or self.owned is None
+            or self.owned.role != "primary"
+        ):
+            return
+        gap = self._find_perimeter_gap()
+        if gap is None:
+            self._perimeter_gap = None
+            self._perimeter_gap_ticks = 0
+            return
+        name, lo, hi, point = gap
+        signature = (name, round(lo, 6), round(hi, 6))
+        if signature != self._perimeter_gap:
+            self._perimeter_gap = signature
+            self._perimeter_gap_ticks = 1
+            return
+        self._perimeter_gap_ticks += 1
+        if self._perimeter_gap_ticks < 2:
+            return
+        # Re-arm the damping counter so an unhealed gap is re-probed
+        # every other tick, not every tick.
+        self._perimeter_gap_ticks = 0
+        obs.inc("perimeter.probe_sent")
+        causal.annotate(
+            "perimeter_probe",
+            prober=str(self.address),
+            rect=str(self.owned.rect),
+            edge=name,
+            point=str(point),
+        )
+        self._forward_probe(
+            m.PerimeterProbeBody(
+                info=self._my_info(),
+                point=point,
+                ttl=self.config.perimeter_probe_ttl,
+                visited=(self.address,),
+            )
+        )
+
+    def _forward_probe(self, body: m.PerimeterProbeBody) -> None:
+        """Greedily forward a perimeter probe toward its target point.
+
+        Unlike the routed-request path there is no strict-progress rule:
+        a prober's table is sparse by construction (that is why it is
+        probing), so the probe may have to move *away* before it can
+        close in.  The ``visited`` list breaks the loops this allows and
+        the ttl bounds undeliverable probes.
+        """
+        if body.ttl <= 0:
+            obs.inc("perimeter.probe_expired")
+            return
+        best_address: Optional[NodeAddress] = None
+        best_distance = math.inf
+        candidates = list(self.neighbor_table.values())
+        candidates.extend(self.shortcuts.entries())
+        for info in candidates:
+            endpoint = self._live_endpoint(info)
+            if (
+                endpoint is None
+                or endpoint == self.address
+                or endpoint in body.visited
+            ):
+                continue
+            distance = info.rect.distance_to_point(body.point)
+            if distance < best_distance - 1e-12:
+                best_distance = distance
+                best_address = endpoint
+        if best_address is None:
+            obs.inc("perimeter.probe_dead_end")
+            return
+        self.network.send(
+            self.address, best_address, m.PERIMETER_PROBE, body
+        )
+
+    def _on_perimeter_probe(self, message: Message) -> None:
+        """Serve (install + answer) or forward a perimeter probe."""
+        body: m.PerimeterProbeBody = message.body
+        if not self.alive or self.owned is None:
+            return
+        info = body.info
+        if info.primary == self.address:
+            return
+        # A probe whose claim overlaps our own territory is a conflict,
+        # not a neighbor to install; the usual confrontation machinery
+        # (gossip-grade evidence) sorts out who yields.
+        if self._resolve_ownership_conflict(info, direct=False):
+            return
+        serves = self.owned.role == "primary" and (
+            self._owns_point(body.point)
+            or self._caretaker_for(body.point) is not None
+        )
+        if not serves:
+            self._forward_probe(body.forwarded(self.address))
+            return
+        obs.inc("perimeter.probe_served")
+        causal.annotate(
+            "perimeter_heal",
+            server=str(self.address),
+            prober=str(info.primary),
+            rect=str(info.rect),
+        )
+        self.caretaker_rects.discard(info.rect)
+        if self.owned.rect.is_neighbor_of(info.rect):
+            self.shortcuts.invalidate_overlapping(info.rect)
+            self.neighbor_table[info.rect] = info
+            self.host_cache.remember(info.primary)
+        else:
+            self._learn_shortcut(info)
+        # Answer with a direct heartbeat: first-hand evidence the prober
+        # installs through the normal path, healing its side of the gap.
+        self.network.send(
+            self.address, info.primary, m.HEARTBEAT,
+            m.HeartbeatBody(
+                rect=self.owned.rect, role="primary",
+                secondary=self.owned.peer,
+                neighbors=tuple(self.neighbor_table.values()),
+                index=self.workload_index, capacity=self.node.capacity,
+                caretaken=tuple(self.caretaker_rects),
+            ),
+        )
 
     def _send_peer_heartbeat(self) -> None:
         if not self.alive or self.owned is None or self.owned.peer is None:
@@ -1724,6 +2123,17 @@ class ProtocolNode:
         # The cache was learned from the old vantage point; entries may
         # now overlap or neighbor the new region.  Start fresh.
         self.shortcuts.clear()
+        # Until the counterpart has installed our old region, its
+        # heartbeats still claim the rect it shipped us; yielding to that
+        # stale evidence would orphan the region we just took.  One
+        # failure-timeout comfortably outlives the in-flight window.
+        self._switch_handoff = (
+            counterpart,
+            state.rect,
+            self.scheduler.now
+            + self.config.heartbeat_interval
+            * self.config.failure_timeout_multiplier,
+        )
         self.switches_completed += 1
         causal.annotate(
             "switch_installed",
@@ -1772,6 +2182,7 @@ class ProtocolNode:
             initiator_index=my_index,
         )
         self._switch_pending = True
+        self._switch_proposed_rect = self.owned.rect
         self._switch_shipped_count = len(self.owned.items)
         #: Versions captured with the request; store records written after
         #: this snapshot must be replayed if the switch completes.
@@ -1815,9 +2226,12 @@ class ProtocolNode:
             )
             return
         my_state = self._capture_state()
-        self.network.send(
-            self.address, message.source, m.SWITCH_ACCEPT,
-            m.SwitchAcceptBody(state=my_state),
+        # The accept carries this node's entire region state; losing it
+        # strands the swap half-done (we install the initiator's region
+        # below, it keeps believing it owns it).  Ride the reliable
+        # channel so the handoff survives drops.
+        self._send_critical(
+            message.source, m.SWITCH_ACCEPT, m.SwitchAcceptBody(state=my_state)
         )
         self._install_state(
             body.state,
@@ -1830,6 +2244,13 @@ class ProtocolNode:
         body: m.SwitchAcceptBody = message.body
         self._switch_pending = False
         if self.owned is None or self.owned.role != "primary":
+            return
+        proposed = self._switch_proposed_rect
+        self._switch_proposed_rect = None
+        if proposed is not None and self.owned.rect != proposed:
+            # A delayed (possibly retried) accept for a proposal made from
+            # a region we no longer own; installing its state now would
+            # clobber ownership we acquired since.
             return
         # Items stored since the request's state capture were not shipped
         # with it; replay them through normal publication so they reach
@@ -1929,15 +2350,18 @@ class ProtocolNode:
                 if info.secondary is not None:
                     audience.add(info.secondary)
             audience.discard(self.address)
-            for recipient in audience:
-                self.network.send(
-                    self.address, recipient, m.NEIGHBOR_UPDATE,
+            # A retraction that never arrives leaves the survivor a
+            # phantom entry for the declined region (then a bogus hole to
+            # caretake and re-grant): ride the reliable channel.
+            for recipient in sorted(audience, key=_address_order):
+                self._send_critical(
+                    recipient, m.NEIGHBOR_UPDATE,
                     m.NeighborUpdateBody(
                         info=self._my_info(), removed_rect=old_rect
                     ),
                 )
-                self.network.send(
-                    self.address, recipient, m.NEIGHBOR_UPDATE,
+                self._send_critical(
+                    recipient, m.NEIGHBOR_UPDATE,
                     m.NeighborUpdateBody(
                         info=self._my_info(), removed_rect=body.rect
                     ),
@@ -1954,9 +2378,9 @@ class ProtocolNode:
         if body.objects:
             self.owned.store.merge(body.objects)
         audience.discard(self.address)
-        for recipient in audience:
-            self.network.send(
-                self.address, recipient, m.NEIGHBOR_UPDATE,
+        for recipient in sorted(audience, key=_address_order):
+            self._send_critical(
+                recipient, m.NEIGHBOR_UPDATE,
                 m.NeighborUpdateBody(
                     info=self._my_info(), removed_rect=body.rect
                 ),
@@ -2019,8 +2443,8 @@ class ProtocolNode:
             self._window_served += 1
             self.owned.items.append((body.point, body.item))
             if self.owned.peer is not None and self.owned.role == "primary":
-                self.network.send(
-                    self.address, self.owned.peer, m.REPLICATE,
+                self._send_critical(
+                    self.owned.peer, m.REPLICATE,
                     m.ReplicateBody(point=body.point, item=body.item),
                 )
             return
@@ -2138,8 +2562,8 @@ class ProtocolNode:
         obs.inc("store.node.updates")
         if fresh:
             if self.owned.role == "primary" and self.owned.peer is not None:
-                self.network.send(
-                    self.address, self.owned.peer, m.STORE_REPLICATE,
+                self._send_critical(
+                    self.owned.peer, m.STORE_REPLICATE,
                     m.StoreReplicateBody(record=record),
                 )
                 obs.inc("store.node.replicated")
@@ -2183,8 +2607,8 @@ class ProtocolNode:
                     self.owned.role == "primary"
                     and self.owned.peer is not None
                 ):
-                    self.network.send(
-                        self.address, self.owned.peer, m.STORE_REPLICATE,
+                    self._send_critical(
+                        self.owned.peer, m.STORE_REPLICATE,
                         m.StoreReplicateBody(
                             removed_id=body.object_id,
                             removed_version=body.version,
@@ -2221,8 +2645,8 @@ class ProtocolNode:
                 version=version,
             )
             if self.owned.peer is not None:
-                self.network.send(
-                    self.address, self.owned.peer, m.STORE_REPLICATE,
+                self._send_critical(
+                    self.owned.peer, m.STORE_REPLICATE,
                     m.StoreReplicateBody(
                         removed_id=object_id, removed_version=version
                     ),
@@ -2366,13 +2790,18 @@ class ProtocolNode:
     def _send_store_sync(self) -> None:
         """Ship the primary's store digest to its secondary (sync timer).
 
-        An empty store sends nothing: deployments that never touch the
-        location store pay zero extra messages, and the handover paths
-        always ship full stores, so an empty primary facing a non-empty
-        replica can only arise transiently mid-handover.
+        A store that was never populated sends nothing: deployments that
+        never touch the location store pay zero extra messages.  But a
+        store that held records and emptied again (a split that rehomed
+        everything away, churned ownership) keeps announcing its -- now
+        empty -- digest: the secondary may still replicate the old
+        content, and without a digest to diff against the stale replica
+        diverges forever.
         """
         assert self.owned is not None and self.owned.peer is not None
-        if not len(self.owned.store):
+        if len(self.owned.store):
+            self._store_announced = True
+        elif not self._store_announced:
             return
         digest = tuple(sorted(self.owned.store.digest().items()))
         self.network.send(
@@ -2450,9 +2879,8 @@ class ProtocolNode:
                 if self.owned.role == "primary" and self.owned.peer is not None:
                     for _, records in body.buckets:
                         for record in records:
-                            self.network.send(
-                                self.address, self.owned.peer,
-                                m.STORE_REPLICATE,
+                            self._send_critical(
+                                self.owned.peer, m.STORE_REPLICATE,
                                 m.StoreReplicateBody(record=record),
                             )
                 # The yielder's region may differ from ours (it lost a

@@ -10,7 +10,10 @@ package is that substrate, built from scratch:
   uniform, geographic-distance-proportional);
 * :mod:`repro.sim.transport` -- the simulated network: endpoints,
   message delivery with latency, loss, and partitions;
-* :mod:`repro.sim.churn` -- join/departure/failure processes.
+* :mod:`repro.sim.churn` -- join/departure/failure processes;
+* :mod:`repro.sim.chaos` -- seeded fault campaigns (asymmetric
+  partitions, gray failures, crash-restart, regional outages, churn
+  storms) driven to quiescence under the invariant auditor.
 
 The message-level GeoGrid protocol (:mod:`repro.protocol`) runs on top of
 this; the overlay model used by the paper-scale experiments does not need
@@ -25,7 +28,13 @@ from repro.sim.latency import (
     LatencyModel,
     UniformLatency,
 )
-from repro.sim.transport import Endpoint, Message, SimNetwork, TransportStats
+from repro.sim.transport import (
+    Endpoint,
+    GrayFailure,
+    Message,
+    SimNetwork,
+    TransportStats,
+)
 from repro.sim.churn import ChurnConfig, ChurnProcess
 
 __all__ = [
@@ -39,6 +48,7 @@ __all__ = [
     "SimNetwork",
     "Message",
     "Endpoint",
+    "GrayFailure",
     "TransportStats",
     "ChurnConfig",
     "ChurnProcess",

@@ -1,0 +1,602 @@
+"""Deterministic fault-campaign runner for the message-level protocol.
+
+The reliability claims of :mod:`repro.protocol.reliable` -- critical
+exchanges survive loss, nodes converge back to a proper partition after
+faults, no stored location object is ever lost outright -- are only as
+good as the faults they are tested against.  This module executes a
+*seeded schedule* of the nastiest fault shapes the transport can model:
+
+* asymmetric one-way partitions (A cannot reach B while B reaches A),
+* gray failures (an endpoint silently dropping/delaying a fraction of
+  its traffic while looking healthy),
+* crash-with-rejoin (abrupt node loss followed by a fresh replacement),
+* correlated regional outages (every region touching an area loses one
+  of its owners at once),
+* network-wide drop/latency spikes,
+* a churn storm (Poisson join/depart/fail bursts).
+
+Each scenario builds a cluster, stores a population of location
+objects, injects its faults while update traffic keeps flowing, heals,
+lets the system recover, and then drives the
+:class:`repro.obs.audit.InvariantAuditor` to quiescence: the verdict
+re-runs every invariant check twice, one audit interval apart, and only
+violations present in *both* passes count (in-flight repair traffic is
+not a failure; frozen damage is).  A scenario passes when no violation
+persists and every object stored before the faults is still held by
+some live owner.  Dead-letter and retry tallies from every node's
+reliable channel are reported alongside, so a campaign quantifies what
+the network refused to carry.
+
+Everything is deterministic: same seed, same schedule, same verdict.
+Run it from the CLI with ``python -m repro chaos`` (writes
+``BENCH_chaos.json``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.geometry import Point, Rect
+
+__all__ = [
+    "ChaosConfig",
+    "ScenarioResult",
+    "CampaignReport",
+    "SCENARIOS",
+    "run_scenario",
+    "run_campaign",
+    "measure_reliable_overhead",
+]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One campaign's knobs (every scenario runs the same schedule shape)."""
+
+    seed: int = 7
+    #: Nodes joined before any fault is injected.
+    population: int = 10
+    #: Location objects stored (and verified present at the end).
+    objects: int = 16
+    #: Baseline random drop probability during the whole scenario.
+    drop_probability: float = 0.05
+    #: Sim time the cluster settles before faults start.
+    warmup: float = 40.0
+    #: Sim time the injected faults stay active.
+    fault_duration: float = 40.0
+    #: Sim time between healing the faults and the quiescence verdict
+    #: (failure detection, claim confrontation and rejoins need several
+    #: failure-timeout periods to play out).
+    recovery: float = 200.0
+    #: Interval of the attached continuous invariant auditor; also the
+    #: spacing of the two verdict passes.
+    audit_interval: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.population < 4:
+            raise ConfigurationError(
+                f"population must be >= 4, got {self.population}"
+            )
+        if self.objects < 1:
+            raise ConfigurationError(f"objects must be >= 1, got {self.objects}")
+        if not (0.0 <= self.drop_probability < 0.5):
+            raise ConfigurationError(
+                f"drop_probability must lie in [0, 0.5), got "
+                f"{self.drop_probability!r}"
+            )
+        for name in ("warmup", "fault_duration", "recovery"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.audit_interval <= 0:
+            raise ConfigurationError("audit_interval must be positive")
+
+
+@dataclass
+class ScenarioResult:
+    """The verdict of one fault scenario."""
+
+    name: str
+    seed: int
+    ok: bool
+    #: Invariant violations that persisted across both verdict passes.
+    violations: List[str]
+    #: Objects stored before the faults that no live owner holds anymore.
+    lost_objects: int
+    objects: int
+    #: Reliable-channel tallies summed over every node.
+    dead_letters: int
+    retries: int
+    acked: int
+    duplicates: int
+    #: Total sim time the scenario ran.
+    sim_time: float
+    #: Scenario-specific notes (what was injected, on whom).
+    detail: str = ""
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else "FAIL"
+        return (
+            f"{self.name:<22} {verdict:<5} "
+            f"violations={len(self.violations):<3} "
+            f"lost={self.lost_objects}/{self.objects:<4} "
+            f"retries={self.retries:<5} dead_letters={self.dead_letters:<4} "
+            f"t={self.sim_time:g}"
+        )
+
+
+@dataclass
+class CampaignReport:
+    """Every scenario's result plus campaign-level rollups."""
+
+    seed: int
+    results: List[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    def render(self) -> str:
+        lines = [f"=== chaos campaign (seed {self.seed}) ==="]
+        for result in self.results:
+            lines.append(result.summary())
+            if result.detail:
+                lines.append(f"    {result.detail}")
+            for violation in result.violations:
+                lines.append(f"    persistent: {violation}")
+        failed = sum(1 for result in self.results if not result.ok)
+        lines.append(
+            f"{len(self.results)} scenario(s), {failed} failed"
+        )
+        return "\n".join(lines)
+
+
+class _Arena:
+    """One scenario's cluster plus the bookkeeping the verdict needs."""
+
+    BOUNDS = Rect(0.0, 0.0, 64.0, 64.0)
+
+    def __init__(self, config: ChaosConfig, scenario: str) -> None:
+        # Protocol imports stay local so ``repro.sim`` never depends on
+        # ``repro.protocol`` at import time (the dependency points the
+        # other way everywhere else).
+        from repro.protocol.cluster import ProtocolCluster
+
+        self.config = config
+        self.seed = config.seed
+        # Each scenario draws its schedule from an independent
+        # deterministic stream derived from (campaign seed, name).
+        self.rng = random.Random(f"{config.seed}:{scenario}")
+        self.cluster = ProtocolCluster(
+            self.BOUNDS,
+            seed=config.seed,
+            drop_probability=config.drop_probability,
+        )
+        self.auditor = self.cluster.attach_auditor(
+            interval=config.audit_interval
+        )
+        #: Object ids stored (and acked) before the faults began.
+        self.committed: Set[str] = set()
+        self._versions: Dict[str, int] = {}
+        self._points: Dict[str, Point] = {}
+
+    # -- build phase ---------------------------------------------------
+    def populate(self) -> None:
+        config = self.config
+        for index in range(config.population):
+            coord = Point(
+                self.rng.uniform(1.0, self.BOUNDS.x2 - 1.0),
+                self.rng.uniform(1.0, self.BOUNDS.y2 - 1.0),
+            )
+            self.cluster.join_node(
+                coord, capacity=self.rng.choice([1.0, 10.0, 100.0])
+            )
+        self.cluster.settle(config.warmup)
+        for index in range(config.objects):
+            object_id = f"obj-{index}"
+            point = Point(
+                self.rng.uniform(0.5, self.BOUNDS.x2 - 0.5),
+                self.rng.uniform(0.5, self.BOUNDS.y2 - 0.5),
+            )
+            origin = self._random_live_node()
+            # Synchronous write with application-level retries: the
+            # object must verifiably exist before faults may eat it.
+            self.cluster.store_update(
+                origin.node.node_id, object_id, point, version=0,
+            )
+            self.committed.add(object_id)
+            self._versions[object_id] = 0
+            self._points[object_id] = point
+        self.cluster.settle(10.0)
+
+    # -- fault-phase helpers -------------------------------------------
+    def traffic_slice(self, duration: float, updates: int = 4) -> None:
+        """Advance time while fire-and-forget update traffic flows.
+
+        Updates ride normal routing (per-hop reliable) with no
+        application retry, so this is exactly the traffic the reliable
+        layer must carry through the active faults.
+        """
+        for _ in range(updates):
+            object_id = self.rng.choice(sorted(self.committed))
+            version = self._versions[object_id] + 1
+            point = Point(
+                self.rng.uniform(0.5, self.BOUNDS.x2 - 0.5),
+                self.rng.uniform(0.5, self.BOUNDS.y2 - 0.5),
+            )
+            origin = self._random_live_node()
+            origin.store_update(
+                object_id, point,
+                version=version, prev_point=self._points[object_id],
+            )
+            self._versions[object_id] = version
+            self._points[object_id] = point
+        self.cluster.run_for(duration)
+
+    def _random_live_node(self):
+        live = [
+            node
+            for node in self.cluster.nodes.values()
+            if node.alive and node.joined
+        ]
+        if not live:
+            raise SimulationError("no live joined node to originate traffic")
+        return self.rng.choice(live)
+
+    def live_primaries(self) -> List:
+        return [
+            node
+            for node in self.cluster.nodes.values()
+            if node.alive
+            and node.joined
+            and node.owned is not None
+            and node.owned.role == "primary"
+        ]
+
+    def rejoin_replacement(self, coord: Point, capacity: float = 10.0) -> None:
+        """A crashed node's replacement coming back up at the same spot."""
+        self.cluster.join_node(coord, capacity=capacity, settle_time=200.0)
+
+    # -- verdict -------------------------------------------------------
+    def verdict(self, name: str, detail: str) -> ScenarioResult:
+        from repro.protocol.reliable import tally_stats
+
+        config = self.config
+        self.cluster.settle(config.recovery)
+        first = {
+            (violation.check, violation.subject): violation
+            for violation in self.auditor.run_checks()
+        }
+        # One audit interval later: anything still broken the same way is
+        # frozen damage, not repair traffic.
+        self.cluster.run_for(config.audit_interval * 2)
+        second = {
+            (violation.check, violation.subject)
+            for violation in self.auditor.run_checks()
+        }
+        persistent = sorted(
+            str(violation)
+            for key, violation in first.items()
+            if key in second
+        )
+        surviving: Set[str] = set()
+        for node in self.cluster.nodes.values():
+            if node.alive and node.owned is not None:
+                for record in node.owned.store.records():
+                    surviving.add(record.object_id)
+        lost = sorted(self.committed - surviving)
+        stats = tally_stats(
+            node.reliable for node in self.cluster.nodes.values()
+        )
+        if lost:
+            suffix = f"; lost: {', '.join(lost[:5])}"
+            detail = detail + suffix if detail else suffix.lstrip("; ")
+        return ScenarioResult(
+            name=name,
+            seed=config.seed,
+            ok=not persistent and not lost,
+            violations=persistent,
+            lost_objects=len(lost),
+            objects=len(self.committed),
+            dead_letters=stats["dead_lettered"],
+            retries=stats["retries"],
+            acked=stats["acked"],
+            duplicates=stats["duplicates"],
+            sim_time=self.cluster.scheduler.now,
+            detail=detail,
+        )
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def _scenario_asymmetric_partition(config: ChaosConfig) -> ScenarioResult:
+    """One direction of a primary-to-primary link silently eats traffic."""
+    arena = _Arena(config, "asymmetric_partition")
+    arena.populate()
+    primaries = arena.live_primaries()
+    a, b = arena.rng.sample(primaries, 2)
+    network = arena.cluster.network
+    network.block_one_way(a.address, b.address)
+    slices = max(4, int(config.fault_duration / 10.0))
+    for _ in range(slices):
+        arena.traffic_slice(config.fault_duration / slices)
+    network.heal_partitions()
+    return arena.verdict(
+        "asymmetric_partition",
+        f"blocked {a.address} -> {b.address} (reverse path stayed up)",
+    )
+
+
+def _scenario_gray_failure(config: ChaosConfig) -> ScenarioResult:
+    """One endpoint drops 25% and delays 50% of its traffic, both ways."""
+    arena = _Arena(config, "gray_failure")
+    arena.populate()
+    victim = arena.rng.choice(arena.live_primaries())
+    network = arena.cluster.network
+    network.set_gray(
+        victim.address,
+        drop_fraction=0.25,
+        extra_delay=1.5,
+        delay_fraction=0.5,
+    )
+    slices = max(4, int(config.fault_duration / 10.0))
+    for _ in range(slices):
+        arena.traffic_slice(config.fault_duration / slices)
+    network.clear_gray(victim.address)
+    return arena.verdict(
+        "gray_failure",
+        f"{victim.address} dropped 25% / delayed 50% of its traffic",
+    )
+
+
+def _scenario_crash_restart(config: ChaosConfig) -> ScenarioResult:
+    """A primary dies abruptly; a replacement rejoins at the same spot."""
+    arena = _Arena(config, "crash_restart")
+    arena.populate()
+    # Crash a *replicated* primary: a solo primary's store has no other
+    # copy anywhere, so losing it is by design, not a protocol failure
+    # (the guarantee under test is that the secondary takes over).
+    replicated = [
+        primary
+        for primary in arena.live_primaries()
+        if primary.owned is not None and primary.owned.peer is not None
+    ]
+    victim = arena.rng.choice(replicated or arena.live_primaries())
+    coord = victim.node.coord
+    arena.cluster.crash_node(victim.node.node_id)
+    slices = max(4, int(config.fault_duration / 10.0))
+    for _ in range(slices):
+        arena.traffic_slice(config.fault_duration / slices)
+    arena.rejoin_replacement(coord)
+    return arena.verdict(
+        "crash_restart",
+        f"crashed {victim.address}, rejoined a replacement at {coord}",
+    )
+
+
+def _scenario_regional_outage(config: ChaosConfig) -> ScenarioResult:
+    """Every region touching one quadrant loses an owner at once.
+
+    At most one owner per region crashes, so each affected region's data
+    survives on its other owner -- the correlated-failure shape a real
+    rack or availability-zone outage produces.
+    """
+    arena = _Arena(config, "regional_outage")
+    arena.populate()
+    bounds = arena.BOUNDS
+    quadrant = Rect(
+        bounds.x, bounds.y, bounds.width / 2.0, bounds.height / 2.0
+    )
+    crashed: List[str] = []
+    for primary in arena.live_primaries():
+        if not primary.owned.rect.intersects(quadrant):
+            continue
+        arena.cluster.crash_node(primary.node.node_id)
+        crashed.append(str(primary.address))
+        if len(crashed) >= max(1, config.population // 3):
+            break  # an outage, not an extinction
+    slices = max(4, int(config.fault_duration / 10.0))
+    for _ in range(slices):
+        arena.traffic_slice(config.fault_duration / slices)
+    # The zone comes back: fresh capacity rejoins inside the quadrant.
+    for _ in crashed:
+        arena.rejoin_replacement(
+            Point(
+                arena.rng.uniform(quadrant.x + 1.0, quadrant.x2 - 1.0),
+                arena.rng.uniform(quadrant.y + 1.0, quadrant.y2 - 1.0),
+            )
+        )
+    return arena.verdict(
+        "regional_outage",
+        f"crashed {len(crashed)} primaries in {quadrant}: "
+        + ", ".join(crashed),
+    )
+
+
+def _scenario_drop_latency_spike(config: ChaosConfig) -> ScenarioResult:
+    """Network-wide congestion: loss triples and every delivery slows."""
+    arena = _Arena(config, "drop_latency_spike")
+    arena.populate()
+    network = arena.cluster.network
+    normal_drop = network.drop_probability
+    network.drop_probability = min(0.45, max(0.15, normal_drop * 3.0))
+    network.extra_latency += 2.0
+    slices = max(4, int(config.fault_duration / 10.0))
+    for _ in range(slices):
+        arena.traffic_slice(config.fault_duration / slices)
+    network.drop_probability = normal_drop
+    network.extra_latency -= 2.0
+    return arena.verdict(
+        "drop_latency_spike",
+        "drop tripled to "
+        f"{min(0.45, max(0.15, normal_drop * 3.0)):g}, +2.0 latency on "
+        "every delivery",
+    )
+
+
+def _scenario_churn_storm(config: ChaosConfig) -> ScenarioResult:
+    """A Poisson burst of joins, departures and crashes."""
+    from repro.sim.churn import ChurnConfig, ChurnProcess
+
+    arena = _Arena(config, "churn_storm")
+    arena.populate()
+    cluster = arena.cluster
+
+    def spawn() -> bool:
+        coord = Point(
+            arena.rng.uniform(1.0, arena.BOUNDS.x2 - 1.0),
+            arena.rng.uniform(1.0, arena.BOUNDS.y2 - 1.0),
+        )
+        # Fire-and-forget: the join completes (or retries) on the
+        # scheduler; churn callbacks must never re-enter the event loop.
+        node = cluster.spawn_node(coord, capacity=arena.rng.choice([1.0, 10.0]))
+        node.start_join()
+        return True
+
+    def remove(graceful: bool) -> bool:
+        # Only nodes whose region has a live counterpart may leave: a
+        # solo primary's store exists nowhere else, so removing one
+        # loses data *by design* (crash) or punches a permanent hole
+        # (depart detaches without a handoff target).  The scenario
+        # tests recovery from survivable churn, not those guarantees.
+        alive = {
+            node.address
+            for node in cluster.nodes.values()
+            if node.alive and node.joined
+        }
+        candidates = [
+            node
+            for node in cluster.nodes.values()
+            if node.alive
+            and node.joined
+            and node.owned is not None
+            and node.owned.peer in alive
+        ]
+        if len(candidates) <= 4:
+            return False
+        victim = arena.rng.choice(candidates)
+        if graceful:
+            victim.depart()
+        else:
+            victim.crash()
+        return True
+
+    churn = ChurnProcess(
+        cluster.scheduler,
+        random.Random(f"{config.seed}:churn_storm:process"),
+        ChurnConfig(
+            join_rate=0.25,
+            leave_rate=0.1,
+            fail_rate=0.1,
+            min_population=4,
+            max_population=config.population * 2,
+        ),
+        spawn=spawn,
+        remove=remove,
+        population=cluster.alive_count,
+    )
+    churn.start()
+    slices = max(4, int(config.fault_duration / 10.0))
+    for _ in range(slices):
+        arena.traffic_slice(config.fault_duration / slices)
+    churn.stop()
+    return arena.verdict(
+        "churn_storm",
+        f"churn: {churn.joins} joins, {churn.departures} departures, "
+        f"{churn.failures} crashes ({churn.suppressed} suppressed)",
+    )
+
+
+#: Every scenario the campaign knows, in execution order.
+SCENARIOS: Dict[str, Callable[[ChaosConfig], ScenarioResult]] = {
+    "asymmetric_partition": _scenario_asymmetric_partition,
+    "gray_failure": _scenario_gray_failure,
+    "crash_restart": _scenario_crash_restart,
+    "regional_outage": _scenario_regional_outage,
+    "drop_latency_spike": _scenario_drop_latency_spike,
+    "churn_storm": _scenario_churn_storm,
+}
+
+
+def run_scenario(
+    name: str, config: Optional[ChaosConfig] = None
+) -> ScenarioResult:
+    """Run one named scenario (see :data:`SCENARIOS`)."""
+    if name not in SCENARIOS:
+        raise ConfigurationError(
+            f"unknown chaos scenario {name!r}; known: {sorted(SCENARIOS)}"
+        )
+    return SCENARIOS[name](config if config is not None else ChaosConfig())
+
+
+def run_campaign(
+    config: Optional[ChaosConfig] = None,
+    scenarios: Optional[Sequence[str]] = None,
+) -> CampaignReport:
+    """Run the full seeded fault campaign (or a named subset)."""
+    config = config if config is not None else ChaosConfig()
+    names = list(scenarios) if scenarios is not None else list(SCENARIOS)
+    report = CampaignReport(seed=config.seed)
+    for name in names:
+        report.results.append(run_scenario(name, config))
+    return report
+
+
+# ----------------------------------------------------------------------
+# Reliable-layer overhead
+# ----------------------------------------------------------------------
+def measure_reliable_overhead(
+    population: int = 10,
+    operations: int = 40,
+    seed: int = 7,
+) -> Dict[str, float]:
+    """Wall-clock cost of the reliable layer on a loss-free network.
+
+    Runs the identical build-and-update workload twice -- reliable
+    channel enabled vs disabled -- on a lossless transport, where every
+    ack round-trip is pure overhead.  Returns ``enabled_s``,
+    ``disabled_s`` and their ``ratio`` (the instrumentation contract is
+    ratio < 1.10).
+    """
+    from repro.protocol.cluster import ProtocolCluster
+    from repro.protocol.node import NodeConfig
+
+    def workload(reliable_enabled: bool) -> float:
+        rng = random.Random(seed)
+        cluster = ProtocolCluster(
+            _Arena.BOUNDS,
+            seed=seed,
+            config=NodeConfig(reliable_enabled=reliable_enabled),
+        )
+        started = time.perf_counter()
+        for _ in range(population):
+            cluster.join_node(
+                Point(rng.uniform(1.0, 63.0), rng.uniform(1.0, 63.0)),
+                capacity=rng.choice([1.0, 10.0, 100.0]),
+            )
+        cluster.settle(30.0)
+        for index in range(operations):
+            origin = rng.choice(
+                [n for n in cluster.nodes.values() if n.alive and n.joined]
+            )
+            cluster.store_update(
+                origin.node.node_id,
+                f"obj-{index % 8}",
+                Point(rng.uniform(0.5, 63.5), rng.uniform(0.5, 63.5)),
+                version=index,
+            )
+        cluster.settle(20.0)
+        return time.perf_counter() - started
+
+    # Warm both paths once (imports, allocator) before timing.
+    disabled_s = min(workload(False), workload(False))
+    enabled_s = min(workload(True), workload(True))
+    return {
+        "enabled_s": enabled_s,
+        "disabled_s": disabled_s,
+        "ratio": enabled_s / disabled_s if disabled_s > 0 else 1.0,
+    }

@@ -8,7 +8,15 @@ the protocol layer is tested against:
 * message loss (uniform drop probability),
 * crashed endpoints (messages to them vanish, like TCP RSTs to a dead
   host),
-* network partitions (named groups that cannot reach each other).
+* network partitions (named groups that cannot reach each other),
+* asymmetric (one-way) link failures: traffic from A to B silently
+  vanishes while B can still reach A -- the partition shape that breaks
+  naive "I heard from you so you can hear me" reasoning,
+* gray failures: an endpoint whose NIC silently drops and/or delays a
+  *fraction* of its traffic in both directions, without ever looking
+  dead to a binary health check,
+* network-wide latency surges (``extra_latency``), modelling congestion
+  spikes.
 """
 
 from __future__ import annotations
@@ -63,6 +71,38 @@ class Endpoint:
 RECENT_DROP_LIMIT = 256
 
 
+@dataclass(frozen=True)
+class GrayFailure:
+    """A silently misbehaving endpoint (the classic gray failure).
+
+    Both inbound and outbound traffic of the afflicted endpoint is
+    subject to the same treatment: each message is dropped with
+    ``drop_fraction`` probability, and (independently) delayed by
+    ``extra_delay`` with ``delay_fraction`` probability.  The endpoint
+    itself keeps running and answering, so no binary liveness check ever
+    sees anything wrong -- only end-to-end timeouts do.
+    """
+
+    drop_fraction: float = 0.0
+    extra_delay: float = 0.0
+    delay_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.drop_fraction <= 1.0):
+            raise TransportError(
+                f"drop_fraction must lie in [0, 1], got {self.drop_fraction!r}"
+            )
+        if self.extra_delay < 0.0:
+            raise TransportError(
+                f"extra_delay must be >= 0, got {self.extra_delay!r}"
+            )
+        if not (0.0 <= self.delay_fraction <= 1.0):
+            raise TransportError(
+                f"delay_fraction must lie in [0, 1], got "
+                f"{self.delay_fraction!r}"
+            )
+
+
 @dataclass
 class TransportStats:
     """Counters describing everything the transport did."""
@@ -72,6 +112,7 @@ class TransportStats:
     dropped_random: int = 0
     dropped_dead: int = 0
     dropped_partition: int = 0
+    dropped_gray: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
     #: The most recent drops as ``(msg_id, kind, reason)`` -- enough to
     #: attribute a silent failure to a specific send without the journal.
@@ -85,13 +126,15 @@ class TransportStats:
         self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
 
     def record_drop(self, msg_id: int, kind: str, reason: str) -> None:
-        """Account one drop (``reason`` in random/dead/partition)."""
+        """Account one drop (``reason`` in random/dead/partition/gray)."""
         if reason == "random":
             self.dropped_random += 1
         elif reason == "dead":
             self.dropped_dead += 1
         elif reason == "partition":
             self.dropped_partition += 1
+        elif reason == "gray":
+            self.dropped_gray += 1
         else:
             raise TransportError(f"unknown drop reason {reason!r}")
         self.recent_drops.append((msg_id, kind, reason))
@@ -117,8 +160,14 @@ class SimNetwork:
         self.latency = latency if latency is not None else ConstantLatency(1.0)
         self.drop_probability = drop_probability
         self.stats = TransportStats()
+        #: Flat extra delay added to every delivery (latency surge knob).
+        self.extra_latency = 0.0
         self._endpoints: Dict[NodeAddress, Endpoint] = {}
         self._partition_of: Dict[NodeAddress, str] = {}
+        #: Directed links that silently eat traffic: ``(src, dst)`` pairs.
+        self._one_way_blocks: set = set()
+        #: Per-endpoint gray-failure behavior.
+        self._gray: Dict[NodeAddress, GrayFailure] = {}
         self._msg_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
@@ -159,20 +208,92 @@ class SimNetwork:
         """Place an endpoint in partition ``group``.
 
         Endpoints in different groups cannot exchange messages; endpoints
-        without a group reach everyone.
+        without a group reach everyone.  For *asymmetric* failures --
+        where only one direction of a link is cut -- use
+        :meth:`block_one_way` instead; both kinds of cut account their
+        drops under the ``partition`` reason and are lifted together by
+        :meth:`heal_partitions`.
         """
         self._partition_of[address] = group
 
+    def block_one_way(
+        self, source: NodeAddress, destination: NodeAddress
+    ) -> None:
+        """Silently eat all traffic from ``source`` to ``destination``.
+
+        The reverse direction is untouched: ``destination`` still reaches
+        ``source``, which is exactly the asymmetric-partition shape that
+        defeats "I can hear you, so you can hear me" reasoning (one side
+        suspects the other while being believed alive itself).
+        """
+        self._one_way_blocks.add((source, destination))
+
+    def unblock_one_way(
+        self, source: NodeAddress, destination: NodeAddress
+    ) -> None:
+        """Lift a single one-way block (no-op when absent)."""
+        self._one_way_blocks.discard((source, destination))
+
     def heal_partitions(self) -> None:
-        """Remove all partition assignments."""
+        """Remove all partition assignments and one-way blocks."""
         self._partition_of.clear()
+        self._one_way_blocks.clear()
 
     def _partitioned(self, a: NodeAddress, b: NodeAddress) -> bool:
+        if (a, b) in self._one_way_blocks:
+            return True
         group_a = self._partition_of.get(a)
         group_b = self._partition_of.get(b)
         if group_a is None or group_b is None:
             return False
         return group_a != group_b
+
+    # ------------------------------------------------------------------
+    # Gray failures
+    # ------------------------------------------------------------------
+    def set_gray(
+        self,
+        address: NodeAddress,
+        drop_fraction: float = 0.0,
+        extra_delay: float = 0.0,
+        delay_fraction: float = 1.0,
+    ) -> None:
+        """Afflict ``address`` with a gray failure (see :class:`GrayFailure`)."""
+        self._gray[address] = GrayFailure(
+            drop_fraction=drop_fraction,
+            extra_delay=extra_delay,
+            delay_fraction=delay_fraction,
+        )
+
+    def clear_gray(self, address: Optional[NodeAddress] = None) -> None:
+        """Heal one endpoint's gray failure, or all of them."""
+        if address is None:
+            self._gray.clear()
+        else:
+            self._gray.pop(address, None)
+
+    def _gray_verdict(
+        self, source: NodeAddress, destination: NodeAddress
+    ) -> Tuple[bool, float]:
+        """Whether gray failures eat this message, and any extra delay.
+
+        Draws from the rng only for afflicted endpoints, so simulations
+        without gray failures replay the exact same random sequence as
+        before the knob existed.
+        """
+        extra = 0.0
+        for endpoint in (source, destination):
+            gray = self._gray.get(endpoint)
+            if gray is None:
+                continue
+            if gray.drop_fraction > 0.0 and self.rng.random() < gray.drop_fraction:
+                return True, 0.0
+            if gray.extra_delay > 0.0:
+                if gray.delay_fraction >= 1.0:
+                    extra += gray.extra_delay
+                elif self.rng.random() < gray.delay_fraction:
+                    extra += gray.extra_delay
+        return False, extra
 
     # ------------------------------------------------------------------
     # Sending
@@ -239,6 +360,14 @@ class SimNetwork:
         if self.drop_probability > 0.0 and self.rng.random() < self.drop_probability:
             self._drop(message, "random")
             return
+        gray_dropped, gray_delay = (
+            self._gray_verdict(source, destination)
+            if self._gray
+            else (False, 0.0)
+        )
+        if gray_dropped:
+            self._drop(message, "gray")
+            return
         source_endpoint = self._endpoints.get(source)
         source_coord = (
             source_endpoint.coord if source_endpoint is not None else Point(0.0, 0.0)
@@ -250,6 +379,7 @@ class SimNetwork:
         delay = self.latency.delay(
             source_coord, destination_endpoint.coord, self.rng
         )
+        delay += self.extra_latency + gray_delay
         self.scheduler.after(delay, lambda: self._deliver(message))
 
     def _drop(self, message: Message, reason: str) -> None:

@@ -186,3 +186,37 @@ class TestDeparture:
         cluster.depart_node(second.node.node_id)
         with pytest.raises(Exception):
             cluster.depart_node(second.node.node_id)
+
+
+class TestJoinRetryJitter:
+    def test_delay_spread_by_seeded_rng(self):
+        """Orphaned joiners must not retry in lockstep waves: each node's
+        seeded rng spreads its retry delay around the base interval."""
+        cluster = ProtocolCluster(BOUNDS, seed=4)
+        cluster.join_node(Point(10, 10))
+        nodes = [cluster.spawn_node(Point(20 + i, 20)) for i in range(6)]
+        delays = [node._jittered_join_delay() for node in nodes]
+        base = nodes[0].config.join_retry_interval
+        jitter = nodes[0].config.join_retry_jitter
+        assert len(set(delays)) > 1  # desynchronized
+        for delay in delays:
+            assert base * (1 - jitter) <= delay <= base * (1 + jitter)
+
+    def test_zero_jitter_is_exact_interval(self):
+        cluster = ProtocolCluster(
+            BOUNDS, seed=4, config=NodeConfig(join_retry_jitter=0.0)
+        )
+        cluster.join_node(Point(10, 10))
+        node = cluster.spawn_node(Point(20, 20))
+        assert node._jittered_join_delay() == node.config.join_retry_interval
+
+    def test_jittered_delay_is_reproducible(self):
+        """Same seeds, same schedule: the jitter draws come from the
+        node's own seeded stream, not global randomness."""
+        def sample():
+            cluster = ProtocolCluster(BOUNDS, seed=6)
+            cluster.join_node(Point(10, 10))
+            node = cluster.spawn_node(Point(30, 30))
+            return [node._jittered_join_delay() for _ in range(4)]
+
+        assert sample() == sample()

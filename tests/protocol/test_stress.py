@@ -164,3 +164,41 @@ def test_failovers_under_random_crashes(seed, crashes):
         cluster.crash_node(rng.choice(candidates).node.node_id)
         cluster.settle(60)
     cluster.check_partition()
+
+
+def test_crash_during_split_is_reclaimed():
+    """Churn regression: a joiner that crashes in the middle of its own
+    split -- the granter carved off half its region and put the grant on
+    the wire, but the grantee dies before ever installing it -- must not
+    orphan the granted half.  The grant retries exhaust against the dead
+    node, the granter times the silent grantee out, the ground is
+    caretaker-served, and a later join routed into it restores an exact
+    partition."""
+    cluster = ProtocolCluster(BOUNDS, seed=21, latency=DistanceLatency())
+    rng = random.Random(21)
+    for _ in range(8):
+        cluster.join_node(
+            Point(rng.uniform(0.5, 63.5), rng.uniform(0.5, 63.5)),
+            capacity=10,
+        )
+    cluster.settle(60)
+    cluster.check_partition()
+    joiner = cluster.spawn_node(Point(40.0, 40.0), capacity=10)
+    # Nothing reaches the joiner: its JOIN routes fine, the grant is cut
+    # and sent, but never arrives -- the split is permanently in flight.
+    for other in list(cluster.nodes.values()):
+        if other is not joiner:
+            cluster.network.block_one_way(other.address, joiner.address)
+    joiner.start_join()
+    cluster.run_for(5.0)
+    assert not joiner.joined  # still mid-split when it dies
+    cluster.crash_node(joiner.node.node_id)
+    cluster.network.heal_partitions()
+    cluster.settle(120)
+    # Every point is serviceable again: owned or caretaken, no overlap.
+    cluster.check_partition(allow_caretaker_holes=True)
+    healer = cluster.join_node(Point(40.0, 40.0), capacity=10)
+    cluster.settle(60)
+    assert healer.is_primary()
+    covered = sum(rect.area for rect in cluster.primary_rects())
+    assert covered >= BOUNDS.area - 1e-6

@@ -1,0 +1,99 @@
+"""Tests for repro.sim.chaos -- the seeded fault-campaign runner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.chaos import (
+    SCENARIOS,
+    ChaosConfig,
+    run_campaign,
+    run_scenario,
+)
+
+#: Reduced-scale knobs so the whole module stays fast; the CLI runs the
+#: full-size campaign.
+SMALL = ChaosConfig(population=8, objects=8, recovery=160.0)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        ChaosConfig()
+
+    def test_population_floor(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(population=3)
+
+    def test_objects_floor(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(objects=0)
+
+    def test_drop_probability_band(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(drop_probability=0.5)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(drop_probability=-0.1)
+
+    def test_durations_positive(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(recovery=0.0)
+
+
+class TestRegistry:
+    def test_at_least_five_scenarios(self):
+        assert len(SCENARIOS) >= 5
+
+    def test_expected_fault_shapes_present(self):
+        for name in (
+            "asymmetric_partition",
+            "gray_failure",
+            "crash_restart",
+            "regional_outage",
+            "churn_storm",
+        ):
+            assert name in SCENARIOS
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario("gremlins", SMALL)
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_converges_clean(self, name):
+        result = run_scenario(name, SMALL)
+        assert result.ok, (
+            f"{name}: violations={result.violations}, "
+            f"lost={result.lost_objects}"
+        )
+        assert result.violations == []
+        assert result.lost_objects == 0
+
+    def test_same_seed_same_verdict(self):
+        first = run_scenario("crash_restart", SMALL)
+        second = run_scenario("crash_restart", SMALL)
+        assert first.summary() == second.summary()
+        assert first.retries == second.retries
+        assert first.dead_letters == second.dead_letters
+        assert first.detail == second.detail
+
+    def test_different_seed_different_schedule(self):
+        base = run_scenario("crash_restart", SMALL)
+        other = run_scenario(
+            "crash_restart",
+            ChaosConfig(seed=11, population=8, objects=8, recovery=160.0),
+        )
+        assert base.detail != other.detail or base.sim_time != other.sim_time
+
+
+class TestCampaign:
+    def test_subset_campaign(self):
+        report = run_campaign(
+            SMALL, scenarios=["asymmetric_partition", "gray_failure"]
+        )
+        assert [r.name for r in report.results] == [
+            "asymmetric_partition", "gray_failure",
+        ]
+        assert report.ok
+        rendered = report.render()
+        assert "asymmetric_partition" in rendered
+        assert "0 failed" in rendered

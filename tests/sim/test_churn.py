@@ -125,3 +125,53 @@ class TestChurnProcess:
         b_system, b_process = run_churn(ChurnConfig(), seed=9)
         assert a_process.total_events == b_process.total_events
         assert a_system.count == b_system.count
+
+
+class TestStartStopIdempotence:
+    def _process(self, seed=4):
+        scheduler = EventScheduler()
+        system = FakeSystem()
+        process = ChurnProcess(
+            scheduler, random.Random(seed), ChurnConfig(),
+            spawn=system.spawn, remove=system.remove,
+            population=system.population,
+        )
+        return scheduler, system, process
+
+    def test_double_start_does_not_double_events(self):
+        scheduler_a, _, single = self._process()
+        single.start()
+        scheduler_a.run_until(100.0)
+
+        scheduler_b, _, double = self._process()
+        double.start()
+        double.start()  # must be a no-op, not a second event stream
+        scheduler_b.run_until(100.0)
+
+        assert double.total_events == single.total_events
+
+    def test_stop_before_start_is_harmless(self):
+        scheduler, _, process = self._process()
+        process.stop()
+        scheduler.run_until(50.0)
+        assert process.total_events == 0
+
+    def test_double_stop_is_harmless(self):
+        scheduler, _, process = self._process()
+        process.start()
+        scheduler.run_until(10.0)
+        process.stop()
+        process.stop()
+        count = process.total_events
+        scheduler.run_until(100.0)
+        assert process.total_events <= count + 1
+
+    def test_restart_resumes_after_stop(self):
+        scheduler, _, process = self._process()
+        process.start()
+        scheduler.run_until(10.0)
+        process.stop()
+        stopped_at = process.total_events
+        process.start()
+        scheduler.run_until(110.0)
+        assert process.total_events > stopped_at

@@ -254,3 +254,117 @@ class TestMessageIds:
         _, network = make_network()
         with pytest.raises(TransportError):
             network.stats.record_drop(1, "ping", "gremlins")
+
+
+class TestOneWayBlocks:
+    def test_forward_direction_dropped_as_partition(self):
+        scheduler, network = make_network(latency=ConstantLatency(1.0))
+        a_inbox, b_inbox = [], []
+        a = make_endpoint(network, 1, a_inbox)
+        b = make_endpoint(network, 2, b_inbox)
+        network.block_one_way(a, b)
+        network.send(a, b, "ping", None)
+        scheduler.run_all()
+        assert b_inbox == []
+        assert network.stats.dropped_partition == 1
+        assert network.stats.recent_drops[-1] == (1, "ping", "partition")
+
+    def test_reverse_direction_still_delivers(self):
+        scheduler, network = make_network(latency=ConstantLatency(1.0))
+        a_inbox = []
+        a = make_endpoint(network, 1, a_inbox)
+        b = make_endpoint(network, 2, [])
+        network.block_one_way(a, b)
+        network.send(b, a, "pong", None)
+        scheduler.run_all()
+        assert len(a_inbox) == 1
+
+    def test_unblock_restores_delivery(self):
+        scheduler, network = make_network(latency=ConstantLatency(1.0))
+        b_inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, b_inbox)
+        network.block_one_way(a, b)
+        network.unblock_one_way(a, b)
+        network.send(a, b, "ping", None)
+        scheduler.run_all()
+        assert len(b_inbox) == 1
+
+    def test_heal_partitions_lifts_one_way_blocks(self):
+        scheduler, network = make_network(latency=ConstantLatency(1.0))
+        b_inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, b_inbox)
+        network.block_one_way(a, b)
+        network.heal_partitions()
+        network.send(a, b, "ping", None)
+        scheduler.run_all()
+        assert len(b_inbox) == 1
+
+
+class TestGrayFailures:
+    def test_full_drop_fraction_eats_everything_as_gray(self):
+        scheduler, network = make_network(latency=ConstantLatency(1.0))
+        b_inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, b_inbox)
+        network.set_gray(b, drop_fraction=1.0)
+        for _ in range(5):
+            network.send(a, b, "ping", None)
+        scheduler.run_all()
+        assert b_inbox == []
+        assert network.stats.dropped_gray == 5
+        assert network.stats.recent_drops[-1][2] == "gray"
+
+    def test_gray_afflicts_both_directions(self):
+        scheduler, network = make_network(latency=ConstantLatency(1.0))
+        a_inbox = []
+        a = make_endpoint(network, 1, a_inbox)
+        b = make_endpoint(network, 2, [])
+        network.set_gray(b, drop_fraction=1.0)
+        network.send(b, a, "pong", None)
+        scheduler.run_all()
+        assert a_inbox == []
+
+    def test_extra_delay_applied(self):
+        scheduler, network = make_network(latency=ConstantLatency(1.0))
+        b_inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, b_inbox)
+        network.set_gray(b, extra_delay=5.0)
+        network.send(a, b, "ping", None)
+        scheduler.run_until(2.0)
+        assert b_inbox == []  # base latency alone would have delivered
+        scheduler.run_until(7.0)
+        assert len(b_inbox) == 1
+
+    def test_clear_gray_restores_health(self):
+        scheduler, network = make_network(latency=ConstantLatency(1.0))
+        b_inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, b_inbox)
+        network.set_gray(b, drop_fraction=1.0)
+        network.clear_gray(b)
+        network.send(a, b, "ping", None)
+        scheduler.run_all()
+        assert len(b_inbox) == 1
+
+    def test_invalid_fractions_rejected(self):
+        _, network = make_network()
+        a = make_endpoint(network, 1, [])
+        with pytest.raises(TransportError):
+            network.set_gray(a, drop_fraction=1.5)
+        with pytest.raises(TransportError):
+            network.set_gray(a, extra_delay=-1.0)
+
+    def test_network_wide_extra_latency(self):
+        scheduler, network = make_network(latency=ConstantLatency(1.0))
+        b_inbox = []
+        a = make_endpoint(network, 1, [])
+        b = make_endpoint(network, 2, b_inbox)
+        network.extra_latency = 3.0
+        network.send(a, b, "ping", None)
+        scheduler.run_until(2.0)
+        assert b_inbox == []
+        scheduler.run_until(5.0)
+        assert len(b_inbox) == 1
