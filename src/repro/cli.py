@@ -8,11 +8,15 @@ Usage::
     python -m repro all --out results/
     python -m repro bench
     python -m repro bench store
+    python -m repro bench telemetry
     python -m repro routing --metrics
     python -m repro flightrec --demo
     python -m repro flightrec journal.jsonl --around 103.8 --window 5
     python -m repro chaos
     python -m repro chaos --scenario crash_restart --seed 11
+    python -m repro chaos --metrics
+    python -m repro top --once
+    python -m repro export --out results/
 
 Each command builds the experiment at paper scale (tunable), prints the
 paper-style table, and optionally writes it under ``--out``.  ``bench``
@@ -32,6 +36,14 @@ against the message-level protocol and writes ``BENCH_chaos.json``; it
 exits non-zero when any scenario leaves a persistent invariant
 violation or loses a stored object.  Like ``flightrec`` it owns its
 option set and is parsed separately.
+
+``top`` is the live cluster dashboard on the in-band telemetry plane:
+it drives a seeded demo cluster and redraws per-node vitals, cluster
+rate sparklines, SLO latency tiles, and gray flags each frame
+(``--once`` renders a single frame for CI).  ``export`` runs the same
+cluster and writes the telemetry as ``metrics.prom`` (Prometheus text
+exposition) and ``metrics.jsonl`` (one cluster sample per line).  Both
+own their option sets and are parsed separately.
 """
 
 from __future__ import annotations
@@ -213,6 +225,12 @@ def _run_bench(args: argparse.Namespace) -> str:
             )
         else:
             paths += bench.write_store_bench_file(out_dir)
+    if suite in ("telemetry", "all"):
+        # Deliberately pinned to the telemetry bench's validated seed and
+        # population (not --seed/--population): the detection-latency and
+        # zero-false-positive verdicts are an SLA checked at a fixed
+        # configuration, so the artifact stays comparable across PRs.
+        paths += bench.write_telemetry_bench_file(out_dir)
     report = bench.render_report(paths)
     for path in paths:
         print(f"[saved to {path}]", file=sys.stderr)
@@ -236,7 +254,8 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], str]] = {
 DESCRIPTIONS = {
     "bench": "write BENCH_micro_ops.json / BENCH_routing.json snapshots "
              "('bench routing' compares greedy vs shortcut-cached routing; "
-             "'bench store' writes BENCH_store.json)",
+             "'bench store' writes BENCH_store.json; 'bench telemetry' "
+             "writes BENCH_telemetry.json)",
     "fig2-3": "region size & load maps at 500 nodes (Figures 2/3)",
     "fig5-6": "workload-index std/mean vs population (Figures 5/6)",
     "fig7-8": "convergence by adaptation round (Figures 7/8)",
@@ -262,10 +281,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="which experiment to run ('list' prints descriptions)",
     )
     parser.add_argument(
-        "suite", nargs="?", choices=["routing", "store", "all"], default=None,
+        "suite", nargs="?",
+        choices=["routing", "store", "telemetry", "all"], default=None,
         help="bench only: 'routing' writes just the greedy-vs-cached "
              "BENCH_routing.json; 'store' writes BENCH_store.json instead "
-             "of the micro/routing snapshots; 'all' writes all three",
+             "of the micro/routing snapshots; 'telemetry' writes "
+             "BENCH_telemetry.json (gray-detection latency, digest bytes, "
+             "plane overhead) at its pinned validation seed; 'all' writes "
+             "all four",
     )
     parser.add_argument(
         "--trials", type=int, default=3,
@@ -331,6 +354,11 @@ def build_chaos_parser() -> argparse.ArgumentParser:
         help="skip the reliable-layer wall-clock overhead measurement",
     )
     parser.add_argument(
+        "--metrics", action="store_true",
+        help="run the campaign under a live metrics registry and dump it "
+             "as JSON afterwards (also written as chaos.metrics.json)",
+    )
+    parser.add_argument(
         "--out", type=pathlib.Path, default=None,
         help="directory to write BENCH_chaos.json into (default: cwd)",
     )
@@ -369,7 +397,12 @@ def _chaos_main(argv: List[str]) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    report = run_campaign(config, scenarios=args.scenario)
+    registry = obs.enable() if args.metrics else None
+    try:
+        report = run_campaign(config, scenarios=args.scenario)
+    finally:
+        if registry is not None:
+            obs.disable()
     print(report.render())
 
     payload: Dict[str, object] = {"_meta": bench_meta()}
@@ -399,7 +432,167 @@ def _chaos_main(argv: List[str]) -> int:
     path = out_dir / "BENCH_chaos.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
     print(f"[saved to {path}]", file=sys.stderr)
+    if registry is not None:
+        dump = registry.to_json()
+        print()
+        print("=== metrics: chaos ===")
+        print(dump)
+        metrics_path = out_dir / "chaos.metrics.json"
+        metrics_path.write_text(dump + "\n")
+        print(f"[saved to {metrics_path}]", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def build_top_parser() -> argparse.ArgumentParser:
+    """The ``top`` subcommand's parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro top",
+        description=(
+            "Live cluster dashboard on the in-band telemetry plane: "
+            "drives a seeded demo cluster and redraws per-node vitals, "
+            "cluster-rate sparklines, SLO latency tiles, and gray flags "
+            "each frame.  --once renders a single frame and exits (CI)."
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="demo cluster seed"
+    )
+    parser.add_argument(
+        "--population", type=int, default=10,
+        help="nodes in the demo cluster",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=10.0,
+        help="sim-seconds advanced per frame",
+    )
+    parser.add_argument(
+        "--frames", type=int, default=0,
+        help="stop after this many frames (0 = until interrupted)",
+    )
+    parser.add_argument(
+        "--refresh", type=float, default=1.0,
+        help="wall-clock seconds between frames",
+    )
+    parser.add_argument(
+        "--width", type=int, default=48,
+        help="sparkline width (columns of retained history)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="render one frame without clearing the screen, then exit",
+    )
+    return parser
+
+
+def _top_main(argv: List[str]) -> int:
+    import time
+
+    from repro.obs.telemetry import cluster_sample, demo_cluster, drive_traffic
+    from repro.viz.dashboard import render_dashboard
+
+    args = build_top_parser().parse_args(argv)
+    cluster, rng = demo_cluster(
+        seed=args.seed, population=args.population
+    )
+    frames = 1 if args.once else args.frames
+    samples: List[dict] = []
+    rendered = 0
+    try:
+        while frames <= 0 or rendered < frames:
+            drive_traffic(
+                cluster, rng, duration=args.interval, operations=6
+            )
+            samples.append(cluster_sample(cluster))
+            del samples[: -args.width]
+            page = render_dashboard(samples, width=args.width)
+            if not args.once and sys.stdout.isatty():
+                # Home the cursor and clear to end-of-screen between
+                # frames, the standard flicker-free top(1) redraw.
+                print("\x1b[H\x1b[J", end="")
+            print(page)
+            rendered += 1
+            if args.once or (frames > 0 and rendered >= frames):
+                break
+            time.sleep(max(0.0, args.refresh))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def build_export_parser() -> argparse.ArgumentParser:
+    """The ``export`` subcommand's parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro export",
+        description=(
+            "Run the seeded demo cluster under a live metrics registry "
+            "and export its telemetry: metrics.prom (Prometheus text "
+            "exposition of the registry plus the final cluster sample) "
+            "and metrics.jsonl (one cluster sample per line)."
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="demo cluster seed"
+    )
+    parser.add_argument(
+        "--population", type=int, default=10,
+        help="nodes in the demo cluster",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=6,
+        help="telemetry samples to collect (one per traffic slice)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=10.0,
+        help="sim-seconds advanced per sample",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="directory to write metrics.prom / metrics.jsonl into "
+             "(default: cwd)",
+    )
+    return parser
+
+
+def _export_main(argv: List[str]) -> int:
+    from repro.obs.export import (
+        registry_to_prometheus,
+        sample_to_prometheus,
+        samples_to_jsonl,
+    )
+    from repro.obs.telemetry import cluster_sample, demo_cluster, drive_traffic
+
+    args = build_export_parser().parse_args(argv)
+    if args.samples < 1:
+        print("error: --samples must be >= 1", file=sys.stderr)
+        return 2
+    registry = obs.enable()
+    try:
+        cluster, rng = demo_cluster(
+            seed=args.seed, population=args.population
+        )
+        samples = []
+        for _ in range(args.samples):
+            drive_traffic(
+                cluster, rng, duration=args.interval, operations=6
+            )
+            samples.append(cluster_sample(cluster))
+    finally:
+        obs.disable()
+    out_dir = args.out if args.out is not None else pathlib.Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    prom_path = out_dir / "metrics.prom"
+    prom_path.write_text(
+        registry_to_prometheus(registry) + sample_to_prometheus(samples[-1])
+    )
+    jsonl_path = out_dir / "metrics.jsonl"
+    jsonl_path.write_text(samples_to_jsonl(samples))
+    print(
+        f"exported {args.samples} sample(s) of {len(samples[-1]['nodes'])} "
+        f"node(s) at t={samples[-1]['time']:g}"
+    )
+    for path in (prom_path, jsonl_path):
+        print(f"[saved to {path}]", file=sys.stderr)
+    return 0
 
 
 def build_flightrec_parser() -> argparse.ArgumentParser:
@@ -531,6 +724,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     # ``chaos`` likewise owns its option set (fault-campaign knobs).
     if argv and argv[0] == "chaos":
         return _chaos_main(list(argv[1:]))
+    # ``top`` and ``export`` own their option sets (telemetry-plane
+    # dashboard and exporters).
+    if argv and argv[0] == "top":
+        return _top_main(list(argv[1:]))
+    if argv and argv[0] == "export":
+        return _export_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     if args.suite is not None and args.command != "bench":
         print(
@@ -549,6 +748,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"{'chaos':<14} seeded fault campaign writing BENCH_chaos.json "
             f"(own flags; see 'chaos --help')"
+        )
+        print(
+            f"{'top':<14} live telemetry dashboard of a demo cluster "
+            f"(own flags; see 'top --help')"
+        )
+        print(
+            f"{'export':<14} write metrics.prom / metrics.jsonl telemetry "
+            f"exports (own flags; see 'export --help')"
         )
         return 0
     names = sorted(COMMANDS) if args.command == "all" else [args.command]

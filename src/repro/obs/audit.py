@@ -37,6 +37,12 @@ Checks (each individually selectable):
   entry).  Staleness against the *global* partition is deliberately not
   checked -- lagging entries are the cache's normal state and the
   MISROUTE path repairs them lazily.
+* ``telemetry`` -- the in-band telemetry plane stays structurally
+  consistent: a node's digest version never regresses between audit
+  ticks, the last digest fits the wire byte budget, health views never
+  track their own owner, stay within capacity, and never hold a peer
+  digest version *ahead* of what that peer has actually rolled (a view
+  ahead of its source means fabricated or corrupted evidence).
 
 All checks except ``overlap`` are **soft**: legitimately violated for a
 grant's flight time during growth, so a finding is only *reported* when
@@ -71,6 +77,7 @@ ALL_CHECKS = (
     "store_placement",
     "store_replication",
     "shortcuts",
+    "telemetry",
 )
 
 #: Relative tolerance on area comparisons (matches the cluster checks).
@@ -143,6 +150,9 @@ class InvariantAuditor:
         self._pending: Dict[Tuple[str, str], AuditViolation] = {}
         #: Keys currently in reported-violation state.
         self._active: Set[Tuple[str, str]] = set()
+        #: Digest versions seen at the previous pass, keyed by address
+        #: string (the ``telemetry`` monotonicity memo).
+        self._vitals_memo: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -234,6 +244,8 @@ class InvariantAuditor:
             )
         if "shortcuts" in self.checks:
             findings.extend(self._check_shortcuts(now, nodes))
+        if "telemetry" in self.checks:
+            findings.extend(self._check_telemetry(now, nodes))
         return findings
 
     # ------------------------------------------------------------------
@@ -518,6 +530,83 @@ class InvariantAuditor:
                         data={"owners": [str(node.address)]},
                     )
                 )
+        return findings
+
+    def _check_telemetry(self, now, nodes) -> List[AuditViolation]:
+        """The telemetry plane stays structurally honest.
+
+        Unlike the other checks this one keeps a memo across passes (the
+        per-node digest version seen last time): monotonicity is a claim
+        about *history*, not a property of one snapshot.  The memo is
+        keyed by address and pruned to the live set, so a replacement
+        node reusing an address after an intervening pass re-baselines.
+        """
+        from repro.obs.telemetry import DIGEST_BYTE_BUDGET
+
+        findings = []
+        live_keys: Set[str] = set()
+        by_address = {node.address: node for node in nodes}
+        for node in nodes:
+            vitals = getattr(node, "vitals", None)
+            health = getattr(node, "health", None)
+            if vitals is None or health is None:
+                continue
+            key = str(node.address)
+            live_keys.add(key)
+            problems: List[str] = []
+            seen = self._vitals_memo.get(key)
+            if seen is not None and vitals.version < seen:
+                problems.append(
+                    f"digest version regressed from {seen} to "
+                    f"{vitals.version}"
+                )
+            self._vitals_memo[key] = vitals.version
+            digest = getattr(vitals, "last_digest", None)
+            if digest is not None:
+                size = digest.encoded_size()
+                if size > DIGEST_BYTE_BUDGET:
+                    problems.append(
+                        f"last digest is {size} bytes, over the "
+                        f"{DIGEST_BYTE_BUDGET}-byte wire budget"
+                    )
+            if node.address in health.peers:
+                problems.append("health view tracks its own owner")
+            if len(health.peers) > health.capacity:
+                problems.append(
+                    f"health view holds {len(health.peers)} peers over "
+                    f"capacity {health.capacity}"
+                )
+            for peer_address in sorted(
+                health.peers, key=lambda a: (a.ip, a.port)
+            ):
+                peer = by_address.get(peer_address)
+                if peer is None:
+                    continue  # dead or departed peer: nothing to compare
+                peer_vitals = getattr(peer, "vitals", None)
+                if peer_vitals is None:
+                    continue
+                stored = health.peers[peer_address].version
+                if stored > peer_vitals.version:
+                    problems.append(
+                        f"view holds digest v{stored} of {peer_address}, "
+                        f"which has only rolled v{peer_vitals.version}"
+                    )
+            for problem in problems:
+                findings.append(
+                    AuditViolation(
+                        time=now,
+                        check="telemetry",
+                        severity="soft",
+                        subject=f"{key}:{problem}",
+                        detail=f"telemetry plane of {key}: {problem}",
+                        data={"owners": [key]},
+                    )
+                )
+        # Prune departed nodes so a same-address replacement that joins
+        # after at least one pass is not judged against its predecessor.
+        for key in list(self._vitals_memo):
+            if key not in live_keys:
+                del self._vitals_memo[key]
         return findings
 
     # ------------------------------------------------------------------

@@ -8,7 +8,10 @@ trajectory of the codebase accumulates across PRs instead of living only
 in transient pytest-benchmark output.  ``python -m repro bench store``
 additionally runs the location-store suite and writes
 ``BENCH_store.json`` (update throughput, update/lookup hop counts, and
-objects migrated per adaptation).
+objects migrated per adaptation).  ``python -m repro bench telemetry``
+writes ``BENCH_telemetry.json``: gray-failure detection latency from the
+chaos campaign, heartbeat digest byte overhead, and the wall-clock cost
+of the in-band telemetry plane versus ``telemetry_enabled=False``.
 
 The micro-ops run also measures the *instrumentation overhead*: the same
 hot-path workload is timed with the no-op facade (collection off) and
@@ -554,6 +557,120 @@ def write_store_bench_file(
         adaptation_rounds=adaptation_rounds,
     )
     path = out_dir / "BENCH_store.json"
+    path.write_text(_stamped_json(registry, bench_meta()) + "\n")
+    return [path]
+
+
+def run_telemetry_bench(
+    registry: MetricsRegistry,
+    seed: int = 7,
+    population: int = 8,
+    objects: int = 8,
+    skip_overhead: bool = False,
+    scenarios: Optional[Sequence[str]] = None,
+) -> None:
+    """Record the telemetry-plane benchmark into ``registry``.
+
+    Three claims of the in-band telemetry PR, each made machine-checkable:
+
+    * **Detection**: the chaos campaign's gray-failure scenario must flag
+      the injected gray node in-band within the tick budget
+      (``telemetry.detection.detected`` = 1, ``.ticks`` <= ``.budget``)
+      with zero false positives across every other scenario
+      (``telemetry.detection.false_positives`` = 0).
+    * **Digest size**: heartbeat piggybacks stay bounded
+      (``telemetry.digest.bytes_max`` <= ``.byte_budget``).
+    * **Overhead**: the plane costs < 10% wall-clock on the routing and
+      store workloads (``telemetry.overhead.*.ratio`` < 1.10).
+
+    Plus the client-edge SLO latency snapshot of a settled demo cluster
+    (``telemetry.slo.*``), the numbers the dashboard tiles show.
+    """
+    from repro.obs.telemetry import (
+        cluster_sample,
+        demo_cluster,
+        drive_traffic,
+        measure_digest_overhead,
+        measure_telemetry_overhead,
+    )
+    from repro.sim.chaos import ChaosConfig, run_campaign
+
+    config = ChaosConfig(
+        seed=seed, population=population, objects=objects, recovery=160.0
+    )
+    report = run_campaign(config, scenarios=scenarios)
+    false_positives = 0
+    for result in report.results:
+        registry.set_gauge(
+            f"telemetry.campaign.{result.name}_ok", 1.0 if result.ok else 0.0
+        )
+        false_positives += len(result.false_positives)
+        if result.gray_expected is not None:
+            detected = result.detect_ticks is not None
+            registry.set_gauge(
+                "telemetry.detection.detected", 1.0 if detected else 0.0
+            )
+            if detected:
+                registry.set_gauge(
+                    "telemetry.detection.ticks", result.detect_ticks
+                )
+            registry.set_gauge(
+                "telemetry.detection.budget", result.detect_budget
+            )
+    registry.set_gauge("telemetry.detection.false_positives", false_positives)
+
+    digest = measure_digest_overhead(seed=seed, population=population)
+    registry.set_gauge("telemetry.digest.bytes_mean", digest["bytes_mean"])
+    registry.set_gauge("telemetry.digest.bytes_max", digest["bytes_max"])
+    registry.set_gauge("telemetry.digest.byte_budget", digest["byte_budget"])
+    registry.set_gauge(
+        "telemetry.digest.within_budget",
+        1.0 if digest["within_budget"] else 0.0,
+    )
+
+    if not skip_overhead:
+        overhead = measure_telemetry_overhead(seed=seed)
+        for workload, row in sorted(overhead.items()):
+            for key, value in sorted(row.items()):
+                registry.set_gauge(
+                    f"telemetry.overhead.{workload}.{key}", value
+                )
+
+    cluster, rng = demo_cluster(seed=seed, population=population)
+    drive_traffic(cluster, rng, duration=30.0, operations=12)
+    sample = cluster_sample(cluster)
+    for name, row in sorted(sample["slo"].items()):
+        for key in ("count", "p50", "p95", "p99"):
+            registry.set_gauge(f"telemetry.{name}.{key}", row[key])
+    registry.set_gauge("telemetry.flagged_nodes", len(sample["flagged"]))
+
+
+def write_telemetry_bench_file(
+    out_dir: pathlib.Path,
+    seed: int = 7,
+    population: int = 8,
+    objects: int = 8,
+    skip_overhead: bool = False,
+    scenarios: Optional[Sequence[str]] = None,
+) -> List[pathlib.Path]:
+    """Run the telemetry benchmark and write ``BENCH_telemetry.json``.
+
+    Returns the written path in a one-element list (same shape as
+    :func:`write_bench_files`, so callers can concatenate and feed
+    :func:`render_report`).
+    """
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    registry = MetricsRegistry()
+    run_telemetry_bench(
+        registry,
+        seed=seed,
+        population=population,
+        objects=objects,
+        skip_overhead=skip_overhead,
+        scenarios=scenarios,
+    )
+    path = out_dir / "BENCH_telemetry.json"
     path.write_text(_stamped_json(registry, bench_meta()) + "\n")
     return [path]
 

@@ -1,0 +1,152 @@
+"""Metric export: Prometheus text exposition and JSONL time series.
+
+Everything the repo measures stays machine-readable, but until now the
+only formats were the ``BENCH_*.json`` snapshot schema and the flight
+recorder's journal.  This module renders the two remaining lingua
+francas -- used by ``python -m repro export`` and asserted by the CI
+telemetry smoke job:
+
+* :func:`registry_to_prometheus` -- a
+  :class:`~repro.obs.registry.MetricsRegistry` in the Prometheus text
+  exposition format (version 0.0.4): counters as ``_total`` counters,
+  gauges as gauges, histograms as summaries with quantile labels.
+* :func:`sample_to_prometheus` -- one :func:`~repro.obs.telemetry.cluster_sample`
+  as per-node gauges (labelled ``{node="ip:port"}``) plus cluster-rate
+  and SLO-summary series.
+* :func:`samples_to_jsonl` -- a sequence of cluster samples as JSON
+  Lines, the append-friendly time-series form the dashboards and
+  notebooks consume.
+
+All three are pure functions of their inputs: no clock reads, no global
+state, so exports are as deterministic as the registries and samples
+they render.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, Iterable, List
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "prometheus_name",
+    "registry_to_prometheus",
+    "sample_to_prometheus",
+    "samples_to_jsonl",
+]
+
+#: Characters Prometheus allows in a metric name.
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: The per-node numeric fields of a cluster sample row exported as
+#: labelled gauges (field name -> help text).
+_NODE_FIELDS = {
+    "sent_rate": "messages sent per sim-second over the last vitals window",
+    "recv_rate": "messages received per sim-second over the last window",
+    "retry_rate": "reliable-layer retransmits per sim-second",
+    "dead_letters": "reliable exchanges abandoned (lifetime)",
+    "store_size": "location objects held by the node's store",
+    "anti_entropy_debt": "replica buckets awaiting anti-entropy repair",
+    "shortcut_hit_rate": "routing shortcut cache hit rate over the window",
+    "handler_ms": "mean handler wall-time (ms) over the window",
+    "queue_depth": "messages in flight toward the node",
+    "digest_bytes": "wire size of the node's last vitals digest",
+    "peers_tracked": "peers in the node's neighborhood health view",
+}
+
+
+def prometheus_name(dotted: str, namespace: str = "repro") -> str:
+    """``layer.component.metric`` -> ``namespace_layer_component_metric``."""
+    flat = _NAME_OK.sub("_", dotted)
+    if namespace:
+        flat = f"{namespace}_{flat}"
+    if flat and flat[0].isdigit():
+        flat = f"_{flat}"
+    return flat
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integers stay integral, floats repr()."""
+    number = float(value)
+    if number.is_integer():
+        return str(int(number))
+    return repr(number)
+
+
+def registry_to_prometheus(
+    registry: MetricsRegistry, namespace: str = "repro"
+) -> str:
+    """The registry in Prometheus text exposition format.
+
+    Counters keep their monotone semantics (``_total`` suffix, TYPE
+    counter); histograms become summaries: ``{quantile=...}`` series from
+    the deterministic reservoir plus exact ``_sum`` and ``_count``.
+    """
+    lines: List[str] = []
+    for counter in registry.counters():
+        name = prometheus_name(counter.name, namespace) + "_total"
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_fmt(counter.value)}")
+    for gauge in registry.gauges():
+        name = prometheus_name(gauge.name, namespace)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(gauge.value)}")
+    for histogram in registry.histograms():
+        name = prometheus_name(histogram.name, namespace)
+        summary = histogram.summary()
+        lines.append(f"# TYPE {name} summary")
+        for quantile, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            lines.append(
+                f'{name}{{quantile="{quantile}"}} {_fmt(summary[key])}'
+            )
+        lines.append(f"{name}_sum {_fmt(histogram.total)}")
+        lines.append(f"{name}_count {_fmt(histogram.count)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def sample_to_prometheus(
+    sample: Dict[str, Any], namespace: str = "repro"
+) -> str:
+    """One cluster telemetry sample in Prometheus text format.
+
+    Per-node vitals become gauges labelled by node address; cluster-wide
+    rates, SLO summaries, and the gray-flag count ride alongside, so one
+    scrape of the export file carries the whole dashboard state.
+    """
+    lines: List[str] = []
+
+    def gauge(dotted: str, value: float, label: str = "") -> None:
+        name = prometheus_name(dotted, namespace)
+        lines.append(f"{name}{label} {_fmt(value)}")
+
+    gauge("cluster.time", sample.get("time", 0.0))
+    for field, help_text in _NODE_FIELDS.items():
+        name = prometheus_name(f"node.{field}", namespace)
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+        for row in sample.get("nodes", ()):
+            lines.append(
+                f'{name}{{node="{row["address"]}"}} {_fmt(row[field])}'
+            )
+    for kind, value in sorted(sample.get("rates", {}).items()):
+        gauge(f"cluster.{kind}_rate", value)
+    gauge("cluster.flagged", len(sample.get("flagged", ())))
+    for slo_name, summary in sorted(sample.get("slo", {}).items()):
+        name = prometheus_name(slo_name, namespace)
+        lines.append(f"# TYPE {name} summary")
+        for quantile, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            lines.append(
+                f'{name}{{quantile="{quantile}"}} {_fmt(summary[key])}'
+            )
+        lines.append(f"{name}_count {_fmt(summary['count'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def samples_to_jsonl(samples: Iterable[Dict[str, Any]]) -> str:
+    """Cluster samples as JSON Lines (one compact object per line)."""
+    return "".join(
+        json.dumps(sample, sort_keys=True, separators=(",", ":")) + "\n"
+        for sample in samples
+    )

@@ -121,6 +121,15 @@ class Histogram:
         """Exact mean over all observations (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def samples(self) -> Tuple[float, ...]:
+        """The current reservoir contents (for merging across histograms).
+
+        A pooled percentile over several nodes' reservoirs (e.g. the
+        cluster-wide SLO tiles of ``repro top``) needs the raw samples;
+        summaries cannot be merged.
+        """
+        return tuple(self._sample)
+
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile ``q`` in [0, 100] over the reservoir."""
         if not (0.0 <= q <= 100.0):
@@ -259,6 +268,18 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
+    def counters(self) -> Tuple[Counter, ...]:
+        """Every counter, sorted by name (for exporters)."""
+        return tuple(self._counters[k] for k in sorted(self._counters))
+
+    def gauges(self) -> Tuple[Gauge, ...]:
+        """Every gauge, sorted by name (for exporters)."""
+        return tuple(self._gauges[k] for k in sorted(self._gauges))
+
+    def histograms(self) -> Tuple[Histogram, ...]:
+        """Every histogram, sorted by name (for exporters)."""
+        return tuple(self._histograms[k] for k in sorted(self._histograms))
+
     def events(self, kind: Optional[str] = None) -> Tuple[TraceEvent, ...]:
         """Retained trace events, optionally filtered by ``kind``."""
         if kind is None:

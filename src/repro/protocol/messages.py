@@ -10,11 +10,14 @@ destination.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Hashable, Optional, Tuple
 
 from repro.geometry import Point, Rect
 from repro.core.node import NodeAddress
 from repro.store.spatial import BucketKey, ObjectRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs.telemetry import VitalsDigest
 
 # ---------------------------------------------------------------------
 # Management message kinds
@@ -199,6 +202,32 @@ class HeartbeatBody:
     #: channel telling the hole's other neighbors which live node serves
     #: that ground (receivers cache it as a routing shortcut).
     caretaken: Tuple[Rect, ...] = ()
+    #: The sender's piggybacked telemetry digest (the in-band telemetry
+    #: plane rides existing heartbeats -- no new round-trips).  ``None``
+    #: on peer heartbeats and when ``NodeConfig.telemetry_enabled`` is
+    #: off; receivers fold it into their neighborhood health view.
+    vitals: Optional["VitalsDigest"] = None
+    #: Consecutive heartbeat ticks (including this one) on which the
+    #: sender addressed *this* receiver.  Neighbor-set churn silently
+    #: pauses a sender's heartbeats to a peer; without this attestation
+    #: the resulting arrival gap is indistinguishable from in-flight
+    #: loss, and the health view would blame a healthy node for it.
+    #: ``0`` means the sender does not attest (telemetry off).
+    vitals_streak: int = 0
+
+
+def heartbeat_with_streak(beat: HeartbeatBody, streak: int) -> HeartbeatBody:
+    """A copy of ``beat`` carrying ``vitals_streak=streak``.
+
+    Equivalent to ``dataclasses.replace(beat, vitals_streak=streak)``
+    but roughly 3x cheaper: the telemetry plane stamps one copy per
+    neighbor per heartbeat tick, and ``replace()`` re-runs the frozen
+    ``__init__``, which pays an ``object.__setattr__`` per field.
+    """
+    clone = object.__new__(HeartbeatBody)
+    clone.__dict__.update(beat.__dict__)
+    clone.__dict__["vitals_streak"] = streak
+    return clone
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,8 @@ from __future__ import annotations
 import itertools
 import math
 import random
+import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
@@ -21,6 +23,9 @@ from repro.bootstrap import BootstrapServer, HostCache
 from repro.core.node import Node, NodeAddress
 from repro import obs
 from repro.obs import causal
+from repro.obs.health import HealthScorer, NeighborHealthView
+from repro.obs.registry import Histogram
+from repro.obs.telemetry import EVENT_SAMPLE, VitalsFrame
 from repro.sim.scheduler import EventScheduler
 from repro.sim.transport import Message, SimNetwork
 from repro.store.spatial import GridIndex, ObjectRecord
@@ -38,6 +43,10 @@ DeliverCallback = Callable[[Point, Any], None]
 #: or repaired by anti-entropy, so hop-by-hop acks would only buy them
 #: message overhead.
 RELIABLE_ROUTED_KINDS = frozenset({m.STORE_UPDATE})
+
+#: Cap on outstanding client operations tracked for SLO latency; older
+#: entries (lost requests that never completed) fall off the LRU.
+SLO_PENDING_LIMIT = 1024
 
 _request_ids = itertools.count(1)
 
@@ -145,6 +154,13 @@ class NodeConfig:
     reliable_backoff: float = 2.0
     #: Seeded fractional jitter applied to every armed ack deadline.
     reliable_jitter: float = 0.25
+    #: Whether the in-band telemetry plane runs: per-node vitals frames,
+    #: digest piggybacks on neighbor heartbeats, neighborhood health
+    #: views, gray-failure flagging, and client-edge SLO histograms.
+    #: Pure observation -- no protocol decision consults it -- so the
+    #: knob exists for overhead ablation (``repro bench telemetry``),
+    #: not correctness.
+    telemetry_enabled: bool = True
     #: Whether a primary that sees a persistently uncovered stretch of
     #: its own perimeter probes it.  Grants born inside an incomplete
     #: neighborhood can leave two adjacent primaries mutually blind --
@@ -318,6 +334,41 @@ class ProtocolNode:
             enabled=cfg.reliable_enabled,
             is_alive=lambda: self.alive or self._draining,
         )
+
+        #: The in-band telemetry plane (repro.obs.telemetry/.health):
+        #: a vitals frame fed by cheap hooks, a decaying neighborhood
+        #: health view fed by heartbeat digests and reliable-channel
+        #: evidence, and client-edge SLO histograms.  Pure observation:
+        #: nothing protocol-visible branches on any of it, and none of
+        #: it consumes ``self.rng``, so seeded runs stay byte-identical
+        #: with the plane on or off.
+        self._telemetry = cfg.telemetry_enabled
+        self.vitals = VitalsFrame()
+        self.health = NeighborHealthView(
+            expected_interval=cfg.heartbeat_interval,
+            owner=self.address,
+            scorer=HealthScorer(
+                seed=zlib.crc32(str(self.address).encode("utf-8"))
+            ),
+        )
+        #: Divergent-bucket count from the last anti-entropy diff this
+        #: node ran as secondary (0 = replica converged).
+        self._anti_entropy_debt = 0
+        #: Per-destination consecutive heartbeat-tick send streaks, the
+        #: attestation stamped on outgoing heartbeats (see
+        #: ``HeartbeatBody.vitals_streak``).
+        self._hb_streak: Dict[NodeAddress, int] = {}
+        #: Outstanding client operations: request_id -> (SLO name,
+        #: started at).  A plain insertion-ordered dict doubles as the
+        #: bounded FIFO (evict via ``next(iter(...))``): cheaper per
+        #: operation than an OrderedDict on this client-edge hot path.
+        self._slo_pending: Dict[int, Tuple[str, float]] = {}
+        #: Client-edge SLO reservoir histograms, keyed by SLO name.
+        self._slo: Dict[str, Histogram] = {}
+        if self._telemetry:
+            self.reliable.on_retry_observed = self._note_retry
+            self.reliable.on_dead_letter_observed = self._note_dead_letter
+            self.reliable.on_ack_observed = self._note_ack_latency
 
         self._join_attempt = 0
         self._handlers = {
@@ -540,12 +591,18 @@ class ProtocolNode:
     def _attach(self) -> None:
         self._draining = False
         self.network.register(self.address, self.node.coord, self._receive)
+        if self._telemetry:
+            self.network.set_send_frame(self.address, self.vitals)
         self.bootstrap.register(self.address)
         self.alive = True
 
     def _detach(self, graceful: bool) -> None:
         self.alive = False
         self.joined = False
+        # A revived node must not claim it was heartbeating through its
+        # outage: streaks restart so receivers re-baseline the gap.
+        self._hb_streak.clear()
+        self.network.clear_send_frame(self.address)
         self.reliable.cancel_all()
         for timer in self._timers:
             timer.cancel()
@@ -602,6 +659,86 @@ class ProtocolNode:
         self._window_served = 0
 
     # ------------------------------------------------------------------
+    # Telemetry plane (vitals, health, SLO latency)
+    # ------------------------------------------------------------------
+    def _note_retry(self, destination: NodeAddress, kind: str) -> None:
+        """Reliable-channel observer: a retransmit toward ``destination``."""
+        self.vitals.on_retry()
+        self.health.note_retry(destination, self.scheduler.now)
+
+    def _note_dead_letter(self, destination: NodeAddress, kind: str) -> None:
+        """Reliable-channel observer: an exchange was abandoned."""
+        self.vitals.on_dead_letter()
+        self.health.note_dead_letter(destination, self.scheduler.now)
+
+    def _note_ack_latency(self, destination: NodeAddress, rtt: float) -> None:
+        """Reliable-channel observer: a confirmed exchange's round-trip."""
+        # Inlined EWMA for the common case (entry already tracked): this
+        # fires on every confirmed reliable exchange, and the full
+        # note_ack() path costs two extra calls plus a scheduler.now
+        # property read it never uses.
+        health = self.health
+        entry = health.peers.get(destination)
+        if entry is None:
+            health.note_ack(destination, rtt, self.scheduler.now)
+        elif entry.ack_ewma == 0.0:
+            entry.ack_ewma = rtt
+        else:
+            entry.ack_ewma += health.gap_alpha * (rtt - entry.ack_ewma)
+
+    def _slo_start(self, request_id: int, name: str) -> None:
+        """Mark the client-edge start of operation ``request_id``."""
+        if not self._telemetry:
+            return
+        # scheduler._now read directly: this and _slo_finish run on every
+        # client operation, and the ``now`` property is pure overhead here.
+        self._slo_pending[request_id] = (name, self.scheduler._now)
+        while len(self._slo_pending) > SLO_PENDING_LIMIT:
+            del self._slo_pending[next(iter(self._slo_pending))]
+
+    def _slo_finish(self, request_id: int) -> None:
+        """Record the SLO latency of a completing operation.
+
+        Only the *first* completion counts (a fanned-out lookup answers
+        once per region; the SLO is time-to-first-answer).  Unknown ids
+        -- completions of operations issued elsewhere, or pushed off the
+        pending LRU -- are ignored.
+        """
+        if not self._telemetry:
+            return
+        entry = self._slo_pending.pop(request_id, None)
+        if entry is None:
+            return
+        name, started = entry
+        elapsed = self.scheduler._now - started
+        histogram = self._slo.get(name)
+        if histogram is None:
+            histogram = Histogram(name, reservoir=512)
+            self._slo[name] = histogram
+        histogram.observe(elapsed)
+        obs.observe(name, elapsed)
+
+    def slo_histograms(self) -> Dict[str, Histogram]:
+        """This node's client-edge SLO histograms (may be empty)."""
+        return dict(self._slo)
+
+    def health_flags(self) -> List[NodeAddress]:
+        """Peers this node's health view currently calls gray.
+
+        Filters peers the classic failure detector already suspects: a
+        suspected peer is (believed) *dead*, which is the opposite
+        diagnosis of gray (alive but quietly degraded), and routing
+        already avoids it.
+        """
+        if not self._telemetry or not self.alive:
+            return []
+        return [
+            address
+            for address in self.health.flags(self.scheduler.now)
+            if address not in self.suspected
+        ]
+
+    # ------------------------------------------------------------------
     # Application API
     # ------------------------------------------------------------------
     def send_to_point(self, target: Point, payload: Any) -> int:
@@ -611,6 +748,7 @@ class ProtocolNode:
         :attr:`delivered` when it comes back.
         """
         request_id = next(_request_ids)
+        self._slo_start(request_id, "slo.route.completion")
         body = m.RouteBody(
             origin=self.address, target=target, payload=payload,
             request_id=request_id,
@@ -670,6 +808,7 @@ class ProtocolNode:
         the request id.
         """
         request_id = next(_request_ids)
+        self._slo_start(request_id, "slo.store.update_commit")
         record = ObjectRecord(
             object_id=object_id, point=point, payload=payload, version=version
         )
@@ -697,6 +836,7 @@ class ProtocolNode:
         when the primary is unreachable, its secondary replica).
         """
         request_id = next(_request_ids)
+        self._slo_start(request_id, "slo.store.lookup")
         body = m.StoreLookupBody(
             origin=self.address, rect=rect, request_id=request_id
         )
@@ -723,7 +863,35 @@ class ProtocolNode:
         self.last_seen[message.source] = self.scheduler.now
         self.suspected.discard(message.source)
         handler = self._handlers.get(message.kind)
-        if handler is not None:
+        if handler is None:
+            return
+        if self._telemetry:
+            # Ingress accounting, inlining VitalsFrame.on_recv: this is
+            # the hottest telemetry touchpoint (every delivered
+            # message), so the common path is a bare countdown tick --
+            # exact receive totals are recovered from the countdown (see
+            # EVENT_SAMPLE), while per-kind attribution, the accounting
+            # bookkeeping and the two perf_counter handler-timing calls
+            # are all paid only on the sampled 1-in-N dispatch.
+            # Wall-clock values are display-only (digests, dashboards);
+            # the protocol never branches on them, so determinism of
+            # seeded runs is unaffected.
+            vitals = self.vitals
+            n = vitals.profile_countdown - 1
+            if n:
+                vitals.profile_countdown = n
+                handler(message)
+            else:
+                vitals.profile_countdown = EVENT_SAMPLE
+                vitals._recv_accounted += EVENT_SAMPLE
+                kind = message.kind
+                vitals.recv_by_kind[kind] += EVENT_SAMPLE
+                started = time.perf_counter()
+                try:
+                    handler(message)
+                finally:
+                    vitals.on_handler(kind, time.perf_counter() - started)
+        else:
             handler(message)
 
     def _on_reliable(self, message: Message) -> None:
@@ -834,6 +1002,12 @@ class ProtocolNode:
                 if endpoint is not None and endpoint != self.address:
                     self.shortcuts.touch(shortcut.rect)
                     self.shortcuts.hits += 1
+                    if self._telemetry:
+                        # Inlined VitalsFrame.on_shortcut(True): runs on
+                        # every shortcut routing decision.
+                        vitals = self.vitals
+                        vitals.shortcut_hits += 1
+                        vitals._win_shortcut_hits += 1
                     obs.inc("routing.shortcut.hit")
                     causal.annotate(
                         "shortcut_hop",
@@ -857,6 +1031,11 @@ class ProtocolNode:
             return False
         if self.shortcuts.enabled:
             self.shortcuts.misses += 1
+            if self._telemetry:
+                # Inlined VitalsFrame.on_shortcut(False).
+                vitals = self.vitals
+                vitals.shortcut_misses += 1
+                vitals._win_shortcut_misses += 1
             obs.inc("routing.shortcut.miss")
         self._send_hop(best_address, kind, body.forwarded(), inner_kind=kind)
         return True
@@ -1541,14 +1720,48 @@ class ProtocolNode:
     def _send_neighbor_heartbeats(self) -> None:
         if not self.alive or self.owned is None or self.owned.role != "primary":
             return
+        vitals = None
+        if self._telemetry:
+            # One roll per heartbeat tick: the digest version advances
+            # monotonically and every neighbor receives the same frame.
+            now = self.scheduler.now
+            vitals = self.vitals.roll(
+                now=now,
+                store_size=len(self.owned.store),
+                anti_entropy_debt=self._anti_entropy_debt,
+                queue_depth=self.network.in_flight_to(self.address),
+                suspects=self.health.suspects(now),
+            )
+        neighbors = tuple(self.neighbor_table.values())
+        caretaken = tuple(self.caretaker_rects)
         beat = m.HeartbeatBody(
             rect=self.owned.rect, role="primary", secondary=self.owned.peer,
-            neighbors=tuple(self.neighbor_table.values()),
+            neighbors=neighbors,
             index=self.workload_index, capacity=self.node.capacity,
-            caretaken=tuple(self.caretaker_rects),
+            caretaken=caretaken,
+            vitals=vitals,
         )
-        for info in self.neighbor_table.values():
-            self.network.send(self.address, info.primary, m.HEARTBEAT, beat)
+        streaks: Dict[NodeAddress, int] = {}
+        if vitals is not None:
+            # Attest per-destination send streaks: a destination dropped
+            # from the neighbor set restarts at 1, telling its health
+            # view that the silence was churn, not loss.
+            for info in neighbors:
+                dest = info.primary
+                streaks[dest] = self._hb_streak.get(dest, 0) + 1
+            self._hb_streak = streaks
+        # Destinations that entered the neighbor set together carry the
+        # same streak, so one stamped clone usually serves most of them.
+        clones: Dict[int, m.HeartbeatBody] = {}
+        for info in neighbors:
+            body = beat
+            if vitals is not None:
+                streak = streaks[info.primary]
+                body = clones.get(streak)
+                if body is None:
+                    body = m.heartbeat_with_streak(beat, streak)
+                    clones[streak] = body
+            self.network.send(self.address, info.primary, m.HEARTBEAT, body)
         self._probe_perimeter_gap()
 
     # ------------------------------------------------------------------
@@ -1647,7 +1860,7 @@ class ProtocolNode:
         # Re-arm the damping counter so an unhealed gap is re-probed
         # every other tick, not every tick.
         self._perimeter_gap_ticks = 0
-        obs.inc("perimeter.probe_sent")
+        obs.inc("protocol.perimeter.probe_sent")
         causal.annotate(
             "perimeter_probe",
             prober=str(self.address),
@@ -1674,7 +1887,7 @@ class ProtocolNode:
         the ttl bounds undeliverable probes.
         """
         if body.ttl <= 0:
-            obs.inc("perimeter.probe_expired")
+            obs.inc("protocol.perimeter.probe_expired")
             return
         best_address: Optional[NodeAddress] = None
         best_distance = math.inf
@@ -1693,7 +1906,7 @@ class ProtocolNode:
                 best_distance = distance
                 best_address = endpoint
         if best_address is None:
-            obs.inc("perimeter.probe_dead_end")
+            obs.inc("protocol.perimeter.probe_dead_end")
             return
         self.network.send(
             self.address, best_address, m.PERIMETER_PROBE, body
@@ -1719,7 +1932,7 @@ class ProtocolNode:
         if not serves:
             self._forward_probe(body.forwarded(self.address))
             return
-        obs.inc("perimeter.probe_served")
+        obs.inc("protocol.perimeter.probe_served")
         causal.annotate(
             "perimeter_heal",
             server=str(self.address),
@@ -1776,6 +1989,17 @@ class ProtocolNode:
                     m.SecondaryReleasedBody(rect=body.rect),
                 )
             return
+        # Fold the piggybacked vitals digest (when the sender runs the
+        # telemetry plane) before any early return below: health evidence
+        # is observational and must not depend on how the ownership
+        # claims shake out.
+        if self._telemetry and body.vitals is not None:
+            self.health.observe(
+                message.source,
+                body.vitals,
+                self.scheduler.now,
+                streak=body.vitals_streak or None,
+            )
         # A heartbeat is authoritative: the sender serves that region right
         # now.  Refresh the entry -- and *re-install* it if the region is
         # adjacent to ours, which self-heals tables after lost updates and
@@ -2426,6 +2650,7 @@ class ProtocolNode:
 
     def _on_route_delivered(self, message: Message) -> None:
         body: m.RouteDeliveredBody = message.body
+        self._slo_finish(body.request_id)
         if body.region is not None:
             self._learn_shortcut(
                 m.NeighborInfo(rect=body.region, primary=body.executor)
@@ -2621,6 +2846,7 @@ class ProtocolNode:
 
     def _on_store_ack(self, message: Message) -> None:
         body: m.StoreAckBody = message.body
+        self._slo_finish(body.request_id)
         if body.region is not None:
             self._learn_shortcut(
                 m.NeighborInfo(rect=body.region, primary=body.executor)
@@ -2765,6 +2991,7 @@ class ProtocolNode:
 
     def _on_store_result(self, message: Message) -> None:
         body: m.StoreResultBody = message.body
+        self._slo_finish(body.request_id)
         if not body.from_replica:
             # Replica answers name the secondary as executor; caching that
             # as a region's primary would poison the entry.
@@ -2818,6 +3045,9 @@ class ProtocolNode:
         ):
             return
         divergent = self.owned.store.diff_keys(dict(body.digest))
+        # Anti-entropy debt: how far this replica trails its primary,
+        # surfaced through the next vitals digest.
+        self._anti_entropy_debt = len(divergent)
         if not divergent:
             return
         bounded = tuple(divergent[: self.config.store_repair_max_buckets])

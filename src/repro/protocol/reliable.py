@@ -19,8 +19,8 @@ generalizes it so every critical exchange rides the same machinery.
   backoff and seeded jitter, per-message-class timeouts
   (:class:`RetryPolicy`), and a bounded attempt budget; exhausted sends
   become *dead letters*, individually recorded and surfaced through
-  ``obs`` counters (``reliable.dead_letter.<kind>``) so a campaign can
-  tally exactly what the network refused to carry.
+  ``obs`` counters (``protocol.reliable.dead_letter.<kind>``) so a
+  campaign can tally exactly what the network refused to carry.
 * **Receiver**: every arriving envelope is acked immediately -- even a
   duplicate, since the duplicate means the previous ack was the lost
   message -- and deduplicated against a bounded LRU of ``(source,
@@ -131,11 +131,11 @@ class _Pending:
 
     __slots__ = (
         "nonce", "destination", "kind", "body", "policy", "attempts",
-        "timer", "on_ack", "on_give_up",
+        "timer", "on_ack", "on_give_up", "first_sent",
     )
 
     def __init__(self, nonce, destination, kind, body, policy,
-                 on_ack, on_give_up):
+                 on_ack, on_give_up, first_sent=0.0):
         self.nonce = nonce
         self.destination = destination
         self.kind = kind
@@ -145,6 +145,10 @@ class _Pending:
         self.timer = None
         self.on_ack = on_ack
         self.on_give_up = on_give_up
+        #: Sim time of the first transmission; an eventual ack's age
+        #: against it is the exchange round-trip the telemetry plane
+        #: attributes to the destination.
+        self.first_sent = first_sent
 
 
 #: Receiver-side dispatch callback: ``(kind, body, envelope_message)``.
@@ -182,6 +186,19 @@ class ReliableChannel:
         self.dedup_capacity = dedup_capacity
         self._is_alive = is_alive if is_alive is not None else (lambda: True)
         self.stats = ReliableStats()
+        #: Optional telemetry observers (the in-band vitals/health plane):
+        #: ``on_retry_observed(destination, kind)`` per retransmission,
+        #: ``on_dead_letter_observed(destination, kind)`` per give-up,
+        #: ``on_ack_observed(destination, rtt)`` per confirmed exchange.
+        self.on_retry_observed: Optional[
+            Callable[[NodeAddress, str], None]
+        ] = None
+        self.on_dead_letter_observed: Optional[
+            Callable[[NodeAddress, str], None]
+        ] = None
+        self.on_ack_observed: Optional[
+            Callable[[NodeAddress, float], None]
+        ] = None
         self.dead_letters: Deque[DeadLetter] = deque(maxlen=DEAD_LETTER_LIMIT)
         self._pending: Dict[int, _Pending] = {}
         self._nonces = itertools.count(1)
@@ -220,11 +237,12 @@ class ReliableChannel:
             return 0
         nonce = next(self._nonces)
         pending = _Pending(
-            nonce, destination, kind, body, policy, on_ack, on_give_up
+            nonce, destination, kind, body, policy, on_ack, on_give_up,
+            first_sent=self.scheduler.now,
         )
         self._pending[nonce] = pending
         self.stats.sent += 1
-        obs.inc("reliable.sent")
+        obs.inc("protocol.reliable.sent")
         self._transmit(pending)
         return nonce
 
@@ -260,8 +278,10 @@ class ReliableChannel:
             self._give_up(pending)
             return
         self.stats.retries += 1
-        obs.inc("reliable.retries")
-        obs.inc(f"reliable.retries.{pending.kind}")
+        obs.inc("protocol.reliable.retries")
+        obs.inc(f"protocol.reliable.retries.{pending.kind}")
+        if self.on_retry_observed is not None:
+            self.on_retry_observed(pending.destination, pending.kind)
         causal.annotate(
             "reliable_retry",
             sender=str(self.address),
@@ -275,8 +295,10 @@ class ReliableChannel:
     def _give_up(self, pending: _Pending) -> None:
         self._pending.pop(pending.nonce, None)
         self.stats.dead_lettered += 1
-        obs.inc("reliable.dead_letter")
-        obs.inc(f"reliable.dead_letter.{pending.kind}")
+        obs.inc("protocol.reliable.dead_letter")
+        obs.inc(f"protocol.reliable.dead_letter.{pending.kind}")
+        if self.on_dead_letter_observed is not None:
+            self.on_dead_letter_observed(pending.destination, pending.kind)
         self.dead_letters.append(
             DeadLetter(
                 nonce=pending.nonce,
@@ -309,7 +331,11 @@ class ReliableChannel:
         if pending.timer is not None:
             pending.timer.cancel()
         self.stats.acked += 1
-        obs.inc("reliable.acked")
+        obs.inc("protocol.reliable.acked")
+        if self.on_ack_observed is not None:
+            self.on_ack_observed(
+                source, self.scheduler.now - pending.first_sent
+            )
         if pending.on_ack is not None:
             pending.on_ack()
 
@@ -339,7 +365,7 @@ class ReliableChannel:
         if key in self._seen:
             self._seen.move_to_end(key)
             self.stats.duplicates += 1
-            obs.inc("reliable.duplicates_dropped")
+            obs.inc("protocol.reliable.duplicates_dropped")
             return
         self._seen[key] = None
         while len(self._seen) > self.dedup_capacity:

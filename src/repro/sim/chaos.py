@@ -75,6 +75,12 @@ class ChaosConfig:
     #: Interval of the attached continuous invariant auditor; also the
     #: spacing of the two verdict passes.
     audit_interval: float = 5.0
+    #: In-band gray-failure detection budget, in heartbeat intervals
+    #: counted from fault injection.  The gray scenario *fails* unless
+    #: some live node's neighborhood health view flags the victim within
+    #: this many ticks -- and every scenario fails if any node flags a
+    #: peer that was not the injected gray victim (zero false positives).
+    detection_budget_ticks: int = 12
 
     def __post_init__(self) -> None:
         if self.population < 4:
@@ -93,6 +99,11 @@ class ChaosConfig:
                 raise ConfigurationError(f"{name} must be positive")
         if self.audit_interval <= 0:
             raise ConfigurationError("audit_interval must be positive")
+        if self.detection_budget_ticks < 1:
+            raise ConfigurationError(
+                "detection_budget_ticks must be >= 1, got "
+                f"{self.detection_budget_ticks}"
+            )
 
 
 @dataclass
@@ -116,16 +127,37 @@ class ScenarioResult:
     sim_time: float
     #: Scenario-specific notes (what was injected, on whom).
     detail: str = ""
+    #: Address of the injected gray endpoint, when this scenario must
+    #: detect one in-band (``None`` everywhere else).
+    gray_expected: Optional[str] = None
+    #: When the in-band telemetry plane first flagged the gray victim,
+    #: in heartbeat ticks after fault injection (``None`` = never).
+    detect_ticks: Optional[float] = None
+    #: The detection budget the scenario ran under (heartbeat ticks).
+    detect_budget: Optional[int] = None
+    #: ``flagger->flagged`` pairs naming anyone other than the injected
+    #: gray victim (must stay empty in every scenario).
+    false_positives: List[str] = field(default_factory=list)
 
     def summary(self) -> str:
         verdict = "ok" if self.ok else "FAIL"
-        return (
+        line = (
             f"{self.name:<22} {verdict:<5} "
             f"violations={len(self.violations):<3} "
             f"lost={self.lost_objects}/{self.objects:<4} "
             f"retries={self.retries:<5} dead_letters={self.dead_letters:<4} "
             f"t={self.sim_time:g}"
         )
+        if self.gray_expected is not None:
+            mark = (
+                f"{self.detect_ticks:g}t"
+                if self.detect_ticks is not None
+                else "none"
+            )
+            line += f" detect={mark}/{self.detect_budget}t"
+        if self.false_positives:
+            line += f" false_positives={len(self.false_positives)}"
+        return line
 
 
 @dataclass
@@ -182,6 +214,12 @@ class _Arena:
         self.committed: Set[str] = set()
         self._versions: Dict[str, int] = {}
         self._points: Dict[str, Point] = {}
+        #: In-band detection bookkeeping (the telemetry-plane contract).
+        self.fault_start: Optional[float] = None
+        self.gray_expected = None  # NodeAddress of the injected gray node
+        self.detect_time: Optional[float] = None
+        self.detect_flaggers: Set[str] = set()
+        self.false_positives: Set[str] = set()
 
     # -- build phase ---------------------------------------------------
     def populate(self) -> None:
@@ -213,6 +251,42 @@ class _Arena:
         self.cluster.settle(10.0)
 
     # -- fault-phase helpers -------------------------------------------
+    def begin_faults(self, gray_victim=None) -> None:
+        """Mark fault injection; the detection clock starts here."""
+        self.fault_start = self.cluster.scheduler.now
+        if gray_victim is not None:
+            self.gray_expected = gray_victim.address
+
+    def poll_detection(self) -> None:
+        """Read every live node's health flags (observation only).
+
+        Strictly read-only: flags are computed from each node's existing
+        health view, no rng is consumed, and nothing protocol-visible
+        changes -- seeded runs stay byte-identical whether or not anyone
+        polls.  Any flag naming the injected gray victim counts as a
+        detection; any other flag, in any scenario, is a false positive.
+        """
+        now = self.cluster.scheduler.now
+        live = [
+            node
+            for node in self.cluster.nodes.values()
+            if node.alive and node.joined
+        ]
+        live.sort(key=lambda node: (node.address.ip, node.address.port))
+        for node in live:
+            for flagged in node.health_flags():
+                if (
+                    self.gray_expected is not None
+                    and flagged == self.gray_expected
+                ):
+                    if self.detect_time is None:
+                        self.detect_time = now
+                    self.detect_flaggers.add(str(node.address))
+                else:
+                    self.false_positives.add(
+                        f"{node.address}->{flagged}"
+                    )
+
     def traffic_slice(self, duration: float, updates: int = 4) -> None:
         """Advance time while fire-and-forget update traffic flows.
 
@@ -235,6 +309,10 @@ class _Arena:
             self._versions[object_id] = version
             self._points[object_id] = point
         self.cluster.run_for(duration)
+        # Every scenario's traffic loop doubles as the detection poll:
+        # the gray scenario needs sightings, the other five need proof
+        # of silence.
+        self.poll_detection()
 
     def _random_live_node(self):
         live = [
@@ -265,7 +343,11 @@ class _Arena:
         from repro.protocol.reliable import tally_stats
 
         config = self.config
+        # A detection landing just after the heal still counts (scores
+        # decay over the recovery, so poll before settling too).
+        self.poll_detection()
         self.cluster.settle(config.recovery)
+        self.poll_detection()
         first = {
             (violation.check, violation.subject): violation
             for violation in self.auditor.run_checks()
@@ -294,10 +376,39 @@ class _Arena:
         if lost:
             suffix = f"; lost: {', '.join(lost[:5])}"
             detail = detail + suffix if detail else suffix.lstrip("; ")
+        # In-band detection verdict: the gray scenario must have flagged
+        # its victim within the tick budget; nobody, in any scenario,
+        # may have flagged anyone else.
+        heartbeat = self.cluster.config.heartbeat_interval
+        detect_ticks: Optional[float] = None
+        detected_in_budget = True
+        if self.gray_expected is not None:
+            if self.detect_time is not None and self.fault_start is not None:
+                detect_ticks = round(
+                    (self.detect_time - self.fault_start) / heartbeat, 2
+                )
+                detected_in_budget = (
+                    detect_ticks <= config.detection_budget_ticks
+                )
+            else:
+                detected_in_budget = False
+            if self.detect_time is not None:
+                detail += (
+                    f"; flagged in-band by {len(self.detect_flaggers)} "
+                    f"node(s) after {detect_ticks:g} heartbeat tick(s)"
+                )
+            else:
+                detail += "; NOT flagged in-band"
+        false_positives = sorted(self.false_positives)
         return ScenarioResult(
             name=name,
             seed=config.seed,
-            ok=not persistent and not lost,
+            ok=(
+                not persistent
+                and not lost
+                and not false_positives
+                and detected_in_budget
+            ),
             violations=persistent,
             lost_objects=len(lost),
             objects=len(self.committed),
@@ -307,6 +418,18 @@ class _Arena:
             duplicates=stats["duplicates"],
             sim_time=self.cluster.scheduler.now,
             detail=detail,
+            gray_expected=(
+                str(self.gray_expected)
+                if self.gray_expected is not None
+                else None
+            ),
+            detect_ticks=detect_ticks,
+            detect_budget=(
+                config.detection_budget_ticks
+                if self.gray_expected is not None
+                else None
+            ),
+            false_positives=false_positives,
         )
 
 
@@ -320,6 +443,7 @@ def _scenario_asymmetric_partition(config: ChaosConfig) -> ScenarioResult:
     primaries = arena.live_primaries()
     a, b = arena.rng.sample(primaries, 2)
     network = arena.cluster.network
+    arena.begin_faults()
     network.block_one_way(a.address, b.address)
     slices = max(4, int(config.fault_duration / 10.0))
     for _ in range(slices):
@@ -337,15 +461,24 @@ def _scenario_gray_failure(config: ChaosConfig) -> ScenarioResult:
     arena.populate()
     victim = arena.rng.choice(arena.live_primaries())
     network = arena.cluster.network
+    arena.begin_faults(gray_victim=victim)
     network.set_gray(
         victim.address,
         drop_fraction=0.25,
         extra_delay=1.5,
         delay_fraction=0.5,
     )
-    slices = max(4, int(config.fault_duration / 10.0))
+    # Gray failures are *persistent* -- that is what distinguishes them
+    # from a transient storm -- so the affliction outlives the generic
+    # fault window.  The detection budget still bounds the SLA: the
+    # verdict fails unless the victim is flagged in-band within
+    # ``detection_budget_ticks`` heartbeat intervals of injection.
+    window = 2.0 * config.fault_duration
+    # Fine-grained slices (with the update rate held constant) so the
+    # detection poll sees a flag within a tick of it first firing.
+    slices = max(8, int(window / 5.0))
     for _ in range(slices):
-        arena.traffic_slice(config.fault_duration / slices)
+        arena.traffic_slice(window / slices, updates=2)
     network.clear_gray(victim.address)
     return arena.verdict(
         "gray_failure",
@@ -367,6 +500,7 @@ def _scenario_crash_restart(config: ChaosConfig) -> ScenarioResult:
     ]
     victim = arena.rng.choice(replicated or arena.live_primaries())
     coord = victim.node.coord
+    arena.begin_faults()
     arena.cluster.crash_node(victim.node.node_id)
     slices = max(4, int(config.fault_duration / 10.0))
     for _ in range(slices):
@@ -392,6 +526,7 @@ def _scenario_regional_outage(config: ChaosConfig) -> ScenarioResult:
         bounds.x, bounds.y, bounds.width / 2.0, bounds.height / 2.0
     )
     crashed: List[str] = []
+    arena.begin_faults()
     for primary in arena.live_primaries():
         if not primary.owned.rect.intersects(quadrant):
             continue
@@ -423,6 +558,7 @@ def _scenario_drop_latency_spike(config: ChaosConfig) -> ScenarioResult:
     arena.populate()
     network = arena.cluster.network
     normal_drop = network.drop_probability
+    arena.begin_faults()
     network.drop_probability = min(0.45, max(0.15, normal_drop * 3.0))
     network.extra_latency += 2.0
     slices = max(4, int(config.fault_duration / 10.0))
@@ -499,6 +635,7 @@ def _scenario_churn_storm(config: ChaosConfig) -> ScenarioResult:
         remove=remove,
         population=cluster.alive_count,
     )
+    arena.begin_faults()
     churn.start()
     slices = max(4, int(config.fault_duration / 10.0))
     for _ in range(slices):

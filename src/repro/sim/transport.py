@@ -32,6 +32,7 @@ from repro.errors import TransportError
 from repro.geometry import Point
 from repro.core.node import NodeAddress
 from repro.obs import causal
+from repro.obs.telemetry import EVENT_SAMPLE
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.scheduler import EventScheduler
 
@@ -169,6 +170,17 @@ class SimNetwork:
         #: Per-endpoint gray-failure behavior.
         self._gray: Dict[NodeAddress, GrayFailure] = {}
         self._msg_ids = itertools.count(1)
+        #: Per-source egress observers (the telemetry plane's vitals
+        #: frames), accounted for every send originating at the source,
+        #: before any drop verdict -- the sender cannot see drops.  The
+        #: countdown tick is inlined into :meth:`send` rather than
+        #: dispatched through a callable: this fires on every message in
+        #: the simulation, and the function-call overhead alone was a
+        #: measurable share of the telemetry plane's cost.
+        self._send_frames: Dict[NodeAddress, Any] = {}
+        #: Scheduled-but-undelivered message counts per destination, the
+        #: simulation's stand-in for an ingress socket queue depth.
+        self._in_flight: Dict[NodeAddress, int] = {}
 
     # ------------------------------------------------------------------
     # Membership
@@ -187,6 +199,7 @@ class SimNetwork:
         """Graceful detach (a departing node closes its sockets)."""
         self._endpoints.pop(address, None)
         self._partition_of.pop(address, None)
+        self._send_frames.pop(address, None)
 
     def crash(self, address: NodeAddress) -> None:
         """Abrupt failure: the endpoint stays known but silently drops
@@ -200,6 +213,35 @@ class SimNetwork:
         """Whether the endpoint is registered and not crashed."""
         endpoint = self._endpoints.get(address)
         return endpoint is not None and endpoint.alive
+
+    # ------------------------------------------------------------------
+    # Telemetry hooks
+    # ------------------------------------------------------------------
+    def set_send_frame(self, address: NodeAddress, frame: Any) -> None:
+        """Account every send originating at ``address`` to ``frame``.
+
+        One frame per source; ``frame`` is a
+        :class:`repro.obs.telemetry.VitalsFrame` (duck-typed -- anything
+        with its ``send_countdown`` / ``_sent_accounted`` /
+        ``sent_by_kind`` egress-accounting attributes works, which is
+        what :meth:`send` inlines).  Accounting happens before any drop
+        verdict -- over a best-effort transport the sender cannot see
+        drops, so it measures what the node *tried* to send.
+        """
+        self._send_frames[address] = frame
+
+    def clear_send_frame(self, address: NodeAddress) -> None:
+        """Remove ``address``'s send observer (no-op when absent)."""
+        self._send_frames.pop(address, None)
+
+    def in_flight_to(self, address: NodeAddress) -> int:
+        """Messages scheduled for delivery to ``address`` right now.
+
+        The closest simulation analogue of an ingress queue depth: how
+        much traffic has been committed to this endpoint but not yet
+        handed to its handler.
+        """
+        return self._in_flight.get(address, 0)
 
     # ------------------------------------------------------------------
     # Partitions
@@ -313,7 +355,19 @@ class SimNetwork:
         protocol layer's job (heartbeats and timeouts).
         """
         self.stats.record_send(kind)
-        obs.inc("transport.sent")
+        obs.inc("sim.transport.sent")
+        frame = self._send_frames.get(source)
+        if frame is not None:
+            # Inlined VitalsFrame.on_send (see set_send_frame): a bare
+            # countdown tick on the common path, full accounting on the
+            # sampled 1-in-EVENT_SAMPLE event.
+            n = frame.send_countdown - 1
+            if n:
+                frame.send_countdown = n
+            else:
+                frame.send_countdown = EVENT_SAMPLE
+                frame._sent_accounted += EVENT_SAMPLE
+                frame.sent_by_kind[kind] += EVENT_SAMPLE
         recorder = obs.flightrec()
         span = None
         if recorder is not None:
@@ -380,12 +434,13 @@ class SimNetwork:
             source_coord, destination_endpoint.coord, self.rng
         )
         delay += self.extra_latency + gray_delay
+        self._in_flight[destination] = self._in_flight.get(destination, 0) + 1
         self.scheduler.after(delay, lambda: self._deliver(message))
 
     def _drop(self, message: Message, reason: str) -> None:
         """Account a dropped message in stats, metrics, and the journal."""
         self.stats.record_drop(message.msg_id, message.kind, reason)
-        obs.inc(f"transport.dropped.{reason}")
+        obs.inc(f"sim.transport.dropped.{reason}")
         recorder = obs.flightrec()
         if recorder is not None:
             fields: Dict[str, Any] = {
@@ -399,6 +454,11 @@ class SimNetwork:
             recorder.record("drop", self.scheduler.now, **fields)
 
     def _deliver(self, message: Message) -> None:
+        count = self._in_flight.get(message.destination, 0)
+        if count <= 1:
+            self._in_flight.pop(message.destination, None)
+        else:
+            self._in_flight[message.destination] = count - 1
         endpoint = self._endpoints.get(message.destination)
         if endpoint is None or not endpoint.alive:
             self._drop(message, "dead")
@@ -409,9 +469,9 @@ class SimNetwork:
         self.stats.delivered += 1
         registry = obs.active()
         if registry is not None:
-            registry.inc("transport.delivered")
+            registry.inc("sim.transport.delivered")
             registry.observe(
-                "transport.latency", self.scheduler.now - message.sent_at
+                "sim.transport.latency", self.scheduler.now - message.sent_at
             )
             registry.trace(
                 "delivery",

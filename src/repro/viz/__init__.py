@@ -11,6 +11,7 @@ from repro.viz.ascii_map import (
     render_owner_map,
     render_region_map,
 )
+from repro.viz.dashboard import render_dashboard
 from repro.viz.histogram import render_histogram
 from repro.viz.sparkline import render_sparkline, series_sparkline
 
@@ -18,6 +19,7 @@ __all__ = [
     "render_region_map",
     "render_boundary_map",
     "render_owner_map",
+    "render_dashboard",
     "render_histogram",
     "render_sparkline",
     "series_sparkline",

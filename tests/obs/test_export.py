@@ -1,0 +1,105 @@
+"""Tests for repro.obs.export (Prometheus text + JSONL rendering)."""
+
+import json
+
+from repro.obs.export import (
+    prometheus_name,
+    registry_to_prometheus,
+    sample_to_prometheus,
+    samples_to_jsonl,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry import cluster_sample, demo_cluster, drive_traffic
+
+
+class TestPrometheusName:
+    def test_dots_become_underscores_with_namespace(self):
+        assert (
+            prometheus_name("routing.route.hops")
+            == "repro_routing_route_hops"
+        )
+
+    def test_invalid_characters_are_sanitized(self):
+        flat = prometheus_name("telemetry.slo.route-completion@p99")
+        assert flat == "repro_telemetry_slo_route_completion_p99"
+
+    def test_no_namespace(self):
+        assert prometheus_name("a.b", namespace="") == "a_b"
+
+    def test_leading_digit_is_escaped(self):
+        assert prometheus_name("9lives", namespace="")[0] == "_"
+
+
+class TestRegistryToPrometheus:
+    def test_empty_registry_renders_empty(self):
+        assert registry_to_prometheus(MetricsRegistry()) == ""
+
+    def test_counter_gauge_histogram_sections(self):
+        registry = MetricsRegistry()
+        registry.inc("overlay.joins", 3)
+        registry.set_gauge("scheduler.now", 12.5)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            registry.observe("routing.route.hops", value)
+        text = registry_to_prometheus(registry)
+        assert "# TYPE repro_overlay_joins_total counter" in text
+        assert "repro_overlay_joins_total 3" in text
+        assert "repro_scheduler_now 12.5" in text
+        assert "# TYPE repro_routing_route_hops summary" in text
+        assert 'repro_routing_route_hops{quantile="0.5"}' in text
+        assert "repro_routing_route_hops_count 4" in text
+        assert "repro_routing_route_hops_sum 10" in text
+        assert text.endswith("\n")
+
+    def test_integral_values_render_without_decimal_point(self):
+        registry = MetricsRegistry()
+        registry.inc("overlay.joins", 2)
+        assert "repro_overlay_joins_total 2\n" in registry_to_prometheus(
+            registry
+        )
+
+
+class TestSampleToPrometheus:
+    def setup_method(self):
+        cluster, rng = demo_cluster(seed=7, population=6)
+        drive_traffic(cluster, rng, duration=20.0, operations=8)
+        self.sample = cluster_sample(cluster)
+
+    def test_per_node_gauges_are_labelled(self):
+        text = sample_to_prometheus(self.sample)
+        for row in self.sample["nodes"]:
+            assert f'repro_node_sent_rate{{node="{row["address"]}"}}' in text
+
+    def test_cluster_rollups_present(self):
+        text = sample_to_prometheus(self.sample)
+        assert "repro_cluster_time " in text
+        assert "repro_cluster_flagged 0" in text
+        assert "repro_cluster_sent_rate " in text
+
+    def test_slo_summaries_render_quantiles(self):
+        text = sample_to_prometheus(self.sample)
+        assert self.sample["slo"], "traffic must produce SLO data"
+        for slo_name in self.sample["slo"]:
+            flat = prometheus_name(slo_name)
+            assert f'{flat}{{quantile="0.99"}}' in text
+            assert f"{flat}_count " in text
+
+    def test_empty_sample_renders_minimal_page(self):
+        text = sample_to_prometheus({"time": 0.0})
+        assert "repro_cluster_time 0" in text
+        assert "node=" not in text
+
+
+class TestSamplesToJsonl:
+    def test_round_trips_as_json_lines(self):
+        samples = [{"time": 1.0, "nodes": []}, {"time": 2.0, "nodes": []}]
+        text = samples_to_jsonl(samples)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert [json.loads(line)["time"] for line in lines] == [1.0, 2.0]
+
+    def test_empty_iterable_renders_empty_string(self):
+        assert samples_to_jsonl([]) == ""
+
+    def test_lines_are_compact_and_sorted(self):
+        text = samples_to_jsonl([{"b": 1, "a": 2}])
+        assert text == '{"a":2,"b":1}\n'

@@ -1,0 +1,340 @@
+"""Tests for repro.obs.health -- neighborhood views and gray scoring."""
+
+import pytest
+
+from repro.core.node import NodeAddress
+from repro.obs.health import (
+    REPORT_CAPACITY,
+    HealthScorer,
+    NeighborHealthView,
+    PeerObservation,
+)
+from repro.obs.telemetry import VitalsDigest
+
+
+def addr(n, port=7000):
+    return NodeAddress(ip=f"10.0.0.{n}", port=port)
+
+
+def digest(version=1, suspects=()):
+    return VitalsDigest(
+        version=version,
+        window=5.0,
+        sent_rate=1.0,
+        recv_rate=1.0,
+        drop_rate=0.0,
+        retry_rate=0.0,
+        dead_letters=0,
+        store_size=0,
+        anti_entropy_debt=0,
+        shortcut_hit_rate=0.0,
+        handler_ms=0.0,
+        queue_depth=0,
+        suspects=tuple(suspects),
+    )
+
+
+def feed(view, address, beats, start=5.0, step=5.0, streak_step=1):
+    """Deliver ``beats`` heartbeats; the sender attests ``streak_step``
+    sends per arrival (1 = lossless, 2 = every other beat lost, ...)."""
+    now = start
+    for i in range(1, beats + 1):
+        view.observe(
+            address, digest(version=i), now=now, streak=i * streak_step
+        )
+        now += step
+    return now - step
+
+
+class TestConstruction:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            NeighborHealthView(expected_interval=0.0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            NeighborHealthView(capacity=0)
+
+    def test_default_half_lives_follow_interval(self):
+        view = NeighborHealthView(expected_interval=4.0)
+        assert view.half_life == 8.0
+        assert view.loss_half_life == 24.0
+
+
+class TestObserve:
+    def test_creates_entries_up_to_capacity_then_evicts_stalest(self):
+        view = NeighborHealthView(expected_interval=5.0, capacity=2)
+        view.observe(addr(1), digest(), now=1.0)
+        view.observe(addr(2), digest(), now=2.0)
+        view.observe(addr(3), digest(), now=3.0)
+        assert len(view) == 2
+        assert addr(1) not in view.peers  # stalest evicted
+        assert addr(3) in view.peers
+
+    def test_owner_is_never_tracked(self):
+        me = addr(9)
+        view = NeighborHealthView(expected_interval=5.0, owner=me)
+        view.observe(me, digest(), now=1.0)
+        assert len(view) == 0
+
+    def test_version_never_regresses(self):
+        view = NeighborHealthView(expected_interval=5.0)
+        view.observe(addr(1), digest(version=5), now=1.0)
+        view.observe(addr(1), digest(version=3), now=2.0)
+        entry = view.peers[addr(1)]
+        assert entry.version == 5
+        assert entry.digest.version == 5
+
+    def test_gap_ratio_capped_by_attested_streak(self):
+        # A 4-interval silence whose streak restarts at 1 is churn, not
+        # loss: the sender was not addressing us, so no gap evidence.
+        view = NeighborHealthView(expected_interval=5.0)
+        a = addr(1)
+        view.observe(a, digest(version=1), now=0.0, streak=3)
+        view.observe(a, digest(version=2), now=20.0, streak=1)
+        assert view.peers[a].gap_ewma == pytest.approx(1.0)
+
+    def test_unattested_heartbeat_resets_streak_mark(self):
+        view = NeighborHealthView(expected_interval=5.0)
+        a = addr(1)
+        view.observe(a, digest(version=1), now=0.0, streak=4)
+        view.observe(a, digest(version=2), now=5.0, streak=None)
+        assert view.peers[a].streak_mark == 0
+
+
+class TestLossEstimator:
+    def test_loss_rate_none_until_enough_evidence(self):
+        view = NeighborHealthView(expected_interval=5.0)
+        a = addr(1)
+        view.observe(a, digest(version=1), now=5.0, streak=1)
+        assert view.loss_rate(a) is None
+        assert view.loss_rate(addr(2)) is None  # unknown peer
+
+    def test_lossless_stream_scores_zero(self):
+        view = NeighborHealthView(expected_interval=5.0)
+        a = addr(1)
+        now = feed(view, a, beats=8)
+        assert view.loss_rate(a) == pytest.approx(0.0)
+        assert view.local_score(a, now) == pytest.approx(0.0)
+
+    def test_streak_deltas_count_unseen_sends_as_loss(self):
+        # Streak jumps by 3 per arrival: the sender attests three sends
+        # for every heartbeat that lands, a 2/3 loss rate.
+        view = NeighborHealthView(expected_interval=5.0)
+        a = addr(1)
+        now = feed(view, a, beats=8, streak_step=3)
+        rate = view.loss_rate(a)
+        assert rate == pytest.approx(2.0 / 3.0, abs=0.05)
+        assert view.local_score(a, now) > view.scorer.min_score
+
+    def test_streak_restart_counts_one_send_not_a_gap(self):
+        # Churn: streak resets instead of advancing.  Only the arrivals
+        # themselves are accounted, so no phantom loss accumulates.
+        view = NeighborHealthView(expected_interval=5.0)
+        a = addr(1)
+        view.observe(a, digest(version=1), now=5.0, streak=40)
+        view.observe(a, digest(version=2), now=10.0, streak=1)
+        entry = view.peers[a]
+        assert entry.sent_weight == pytest.approx(entry.recv_weight, rel=0.01)
+
+    def test_evidence_decays_toward_quiet(self):
+        view = NeighborHealthView(expected_interval=5.0)
+        a = addr(1)
+        feed(view, a, beats=8, streak_step=3)
+        lossy = view.peers[a].sent_weight
+        # A long lossless stretch afterwards washes the old evidence out.
+        now = 45.0
+        streak = 24
+        for i in range(20):
+            streak += 1
+            now += 5.0
+            view.observe(a, digest(version=100 + i), now=now, streak=streak)
+        assert view.peers[a].sent_weight < lossy + 20
+        assert view.local_score(a, now) == pytest.approx(0.0, abs=0.5)
+
+    def test_gap_fallback_applies_below_min_evidence(self):
+        view = NeighborHealthView(expected_interval=5.0)
+        a = addr(1)
+        # Unattested beats far apart: gap EWMA rises, loss estimator off.
+        view.observe(a, digest(version=1), now=0.0)
+        view.observe(a, digest(version=2), now=20.0)
+        view.observe(a, digest(version=3), now=40.0)
+        assert view.loss_rate(a) is None
+        assert view.local_score(a, 40.0) > 0.0
+
+
+class TestTroubleNotes:
+    def test_retry_and_dead_letter_accumulate_and_decay(self):
+        view = NeighborHealthView(expected_interval=5.0)
+        a = addr(1)
+        view.observe(a, digest(version=1), now=0.0, streak=1)
+        view.note_retry(a, now=1.0)
+        view.note_dead_letter(a, now=1.0)
+        fresh = view.local_score(a, 1.0)
+        assert fresh == pytest.approx(4.0 * view.scorer.retry_weight)
+        later = view.local_score(a, 1.0 + 2.0 * view.half_life)
+        assert later == pytest.approx(fresh / 4.0)
+
+    def test_ack_ewma_seeds_then_smooths(self):
+        view = NeighborHealthView(expected_interval=5.0)
+        a = addr(1)
+        view.note_ack(a, rtt=2.0, now=1.0)
+        assert view.peers[a].ack_ewma == pytest.approx(2.0)
+        view.note_ack(a, rtt=4.0, now=2.0)
+        assert 2.0 < view.peers[a].ack_ewma < 4.0
+
+    def test_notes_about_owner_are_dropped(self):
+        me = addr(9)
+        view = NeighborHealthView(expected_interval=5.0, owner=me)
+        view.note_retry(me, now=1.0)
+        view.note_ack(me, rtt=1.0, now=1.0)
+        assert len(view) == 0
+
+
+class TestSelfSuspect:
+    def make_storm(self, streams=4, streak_step=3):
+        view = NeighborHealthView(expected_interval=5.0)
+        now = 0.0
+        for n in range(1, streams + 1):
+            now = feed(view, addr(n), beats=8, streak_step=streak_step)
+        return view, now
+
+    def test_majority_lossy_streams_silence_the_view(self):
+        view, now = self.make_storm()
+        assert view._self_suspect(now)
+        assert view.suspects(now) == ()
+        assert view.flags(now) == []
+
+    def test_single_lossy_stream_does_not(self):
+        view = NeighborHealthView(expected_interval=5.0)
+        now = feed(view, addr(1), beats=8, streak_step=3)
+        feed(view, addr(2), beats=8)
+        feed(view, addr(3), beats=8)
+        feed(view, addr(4), beats=8)
+        assert not view._self_suspect(now)
+        assert [a for a, _ in view.suspects(now)] == [addr(1)]
+
+    def test_needs_three_attested_streams(self):
+        view = NeighborHealthView(expected_interval=5.0)
+        now = feed(view, addr(1), beats=8, streak_step=3)
+        feed(view, addr(2), beats=8, streak_step=3)
+        assert not view._self_suspect(now)
+
+
+class TestFlags:
+    def lossy_view(self):
+        """Owner o hears victim v lossily and witnesses w, x cleanly."""
+        view = NeighborHealthView(expected_interval=5.0, owner=addr(9))
+        now = feed(view, addr(1), beats=8, streak_step=3)  # victim
+        feed(view, addr(2), beats=8)
+        feed(view, addr(3), beats=8)
+        return view, now
+
+    def test_local_evidence_alone_is_not_enough(self):
+        view, now = self.lossy_view()
+        assert view.local_score(addr(1), now) > view.scorer.min_score
+        assert view.flags(now) == []  # one reporter < min_reporters
+
+    def test_corroborated_suspect_is_flagged(self):
+        view, now = self.lossy_view()
+        view.observe(
+            addr(2),
+            digest(version=99, suspects=((addr(1), 5.0),)),
+            now=now,
+            streak=9,
+        )
+        assert view.flags(now) == [addr(1)]
+
+    def test_reports_expire_after_ttl(self):
+        view, now = self.lossy_view()
+        view.observe(
+            addr(2),
+            digest(version=99, suspects=((addr(1), 5.0),)),
+            now=now,
+            streak=9,
+        )
+        horizon = view.scorer.report_ttl * view.expected_interval
+        assert view.flags(now + horizon + 1.0) == []
+
+    def test_stale_peers_leave_the_flag_pool(self):
+        view, now = self.lossy_view()
+        view.observe(
+            addr(2),
+            digest(version=99, suspects=((addr(1), 5.0),)),
+            now=now,
+            streak=9,
+        )
+        silence = view.scorer.freshness * view.expected_interval + 1.0
+        assert view.flags(now + silence) == []
+
+    def test_self_blame_and_owner_reports_are_ignored(self):
+        view, now = self.lossy_view()
+        view.observe(
+            addr(2),
+            digest(
+                version=99,
+                suspects=((addr(2), 5.0), (addr(9), 5.0), (addr(77), 5.0)),
+            ),
+            now=now,
+            streak=9,
+        )
+        assert view.peers[addr(1)].reports == {}
+        assert addr(77) not in view.peers  # untracked subject not created
+
+    def test_blame_fanout_discounts_each_report(self):
+        view, now = self.lossy_view()
+        view.observe(
+            addr(2),
+            digest(
+                version=99,
+                suspects=((addr(1), 6.0), (addr(3), 6.0)),
+            ),
+            now=now,
+            streak=9,
+        )
+        _, score = view.peers[addr(1)].reports[addr(2)]
+        assert score == pytest.approx(3.0)
+
+    def test_report_capacity_evicts_oldest(self):
+        view = NeighborHealthView(expected_interval=5.0, capacity=32)
+        victim = addr(1)
+        feed(view, victim, beats=2)
+        entry = view.peers[victim]
+        for i in range(REPORT_CAPACITY + 2):
+            reporter = addr(100 + i)
+            view.observe(reporter, digest(version=1), now=float(i))
+            view.observe(
+                reporter,
+                digest(version=2, suspects=((victim, 4.0),)),
+                now=float(i) + 0.5,
+            )
+        assert len(entry.reports) == REPORT_CAPACITY
+        assert addr(100) not in entry.reports
+
+    def test_suspects_ranked_and_bounded(self):
+        view = NeighborHealthView(expected_interval=5.0)
+        for n in range(1, 6):
+            feed(view, addr(n), beats=8, streak_step=2)
+        feed(view, addr(6), beats=8)
+        feed(view, addr(7), beats=8)
+        now = 40.0
+        listed = view.suspects(now, limit=3)
+        assert len(listed) <= 3
+        scores = [score for _, score in listed]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestScorer:
+    def test_tiebreak_is_tiny_and_deterministic(self):
+        scorer = HealthScorer(seed=3)
+        eps = scorer.tiebreak(addr(1))
+        assert 0.0 <= eps < 1e-6
+        assert eps == scorer.tiebreak(addr(1))
+        assert eps != scorer.tiebreak(addr(2))
+
+    def test_observation_defaults(self):
+        entry = PeerObservation()
+        assert entry.beats == 0
+        assert entry.gap_ewma == 1.0
+        assert entry.sent_weight == 0.0
+        assert entry.reports == {}

@@ -81,6 +81,81 @@ class TestBenchSuiteArg:
         assert "BENCH_routing.json" in capsys.readouterr().out
 
 
+class TestTelemetryPlaneCli:
+    def test_bench_telemetry_writes_only_telemetry_file(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        from repro.obs import bench
+
+        # The full bench replays every chaos scenario and measures the
+        # overhead ratios; one scenario without overhead keeps the CLI
+        # wiring test fast while still exercising detection.
+        orig = bench.write_telemetry_bench_file
+        monkeypatch.setattr(
+            bench, "write_telemetry_bench_file",
+            lambda out_dir, **kw: orig(
+                out_dir, skip_overhead=True, scenarios=["gray_failure"],
+            ),
+        )
+        assert main(["bench", "telemetry", "--out", str(tmp_path)]) == 0
+        path = tmp_path / "BENCH_telemetry.json"
+        assert path.exists()
+        assert not (tmp_path / "BENCH_store.json").exists()
+        payload = json.loads(path.read_text())
+        assert payload["telemetry.detection.detected"]["mean"] == 1.0
+        assert payload["telemetry.detection.false_positives"]["mean"] == 0.0
+        assert payload["telemetry.digest.within_budget"]["mean"] == 1.0
+        assert "BENCH_telemetry.json" in capsys.readouterr().out
+
+    def test_top_once_renders_single_frame(self, capsys):
+        code = main(
+            ["top", "--once", "--population", "6", "--interval", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro top -- t=" in out
+        assert "node vitals" in out
+        # --once never emits the cursor-homing escape used between frames.
+        assert "\x1b[H" not in out
+
+    def test_export_writes_prom_and_jsonl(self, tmp_path, capsys):
+        import json
+
+        code = main(
+            ["export", "--population", "6", "--samples", "2",
+             "--interval", "5", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        prom = (tmp_path / "metrics.prom").read_text()
+        assert "# TYPE repro_sim_transport_sent_total counter" in prom
+        assert 'repro_node_sent_rate{node="' in prom
+        lines = (tmp_path / "metrics.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["nodes"] for line in lines)
+        assert "exported 2 sample(s)" in capsys.readouterr().out
+
+    def test_export_rejects_zero_samples(self, capsys):
+        assert main(["export", "--samples", "0"]) == 2
+        assert "--samples" in capsys.readouterr().err
+
+    def test_chaos_metrics_dumps_registry(self, tmp_path, capsys):
+        import json
+
+        code = main(
+            ["chaos", "--scenario", "crash_restart", "--population", "6",
+             "--objects", "4", "--skip-overhead", "--metrics",
+             "--out", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "=== metrics: chaos ===" in out
+        dump = json.loads((tmp_path / "chaos.metrics.json").read_text())
+        assert "sim.transport.sent" in dump
+        assert (tmp_path / "BENCH_chaos.json").exists()
+
+
 class TestMain:
     def test_list(self, capsys):
         assert main(["list"]) == 0

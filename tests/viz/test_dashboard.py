@@ -1,0 +1,102 @@
+"""Tests for repro.viz.dashboard (the ``repro top`` page renderer)."""
+
+from repro.obs.telemetry import cluster_sample, demo_cluster, drive_traffic
+from repro.viz import render_dashboard
+
+
+def _node_row(address="10.0.0.1:7000", **overrides):
+    row = {
+        "address": address,
+        "version": 3,
+        "sent_rate": 1.5,
+        "recv_rate": 1.25,
+        "retry_rate": 0.0,
+        "dead_letters": 0,
+        "store_size": 4,
+        "anti_entropy_debt": 0,
+        "shortcut_hit_rate": 0.5,
+        "handler_ms": 0.012,
+        "queue_depth": 0,
+        "digest_bytes": 87,
+        "peers_tracked": 3,
+        "flags": [],
+    }
+    row.update(overrides)
+    return row
+
+
+def _sample(**overrides):
+    sample = {
+        "time": 42.0,
+        "rates": {"sent": 3.0, "recv": 2.5, "retries": 0.0},
+        "nodes": [_node_row()],
+        "flagged": [],
+        "slo": {
+            "slo.route.completion": {
+                "count": 5, "p50": 1.0, "p95": 2.0, "p99": 2.5, "max": 3.0,
+            },
+        },
+    }
+    sample.update(overrides)
+    return sample
+
+
+class TestRenderDashboard:
+    def test_no_samples(self):
+        assert render_dashboard([]) == "(no samples yet)"
+
+    def test_full_page_sections(self):
+        page = render_dashboard([_sample()])
+        assert "repro top -- t=42.0s" in page
+        assert "cluster rates" in page
+        assert "client-edge SLO latency" in page
+        assert "slo.route.completion" in page
+        assert "10.0.0.1:7000" in page
+        # A healthy, retry-free cluster has no offender section.
+        assert "worst offender" not in page
+
+    def test_empty_slo_renders_placeholder(self):
+        page = render_dashboard([_sample(slo={})])
+        assert "(no client-edge operations completed yet)" in page
+
+    def test_flagged_node_is_marked(self):
+        page = render_dashboard(
+            [_sample(flagged=["10.0.0.1:7000"])]
+        )
+        assert "flagged=1" in page
+        assert "GRAY?" in page
+        assert "worst offender: 10.0.0.1:7000" in page
+        assert "flagged gray by the neighborhood" in page
+
+    def test_observer_flags_are_listed(self):
+        sample = _sample(
+            nodes=[_node_row(flags=["10.0.0.9:7000"])]
+        )
+        page = render_dashboard([sample])
+        assert "sees 10.0.0.9:7000" in page
+
+    def test_retry_pressure_names_unflagged_offender(self):
+        sample = _sample(
+            nodes=[
+                _node_row(),
+                _node_row(address="10.0.0.2:7000", retry_rate=1.25),
+            ],
+        )
+        page = render_dashboard([sample])
+        assert "worst offender: 10.0.0.2:7000" in page
+        assert "not flagged" in page
+
+    def test_sparkline_span_tracks_history(self):
+        history = [
+            _sample(rates={"sent": float(i), "recv": 0.0, "retries": 0.0})
+            for i in range(6)
+        ]
+        page = render_dashboard(history, width=4)
+        assert "now=5.00" in page
+
+    def test_renders_a_real_cluster_sample(self):
+        cluster, rng = demo_cluster(seed=7, population=6)
+        drive_traffic(cluster, rng, duration=20.0, operations=8)
+        page = render_dashboard([cluster_sample(cluster)])
+        assert "node vitals" in page
+        assert "slo." in page

@@ -42,3 +42,25 @@ class TestHistogram:
         data = [1.0] * 50 + [2.0]
         output = render_histogram(data, bins=2, width=20)
         assert "#" * 20 in output
+
+    def test_single_sample(self):
+        # One value has no range; it renders as the constant-sample
+        # summary line, never a degenerate zero-width bin table.
+        output = render_histogram([3.25])
+        assert "all 1 values" in output
+        assert "3.25" in output
+
+    def test_negative_values(self):
+        # Latency deltas and load imbalances can go negative; linear
+        # binning must keep every sample and order the edges correctly.
+        data = [-5.0, -2.5, 0.0, 2.5, 5.0]
+        output = render_histogram(data, bins=4)
+        lines = output.splitlines()
+        assert len(lines) == 4
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+        assert total == len(data)
+        assert lines[0].lstrip().startswith("-5")
+
+    def test_all_negative_constant(self):
+        output = render_histogram([-1.5, -1.5])
+        assert "all 2 values" in output

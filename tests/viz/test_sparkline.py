@@ -32,6 +32,23 @@ class TestRenderSparkline:
         middle = BARS.index(line[0])
         assert 3 <= middle <= 6
 
+    def test_single_sample(self):
+        # One value has no range, so it renders like a constant series:
+        # exactly one minimum-height bar, not a crash or a blank.
+        assert render_sparkline([42.0]) == BARS[1]
+
+    def test_negative_values(self):
+        # Scales are relative: an all-negative series still spans the
+        # full bar range, with the most negative value lowest.
+        line = render_sparkline([-8.0, -4.0, -1.0])
+        indices = [BARS.index(ch) for ch in line]
+        assert indices == sorted(indices)
+        assert line[0] == BARS[1]
+        assert line[-1] == BARS[-1]
+
+    def test_negative_constant_series(self):
+        assert render_sparkline([-3.0, -3.0]) == BARS[1] * 2
+
     def test_convergence_shape(self):
         """A decaying series renders high-to-low, the Figure 8 look."""
         series = [0.16, 0.11, 0.07, 0.04, 0.03, 0.025, 0.025]
