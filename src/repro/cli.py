@@ -9,6 +9,7 @@ Usage::
     python -m repro bench
     python -m repro bench store
     python -m repro bench telemetry
+    python -m repro bench pubsub --smoke
     python -m repro routing --metrics
     python -m repro flightrec --demo
     python -m repro flightrec journal.jsonl --around 103.8 --window 5
@@ -231,6 +232,14 @@ def _run_bench(args: argparse.Namespace) -> str:
         # zero-false-positive verdicts are an SLA checked at a fixed
         # configuration, so the artifact stays comparable across PRs.
         paths += bench.write_telemetry_bench_file(out_dir)
+    if suite in ("pubsub", "all"):
+        # Pinned like the telemetry bench: the loss-free notification
+        # verdict is an SLA checked at a fixed configuration.  --smoke
+        # skips the wall-clock overhead measurement (the slow half) for
+        # CI, keeping the campaign and delivery verdicts.
+        paths += bench.write_pubsub_bench_file(
+            out_dir, skip_overhead=bool(getattr(args, "smoke", False))
+        )
     report = bench.render_report(paths)
     for path in paths:
         print(f"[saved to {path}]", file=sys.stderr)
@@ -255,7 +264,8 @@ DESCRIPTIONS = {
     "bench": "write BENCH_micro_ops.json / BENCH_routing.json snapshots "
              "('bench routing' compares greedy vs shortcut-cached routing; "
              "'bench store' writes BENCH_store.json; 'bench telemetry' "
-             "writes BENCH_telemetry.json)",
+             "writes BENCH_telemetry.json; 'bench pubsub' writes "
+             "BENCH_pubsub.json)",
     "fig2-3": "region size & load maps at 500 nodes (Figures 2/3)",
     "fig5-6": "workload-index std/mean vs population (Figures 5/6)",
     "fig7-8": "convergence by adaptation round (Figures 7/8)",
@@ -282,13 +292,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "suite", nargs="?",
-        choices=["routing", "store", "telemetry", "all"], default=None,
+        choices=["routing", "store", "telemetry", "pubsub", "all"],
+        default=None,
         help="bench only: 'routing' writes just the greedy-vs-cached "
              "BENCH_routing.json; 'store' writes BENCH_store.json instead "
              "of the micro/routing snapshots; 'telemetry' writes "
              "BENCH_telemetry.json (gray-detection latency, digest bytes, "
-             "plane overhead) at its pinned validation seed; 'all' writes "
-             "all four",
+             "plane overhead) at its pinned validation seed; 'pubsub' "
+             "writes BENCH_pubsub.json (loss-free notification delivery "
+             "under faults, sub-plane overhead); 'all' writes all five",
     )
     parser.add_argument(
         "--trials", type=int, default=3,
@@ -313,6 +325,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="collect runtime metrics during the run and dump the "
              "registry as JSON after each command",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="bench pubsub only: skip the wall-clock overhead "
+             "measurement, keeping the campaign and delivery verdicts "
+             "(the fast CI mode)",
     )
     return parser
 

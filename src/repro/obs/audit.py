@@ -43,6 +43,12 @@ Checks (each individually selectable):
   track their own owner, stay within capacity, and never hold a peer
   digest version *ahead* of what that peer has actually rolled (a view
   ahead of its source means fabricated or corrupted evidence).
+* ``subscriptions`` -- every live continuous-query record sits at a
+  primary whose territory (or caretaken ground) touches the watched
+  rectangle, and a primary's subscription index converges with its live
+  secondary's replica at quiescence (same frozen-divergence fingerprint
+  trick as ``store_replication``).  Expired leases awaiting the next
+  sweep are tolerated; only *live* records can be phantoms.
 
 All checks except ``overlap`` are **soft**: legitimately violated for a
 grant's flight time during growth, so a finding is only *reported* when
@@ -78,6 +84,7 @@ ALL_CHECKS = (
     "store_replication",
     "shortcuts",
     "telemetry",
+    "subscriptions",
 )
 
 #: Relative tolerance on area comparisons (matches the cluster checks).
@@ -246,6 +253,8 @@ class InvariantAuditor:
             findings.extend(self._check_shortcuts(now, nodes))
         if "telemetry" in self.checks:
             findings.extend(self._check_telemetry(now, nodes))
+        if "subscriptions" in self.checks:
+            findings.extend(self._check_subscriptions(now, nodes, primaries))
         return findings
 
     # ------------------------------------------------------------------
@@ -607,6 +616,102 @@ class InvariantAuditor:
         for key in list(self._vitals_memo):
             if key not in live_keys:
                 del self._vitals_memo[key]
+        return findings
+
+    def _check_subscriptions(
+        self, now, nodes, primaries
+    ) -> List[AuditViolation]:
+        """Live continuous queries sit on touching ground and replicate.
+
+        A *phantom* subscription -- a live lease held by a primary whose
+        territory no longer touches the watched rectangle, with no
+        caretaken ground touching it either -- is exactly the failure
+        mode the partition-following handoffs exist to prevent: a
+        split/merge/failover that moved the ground but stranded the
+        lease.  Expired records awaiting the next sweep are ignored; the
+        sweep owns them.  Replication divergence is fingerprinted like
+        ``store_replication`` so only *frozen* divergence confirms.
+        """
+        by_address = {node.address: node for node in nodes}
+        findings = []
+        for primary in primaries:
+            subs = getattr(primary.owned, "subs", None)
+            if subs is None or not len(subs):
+                continue
+            rect = primary.owned.rect
+            caretaken = tuple(getattr(primary, "caretaker_rects", ()))
+            for record in subs.records():
+                if not record.is_live_at(now):
+                    continue  # awaiting the lease sweep; not a phantom
+                if rect.touches(record.rect) or any(
+                    hole.touches(record.rect) for hole in caretaken
+                ):
+                    continue
+                findings.append(
+                    AuditViolation(
+                        time=now,
+                        check="subscriptions",
+                        severity="soft",
+                        subject=f"{record.sub_id}@v{record.version}",
+                        detail=(
+                            f"live subscription {record.sub_id!r} "
+                            f"v{record.version} on {record.rect} is held "
+                            f"by {primary.address}, whose territory "
+                            f"{rect} does not touch it"
+                        ),
+                        data={
+                            "sub_id": record.sub_id,
+                            "owners": [str(primary.address)],
+                            "rects": [str(rect)],
+                        },
+                    )
+                )
+            peer_address = primary.owned.peer
+            peer = by_address.get(peer_address) if peer_address else None
+            if (
+                peer is None
+                or not peer.alive
+                or peer.owned is None
+                or peer.owned.role != "secondary"
+                or peer.owned.rect != primary.owned.rect
+                or getattr(peer.owned, "subs", None) is None
+            ):
+                continue  # dualpeer check owns the disagreement case
+            divergent = []
+            for record in subs.records():
+                if not record.is_live_at(now):
+                    continue
+                replica = peer.owned.subs.get(record.sub_id)
+                if replica is None or replica.version < record.version:
+                    divergent.append(
+                        f"{record.sub_id}:v{record.version}vs"
+                        f"{'-' if replica is None else replica.version}"
+                    )
+            if not divergent:
+                continue
+            fingerprint = "|".join(divergent)
+            findings.append(
+                AuditViolation(
+                    time=now,
+                    check="subscriptions",
+                    severity="soft",
+                    subject=(
+                        f"{primary.address}+{peer_address}"
+                        f"#{zlib.crc32(fingerprint.encode()):08x}"
+                    ),
+                    detail=(
+                        f"subscription replicas of {primary.owned.rect} "
+                        f"diverge in {len(divergent)} record(s) between "
+                        f"primary {primary.address} and secondary "
+                        f"{peer_address}"
+                    ),
+                    data={
+                        "owners": [str(primary.address), str(peer_address)],
+                        "rects": [str(primary.owned.rect)],
+                        "records": divergent,
+                    },
+                )
+            )
         return findings
 
     # ------------------------------------------------------------------

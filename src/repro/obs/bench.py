@@ -675,6 +675,140 @@ def write_telemetry_bench_file(
     return [path]
 
 
+def run_pubsub_bench(
+    registry: MetricsRegistry,
+    seed: int = 7,
+    population: int = 10,
+    objects: int = 16,
+    recovery: float = 200.0,
+    skip_overhead: bool = False,
+    scenarios: Optional[Sequence[str]] = None,
+) -> None:
+    """Record the subscription-plane benchmark into ``registry``.
+
+    Two claims of the continuous-query PR, each made machine-checkable:
+
+    * **Loss-free delivery**: the pubsub chaos campaign -- every plain
+      scenario re-run with live registrations and oracle-checked publish
+      bursts before, during, and after the faults -- must lose zero
+      committed notifications and leave zero persistent audit violations
+      (``pubsub.verdict.loss_free`` = 1).
+    * **Overhead**: a cluster serving standing queries costs < 1.10x
+      wall-clock on the routing and store workloads vs a build with
+      ``NodeConfig.sub_enabled`` off (``pubsub.overhead.*.ratio`` <
+      ``pubsub.overhead.budget``).
+
+    Plus a settled demo cluster driven by the shared
+    :class:`~repro.workload.subscriptions.SubscriptionWorkload` trace,
+    snapshotting the client-edge subscription SLOs the dashboard tiles
+    show (``pubsub.slo.sub.*``).
+    """
+    from repro.obs.telemetry import cluster_sample, demo_cluster
+    from repro.sim.chaos import ChaosConfig, run_pubsub_campaign
+    from repro.sub.bench import SUB_OVERHEAD_BUDGET, measure_sub_overhead
+    from repro.workload.subscriptions import SubscriptionWorkload
+
+    config = ChaosConfig(
+        seed=seed, population=population, objects=objects, recovery=recovery
+    )
+    report = run_pubsub_campaign(config, scenarios=scenarios)
+    expected = 0
+    lost = 0
+    violations = 0
+    for result in report.results:
+        registry.set_gauge(
+            f"pubsub.campaign.{result.name}_ok", 1.0 if result.ok else 0.0
+        )
+        expected += result.expected_notifications
+        lost += result.lost_notifications
+        violations += len(result.violations)
+    registry.set_gauge("pubsub.campaign.ok", 1.0 if report.ok else 0.0)
+    registry.set_gauge("pubsub.campaign.violations", violations)
+    registry.set_gauge("pubsub.notify.expected", expected)
+    registry.set_gauge("pubsub.notify.delivered", expected - lost)
+    registry.set_gauge("pubsub.notify.lost", lost)
+    registry.set_gauge(
+        "pubsub.verdict.loss_free",
+        1.0 if report.ok and lost == 0 and expected > 0 else 0.0,
+    )
+
+    if not skip_overhead:
+        overhead = measure_sub_overhead(seed=seed)
+        within = all(
+            row["ratio"] < SUB_OVERHEAD_BUDGET for row in overhead.values()
+        )
+        for workload, row in sorted(overhead.items()):
+            for key, value in sorted(row.items()):
+                registry.set_gauge(f"pubsub.overhead.{workload}.{key}", value)
+        registry.set_gauge("pubsub.overhead.budget", SUB_OVERHEAD_BUDGET)
+        registry.set_gauge(
+            "pubsub.overhead.within_budget", 1.0 if within else 0.0
+        )
+
+    cluster, _ = demo_cluster(seed=seed, population=population)
+    workload = SubscriptionWorkload(
+        cluster.bounds,
+        subscriptions=4,
+        rng=random.Random(f"{seed}:bench:pubsub"),
+        duration=1_000_000.0,
+        hit_ratio=0.7,
+    )
+    live = sorted(
+        (n for n in cluster.nodes.values() if n.alive and n.joined),
+        key=lambda n: (n.address.ip, n.address.port),
+    )
+    for op in workload.initial_subscriptions():
+        origin = live[op.subscriber % len(live)]
+        cluster.subscribe(origin.node.node_id, op.rect, duration=op.duration)
+    cluster.settle(10.0)
+    for op in workload.publish_step(count=8):
+        origin = live[op.publisher % len(live)]
+        origin.publish(op.point, op.payload)
+        cluster.run_for(5.0)
+    registry.set_gauge(
+        "pubsub.demo.delivered",
+        sum(len(n.notifications) for n in cluster.nodes.values()),
+    )
+    sample = cluster_sample(cluster)
+    for name, row in sorted(sample["slo"].items()):
+        if not name.startswith("slo.sub."):
+            continue
+        for key in ("count", "p50", "p95", "p99"):
+            registry.set_gauge(f"pubsub.{name}.{key}", row[key])
+
+
+def write_pubsub_bench_file(
+    out_dir: pathlib.Path,
+    seed: int = 7,
+    population: int = 10,
+    objects: int = 16,
+    recovery: float = 200.0,
+    skip_overhead: bool = False,
+    scenarios: Optional[Sequence[str]] = None,
+) -> List[pathlib.Path]:
+    """Run the pubsub benchmark and write ``BENCH_pubsub.json``.
+
+    Returns the written path in a one-element list (same shape as
+    :func:`write_bench_files`, so callers can concatenate and feed
+    :func:`render_report`).
+    """
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    registry = MetricsRegistry()
+    run_pubsub_bench(
+        registry,
+        seed=seed,
+        population=population,
+        objects=objects,
+        recovery=recovery,
+        skip_overhead=skip_overhead,
+        scenarios=scenarios,
+    )
+    path = out_dir / "BENCH_pubsub.json"
+    path.write_text(_stamped_json(registry, bench_meta()) + "\n")
+    return [path]
+
+
 def _stamped_json(registry: MetricsRegistry, meta: Dict[str, str]) -> str:
     """The registry snapshot as JSON with the ``_meta`` header first."""
     payload: Dict[str, object] = {"_meta": meta}

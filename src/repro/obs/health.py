@@ -140,6 +140,12 @@ class HealthScorer:
     #: cause is this node's own link (a gray self) or a network-wide
     #: storm, and flagging individual peers would only frame them.
     storm_rate: float = 0.18
+    #: Multiplier on the neighborhood ambient loss estimate when it
+    #: exceeds ``loss_grace``: a stream must lose at *this many times*
+    #: the ambient rate before the excess scores.  A gray victim loses
+    #: at ~6x ambient; the unluckiest stream of a congested-but-healthy
+    #: neighborhood sits around 2x, inside this headroom.
+    ambient_headroom: float = 2.5
 
     def tiebreak(self, address: NodeAddress) -> float:
         """Deterministic sub-threshold epsilon for stable orderings."""
@@ -337,6 +343,59 @@ class NeighborHealthView:
         lost = max(0.0, entry.sent_weight - entry.recv_weight)
         return lost / entry.sent_weight
 
+    def _ambient_loss(self, now: float) -> float:
+        """Median per-stream attested loss rate across fresh streams.
+
+        Consumed by the storm silencer: when *most* streams are losing
+        heartbeats the common cause is this node's own link or a
+        network-wide storm.  The median over three or more evidenced
+        streams is robust to one genuinely gray peer; with fewer it
+        returns 0.0 (two lossy streams cannot attest a storm).
+        """
+        horizon = self.scorer.freshness * self.expected_interval
+        rates = []
+        for entry in self.peers.values():
+            if entry.beats == 0 or now - entry.last_heard > horizon:
+                continue
+            if entry.sent_weight < self.scorer.min_evidence:
+                continue
+            lost = max(0.0, entry.sent_weight - entry.recv_weight)
+            rates.append(lost / entry.sent_weight)
+        if len(rates) < 3:
+            return 0.0
+        rates.sort()
+        return rates[len(rates) // 2]
+
+    def _ambient_excluding(self, subject: NodeAddress, now: float) -> float:
+        """Pooled loss rate of every fresh stream *except* ``subject``'s.
+
+        The baseline a single stream's loss is judged against.  Pooling
+        (total lost over total sent) beats a median of per-stream rates
+        here: each stream's own rate rides a window of only a handful of
+        decayed heartbeats, noisy enough at elevated ambient loss that
+        the unluckiest of a few streams routinely doubles the true rate
+        -- exactly the false positive this baseline must absorb.  The
+        pool spans every other stream's window, so its variance shrinks
+        with neighborhood size, and excluding the subject keeps a gray
+        victim from raising its own bar.  Returns 0.0 (no adjustment)
+        until the pool itself carries minimal evidence.
+        """
+        horizon = self.scorer.freshness * self.expected_interval
+        lost_total = 0.0
+        sent_total = 0.0
+        for address, entry in self.peers.items():
+            if address == subject:
+                continue
+            if entry.beats == 0 or now - entry.last_heard > horizon:
+                continue
+            if entry.sent_weight < self.scorer.min_evidence:
+                continue
+            sent_total += entry.sent_weight
+            lost_total += max(0.0, entry.sent_weight - entry.recv_weight)
+        if sent_total < self.scorer.min_evidence:
+            return 0.0
+        return lost_total / sent_total
+
     def local_score(self, address: NodeAddress, now: float) -> float:
         """This node's own trouble attribution for ``address``."""
         entry = self.peers.get(address)
@@ -345,11 +404,19 @@ class NeighborHealthView:
         scorer = self.scorer
         if entry.sent_weight >= scorer.min_evidence:
             # Attested loss accounting: score the *excess* lost
-            # heartbeats beyond what ambient loss explains.
-            lost = max(0.0, entry.sent_weight - entry.recv_weight)
-            allowance = (
-                scorer.loss_grace * entry.sent_weight + scorer.loss_slack
+            # heartbeats beyond what ambient loss explains.  The
+            # allowance adapts to the rest of the neighborhood's pooled
+            # baseline with multiplicative headroom, so loss a congested
+            # network inflicts on *everyone* never singles out whoever
+            # drew the worst dice -- while a gray victim, losing at many
+            # times what its peers' streams lose, still clears it
+            # immediately.
+            ambient = self._ambient_excluding(address, now)
+            grace = max(
+                scorer.loss_grace, scorer.ambient_headroom * ambient
             )
+            lost = max(0.0, entry.sent_weight - entry.recv_weight)
+            allowance = grace * entry.sent_weight + scorer.loss_slack
             link = max(0.0, lost - allowance) * scorer.loss_weight
         else:
             link = (
@@ -372,19 +439,7 @@ class NeighborHealthView:
         when the trouble is everywhere -- and then both gossip and
         flagging go quiet rather than framing healthy peers.
         """
-        horizon = self.scorer.freshness * self.expected_interval
-        rates = []
-        for entry in self.peers.values():
-            if entry.beats == 0 or now - entry.last_heard > horizon:
-                continue
-            if entry.sent_weight < self.scorer.min_evidence:
-                continue
-            lost = max(0.0, entry.sent_weight - entry.recv_weight)
-            rates.append(lost / entry.sent_weight)
-        if len(rates) < 3:
-            return False
-        rates.sort()
-        return rates[len(rates) // 2] >= self.scorer.storm_rate
+        return self._ambient_loss(now) >= self.scorer.storm_rate
 
     def suspects(
         self, now: float, limit: int = MAX_SUSPECTS

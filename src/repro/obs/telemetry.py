@@ -101,6 +101,14 @@ class VitalsDigest:
     handler_ms: float
     queue_depth: int
     suspects: Tuple[Tuple[NodeAddress, float], ...] = ()
+    #: Subscription-plane vitals: registered continuous queries at roll
+    #: time, match rate over the window, and cumulative NOTIFY
+    #: retransmits.  All three default to zero so digests from nodes
+    #: without subscriptions (or with the plane disabled) are
+    #: byte-identical to pre-plane digests (see :meth:`to_wire`).
+    sub_registered: int = 0
+    sub_match_rate: float = 0.0
+    sub_notify_retries: int = 0
 
     def to_wire(self) -> str:
         """The compact textual encoding whose size the byte budget bounds.
@@ -108,12 +116,14 @@ class VitalsDigest:
         The simulation never serializes messages for real, so this stands
         in for the wire form: a fixed field order, fixed float precision,
         ``ip:port`` addresses.  Byte accounting (bench + audit) uses it.
+        The subscription suffix is elided while all three sub fields are
+        zero, keeping idle digests at their historical size.
         """
         suspects = ";".join(
             f"{addr.ip}:{addr.port}={score:.2f}"
             for addr, score in self.suspects
         )
-        return (
+        wire = (
             f"v={self.version}|w={self.window:.2f}"
             f"|tx={self.sent_rate:.3f}|rx={self.recv_rate:.3f}"
             f"|dr={self.drop_rate:.3f}|rt={self.retry_rate:.3f}"
@@ -122,6 +132,17 @@ class VitalsDigest:
             f"|hm={self.handler_ms:.3f}|q={self.queue_depth}"
             f"|s={suspects}"
         )
+        if (
+            self.sub_registered
+            or self.sub_match_rate
+            or self.sub_notify_retries
+        ):
+            wire += (
+                f"|sb={self.sub_registered}"
+                f"|sm={self.sub_match_rate:.3f}"
+                f"|sn={self.sub_notify_retries}"
+            )
+        return wire
 
     def encoded_size(self) -> int:
         """Encoded size in bytes (UTF-8 of :meth:`to_wire`)."""
@@ -156,6 +177,11 @@ class VitalsFrame:
         self.dead_letters = 0
         self.shortcut_hits = 0
         self.shortcut_misses = 0
+        #: Subscription-plane counters: matched events pushed from this
+        #: node, NOTIFY retransmits, and NOTIFY exchanges abandoned.
+        self.sub_matches = 0
+        self.notify_retries = 0
+        self.notify_dead_letters = 0
         #: The digest produced by the most recent roll (observer access).
         self.last_digest: Optional[VitalsDigest] = None
         #: Event countdowns (see ``EVENT_SAMPLE``): decremented on every
@@ -180,6 +206,7 @@ class VitalsFrame:
         self._win_handler_calls = 0
         self._win_shortcut_hits = 0
         self._win_shortcut_misses = 0
+        self._win_sub_matches = 0
 
     # ------------------------------------------------------------------
     # Hooks (called from the hot paths; keep them tiny)
@@ -237,6 +264,18 @@ class VitalsFrame:
             self.shortcut_misses += 1
             self._win_shortcut_misses += 1
 
+    def on_sub_match(self) -> None:
+        self.sub_matches += 1
+        self._win_sub_matches += 1
+
+    def on_notify_retry(self) -> None:
+        # Counted on top of on_retry(): the generic retry fires for every
+        # reliable kind, this one attributes NOTIFY push pressure.
+        self.notify_retries += 1
+
+    def on_notify_dead_letter(self) -> None:
+        self.notify_dead_letters += 1
+
     # ------------------------------------------------------------------
     # Rolling
     # ------------------------------------------------------------------
@@ -247,6 +286,7 @@ class VitalsFrame:
         anti_entropy_debt: int = 0,
         queue_depth: int = 0,
         suspects: Tuple[Tuple[NodeAddress, float], ...] = (),
+        sub_registered: int = 0,
     ) -> VitalsDigest:
         """Close the current window and emit the next digest version."""
         if self._win_start is None:
@@ -286,6 +326,12 @@ class VitalsFrame:
             handler_ms=handler_ms,
             queue_depth=queue_depth,
             suspects=tuple(suspects[:MAX_SUSPECTS]),
+            # object.__new__ bypasses the dataclass defaults, so every
+            # field must be written explicitly here -- including the
+            # subscription trio.
+            sub_registered=sub_registered,
+            sub_match_rate=self._win_sub_matches / denom,
+            sub_notify_retries=self.notify_retries,
         )
         self.last_digest = digest
         self._win_start = now
@@ -297,6 +343,7 @@ class VitalsFrame:
         self._win_handler_calls = 0
         self._win_shortcut_hits = 0
         self._win_shortcut_misses = 0
+        self._win_sub_matches = 0
         return digest
 
     def totals(self) -> Dict[str, int]:
@@ -308,6 +355,9 @@ class VitalsFrame:
             "dead_letters": self.dead_letters,
             "shortcut_hits": self.shortcut_hits,
             "shortcut_misses": self.shortcut_misses,
+            "sub_matches": self.sub_matches,
+            "notify_retries": self.notify_retries,
+            "notify_dead_letters": self.notify_dead_letters,
         }
 
 
@@ -346,6 +396,10 @@ def cluster_sample(cluster: Any) -> Dict[str, Any]:
             "digest_bytes": digest.encoded_size() if digest else 0,
             "peers_tracked": len(pnode.health.peers),
             "flags": [str(a) for a in flags],
+            "sub_registered": digest.sub_registered if digest else 0,
+            "sub_matched": pnode.vitals.sub_matches,
+            "sub_notified": len(pnode.notifications),
+            "sub_dead_letters": pnode.vitals.notify_dead_letters,
         }
         nodes.append(row)
         for name, histogram in pnode.slo_histograms().items():

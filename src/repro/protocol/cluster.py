@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import MembershipError, SimulationError
 from repro.geometry import Point, Rect
@@ -278,6 +278,66 @@ class ProtocolCluster:
                 if record.supersedes(seen.get(record.object_id)):
                     seen[record.object_id] = record
         return sorted(seen.values(), key=lambda r: repr(r.object_id))
+
+    def subscribe(
+        self,
+        from_node_id: int,
+        rect: Rect,
+        duration: Optional[float] = None,
+        timeout: float = 60.0,
+        attempts: int = 3,
+    ) -> Tuple[str, m.SubAckBody]:
+        """Register a continuous query and wait for the first ack.
+
+        Retries reuse the same ``sub_id`` (registration is idempotent:
+        covering primaries upsert last-writer-wins), so a lossy network
+        at worst re-delivers the same record.  Returns the subscription
+        id and the first executor's ack; notifications then accumulate
+        on the origin node's ``notifications`` list.
+        """
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        origin = self._protocol_node(from_node_id)
+        per_attempt = timeout / attempts
+        request_ids: List[int] = []
+        sub_id: Optional[str] = None
+        for _ in range(attempts):
+            request_id, sub_id = origin.subscribe(
+                rect, duration=duration, sub_id=sub_id
+            )
+            request_ids.append(request_id)
+            deadline = self.scheduler.now + per_attempt
+            while self.scheduler.now < deadline:
+                for rid in request_ids:
+                    ack = origin.sub_acks.get(rid)
+                    if ack is not None:
+                        return sub_id, ack
+                if self.scheduler.pending() == 0:
+                    break
+                self.scheduler.run_until(
+                    min(deadline, self.scheduler.now + 1.0)
+                )
+        for rid in request_ids:
+            ack = origin.sub_acks.get(rid)
+            if ack is not None:
+                return sub_id, ack
+        raise SimulationError(
+            f"subscription to {rect} from node {from_node_id} was not "
+            f"acknowledged within {timeout} time units ({attempts} attempts)"
+        )
+
+    def subscription_count(self) -> int:
+        """Distinct subscriptions held by live primaries (test view)."""
+        seen = set()
+        for pnode in self.nodes.values():
+            if (
+                pnode.alive
+                and pnode.owned is not None
+                and pnode.owned.role == "primary"
+            ):
+                for record in pnode.owned.subs.records():
+                    seen.add(record.sub_id)
+        return len(seen)
 
     def store_object_count(self) -> int:
         """Distinct objects held by live primaries (global test view)."""

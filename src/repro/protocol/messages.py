@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any, Hashable, Optional, Tuple
 from repro.geometry import Point, Rect
 from repro.core.node import NodeAddress
 from repro.store.spatial import BucketKey, ObjectRecord
+from repro.sub.records import SubRecord
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.obs.telemetry import VitalsDigest
@@ -67,6 +68,16 @@ STORE_REPLICATE = "store_replicate"
 STORE_SYNC = "store_sync"
 STORE_PULL = "store_pull"
 STORE_REPAIR = "store_repair"
+
+# ---------------------------------------------------------------------
+# Continuous-query message kinds (the repro.sub subscription plane)
+# ---------------------------------------------------------------------
+SUBSCRIBE = "subscribe"
+SUB_FANOUT = "sub_fanout"
+SUB_ACK = "sub_ack"
+SUB_REPLICATE = "sub_replicate"
+SUB_SYNC = "sub_sync"
+NOTIFY = "notify"
 
 
 @dataclass(frozen=True)
@@ -127,6 +138,10 @@ class JoinGrantBody:
     #: Location-store records riding the grant: a split hands the new
     #: half's objects, a secondary grant seeds the replica.
     objects: Tuple[ObjectRecord, ...] = ()
+    #: Continuous-query registrations riding the grant the same way: a
+    #: split hands every subscription touching the new half, a secondary
+    #: grant seeds the replica.
+    subscriptions: Tuple[SubRecord, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -167,6 +182,8 @@ class GrantDeclineBody:
     items: Tuple[Tuple[Point, Any], ...] = ()
     #: Location-store records returned with the declined region.
     objects: Tuple[ObjectRecord, ...] = ()
+    #: Continuous-query registrations returned with the declined region.
+    subscriptions: Tuple[SubRecord, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -407,6 +424,9 @@ class PublishBody:
     point: Point
     item: Any
     hops: int = 0
+    #: Origin-scoped event identifier; subscription NOTIFY dedup keys on
+    #: it (``None`` from senders predating the subscription plane).
+    event_id: Optional[int] = None
 
     def forwarded(self) -> "PublishBody":
         """Copy with the hop count bumped."""
@@ -415,6 +435,7 @@ class PublishBody:
             point=self.point,
             item=self.item,
             hops=self.hops + 1,
+            event_id=self.event_id,
         )
 
 
@@ -437,6 +458,8 @@ class RegionStateBody:
     neighbors: Tuple[NeighborInfo, ...]
     #: Location-store records moving with the region.
     objects: Tuple[ObjectRecord, ...] = ()
+    #: Continuous-query registrations moving with the region.
+    subscriptions: Tuple[SubRecord, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -484,6 +507,8 @@ class DepartBody:
     items: Tuple[Tuple[Point, Any], ...]
     #: Location-store records handed with the region.
     objects: Tuple[ObjectRecord, ...] = ()
+    #: Continuous-query registrations handed with the region.
+    subscriptions: Tuple[SubRecord, ...] = ()
 
 
 # ---------------------------------------------------------------------
@@ -641,3 +666,105 @@ class StoreRepairBody:
     rect: Rect
     buckets: Tuple[Tuple[BucketKey, Tuple[ObjectRecord, ...]], ...]
     authoritative: bool = True
+
+
+# ---------------------------------------------------------------------
+# Continuous-query bodies (the repro.sub subscription plane)
+# ---------------------------------------------------------------------
+@dataclass(frozen=True)
+class SubscribeBody:
+    """A continuous-query registration, routed to the covering region.
+
+    Routes greedily to the center of the watched rectangle, then fans
+    out (:data:`SUB_FANOUT`) to every region the rectangle touches,
+    exactly like a range query -- a subscription must be registered at
+    *every* primary that can execute a matching event.
+    """
+
+    origin: NodeAddress
+    record: SubRecord
+    request_id: int
+    hops: int = 0
+    #: Addresses that already registered this subscription (fan-out dedup).
+    served: Tuple[NodeAddress, ...] = ()
+
+    def forwarded(self) -> "SubscribeBody":
+        """Copy with the hop count bumped."""
+        return SubscribeBody(
+            origin=self.origin,
+            record=self.record,
+            request_id=self.request_id,
+            hops=self.hops + 1,
+            served=self.served,
+        )
+
+    def marked_served(self, address: NodeAddress) -> "SubscribeBody":
+        """Copy with ``address`` appended to the served set."""
+        return SubscribeBody(
+            origin=self.origin,
+            record=self.record,
+            request_id=self.request_id,
+            hops=self.hops,
+            served=self.served + (address,),
+        )
+
+
+@dataclass(frozen=True)
+class SubAckBody:
+    """One covering primary's acknowledgment of a registration."""
+
+    request_id: int
+    executor: NodeAddress
+    hops: int
+    #: The executor's region rectangle; lets the origin learn a routing
+    #: shortcut from the return path.
+    region: Optional[Rect] = None
+
+
+@dataclass(frozen=True)
+class SubReplicateBody:
+    """Synchronous primary-to-secondary replication of one registration.
+
+    There is no removal variant: leases expire by sweep on both roles
+    independently, so replicas converge without an eviction protocol.
+    """
+
+    record: SubRecord
+
+
+@dataclass(frozen=True)
+class SubSyncBody:
+    """Registrations touching the receiver's region, sent on the sync timer.
+
+    The subscription plane's anti-entropy: each primary periodically
+    ships its neighbors (and, after an ownership handover, the new
+    owner) every live registration touching their rect.  Receivers merge
+    last-writer-wins, which heals registrations lost to a dropped
+    fan-out, a merge-back, or a caretaker transition within one sync
+    interval.
+    """
+
+    rect: Rect
+    records: Tuple[SubRecord, ...]
+
+
+@dataclass(frozen=True)
+class NotifyBody:
+    """A matched event pushed back to the subscriber (at-least-once).
+
+    Delivery rides the reliable channel, so retransmits and multi-region
+    matches can duplicate; the subscriber deduplicates on
+    ``(sub_id, event_key)``.
+    """
+
+    sub_id: str
+    subscriber: NodeAddress
+    #: Deduplication key identifying the matched event: store updates
+    #: key on ``("store", object_id, version)``, publishes on
+    #: ``("pub", origin, event_id)``.
+    event_key: Tuple[Any, ...]
+    point: Point
+    payload: Any
+    #: Executor-side match time (subscriber clocks notify latency off it).
+    matched_at: float
+    executor: NodeAddress

@@ -14,7 +14,7 @@ import math
 import random
 import time
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import BootstrapError, MembershipError
@@ -29,6 +29,7 @@ from repro.obs.telemetry import EVENT_SAMPLE, VitalsFrame
 from repro.sim.scheduler import EventScheduler
 from repro.sim.transport import Message, SimNetwork
 from repro.store.spatial import GridIndex, ObjectRecord
+from repro.sub import SubIndex, SubRecord
 from repro.protocol import messages as m
 from repro.protocol.reliable import ReliableChannel, RetryPolicy
 from repro.protocol.shortcuts import ShortcutCache
@@ -38,11 +39,12 @@ DeliverCallback = Callable[[Point, Any], None]
 
 #: Routed-request kinds whose per-hop forwarding rides the reliable
 #: channel.  A store update is the object's only position report -- a
-#: dropped hop silently loses it until the next report -- whereas plain
-#: routes, publishes and queries are either retried by the application
-#: or repaired by anti-entropy, so hop-by-hop acks would only buy them
-#: message overhead.
-RELIABLE_ROUTED_KINDS = frozenset({m.STORE_UPDATE})
+#: dropped hop silently loses it until the next report -- and a
+#: subscription registration is the only copy of its lease while being
+#: routed -- whereas plain routes, publishes and queries are either
+#: retried by the application or repaired by anti-entropy, so hop-by-hop
+#: acks would only buy them message overhead.
+RELIABLE_ROUTED_KINDS = frozenset({m.STORE_UPDATE, m.SUBSCRIBE})
 
 #: Cap on outstanding client operations tracked for SLO latency; older
 #: entries (lost requests that never completed) fall off the LRU.
@@ -175,6 +177,29 @@ class NodeConfig:
     perimeter_probe_enabled: bool = True
     #: Hop budget of one perimeter probe.
     perimeter_probe_ttl: int = 16
+    #: Whether the continuous-query subscription plane runs: SUBSCRIBE
+    #: routing/fan-out, per-region SubIndex registration + replication,
+    #: match-driven NOTIFY push, lease sweeps, and subscription state
+    #: riding every structural handoff.  Off, no subscription message is
+    #: ever emitted and every touched site reverts to pre-plane behavior.
+    sub_enabled: bool = True
+    #: Default lease length of a subscription issued without an explicit
+    #: duration.
+    sub_lease_duration: float = 120.0
+    #: Fractional per-(sub, holder) hashed jitter added to lease expiry
+    #: before a sweep drops the registration.  Derived from a CRC, not
+    #: ``rng``, so sweeps stay byte-reproducible and replicas of one
+    #: subscription drain within a bounded, deterministic spread.
+    sub_lease_jitter: float = 0.1
+    #: Interval at which a subscriber re-asserts each live lease it
+    #: originated.  Registrations are soft state like store records: a
+    #: region can lose every copy at once (a primary with no standing
+    #: secondary crashes), and the renewal re-routes the same record --
+    #: version bumped, ``registered_at``/``duration`` untouched, so the
+    #: absolute expiry stands -- onto whoever covers the ground now.
+    #: Renewal repairs placement; it never extends the lease, so a
+    #: subscriber that stops renewing still lapses on schedule.
+    sub_renew_interval: float = 30.0
 
 
 @dataclass
@@ -188,6 +213,9 @@ class OwnedRegion:
     #: The location store for this region: the authoritative copy on the
     #: primary, the replica on the secondary.
     store: GridIndex = field(default_factory=GridIndex)
+    #: Continuous-query registrations touching this region: authoritative
+    #: on the primary, replica on the secondary (promoted on failover).
+    subs: SubIndex = field(default_factory=SubIndex)
 
 
 class ProtocolNode:
@@ -277,6 +305,28 @@ class ProtocolNode:
         #: Store lookup answers, one entry per answering region.
         self.store_results: Dict[int, List[m.StoreResultBody]] = {}
         self._served_store_lookups: Set[int] = set()
+        #: Acknowledged subscription registrations issued from this node.
+        self.sub_acks: Dict[int, m.SubAckBody] = {}
+        #: Registration requests this node already served (fan-out dedup).
+        self._served_subs: Set[int] = set()
+        #: Notifications received by this node as a subscriber, in
+        #: arrival order after dedup.
+        self.notifications: List[m.NotifyBody] = []
+        #: Receive-side notification dedup: at-least-once delivery plus
+        #: multi-region matches can push the same event more than once.
+        self._notify_seen: Set[Tuple[str, Tuple[Any, ...]]] = set()
+        #: Sequence counter behind locally issued subscription ids.
+        self._sub_seq = itertools.count(1)
+        #: Stranded registrations re-routed toward their rect, awaiting
+        #: the covering executor's ack before the local copy is dropped
+        #: (request id -> (sub id, version); mirrors ``_rehome_pending``).
+        self._sub_rehome_pending: Dict[int, Tuple[str, int]] = {}
+        #: Live subscriptions this node originated, by sub id -- the
+        #: subscriber-side source of truth behind periodic lease
+        #: re-assertion (see :meth:`_sub_renewals`).
+        self._my_subs: Dict[str, SubRecord] = {}
+        #: When each of :attr:`_my_subs` was last (re-)asserted.
+        self._my_sub_asserted: Dict[str, float] = {}
         self._timers: List[Any] = []
 
         #: Requests served in the current statistics window.
@@ -343,6 +393,9 @@ class ProtocolNode:
         #: it consumes ``self.rng``, so seeded runs stay byte-identical
         #: with the plane on or off.
         self._telemetry = cfg.telemetry_enabled
+        #: Whether the continuous-query subscription plane runs (checked
+        #: at every touched site; off, no subscription message is sent).
+        self._sub = cfg.sub_enabled
         self.vitals = VitalsFrame()
         self.health = NeighborHealthView(
             expected_interval=cfg.heartbeat_interval,
@@ -405,6 +458,12 @@ class ProtocolNode:
             m.RELIABLE: self._on_reliable,
             m.RELIABLE_ACK: self._on_reliable_ack,
             m.PERIMETER_PROBE: self._on_perimeter_probe,
+            m.SUBSCRIBE: self._on_subscribe,
+            m.SUB_FANOUT: self._on_sub_fanout,
+            m.SUB_ACK: self._on_sub_ack,
+            m.SUB_REPLICATE: self._on_sub_replicate,
+            m.SUB_SYNC: self._on_sub_sync,
+            m.NOTIFY: self._on_notify,
         }
         #: Handlers a shortcut hop (or its MISROUTE bounce) may wrap: the
         #: routed-request subset of the protocol, dispatched by inner kind
@@ -417,6 +476,7 @@ class ProtocolNode:
             m.STORE_UPDATE: self._handle_store_update,
             m.STORE_REMOVE: self._handle_store_remove,
             m.STORE_LOOKUP: self._handle_store_lookup,
+            m.SUBSCRIBE: self._handle_subscribe,
         }
 
     # ------------------------------------------------------------------
@@ -548,6 +608,7 @@ class ProtocolNode:
                     rect=self.owned.rect,
                     items=tuple(self.owned.items),
                     objects=tuple(self.owned.store.records()),
+                    subscriptions=tuple(self.owned.subs.records()),
                 ),
             )
         if handoff is None or not self.config.reliable_enabled:
@@ -664,11 +725,15 @@ class ProtocolNode:
     def _note_retry(self, destination: NodeAddress, kind: str) -> None:
         """Reliable-channel observer: a retransmit toward ``destination``."""
         self.vitals.on_retry()
+        if kind == m.NOTIFY:
+            self.vitals.on_notify_retry()
         self.health.note_retry(destination, self.scheduler.now)
 
     def _note_dead_letter(self, destination: NodeAddress, kind: str) -> None:
         """Reliable-channel observer: an exchange was abandoned."""
         self.vitals.on_dead_letter()
+        if kind == m.NOTIFY:
+            self.vitals.on_notify_dead_letter()
         self.health.note_dead_letter(destination, self.scheduler.now)
 
     def _note_ack_latency(self, destination: NodeAddress, rtt: float) -> None:
@@ -710,7 +775,10 @@ class ProtocolNode:
         if entry is None:
             return
         name, started = entry
-        elapsed = self.scheduler._now - started
+        self._slo_observe(name, self.scheduler._now - started)
+
+    def _slo_observe(self, name: str, elapsed: float) -> None:
+        """Fold one latency sample into the named SLO histogram."""
         histogram = self._slo.get(name)
         if histogram is None:
             histogram = Histogram(name, reservoir=512)
@@ -765,7 +833,10 @@ class ProtocolNode:
 
     def publish(self, point: Point, item: Any) -> None:
         """Store a geo-tagged item at the region covering ``point``."""
-        body = m.PublishBody(origin=self.address, point=point, item=item)
+        body = m.PublishBody(
+            origin=self.address, point=point, item=item,
+            event_id=next(_request_ids),
+        )
         ctx = causal.operation(
             "publish", origin=str(self.address), point=str(point)
         )
@@ -849,6 +920,58 @@ class ProtocolNode:
         with causal.using(ctx):
             self._handle_store_lookup(body)
         return request_id
+
+    def subscribe(
+        self,
+        rect: Rect,
+        duration: Optional[float] = None,
+        sub_id: Optional[str] = None,
+        version: int = 0,
+    ) -> Tuple[int, str]:
+        """Register a continuous query over ``rect``.
+
+        The registration routes greedily to the rect's center and fans
+        out to every touching region; each covering primary registers it
+        (and replicates to its secondary) and pushes a NOTIFY back here
+        for every matching store update or publish until the lease runs
+        out.  Re-issue with the same ``sub_id`` and a higher ``version``
+        to renew.  Acks land in :attr:`sub_acks` (one per covering
+        region), notifications in :attr:`notifications`.  Returns
+        ``(request_id, sub_id)``.
+        """
+        if not self._sub:
+            raise RuntimeError(
+                "the subscription plane is disabled (NodeConfig.sub_enabled)"
+            )
+        if duration is None:
+            duration = self.config.sub_lease_duration
+        if sub_id is None:
+            sub_id = f"{self.node.node_id}/{next(self._sub_seq)}"
+        request_id = next(_request_ids)
+        self._slo_start(request_id, "slo.sub.register")
+        record = SubRecord(
+            sub_id=sub_id,
+            rect=rect,
+            subscriber=self.address,
+            registered_at=self.scheduler.now,
+            duration=duration,
+            version=version,
+        )
+        self._my_subs[sub_id] = record
+        self._my_sub_asserted[sub_id] = self.scheduler.now
+        body = m.SubscribeBody(
+            origin=self.address, record=record, request_id=request_id
+        )
+        ctx = causal.operation(
+            "subscribe",
+            origin=str(self.address),
+            rect=str(rect),
+            sub_id=sub_id,
+            request_id=request_id,
+        )
+        with causal.using(ctx):
+            self._handle_subscribe(body)
+        return request_id, sub_id
 
     # ------------------------------------------------------------------
     # Message dispatch
@@ -1233,6 +1356,7 @@ class ProtocolNode:
             items=tuple(self.owned.items),
             nonce=body.nonce,
             objects=tuple(self.owned.store.records()),
+            subscriptions=tuple(self.owned.subs.records()),
         )
         # A lost replica grant costs no data (we keep the records), but
         # the region would sit half-full until the peer timeout; the
@@ -1285,6 +1409,13 @@ class ProtocolNode:
                 target=str(body.joiner),
                 objects=len(handed_objects),
             )
+        # Subscriptions touching the handed half ride the grant (a copy:
+        # registrations spanning the split line stay registered here
+        # too); anything no longer touching the kept half is dropped.
+        handed_subs = tuple(self.owned.subs.touching(handed))
+        self.owned.subs.retain_touching(kept)
+        if handed_subs:
+            obs.inc("sub.node.migrated", len(handed_subs))
 
         joiner_neighbors = [
             info for info in self.neighbor_table.values()
@@ -1299,6 +1430,7 @@ class ProtocolNode:
             items=handed_items,
             nonce=body.nonce,
             objects=handed_objects,
+            subscriptions=handed_subs,
         )
         # The grant carries the handed half's records and the network is
         # lossy: the reliable channel retransmits until the joiner
@@ -1411,7 +1543,7 @@ class ProtocolNode:
             # region that merely lost a race with the retry timer.
             decline = m.GrantDeclineBody(
                 role=body.role, rect=body.rect, items=body.items,
-                objects=body.objects,
+                objects=body.objects, subscriptions=body.subscriptions,
             )
             causal.annotate(
                 "grant_declined",
@@ -1436,6 +1568,7 @@ class ProtocolNode:
             peer=body.peer,
             items=list(body.items),
             store=GridIndex(records=body.objects),
+            subs=SubIndex(records=body.subscriptions),
         )
         self.neighbor_table = {
             info.rect: info
@@ -1594,6 +1727,17 @@ class ProtocolNode:
                     authoritative=False,
                 ),
             )
+        if len(self.owned.subs):
+            # Likewise ship our registrations: the winner merges them LWW
+            # through the anti-entropy receive path, so live leases
+            # survive the conflict on the surviving owner.
+            self.network.send(
+                self.address, info.primary, m.SUB_SYNC,
+                m.SubSyncBody(
+                    rect=self.owned.rect,
+                    records=tuple(self.owned.subs.records()),
+                ),
+            )
         for neighbor in self.neighbor_table.values():
             if neighbor.primary == info.primary:
                 continue
@@ -1731,6 +1875,7 @@ class ProtocolNode:
                 anti_entropy_debt=self._anti_entropy_debt,
                 queue_depth=self.network.in_flight_to(self.address),
                 suspects=self.health.suspects(now),
+                sub_registered=len(self.owned.subs),
             )
         neighbors = tuple(self.neighbor_table.values())
         caretaken = tuple(self.caretaker_rects)
@@ -2121,10 +2266,18 @@ class ProtocolNode:
             )
 
     def _send_sync(self) -> None:
-        if not self.alive or self.owned is None:
+        if not self.alive:
             return
-        self._rehome_misplaced()
-        if self.owned.role != "primary" or self.owned.peer is None:
+        if self.owned is not None:
+            self._rehome_misplaced()
+        # Runs even without an owned region: a pure subscriber still
+        # re-asserts its own leases on this timer.
+        self._sub_maintenance()
+        if (
+            self.owned is None
+            or self.owned.role != "primary"
+            or self.owned.peer is None
+        ):
             return
         body = m.SyncStateBody(
             rect=self.owned.rect,
@@ -2264,6 +2417,7 @@ class ProtocolNode:
             # The departing primary's store is authoritative; merging LWW
             # also keeps anything fresher the replica saw in a race.
             self.owned.store.merge(body.objects)
+            self.owned.subs.merge(body.subscriptions)
             self._replicated_neighbors = self._replicated_neighbors or ()
             self._take_over_primary()
 
@@ -2296,6 +2450,7 @@ class ProtocolNode:
             items=tuple(self.owned.items),
             neighbors=tuple(self.neighbor_table.values()),
             objects=tuple(self.owned.store.records()),
+            subscriptions=tuple(self.owned.subs.records()),
         )
 
     def _install_state(
@@ -2318,6 +2473,7 @@ class ProtocolNode:
             peer=state.peer,
             items=list(state.items),
             store=GridIndex(records=state.objects),
+            subs=SubIndex(records=state.subscriptions),
         )
         if state.objects:
             obs.inc("store.node.migrated", len(state.objects))
@@ -2563,6 +2719,8 @@ class ProtocolNode:
                     target=str(self.address),
                     objects=merged_back,
                 )
+            if body.subscriptions:
+                self.owned.subs.merge(body.subscriptions)
             self.neighbor_table.pop(body.rect, None)
             self.neighbor_table = {
                 rect: info
@@ -2601,6 +2759,8 @@ class ProtocolNode:
         )
         if body.objects:
             self.owned.store.merge(body.objects)
+        if body.subscriptions:
+            self.owned.subs.merge(body.subscriptions)
         audience.discard(self.address)
         for recipient in sorted(audience, key=_address_order):
             self._send_critical(
@@ -2672,10 +2832,14 @@ class ProtocolNode:
                     self.owned.peer, m.REPLICATE,
                     m.ReplicateBody(point=body.point, item=body.item),
                 )
+            if self._sub:
+                self._sub_match_publish(body)
             return
         if not self._route_forward(m.PUBLISH, body, body.point):
             if self.owned is not None:
                 self.owned.items.append((body.point, body.item))
+                if self._sub:
+                    self._sub_match_publish(body)
 
     def _on_replicate(self, message: Message) -> None:
         body: m.ReplicateBody = message.body
@@ -2752,6 +2916,357 @@ class ProtocolNode:
         self.query_results.setdefault(body.request_id, []).append(body)
 
     # ------------------------------------------------------------------
+    # Continuous-query subscriptions (repro.sub)
+    # ------------------------------------------------------------------
+    def _on_subscribe(self, message: Message) -> None:
+        self._handle_subscribe(message.body)
+
+    def _handle_subscribe(self, body: m.SubscribeBody) -> None:
+        if not self._sub:
+            return
+        if self._forward_to_my_primary(m.SUBSCRIBE, body):
+            return
+        target = body.record.rect.center
+        if self._owns_point(target) or self._caretaker_for(target):
+            self._serve_subscribe(body)
+            return
+        if not self._route_forward(m.SUBSCRIBE, body, target):
+            self._serve_subscribe(body)
+
+    def _on_sub_fanout(self, message: Message) -> None:
+        body: m.SubscribeBody = message.body
+        if not self._sub:
+            return
+        if self.owned is None or self.owned.role != "primary":
+            return
+        # Closed-rect touch, exactly like query fan-out: a region meeting
+        # the watched rect only at a corner can still execute matching
+        # events (point coverage is closed at the high edges).
+        if not self.owned.rect.touches(body.record.rect):
+            return
+        self._serve_subscribe(body)
+
+    def _serve_subscribe(self, body: m.SubscribeBody) -> None:
+        """Executor side of a registration: index, ack, fan out."""
+        if body.request_id in self._served_subs:
+            return
+        self._served_subs.add(body.request_id)
+        self._window_served += 1
+        assert self.owned is not None
+        self._sub_register(body.record)
+        ack = m.SubAckBody(
+            request_id=body.request_id,
+            executor=self.address,
+            hops=body.hops,
+            region=self.owned.rect,
+        )
+        self.network.send(self.address, body.origin, m.SUB_ACK, ack)
+        # Fan out to neighbor regions the watched rectangle touches --
+        # the paper's standing-query example (Section 2.2) as messages.
+        marked = body.marked_served(self.address)
+        for info in self.neighbor_table.values():
+            if info.primary in marked.served:
+                continue
+            if not info.rect.touches(body.record.rect):
+                continue
+            endpoint = self._live_endpoint(info)
+            if endpoint is None:
+                continue
+            self.network.send(
+                self.address, endpoint, m.SUB_FANOUT,
+                marked.forwarded(),
+            )
+
+    def _sub_register(self, record: SubRecord) -> bool:
+        """Install one registration locally; replicate when fresh.
+
+        Last-writer-wins by version, so retransmits, fan-out crossings
+        and anti-entropy re-sends are idempotent.  Returns whether the
+        record won.
+        """
+        assert self.owned is not None
+        fresh = self.owned.subs.upsert(record)
+        if fresh:
+            obs.inc("sub.node.registered")
+            causal.annotate(
+                "sub_registered",
+                executor=str(self.address),
+                sub_id=record.sub_id,
+                version=record.version,
+            )
+            if self.owned.role == "primary" and self.owned.peer is not None:
+                self._send_critical(
+                    self.owned.peer, m.SUB_REPLICATE,
+                    m.SubReplicateBody(record=record),
+                )
+                obs.inc("sub.node.replicated")
+        return fresh
+
+    def _on_sub_replicate(self, message: Message) -> None:
+        body: m.SubReplicateBody = message.body
+        if not self._sub:
+            return
+        if self.owned is None or self.owned.role != "secondary":
+            return
+        self.owned.subs.upsert(body.record)
+
+    def _on_sub_ack(self, message: Message) -> None:
+        body: m.SubAckBody = message.body
+        self._slo_finish(body.request_id)
+        if body.region is not None:
+            self._learn_shortcut(
+                m.NeighborInfo(rect=body.region, primary=body.executor)
+            )
+        self.sub_acks[body.request_id] = body
+        pending = self._sub_rehome_pending.pop(body.request_id, None)
+        if pending is None or body.executor == self.address:
+            # Not a rehome ack, or the routed registration dead-ended
+            # right back here: keep the copy, the next sweep tries again.
+            return
+        sub_id, version = pending
+        if self.owned is None:
+            return
+        removed = self.owned.subs.remove(sub_id, version=version)
+        if removed is not None:
+            obs.inc("sub.node.rehomed")
+            causal.annotate(
+                "sub_rehome",
+                owner=str(self.address),
+                executor=str(body.executor),
+                sub_id=sub_id,
+                version=version,
+            )
+
+    def _sub_match_store(self, record: ObjectRecord) -> None:
+        """Push a freshly accepted store update to covering subscriptions."""
+        assert self.owned is not None
+        if not len(self.owned.subs):
+            return
+        now = self.scheduler.now
+        event_key = ("store", str(record.object_id), record.version)
+        for sub in self.owned.subs.match(record.point):
+            if not sub.is_live_at(now):
+                continue
+            self._sub_notify(sub, event_key, record.point, record.payload)
+
+    def _sub_match_publish(self, body: m.PublishBody) -> None:
+        """Push an accepted publish event to covering subscriptions."""
+        assert self.owned is not None
+        if not len(self.owned.subs):
+            return
+        now = self.scheduler.now
+        if body.event_id is not None:
+            event_key: Tuple[Any, ...] = (
+                "pub", str(body.origin), body.event_id
+            )
+        else:
+            # Senders predating the plane carry no event id; fall back to
+            # the event's content (dedup then collapses identical events,
+            # which is the best an unkeyed publish can get).
+            event_key = ("pub", body.point.x, body.point.y, str(body.item))
+        for sub in self.owned.subs.match(body.point):
+            if not sub.is_live_at(now):
+                continue
+            self._sub_notify(sub, event_key, body.point, body.item)
+
+    def _sub_notify(
+        self,
+        sub: SubRecord,
+        event_key: Tuple[Any, ...],
+        point: Point,
+        payload: Any,
+    ) -> None:
+        """Push one matched event to the subscriber (at-least-once)."""
+        obs.inc("sub.node.matched")
+        self.vitals.on_sub_match()
+        body = m.NotifyBody(
+            sub_id=sub.sub_id,
+            subscriber=sub.subscriber,
+            event_key=event_key,
+            point=point,
+            payload=payload,
+            matched_at=self.scheduler.now,
+            executor=self.address,
+        )
+        self._send_critical(sub.subscriber, m.NOTIFY, body)
+
+    def _on_notify(self, message: Message) -> None:
+        body: m.NotifyBody = message.body
+        key = (body.sub_id, body.event_key)
+        if key in self._notify_seen:
+            # A retransmit of an exchange whose ack was lost, or the same
+            # event matched at two covering regions.
+            obs.inc("sub.node.duplicate_notifies")
+            return
+        self._notify_seen.add(key)
+        obs.inc("sub.node.notified")
+        self.notifications.append(body)
+        if self._telemetry:
+            self._slo_observe(
+                "slo.sub.notify_latency",
+                self.scheduler._now - body.matched_at,
+            )
+
+    def _on_sub_sync(self, message: Message) -> None:
+        """Anti-entropy receive: merge live registrations for my ground.
+
+        Last-writer-wins, and only *live* records are merged -- an
+        expired lease must never be re-registered by a stale sender (the
+        phantom re-registration the lease-sweep regression pins).
+        """
+        body: m.SubSyncBody = message.body
+        if not self._sub or self.owned is None:
+            return
+        if self.owned.role != "primary":
+            return
+        if not self.owned.rect.touches(body.rect) and not any(
+            rect.touches(body.rect) for rect in self.caretaker_rects
+        ):
+            return
+        now = self.scheduler.now
+        repaired = 0
+        for record in body.records:
+            if not record.is_live_at(now):
+                continue
+            if not record.rect.touches(self.owned.rect) and not any(
+                rect.touches(record.rect) for rect in self.caretaker_rects
+            ):
+                continue
+            if self._sub_register(record):
+                repaired += 1
+        if repaired:
+            obs.inc("sub.node.repaired", repaired)
+
+    def _sub_renewals(self) -> None:
+        """Subscriber-side re-assertion of every live lease from here.
+
+        Registered subscriptions are soft state: a region can lose every
+        copy at once (its primary crashes while the secondary slot is
+        empty), and no amount of handoff bookkeeping can resurrect a
+        record nobody holds.  So the subscriber itself re-routes each of
+        its live registrations every :attr:`NodeConfig.sub_renew_interval`
+        -- the same record with a bumped version (last-writer-wins makes
+        this idempotent at holders that never lost it) and an untouched
+        ``registered_at``/``duration``, so the absolute expiry stands and
+        a lapsed lease is never phantom-re-registered.  Emits nothing
+        when this node originated no subscriptions.
+        """
+        if not self._my_subs:
+            return
+        now = self.scheduler.now
+        for sub_id in list(self._my_subs):
+            record = self._my_subs[sub_id]
+            if not record.is_live_at(now):
+                del self._my_subs[sub_id]
+                self._my_sub_asserted.pop(sub_id, None)
+                continue
+            asserted = self._my_sub_asserted.get(sub_id, 0.0)
+            if now - asserted < self.config.sub_renew_interval:
+                continue
+            renewed = replace(record, version=record.version + 1)
+            self._my_subs[sub_id] = renewed
+            self._my_sub_asserted[sub_id] = now
+            obs.inc("sub.node.renewed")
+            causal.annotate(
+                "sub_renewed",
+                subscriber=str(self.address),
+                sub_id=sub_id,
+                version=renewed.version,
+            )
+            self._handle_subscribe(
+                m.SubscribeBody(
+                    origin=self.address,
+                    record=renewed,
+                    request_id=next(_request_ids),
+                )
+            )
+
+    def _sub_lease_grace(self, record: SubRecord) -> float:
+        """Deterministic per-(sub, holder) jitter added to lease expiry.
+
+        Hashed, not drawn from ``rng``: sweeps must not perturb the
+        seeded random stream (the plane has to be byte-invisible when no
+        subscriptions exist), and replicas of one subscription should
+        drain within a bounded, deterministic spread rather than in
+        lockstep.
+        """
+        spread = zlib.crc32(
+            f"{record.sub_id}|{self.address}".encode("utf-8")
+        ) / 2**32
+        return self.config.sub_lease_jitter * record.duration * spread
+
+    def _sub_maintenance(self) -> None:
+        """Lease sweep + neighbor anti-entropy, on the sync timer.
+
+        Runs in both roles (replicas sweep their own copies; there is no
+        eviction protocol to miss).  Primaries then ship every live
+        registration touching each neighbor's rect -- healing
+        registrations lost to a dropped fan-out, a merge-back, or an
+        ownership handover within one sync interval.  Emits nothing when
+        the index is empty, so runs without subscriptions stay
+        byte-identical to a build without the plane.
+        """
+        if not self._sub:
+            return
+        self._sub_renewals()
+        if self.owned is None:
+            return
+        subs = self.owned.subs
+        if not len(subs):
+            return
+        now = self.scheduler.now
+        expired = [
+            record
+            for record in subs.records()
+            if now >= record.expires_at() + self._sub_lease_grace(record)
+        ]
+        for record in expired:
+            subs.remove(record.sub_id)
+        if expired:
+            obs.inc("sub.node.expired", len(expired))
+        # Re-home registrations stranded by restructuring: a takeover,
+        # merge, or state install can change our territory out from
+        # under a record until its rect no longer touches any ground we
+        # serve.  Each is re-routed as a fresh SUBSCRIBE toward its
+        # rect; the local copy is dropped only once a covering executor
+        # acks it (see :meth:`_on_sub_ack`), mirroring the store's
+        # rehome path, so a lossy network can never strand the lease.
+        self._sub_rehome_pending.clear()
+        ground = [self.owned.rect, *self.caretaker_rects]
+        for record in subs.records():
+            if not record.is_live_at(now):
+                continue
+            if any(rect.touches(record.rect) for rect in ground):
+                continue
+            request_id = next(_request_ids)
+            self._sub_rehome_pending[request_id] = (
+                record.sub_id, record.version,
+            )
+            self._handle_subscribe(
+                m.SubscribeBody(
+                    origin=self.address,
+                    record=record,
+                    request_id=request_id,
+                )
+            )
+        if self.owned.role != "primary" or not len(subs):
+            return
+        for info in self.neighbor_table.values():
+            if info.primary == self.address:
+                continue
+            records = tuple(
+                record
+                for record in subs.touching(info.rect)
+                if record.is_live_at(now)
+            )
+            if not records:
+                continue
+            self.network.send(
+                self.address, info.primary, m.SUB_SYNC,
+                m.SubSyncBody(rect=info.rect, records=records),
+            )
+
+    # ------------------------------------------------------------------
     # Location store: data plane
     # ------------------------------------------------------------------
     def _on_store_update(self, message: Message) -> None:
@@ -2792,6 +3307,8 @@ class ProtocolNode:
                     m.StoreReplicateBody(record=record),
                 )
                 obs.inc("store.node.replicated")
+            if self._sub:
+                self._sub_match_store(record)
             if body.prev_point is not None and not self._covers(
                 self.owned.rect, body.prev_point
             ):

@@ -49,6 +49,7 @@ __all__ = [
     "SCENARIOS",
     "run_scenario",
     "run_campaign",
+    "run_pubsub_campaign",
     "measure_reliable_overhead",
 ]
 
@@ -81,6 +82,12 @@ class ChaosConfig:
     #: this many ticks -- and every scenario fails if any node flags a
     #: peer that was not the injected gray victim (zero false positives).
     detection_budget_ticks: int = 12
+    #: Continuous queries registered (and acked) before faults in the
+    #: pubsub campaign; the plain campaign never reads these two knobs.
+    subscriptions: int = 6
+    #: Targeted events per pubsub burst (one burst before the faults,
+    #: one after recovery).
+    pubsub_events: int = 8
 
     def __post_init__(self) -> None:
         if self.population < 4:
@@ -103,6 +110,14 @@ class ChaosConfig:
             raise ConfigurationError(
                 "detection_budget_ticks must be >= 1, got "
                 f"{self.detection_budget_ticks}"
+            )
+        if self.subscriptions < 1:
+            raise ConfigurationError(
+                f"subscriptions must be >= 1, got {self.subscriptions}"
+            )
+        if self.pubsub_events < 1:
+            raise ConfigurationError(
+                f"pubsub_events must be >= 1, got {self.pubsub_events}"
             )
 
 
@@ -138,6 +153,13 @@ class ScenarioResult:
     #: ``flagger->flagged`` pairs naming anyone other than the injected
     #: gray victim (must stay empty in every scenario).
     false_positives: List[str] = field(default_factory=list)
+    #: Oracle-expected notification deliveries across the pubsub
+    #: campaign's asserted bursts (0 in the plain campaign).
+    expected_notifications: int = 0
+    #: Expected deliveries that never arrived despite application-level
+    #: publish retries -- a committed continuous query stranded by
+    #: restructuring (must stay 0).
+    lost_notifications: int = 0
 
     def summary(self) -> str:
         verdict = "ok" if self.ok else "FAIL"
@@ -157,6 +179,9 @@ class ScenarioResult:
             line += f" detect={mark}/{self.detect_budget}t"
         if self.false_positives:
             line += f" false_positives={len(self.false_positives)}"
+        if self.expected_notifications:
+            delivered = self.expected_notifications - self.lost_notifications
+            line += f" notify={delivered}/{self.expected_notifications}"
         return line
 
 
@@ -433,12 +458,148 @@ class _Arena:
         )
 
 
+class _PubSubArena(_Arena):
+    """An :class:`_Arena` carrying a committed continuous-query load.
+
+    The pubsub campaign runs every scenario with this arena instead of
+    the plain one.  During :meth:`populate` a population of standing
+    queries is registered *synchronously* (every registration acked, so
+    the subscriptions are committed before any fault exists) and a
+    pre-fault burst of targeted events proves baseline delivery under
+    the ambient drop rate.  The verdict then lets the scenario's
+    restructuring finish and publishes a post-heal burst: an
+    oracle-expected notification that never arrives despite
+    application-level publish retries means a committed lease was
+    stranded -- exactly the failure the partition-following handoffs
+    must prevent.  All pubsub randomness comes from its own stream
+    (``seed:scenario:pubsub``), so the underlying fault schedule is the
+    same one the plain campaign runs.
+    """
+
+    def __init__(self, config: ChaosConfig, scenario: str) -> None:
+        from repro.workload.subscriptions import SubscriptionWorkload
+
+        super().__init__(config, scenario)
+        self.pubsub_rng = random.Random(f"{config.seed}:{scenario}:pubsub")
+        self.pubsub = SubscriptionWorkload(
+            self.BOUNDS,
+            subscriptions=config.subscriptions,
+            rng=self.pubsub_rng,
+            # Leases must outlive the scenario: expiry correctness has
+            # its own regression tests; this campaign tests survival.
+            duration=1_000_000.0,
+            hit_ratio=0.7,
+        )
+        #: Workload name -> (subscriber node id, protocol sub id, rect).
+        self.sub_homes: Dict[str, tuple] = {}
+        self.expected_notifications = 0
+        self.lost_pairs: List[str] = []
+
+    def populate(self) -> None:
+        super().populate()
+        clients = sorted(
+            (
+                node
+                for node in self.cluster.nodes.values()
+                if node.alive and node.joined
+            ),
+            key=lambda node: (node.address.ip, node.address.port),
+        )
+        for op in self.pubsub.initial_subscriptions():
+            client = clients[op.subscriber % len(clients)]
+            sub_id, _ack = self.cluster.subscribe(
+                client.node.node_id, op.rect, duration=op.duration
+            )
+            self.sub_homes[op.name] = (client.node.node_id, sub_id, op.rect)
+        self.cluster.settle(10.0)
+        # The pre-fault committed burst: delivery must work under the
+        # ambient drop rate before faults are allowed to complicate it.
+        self.publish_burst(self.config.pubsub_events)
+
+    # -- event side ----------------------------------------------------
+    def publish_burst(
+        self, count: int, attempts: int = 4, wait: float = 15.0
+    ) -> None:
+        """Publish ``count`` events and assert oracle-expected delivery.
+
+        PUBLISH routing is fire-and-forget (only the NOTIFY leg rides
+        the reliable channel), so on a lossy network the application
+        retries the publish -- each retry is a distinct event, and the
+        at-least-once contract makes the duplicates harmless.  A pair
+        still missing after every attempt is recorded as lost.
+        """
+        for op in self.pubsub.publish_step(count):
+            expected = []
+            for name in sorted(self.sub_homes):
+                node_id, sub_id, rect = self.sub_homes[name]
+                if not self.cluster.nodes[node_id].alive:
+                    continue  # the subscribing client itself died
+                if rect.covers(
+                    op.point, closed_low_x=True, closed_low_y=True
+                ):
+                    expected.append((name, node_id, sub_id))
+            self.expected_notifications += len(expected)
+            if not expected:
+                continue
+            missing = list(expected)
+            for _ in range(attempts):
+                publisher = self._random_live_pubsub_node()
+                publisher.publish(op.point, op.payload)
+                self.cluster.run_for(wait)
+                missing = [
+                    entry
+                    for entry in missing
+                    if not self._delivered(entry[1], entry[2], op.payload)
+                ]
+                if not missing:
+                    break
+            for name, _node_id, _sub_id in missing:
+                self.lost_pairs.append(f"{name}->{op.payload}")
+
+    def _delivered(self, node_id: int, sub_id: str, payload) -> bool:
+        return any(
+            note.sub_id == sub_id and note.payload == payload
+            for note in self.cluster.nodes[node_id].notifications
+        )
+
+    def _random_live_pubsub_node(self):
+        live = [
+            node
+            for node in self.cluster.nodes.values()
+            if node.alive and node.joined
+        ]
+        if not live:
+            raise SimulationError("no live joined node to publish from")
+        return self.pubsub_rng.choice(live)
+
+    # -- verdict -------------------------------------------------------
+    def verdict(self, name: str, detail: str) -> ScenarioResult:
+        # Let the scenario's restructuring finish first, then prove the
+        # committed queries still deliver: the post-heal burst *is* the
+        # partition-following assertion.
+        self.cluster.settle(self.config.recovery)
+        self.publish_burst(self.config.pubsub_events)
+        result = super().verdict(name, detail)
+        result.expected_notifications = self.expected_notifications
+        result.lost_notifications = len(self.lost_pairs)
+        if self.lost_pairs:
+            result.ok = False
+            result.detail += "; lost notifications: " + ", ".join(
+                self.lost_pairs[:5]
+            )
+        return result
+
+
 # ----------------------------------------------------------------------
 # Scenarios
 # ----------------------------------------------------------------------
-def _scenario_asymmetric_partition(config: ChaosConfig) -> ScenarioResult:
+def _scenario_asymmetric_partition(
+    config: ChaosConfig, arena: Optional[_Arena] = None
+) -> ScenarioResult:
     """One direction of a primary-to-primary link silently eats traffic."""
-    arena = _Arena(config, "asymmetric_partition")
+    arena = arena if arena is not None else _Arena(
+        config, "asymmetric_partition"
+    )
     arena.populate()
     primaries = arena.live_primaries()
     a, b = arena.rng.sample(primaries, 2)
@@ -455,9 +616,11 @@ def _scenario_asymmetric_partition(config: ChaosConfig) -> ScenarioResult:
     )
 
 
-def _scenario_gray_failure(config: ChaosConfig) -> ScenarioResult:
+def _scenario_gray_failure(
+    config: ChaosConfig, arena: Optional[_Arena] = None
+) -> ScenarioResult:
     """One endpoint drops 25% and delays 50% of its traffic, both ways."""
-    arena = _Arena(config, "gray_failure")
+    arena = arena if arena is not None else _Arena(config, "gray_failure")
     arena.populate()
     victim = arena.rng.choice(arena.live_primaries())
     network = arena.cluster.network
@@ -486,9 +649,11 @@ def _scenario_gray_failure(config: ChaosConfig) -> ScenarioResult:
     )
 
 
-def _scenario_crash_restart(config: ChaosConfig) -> ScenarioResult:
+def _scenario_crash_restart(
+    config: ChaosConfig, arena: Optional[_Arena] = None
+) -> ScenarioResult:
     """A primary dies abruptly; a replacement rejoins at the same spot."""
-    arena = _Arena(config, "crash_restart")
+    arena = arena if arena is not None else _Arena(config, "crash_restart")
     arena.populate()
     # Crash a *replicated* primary: a solo primary's store has no other
     # copy anywhere, so losing it is by design, not a protocol failure
@@ -512,14 +677,16 @@ def _scenario_crash_restart(config: ChaosConfig) -> ScenarioResult:
     )
 
 
-def _scenario_regional_outage(config: ChaosConfig) -> ScenarioResult:
+def _scenario_regional_outage(
+    config: ChaosConfig, arena: Optional[_Arena] = None
+) -> ScenarioResult:
     """Every region touching one quadrant loses an owner at once.
 
     At most one owner per region crashes, so each affected region's data
     survives on its other owner -- the correlated-failure shape a real
     rack or availability-zone outage produces.
     """
-    arena = _Arena(config, "regional_outage")
+    arena = arena if arena is not None else _Arena(config, "regional_outage")
     arena.populate()
     bounds = arena.BOUNDS
     quadrant = Rect(
@@ -552,9 +719,13 @@ def _scenario_regional_outage(config: ChaosConfig) -> ScenarioResult:
     )
 
 
-def _scenario_drop_latency_spike(config: ChaosConfig) -> ScenarioResult:
+def _scenario_drop_latency_spike(
+    config: ChaosConfig, arena: Optional[_Arena] = None
+) -> ScenarioResult:
     """Network-wide congestion: loss triples and every delivery slows."""
-    arena = _Arena(config, "drop_latency_spike")
+    arena = arena if arena is not None else _Arena(
+        config, "drop_latency_spike"
+    )
     arena.populate()
     network = arena.cluster.network
     normal_drop = network.drop_probability
@@ -574,11 +745,13 @@ def _scenario_drop_latency_spike(config: ChaosConfig) -> ScenarioResult:
     )
 
 
-def _scenario_churn_storm(config: ChaosConfig) -> ScenarioResult:
+def _scenario_churn_storm(
+    config: ChaosConfig, arena: Optional[_Arena] = None
+) -> ScenarioResult:
     """A Poisson burst of joins, departures and crashes."""
     from repro.sim.churn import ChurnConfig, ChurnProcess
 
-    arena = _Arena(config, "churn_storm")
+    arena = arena if arena is not None else _Arena(config, "churn_storm")
     arena.populate()
     cluster = arena.cluster
 
@@ -680,6 +853,33 @@ def run_campaign(
     report = CampaignReport(seed=config.seed)
     for name in names:
         report.results.append(run_scenario(name, config))
+    return report
+
+
+def run_pubsub_campaign(
+    config: Optional[ChaosConfig] = None,
+    scenarios: Optional[Sequence[str]] = None,
+) -> CampaignReport:
+    """The fault campaign with a committed continuous-query load on top.
+
+    Every scenario runs its usual fault schedule against a
+    :class:`_PubSubArena`: subscriptions registered and acked before the
+    faults, a delivery-asserted event burst before and after.  On top of
+    the plain campaign's verdict, a scenario fails if any
+    oracle-expected notification was lost
+    (``lost_notifications`` must be 0 everywhere).
+    """
+    config = config if config is not None else ChaosConfig()
+    names = list(scenarios) if scenarios is not None else list(SCENARIOS)
+    report = CampaignReport(seed=config.seed)
+    for name in names:
+        if name not in SCENARIOS:
+            raise ConfigurationError(
+                f"unknown chaos scenario {name!r}; known: "
+                f"{sorted(SCENARIOS)}"
+            )
+        arena = _PubSubArena(config, name)
+        report.results.append(SCENARIOS[name](config, arena=arena))
     return report
 
 

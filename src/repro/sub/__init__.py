@@ -1,0 +1,14 @@
+"""Protocol-layer continuous-query subscriptions (``repro.sub``).
+
+The paper's location queries (Section 2.2) are *standing* requests.
+This package holds the engine-agnostic pieces: the immutable
+:class:`SubRecord` lease and the grid-bucketed :class:`SubIndex` each
+covering primary keeps (and replicates to its secondary).  The wire
+protocol -- SUBSCRIBE routing/fan-out, NOTIFY push, lease sweeps, and
+partition-following handoffs -- lives in :mod:`repro.protocol.node`.
+"""
+
+from .index import SubIndex
+from .records import SubRecord
+
+__all__ = ["SubRecord", "SubIndex"]

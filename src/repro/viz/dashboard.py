@@ -89,6 +89,46 @@ def _node_lines(sample: Dict[str, Any]) -> List[str]:
     return lines
 
 
+def _subscription_lines(sample: Dict[str, Any]) -> List[str]:
+    """The continuous-query panel: registered/matched/notify health.
+
+    Older samples (or hand-built fixtures) may predate the subscription
+    plane, so every field read is a ``.get`` with a zero default and the
+    panel degrades to its idle line rather than crashing.
+    """
+    nodes = list(sample.get("nodes", ()))
+    registered = sum(row.get("sub_registered", 0) for row in nodes)
+    matched = sum(row.get("sub_matched", 0) for row in nodes)
+    notified = sum(row.get("sub_notified", 0) for row in nodes)
+    dead = sum(row.get("sub_dead_letters", 0) for row in nodes)
+    lines = [
+        f"  registered={registered} matched={matched} "
+        f"notified={notified} notify-dead-letters={dead}"
+    ]
+    if registered == 0 and matched == 0 and notified == 0 and dead == 0:
+        lines.append("  (no continuous queries registered)")
+        return lines
+    for row in nodes:
+        if not any(
+            row.get(key, 0)
+            for key in (
+                "sub_registered",
+                "sub_matched",
+                "sub_notified",
+                "sub_dead_letters",
+            )
+        ):
+            continue
+        lines.append(
+            f"  {row.get('address', '?'):<18} "
+            f"reg={row.get('sub_registered', 0):<4d} "
+            f"match={row.get('sub_matched', 0):<5d} "
+            f"ntfy={row.get('sub_notified', 0):<5d} "
+            f"dead={row.get('sub_dead_letters', 0):d}"
+        )
+    return lines
+
+
 def _offender_lines(sample: Dict[str, Any]) -> List[str]:
     nodes = list(sample.get("nodes", ()))
     if not nodes:
@@ -151,6 +191,9 @@ def render_dashboard(
         "",
         "client-edge SLO latency (sim-seconds)",
         *_slo_lines(sample),
+        "",
+        "continuous queries",
+        *_subscription_lines(sample),
         "",
         "node vitals",
         *_node_lines(sample),

@@ -14,6 +14,9 @@
 * :mod:`repro.workload.moving` -- moving-object position-report traffic
   for the location store (heading-following random walks with range
   lookups that track the population).
+* :mod:`repro.workload.subscriptions` -- continuous-query traffic for
+  the subscription plane (standing watch rectangles, lease churn, and
+  geo-tagged events with a controllable in-watched-ground hit ratio).
 """
 
 from repro.workload.capacity import (
@@ -32,6 +35,11 @@ from repro.workload.placement import (
 from repro.workload.moving import MovingObjectWorkload, StepReport
 from repro.workload.queries import QueryGenerator
 from repro.workload.rushhour import RushHourField
+from repro.workload.subscriptions import (
+    PublishOp,
+    SubscribeOp,
+    SubscriptionWorkload,
+)
 
 __all__ = [
     "CapacityDistribution",
@@ -48,4 +56,7 @@ __all__ = [
     "StepReport",
     "QueryGenerator",
     "RushHourField",
+    "SubscribeOp",
+    "PublishOp",
+    "SubscriptionWorkload",
 ]

@@ -490,3 +490,115 @@ class TestLifecycle:
         cluster.settle(60)
         assert auditor.ticks >= 10
         assert auditor.violations == []
+
+
+class TestSubscriptionsCheck:
+    """The ``subscriptions`` invariant: no phantom leases, replicas agree."""
+
+    ADDR = None  # set in _record; here to keep the helpers short
+
+    @staticmethod
+    def _record(sub_id="s1", rect=Rect(1, 1, 2, 2), version=0,
+                registered_at=0.0, duration=100.0):
+        from repro.core.node import NodeAddress
+        from repro.sub import SubRecord
+
+        return SubRecord(
+            sub_id=sub_id,
+            rect=rect,
+            subscriber=NodeAddress("10.0.0.9", 7000),
+            registered_at=registered_at,
+            duration=duration,
+            version=version,
+        )
+
+    @staticmethod
+    def _with_subs(node, *records):
+        from repro.sub import SubIndex
+
+        node.owned.subs = SubIndex(records=records)
+        return node
+
+    def _auditor(self, *nodes, now=0.0):
+        return InvariantAuditor(
+            make_cluster(*nodes, now=now), checks=("subscriptions",)
+        )
+
+    def test_touching_live_lease_is_clean(self):
+        primary = self._with_subs(
+            make_node("a", LEFT, neighbors=[RIGHT]), self._record()
+        )
+        assert self._auditor(
+            primary, make_node("b", RIGHT, neighbors=[LEFT])
+        ).run_checks() == []
+
+    def test_nodes_without_a_sub_index_are_skipped(self):
+        assert self._auditor(
+            make_node("a", LEFT), make_node("b", RIGHT)
+        ).run_checks() == []
+
+    def test_phantom_lease_found(self):
+        # A live lease on RIGHT ground held by LEFT's primary: the
+        # stranding the partition-following handoffs must prevent.
+        primary = self._with_subs(
+            make_node("a", LEFT),
+            self._record(rect=Rect(7, 2, 2, 2)),
+        )
+        (violation,) = self._auditor(primary).run_checks()
+        assert violation.check == "subscriptions"
+        assert violation.severity == "soft"
+        assert "s1" in violation.subject
+        assert "does not touch" in violation.detail
+
+    def test_expired_lease_is_not_a_phantom(self):
+        primary = self._with_subs(
+            make_node("a", LEFT),
+            self._record(rect=Rect(7, 2, 2, 2), duration=10.0),
+        )
+        assert self._auditor(primary, now=50.0).run_checks() == []
+
+    def test_caretaken_ground_excuses_the_lease(self):
+        primary = self._with_subs(
+            make_node("a", LEFT, caretakes=[RIGHT]),
+            self._record(rect=Rect(7, 2, 2, 2)),
+        )
+        assert self._auditor(primary).run_checks() == []
+
+    def test_replica_divergence_found(self):
+        primary = self._with_subs(
+            make_node("a", LEFT, peer="p"), self._record(version=2)
+        )
+        peer = self._with_subs(
+            make_node("p", LEFT, role="secondary"),
+            self._record(version=1),
+        )
+        (violation,) = self._auditor(primary, peer).run_checks()
+        assert violation.check == "subscriptions"
+        assert "a+p" in violation.subject
+
+    def test_replica_missing_record_found(self):
+        primary = self._with_subs(
+            make_node("a", LEFT, peer="p"), self._record()
+        )
+        peer = self._with_subs(make_node("p", LEFT, role="secondary"))
+        (violation,) = self._auditor(primary, peer).run_checks()
+        assert violation.check == "subscriptions"
+
+    def test_converged_replica_is_clean(self):
+        primary = self._with_subs(
+            make_node("a", LEFT, peer="p"), self._record(version=2)
+        )
+        peer = self._with_subs(
+            make_node("p", LEFT, role="secondary"),
+            self._record(version=2),
+        )
+        assert self._auditor(primary, peer).run_checks() == []
+
+    def test_dead_peer_is_the_failure_sweeps_problem(self):
+        primary = self._with_subs(
+            make_node("a", LEFT, peer="p"), self._record()
+        )
+        peer = self._with_subs(
+            make_node("p", LEFT, role="secondary", alive=False)
+        )
+        assert self._auditor(primary, peer).run_checks() == []

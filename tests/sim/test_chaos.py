@@ -7,6 +7,7 @@ from repro.sim.chaos import (
     SCENARIOS,
     ChaosConfig,
     run_campaign,
+    run_pubsub_campaign,
     run_scenario,
 )
 
@@ -97,3 +98,47 @@ class TestCampaign:
         rendered = report.render()
         assert "asymmetric_partition" in rendered
         assert "0 failed" in rendered
+
+
+class TestPubSubCampaign:
+    def test_committed_notifications_survive_a_scenario(self):
+        report = run_pubsub_campaign(SMALL, scenarios=["crash_restart"])
+        result = report.results[0]
+        assert result.ok, result.detail
+        assert result.violations == []
+        assert result.expected_notifications > 0
+        assert result.lost_notifications == 0
+        assert "notify=13/13" in result.summary()
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            run_pubsub_campaign(SMALL, scenarios=["nope"])
+
+    def test_same_seed_same_delivery_ledger(self):
+        def ledger():
+            report = run_pubsub_campaign(
+                SMALL, scenarios=["crash_restart"]
+            )
+            result = report.results[0]
+            return (
+                result.ok,
+                result.expected_notifications,
+                result.lost_notifications,
+                result.sim_time,
+            )
+
+        assert ledger() == ledger()
+
+    def test_plain_campaign_verdict_is_untouched_by_the_load(self):
+        """The plain campaign must not notice the pubsub arena exists.
+
+        Both campaigns share the scenario registry and seed derivation;
+        running them back to back at the same config must leave the
+        plain one's outcome byte-for-byte what it always was.
+        """
+        plain = run_scenario("crash_restart", SMALL)
+        run_pubsub_campaign(SMALL, scenarios=["crash_restart"])
+        again = run_scenario("crash_restart", SMALL)
+        assert (plain.ok, plain.sim_time, plain.detail) == (
+            again.ok, again.sim_time, again.detail
+        )

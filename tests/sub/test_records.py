@@ -1,0 +1,64 @@
+"""Tests for repro.sub.records -- the immutable subscription record."""
+
+import pytest
+
+from repro.core.node import NodeAddress
+from repro.geometry import Rect
+from repro.sub import SubRecord
+
+ADDR = NodeAddress("10.0.0.1", 7000)
+RECT = Rect(10, 10, 8, 8)
+
+
+def make_record(**overrides):
+    fields = dict(
+        sub_id="s1",
+        rect=RECT,
+        subscriber=ADDR,
+        registered_at=100.0,
+        duration=30.0,
+        version=0,
+    )
+    fields.update(overrides)
+    return SubRecord(**fields)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("duration", [0.0, -1.0])
+    def test_non_positive_duration_rejected(self, duration):
+        with pytest.raises(ValueError):
+            make_record(duration=duration)
+
+
+class TestLease:
+    def test_expires_at_is_absolute(self):
+        assert make_record().expires_at() == 130.0
+
+    def test_live_strictly_before_expiry(self):
+        record = make_record()
+        assert record.is_live_at(100.0)
+        assert record.is_live_at(129.999)
+        assert not record.is_live_at(130.0)
+        assert not record.is_live_at(1000.0)
+
+
+class TestVersioning:
+    def test_supersedes_is_strict_last_writer_wins(self):
+        v0 = make_record()
+        v1 = make_record(version=1)
+        assert v1.supersedes(v0)
+        assert not v0.supersedes(v1)
+        assert not v0.supersedes(v0)
+        assert v0.supersedes(None)
+
+    def test_renewed_bumps_version_and_restarts_lease(self):
+        renewal = make_record().renewed(now=125.0)
+        assert renewal.sub_id == "s1"
+        assert renewal.rect == RECT
+        assert renewal.version == 1
+        assert renewal.registered_at == 125.0
+        assert renewal.expires_at() == 155.0
+
+    def test_renewed_can_change_duration(self):
+        renewal = make_record().renewed(now=125.0, duration=5.0)
+        assert renewal.expires_at() == 130.0

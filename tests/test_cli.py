@@ -117,6 +117,9 @@ class TestTelemetryPlaneCli:
         out = capsys.readouterr().out
         assert "repro top -- t=" in out
         assert "node vitals" in out
+        # The CI assertion for the subscription panel: every frame shows
+        # the continuous-query section, even with nothing registered.
+        assert "continuous queries" in out
         # --once never emits the cursor-homing escape used between frames.
         assert "\x1b[H" not in out
 
@@ -139,6 +142,53 @@ class TestTelemetryPlaneCli:
     def test_export_rejects_zero_samples(self, capsys):
         assert main(["export", "--samples", "0"]) == 2
         assert "--samples" in capsys.readouterr().err
+
+    def test_bench_pubsub_writes_only_pubsub_file(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        from repro.obs import bench
+
+        # The full bench replays every chaos scenario under the
+        # committed subscription load and measures the overhead ratios;
+        # one scenario at reduced scale without overhead keeps the CLI
+        # wiring test fast while still exercising delivery verdicts.
+        orig = bench.write_pubsub_bench_file
+        monkeypatch.setattr(
+            bench, "write_pubsub_bench_file",
+            lambda out_dir, **kw: orig(
+                out_dir, population=8, objects=8, recovery=160.0,
+                skip_overhead=True, scenarios=["crash_restart"],
+            ),
+        )
+        assert main(["bench", "pubsub", "--out", str(tmp_path)]) == 0
+        path = tmp_path / "BENCH_pubsub.json"
+        assert path.exists()
+        assert not (tmp_path / "BENCH_store.json").exists()
+        payload = json.loads(path.read_text())
+        assert payload["pubsub.campaign.ok"]["mean"] == 1.0
+        assert payload["pubsub.campaign.violations"]["mean"] == 0.0
+        assert payload["pubsub.notify.expected"]["mean"] > 0
+        assert payload["pubsub.notify.lost"]["mean"] == 0.0
+        assert payload["pubsub.verdict.loss_free"]["mean"] == 1.0
+        assert "BENCH_pubsub.json" in capsys.readouterr().out
+
+    def test_bench_pubsub_smoke_skips_overhead(self, monkeypatch):
+        from repro.obs import bench
+
+        seen = {}
+        monkeypatch.setattr(
+            bench, "write_pubsub_bench_file",
+            lambda out_dir, **kw: seen.update(kw) or [],
+        )
+        assert main(["bench", "pubsub", "--smoke"]) == 0
+        assert seen["skip_overhead"] is True
+
+    def test_smoke_parses(self):
+        args = build_parser().parse_args(["bench", "pubsub", "--smoke"])
+        assert args.suite == "pubsub"
+        assert args.smoke is True
 
     def test_chaos_metrics_dumps_registry(self, tmp_path, capsys):
         import json

@@ -100,3 +100,64 @@ class TestRenderDashboard:
         page = render_dashboard([cluster_sample(cluster)])
         assert "node vitals" in page
         assert "slo." in page
+
+
+class TestSubscriptionPanel:
+    def test_idle_plane_renders_placeholder(self):
+        page = render_dashboard([_sample()])
+        assert "continuous queries" in page
+        assert "(no continuous queries registered)" in page
+
+    def test_active_nodes_get_rows(self):
+        sample = _sample(
+            nodes=[
+                _node_row(
+                    sub_registered=3, sub_matched=7, sub_notified=5,
+                    sub_dead_letters=1,
+                ),
+                _node_row(address="10.0.0.2:7000"),
+            ]
+        )
+        page = render_dashboard([sample])
+        assert "registered=3 matched=7 notified=5 notify-dead-letters=1" in (
+            page
+        )
+        assert "reg=3" in page and "ntfy=5" in page
+        # The idle node contributes no row of its own.
+        idle_rows = [
+            line for line in page.splitlines()
+            if "10.0.0.2:7000" in line and "reg=" in line
+        ]
+        assert idle_rows == []
+
+    def test_samples_predating_the_plane_degrade_gracefully(self):
+        row = _node_row()
+        assert "sub_registered" not in row  # fixture predates the plane
+        page = render_dashboard([_sample(nodes=[row])])
+        assert "(no continuous queries registered)" in page
+
+    def test_real_sample_with_subscriptions_fills_the_panel(self):
+        from repro.workload.subscriptions import SubscriptionWorkload
+
+        cluster, rng = demo_cluster(seed=7, population=6)
+        workload = SubscriptionWorkload(
+            cluster.bounds, subscriptions=2, rng=rng, duration=10_000.0
+        )
+        live = sorted(
+            (p for p in cluster.nodes.values() if p.alive),
+            key=lambda p: (p.address.ip, p.address.port),
+        )
+        for op in workload.initial_subscriptions():
+            cluster.subscribe(
+                live[op.subscriber % len(live)].node.node_id,
+                op.rect,
+                duration=op.duration,
+            )
+        cluster.settle(15.0)
+        for op in workload.publish_step(count=6):
+            origin = live[op.publisher % len(live)]
+            cluster.publish(origin.node.node_id, op.point, op.payload)
+        page = render_dashboard([cluster_sample(cluster)])
+        assert "continuous queries" in page
+        assert "(no continuous queries registered)" not in page
+        assert "registered=" in page

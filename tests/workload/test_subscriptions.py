@@ -1,0 +1,125 @@
+"""Tests for repro.workload.subscriptions -- the continuous-query driver."""
+
+import random
+
+import pytest
+
+from repro.geometry import Rect
+from repro.workload.subscriptions import SubscriptionWorkload
+
+BOUNDS = Rect(0, 0, 64, 64)
+
+
+def make_workload(seed=7, **overrides):
+    fields = dict(bounds=BOUNDS, subscriptions=5, rng=random.Random(seed))
+    fields.update(overrides)
+    return SubscriptionWorkload(**fields)
+
+
+class TestValidation:
+    def test_rejects_non_positive_subscriptions(self):
+        with pytest.raises(ValueError):
+            make_workload(subscriptions=0)
+
+    def test_rejects_non_positive_subscriber_count(self):
+        with pytest.raises(ValueError):
+            make_workload(subscriber_count=0)
+
+    def test_rejects_bad_rect_extent(self):
+        with pytest.raises(ValueError):
+            make_workload(rect_extent=(0.0, 4.0))
+        with pytest.raises(ValueError):
+            make_workload(rect_extent=(8.0, 4.0))
+
+    def test_rejects_hit_ratio_outside_unit_interval(self):
+        with pytest.raises(ValueError):
+            make_workload(hit_ratio=1.5)
+
+
+class TestSubscriptionSide:
+    def test_initial_population_size_and_bounds(self):
+        workload = make_workload(subscriptions=8)
+        ops = workload.initial_subscriptions()
+        assert len(ops) == 8
+        assert len(workload.live) == 8
+        for op in ops:
+            assert BOUNDS.x <= op.rect.x
+            assert op.rect.x2 <= BOUNDS.x2
+            assert BOUNDS.y <= op.rect.y
+            assert op.rect.y2 <= BOUNDS.y2
+            assert op.duration == workload.duration
+
+    def test_names_are_unique_and_subscribers_cycle(self):
+        workload = make_workload(subscriptions=6, subscriber_count=3)
+        ops = workload.initial_subscriptions()
+        assert len({op.name for op in ops}) == 6
+        assert {op.subscriber for op in ops} == {0, 1, 2}
+
+    def test_churn_step_replaces_the_oldest(self):
+        workload = make_workload(subscriptions=4)
+        initial = workload.initial_subscriptions()
+        fresh = workload.churn_step(replace=2)
+        assert len(fresh) == 2
+        assert len(workload.live) == 4
+        live_names = {op.name for op in workload.live}
+        assert initial[0].name not in live_names
+        assert initial[1].name not in live_names
+        assert {op.name for op in fresh} <= live_names
+
+
+class TestEventSide:
+    def test_targeted_events_land_inside_a_live_rect(self):
+        workload = make_workload(hit_ratio=1.0)
+        workload.initial_subscriptions()
+        for op in workload.publish_step(count=20):
+            assert op.targeted
+            assert any(
+                live.rect.covers(
+                    op.point, closed_low_x=True, closed_low_y=True
+                )
+                for live in workload.live
+            )
+
+    def test_untargeted_events_stay_in_bounds(self):
+        workload = make_workload(hit_ratio=0.0)
+        workload.initial_subscriptions()
+        for op in workload.publish_step(count=20):
+            assert not op.targeted
+            assert BOUNDS.covers(
+                op.point, closed_low_x=True, closed_low_y=True
+            )
+
+    def test_no_live_rects_means_nothing_is_targeted(self):
+        workload = make_workload(hit_ratio=1.0)
+        assert all(
+            not op.targeted for op in workload.publish_step(count=5)
+        )
+
+    def test_payloads_are_unique_per_event(self):
+        workload = make_workload()
+        workload.initial_subscriptions()
+        payloads = [
+            op.payload
+            for _ in range(3)
+            for op in workload.publish_step(count=4)
+        ]
+        assert len(set(payloads)) == len(payloads)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def trace(seed):
+            workload = make_workload(seed=seed)
+            subs = workload.initial_subscriptions()
+            pubs = workload.publish_step(count=10)
+            subs += workload.churn_step()
+            return subs, pubs
+
+        assert trace(21) == trace(21)
+
+    def test_different_seed_different_trace(self):
+        rects = {
+            make_workload(seed=s).initial_subscriptions()[0].rect
+            for s in (1, 2, 3)
+        }
+        assert len(rects) == 3
