@@ -240,6 +240,13 @@ def _run_bench(args: argparse.Namespace) -> str:
         paths += bench.write_pubsub_bench_file(
             out_dir, skip_overhead=bool(getattr(args, "smoke", False))
         )
+    if suite in ("overload", "all"):
+        # Pinned like the pubsub bench: the flash-crowd graceful-
+        # degradation verdict is an SLA checked at a fixed configuration.
+        # --smoke skips the wall-clock overhead measurement.
+        paths += bench.write_overload_bench_file(
+            out_dir, skip_overhead=bool(getattr(args, "smoke", False))
+        )
     report = bench.render_report(paths)
     for path in paths:
         print(f"[saved to {path}]", file=sys.stderr)
@@ -292,7 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "suite", nargs="?",
-        choices=["routing", "store", "telemetry", "pubsub", "all"],
+        choices=["routing", "store", "telemetry", "pubsub", "overload", "all"],
         default=None,
         help="bench only: 'routing' writes just the greedy-vs-cached "
              "BENCH_routing.json; 'store' writes BENCH_store.json instead "
@@ -300,7 +307,9 @@ def build_parser() -> argparse.ArgumentParser:
              "BENCH_telemetry.json (gray-detection latency, digest bytes, "
              "plane overhead) at its pinned validation seed; 'pubsub' "
              "writes BENCH_pubsub.json (loss-free notification delivery "
-             "under faults, sub-plane overhead); 'all' writes all five",
+             "under faults, sub-plane overhead); 'overload' writes "
+             "BENCH_overload.json (flash-crowd graceful degradation, "
+             "admission-control overhead); 'all' writes all six",
     )
     parser.add_argument(
         "--trials", type=int, default=3,
@@ -328,9 +337,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--smoke", action="store_true",
-        help="bench pubsub only: skip the wall-clock overhead "
-             "measurement, keeping the campaign and delivery verdicts "
-             "(the fast CI mode)",
+        help="bench pubsub/overload only: skip the wall-clock overhead "
+             "measurement, keeping the campaign and delivery/degradation "
+             "verdicts (the fast CI mode)",
     )
     return parser
 

@@ -809,6 +809,97 @@ def write_pubsub_bench_file(
     return [path]
 
 
+def run_overload_bench(
+    registry: MetricsRegistry,
+    seed: int = 7,
+    population: int = 10,
+    objects: int = 16,
+    recovery: float = 200.0,
+    skip_overhead: bool = False,
+) -> None:
+    """Record the overload-plane benchmark into ``registry``.
+
+    Two claims of the overload-control PR, each made machine-checkable:
+
+    * **Graceful degradation**: the flash_crowd chaos scenario -- a 10x
+      query storm at the weakest primary with ``overload_enabled`` on --
+      must shed data-plane traffic while losing zero committed store
+      objects, shedding zero control-class messages, leaving zero
+      persistent audit violations, and keeping every per-node ingress
+      queue under its bound (``overload.bench.ok`` = 1).
+    * **Overhead**: a cluster with admission control enabled but not
+      under storm costs < 1.10x wall-clock on the routing and store
+      workloads vs ``overload_enabled=False``
+      (``overload.overhead.*.ratio`` < ``overload.overhead.budget``).
+    """
+    from repro.protocol.overload import (
+        OVERLOAD_OVERHEAD_BUDGET,
+        measure_overload_overhead,
+    )
+    from repro.sim.chaos import ChaosConfig, run_scenario
+
+    config = ChaosConfig(
+        seed=seed, population=population, objects=objects, recovery=recovery
+    )
+    result = run_scenario("flash_crowd", config)
+    registry.set_gauge("overload.bench.ok", 1.0 if result.ok else 0.0)
+    registry.set_gauge("overload.bench.violations", len(result.violations))
+    registry.set_gauge("overload.bench.lost_objects", result.lost_objects)
+    registry.set_gauge("overload.bench.sheds", result.sheds)
+    registry.set_gauge("overload.bench.deflections", result.deflections)
+    registry.set_gauge("overload.bench.control_sheds", result.control_sheds)
+    registry.set_gauge("overload.bench.peak_queue", result.peak_queue_depth)
+    registry.set_gauge("overload.bench.queue_bound", result.queue_bound)
+    registry.set_gauge("overload.bench.sim_time", result.sim_time)
+
+    if not skip_overhead:
+        overhead = measure_overload_overhead(seed=seed)
+        within = all(
+            row["ratio"] < OVERLOAD_OVERHEAD_BUDGET
+            for row in overhead.values()
+        )
+        for workload, row in sorted(overhead.items()):
+            for key, value in sorted(row.items()):
+                registry.set_gauge(
+                    f"overload.overhead.{workload}.{key}", value
+                )
+        registry.set_gauge(
+            "overload.overhead.budget", OVERLOAD_OVERHEAD_BUDGET
+        )
+        registry.set_gauge(
+            "overload.overhead.within_budget", 1.0 if within else 0.0
+        )
+
+
+def write_overload_bench_file(
+    out_dir: pathlib.Path,
+    seed: int = 7,
+    population: int = 10,
+    objects: int = 16,
+    recovery: float = 200.0,
+    skip_overhead: bool = False,
+) -> List[pathlib.Path]:
+    """Run the overload benchmark and write ``BENCH_overload.json``.
+
+    Returns the written path in a one-element list (same shape as
+    :func:`write_bench_files`).
+    """
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    registry = MetricsRegistry()
+    run_overload_bench(
+        registry,
+        seed=seed,
+        population=population,
+        objects=objects,
+        recovery=recovery,
+        skip_overhead=skip_overhead,
+    )
+    path = out_dir / "BENCH_overload.json"
+    path.write_text(_stamped_json(registry, bench_meta()) + "\n")
+    return [path]
+
+
 def _stamped_json(registry: MetricsRegistry, meta: Dict[str, str]) -> str:
     """The registry snapshot as JSON with the ``_meta`` header first."""
     payload: Dict[str, object] = {"_meta": meta}

@@ -109,6 +109,12 @@ class VitalsDigest:
     sub_registered: int = 0
     sub_match_rate: float = 0.0
     sub_notify_retries: int = 0
+    #: Overload-plane vitals: ingress backpressure in [0, 1] at roll
+    #: time and cumulative messages shed by admission control.  Both
+    #: default to zero so digests from nodes with the plane disabled
+    #: are byte-identical to pre-plane digests (see :meth:`to_wire`).
+    pressure: float = 0.0
+    sheds: int = 0
 
     def to_wire(self) -> str:
         """The compact textual encoding whose size the byte budget bounds.
@@ -142,6 +148,11 @@ class VitalsDigest:
                 f"|sm={self.sub_match_rate:.3f}"
                 f"|sn={self.sub_notify_retries}"
             )
+        # Like the subscription suffix: elided while the overload plane
+        # has nothing to report, keeping idle digests at their
+        # historical size.
+        if self.pressure or self.sheds:
+            wire += f"|op={self.pressure:.3f}|os={self.sheds}"
         return wire
 
     def encoded_size(self) -> int:
@@ -287,6 +298,8 @@ class VitalsFrame:
         queue_depth: int = 0,
         suspects: Tuple[Tuple[NodeAddress, float], ...] = (),
         sub_registered: int = 0,
+        pressure: float = 0.0,
+        sheds: int = 0,
     ) -> VitalsDigest:
         """Close the current window and emit the next digest version."""
         if self._win_start is None:
@@ -332,6 +345,8 @@ class VitalsFrame:
             sub_registered=sub_registered,
             sub_match_rate=self._win_sub_matches / denom,
             sub_notify_retries=self.notify_retries,
+            pressure=pressure,
+            sheds=sheds,
         )
         self.last_digest = digest
         self._win_start = now
@@ -400,6 +415,10 @@ def cluster_sample(cluster: Any) -> Dict[str, Any]:
             "sub_matched": pnode.vitals.sub_matches,
             "sub_notified": len(pnode.notifications),
             "sub_dead_letters": pnode.vitals.notify_dead_letters,
+            "pressure": digest.pressure if digest else 0.0,
+            "sheds": pnode.sheds,
+            "shed_received": sum(pnode.shed_received.values()),
+            "deflections": pnode.deflections,
         }
         nodes.append(row)
         for name, histogram in pnode.slo_histograms().items():

@@ -35,6 +35,7 @@ SECONDARY_RELEASED = "secondary_released"
 SWITCH_REQUEST = "switch_request"
 SWITCH_ACCEPT = "switch_accept"
 SWITCH_REJECT = "switch_reject"
+SHED = "shed"
 
 # ---------------------------------------------------------------------
 # Application message kinds
@@ -231,6 +232,12 @@ class HeartbeatBody:
     #: loss, and the health view would blame a healthy node for it.
     #: ``0`` means the sender does not attest (telemetry off).
     vitals_streak: int = 0
+    #: The sender's ingress backpressure in [0, 1]: current queue depth
+    #: over its capacity-scaled admission budget.  Rides next to the
+    #: workload stats above so routing can deflect greedy forwarding
+    #: around saturated neighbors without new message rounds.  ``0.0``
+    #: when ``NodeConfig.overload_enabled`` is off.
+    pressure: float = 0.0
 
 
 def heartbeat_with_streak(beat: HeartbeatBody, streak: int) -> HeartbeatBody:
@@ -245,6 +252,30 @@ def heartbeat_with_streak(beat: HeartbeatBody, streak: int) -> HeartbeatBody:
     clone.__dict__.update(beat.__dict__)
     clone.__dict__["vitals_streak"] = streak
     return clone
+
+
+@dataclass(frozen=True)
+class ShedBody:
+    """NACK for a request dropped by ingress admission control.
+
+    An overloaded node sheds low-priority inbound traffic instead of
+    queueing it unboundedly; when the shed request named its origin,
+    this tells that origin *why* nothing came back -- a deliberate local
+    decision, not loss -- and when to try again.  Reliable-wrapped
+    payloads are shed silently instead: their sender's retry/backoff
+    schedule already is the retry-after mechanism.
+    """
+
+    #: Wire kind of the shed request.
+    kind: str
+    #: The shed request's correlation id, echoed so the origin can close
+    #: its pending-request entry.
+    request_id: int
+    #: Suggested back-off in sim-seconds, scaled by how far past its
+    #: admission budget the shedder currently is.
+    retry_after: float
+    #: The shedder's ingress queue depth at the moment of the shed.
+    depth: int = 0
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,7 @@ from repro.sim.transport import Message, SimNetwork
 from repro.store.spatial import GridIndex, ObjectRecord
 from repro.sub import SubIndex, SubRecord
 from repro.protocol import messages as m
+from repro.protocol import overload
 from repro.protocol.reliable import ReliableChannel, RetryPolicy
 from repro.protocol.shortcuts import ShortcutCache
 
@@ -200,6 +201,35 @@ class NodeConfig:
     #: Renewal repairs placement; it never extends the lease, so a
     #: subscriber that stops renewing still lapses on schedule.
     sub_renew_interval: float = 30.0
+    #: Whether the overload control plane runs: capacity-scaled ingress
+    #: admission with priority classes (control > acks > data > queries
+    #: > gossip), SHED NACKs with retry-after hints, backpressure
+    #: piggybacked on neighbor heartbeats, pressure-aware deflection in
+    #: greedy forwarding, and escalation from sustained shedding to the
+    #: paper's adaptation mechanisms.  Off, admission never runs, every
+    #: heartbeat carries ``pressure=0.0``, and seeded runs are
+    #: byte-identical to a build without the plane.
+    overload_enabled: bool = False
+    #: Minimum ingress admission budget regardless of capacity.  Even a
+    #: capacity-1 node must absorb its own control fan-in (heartbeats
+    #: from every neighbor, sync traffic from its peer).
+    overload_inbox_floor: int = 16
+    #: Ingress budget per unit of node capacity; the effective budget is
+    #: ``max(floor, scale * capacity)``, so strong servers absorb the
+    #: bursts weak nodes shed.
+    overload_inbox_scale: float = 4.0
+    #: Base back-off carried in SHED NACKs; the hint scales up with how
+    #: far past its budget the shedder is.
+    overload_retry_after: float = 2.0
+    #: A neighbor whose advertised backpressure reaches this fraction of
+    #: its budget is considered saturated: greedy forwarding prefers a
+    #: calmer strictly-closer neighbor when one exists (never giving up
+    #: strict progress toward the target).
+    overload_deflect_threshold: float = 0.75
+    #: Consecutive stat windows with shedding before an overloaded
+    #: primary escalates to the sqrt(2) switch proposal out of schedule.
+    #: Shedding buys time; adaptation fixes the cause.
+    overload_escalate_windows: int = 2
 
 
 @dataclass
@@ -336,6 +366,16 @@ class ProtocolNode:
         #: Latest workload statistics gossiped by neighbor primaries:
         #: rect -> (index, capacity).
         self.neighbor_stats: Dict[Rect, Tuple[float, float]] = {}
+        #: When each :attr:`neighbor_stats` entry was last refreshed by a
+        #: heartbeat.  Entries whose heartbeats stop are expired by the
+        #: failure sweep (a crashed neighbor's last-reported load must
+        #: not pin switch and deflection decisions forever).
+        self._neighbor_stats_at: Dict[Rect, float] = {}
+        #: Latest ingress backpressure advertised by neighbor primaries
+        #: (rect -> pressure in [0, 1]); only written when the overload
+        #: plane is on.  Routing deflects around entries at or above
+        #: ``overload_deflect_threshold``.
+        self.neighbor_pressure: Dict[Rect, float] = {}
         #: Set while a primary switch we initiated is in flight.
         self._switch_pending = False
         #: The rect this node owned when it proposed its pending switch;
@@ -396,6 +436,31 @@ class ProtocolNode:
         #: Whether the continuous-query subscription plane runs (checked
         #: at every touched site; off, no subscription message is sent).
         self._sub = cfg.sub_enabled
+        #: Whether the overload control plane runs (checked at every
+        #: touched site; off, admission never sheds, heartbeats carry
+        #: ``pressure=0.0``, and no SHED message is ever sent).
+        self._overload = cfg.overload_enabled
+        #: Capacity-scaled ingress budget and the per-kind admission
+        #: depth cut-offs derived from it (see repro.protocol.overload).
+        self._overload_budget = overload.admission_budget(
+            self.node.capacity,
+            cfg.overload_inbox_floor,
+            cfg.overload_inbox_scale,
+        )
+        self._admit_limits = overload.admission_limits(self._overload_budget)
+        #: Messages shed by ingress admission (total and by wire kind).
+        self.sheds = 0
+        self.shed_by_kind: Dict[str, int] = {}
+        #: Sheds in the current statistics window / consecutive windows
+        #: that shed -- the escalation signal (see _roll_stat_window).
+        self._shed_window = 0
+        self._shed_streak = 0
+        #: SHED NACKs received, by shed wire kind, plus a bounded log of
+        #: the most recent notices (kind, retry_after, depth).
+        self.shed_received: Dict[str, int] = {}
+        self.shed_notices: List[Tuple[str, float, int]] = []
+        #: Forwarding decisions deflected around a saturated neighbor.
+        self.deflections = 0
         self.vitals = VitalsFrame()
         self.health = NeighborHealthView(
             expected_interval=cfg.heartbeat_interval,
@@ -464,6 +529,7 @@ class ProtocolNode:
             m.SUB_REPLICATE: self._on_sub_replicate,
             m.SUB_SYNC: self._on_sub_sync,
             m.NOTIFY: self._on_notify,
+            m.SHED: self._on_shed,
         }
         #: Handlers a shortcut hop (or its MISROUTE bounce) may wrap: the
         #: routed-request subset of the protocol, dispatched by inner kind
@@ -718,6 +784,34 @@ class ProtocolNode:
             return
         self.load_rate = self._window_served / self.config.stat_interval
         self._window_served = 0
+        if self._overload:
+            # Escalation: shedding buys time, adaptation fixes the
+            # cause.  A primary that shed in ``overload_escalate_windows``
+            # consecutive stat windows is persistently over budget --
+            # bring the sqrt(2) switch check forward instead of waiting
+            # out the adaptation timer.  _consider_switch re-applies its
+            # own guards (alive, primary, trigger ratio, no pending
+            # proposal), so an early call can only propose a switch the
+            # periodic check would also have proposed.
+            if self._shed_window:
+                self._shed_streak += 1
+                if (
+                    self.config.adaptation_enabled
+                    and self._shed_streak
+                    >= self.config.overload_escalate_windows
+                ):
+                    obs.inc("overload.escalated")
+                    causal.annotate(
+                        "overload_escalated",
+                        node=str(self.address),
+                        sheds=self._shed_window,
+                        streak=self._shed_streak,
+                    )
+                    self._shed_streak = 0
+                    self._consider_switch()
+            else:
+                self._shed_streak = 0
+            self._shed_window = 0
 
     # ------------------------------------------------------------------
     # Telemetry plane (vitals, health, SLO latency)
@@ -985,6 +1079,8 @@ class ProtocolNode:
             return
         self.last_seen[message.source] = self.scheduler.now
         self.suspected.discard(message.source)
+        if self._overload and not self._overload_admit(message):
+            return
         handler = self._handlers.get(message.kind)
         if handler is None:
             return
@@ -1053,6 +1149,108 @@ class ProtocolNode:
         )
 
     # ------------------------------------------------------------------
+    # Ingress admission (overload control plane)
+    # ------------------------------------------------------------------
+    def _overload_admit(self, message: Message) -> bool:
+        """Whether ``message`` clears the capacity-scaled ingress budget.
+
+        Control traffic and reliability acks always pass (their cut-offs
+        are simply absent from the limits map); sheddable classes are cut
+        off when the node's current queue depth reaches their fraction of
+        the budget -- gossip first, then queries, then data.  Envelopes
+        are classed by their unwrapped payload, so a reliable-wrapped
+        JOIN_GRANT is still control and a shortcut-hopped STORE_UPDATE
+        is still data.  Deterministic: depends only on queue depth and
+        kind, never on ``self.rng``.
+        """
+        kind = message.kind
+        body = message.body
+        if kind == m.RELIABLE:
+            kind = body.kind
+            body = body.body
+        if kind in (m.SHORTCUT_HOP, m.MISROUTE):
+            inner = getattr(body, "kind", None)
+            if inner is not None:
+                kind = inner
+        limit = self._admit_limits.get(kind)
+        if limit is None:
+            return True
+        depth = self.network.in_flight_to(self.address)
+        if depth < limit:
+            return True
+        self._overload_shed(message, kind, body, depth)
+        return False
+
+    def _overload_shed(
+        self, message: Message, kind: str, body: Any, depth: int
+    ) -> None:
+        """Account one shed and NACK the origin when it can be told.
+
+        ``kind``/``body`` are the unwrapped payload (see
+        :meth:`_overload_admit`).  Only raw requests naming an origin
+        get a SHED NACK; reliable-wrapped payloads are shed silently --
+        not acking the envelope leaves the sender's retry/backoff
+        schedule in charge, which *is* their retry-after mechanism.
+        """
+        self.sheds += 1
+        self._shed_window += 1
+        self.shed_by_kind[kind] = self.shed_by_kind.get(kind, 0) + 1
+        obs.inc(f"overload.shed.{kind}")
+        obs.inc("overload.shed")
+        causal.annotate(
+            "overload_shed", node=str(self.address), kind=kind, depth=depth
+        )
+        if message.kind == m.RELIABLE:
+            return
+        origin = getattr(body, "origin", None)
+        request_id = getattr(body, "request_id", None)
+        if (
+            origin is None
+            or not isinstance(request_id, int)
+            or origin == self.address
+        ):
+            return
+        retry_after = self.config.overload_retry_after * (
+            1.0 + depth / self._overload_budget
+        )
+        self.network.send(
+            self.address,
+            origin,
+            m.SHED,
+            m.ShedBody(
+                kind=kind,
+                request_id=request_id,
+                retry_after=retry_after,
+                depth=depth,
+            ),
+        )
+        obs.inc("overload.shed.nack")
+
+    def _on_shed(self, message: Message) -> None:
+        """A peer refused our request at admission; close the books.
+
+        The notice resolves the pending SLO entry (the client now has a
+        definitive answer -- "try later" -- rather than a timeout), and
+        the retry-after hint is surfaced to the application through
+        :attr:`shed_notices`; this layer never re-issues requests on its
+        own.
+        """
+        body: m.ShedBody = message.body
+        self.shed_received[body.kind] = (
+            self.shed_received.get(body.kind, 0) + 1
+        )
+        self.shed_notices.append((body.kind, body.retry_after, body.depth))
+        if len(self.shed_notices) > 64:
+            del self.shed_notices[0]
+        obs.inc("overload.shed.received")
+        entry = self._slo_pending.pop(body.request_id, None)
+        if entry is not None:
+            _, started = entry
+            self._slo_observe(
+                "slo.shed.notice", self.scheduler.now - started
+            )
+
+    # ------------------------------------------------------------------
     # Routing primitive
     # ------------------------------------------------------------------
     def _covers(self, rect: Rect, point: Point) -> bool:
@@ -1109,6 +1307,15 @@ class ProtocolNode:
         own_distance = self.owned.rect.distance_to_point(target)
         best_address: Optional[NodeAddress] = None
         best_distance = own_distance
+        # Backpressure-aware deflection (overload plane): alongside the
+        # pure-greedy best, track the best *calm* candidate -- strictly
+        # closer than us, but advertising pressure below the saturation
+        # threshold.  Same strict-progress rule, so greedy termination
+        # holds whichever one we pick.
+        deflect = self._overload
+        calm_address: Optional[NodeAddress] = None
+        calm_distance = own_distance
+        threshold = self.config.overload_deflect_threshold
         for info in self.neighbor_table.values():
             endpoint = self._live_endpoint(info)
             if endpoint is None or endpoint == self.address:
@@ -1118,6 +1325,13 @@ class ProtocolNode:
             if distance < best_distance - 1e-12:
                 best_distance = distance
                 best_address = endpoint
+            if (
+                deflect
+                and distance < calm_distance - 1e-12
+                and self.neighbor_pressure.get(info.rect, 0.0) < threshold
+            ):
+                calm_distance = distance
+                calm_address = endpoint
         if self.shortcuts.enabled:
             shortcut = self.shortcuts.best(target, better_than=best_distance)
             if shortcut is not None:
@@ -1152,6 +1366,15 @@ class ProtocolNode:
                     return True
         if best_address is None:
             return False
+        if deflect and calm_address is not None and calm_address != best_address:
+            # The greedy best is saturated but a calmer strictly-closer
+            # neighbor exists: route around the hotspot.  (When the
+            # greedy best is itself calm, calm == best -- both are the
+            # minimum over the same candidate set -- so this fires only
+            # when deflection actually changes the decision.)
+            best_address = calm_address
+            self.deflections += 1
+            obs.inc("overload.deflect")
         if self.shortcuts.enabled:
             self.shortcuts.misses += 1
             if self._telemetry:
@@ -1864,6 +2087,16 @@ class ProtocolNode:
     def _send_neighbor_heartbeats(self) -> None:
         if not self.alive or self.owned is None or self.owned.role != "primary":
             return
+        pressure = 0.0
+        if self._overload:
+            # Backpressure piggybacks on the heartbeat next to the
+            # workload stats: current queue depth over the admission
+            # budget, clamped to [0, 1].
+            pressure = min(
+                1.0,
+                self.network.in_flight_to(self.address)
+                / self._overload_budget,
+            )
         vitals = None
         if self._telemetry:
             # One roll per heartbeat tick: the digest version advances
@@ -1876,6 +2109,8 @@ class ProtocolNode:
                 queue_depth=self.network.in_flight_to(self.address),
                 suspects=self.health.suspects(now),
                 sub_registered=len(self.owned.subs),
+                pressure=pressure,
+                sheds=self.sheds,
             )
         neighbors = tuple(self.neighbor_table.values())
         caretaken = tuple(self.caretaker_rects)
@@ -1885,6 +2120,7 @@ class ProtocolNode:
             index=self.workload_index, capacity=self.node.capacity,
             caretaken=caretaken,
             vitals=vitals,
+            pressure=pressure,
         )
         streaks: Dict[NodeAddress, int] = {}
         if vitals is not None:
@@ -2173,6 +2409,9 @@ class ProtocolNode:
             return
         if self.owned is not None and body.rect != self.owned.rect:
             self.neighbor_stats[body.rect] = (body.index, body.capacity)
+            self._neighbor_stats_at[body.rect] = self.scheduler.now
+            if self._overload:
+                self.neighbor_pressure[body.rect] = body.pressure
         self._witness_claim(
             m.NeighborInfo(
                 rect=body.rect, primary=message.source,
@@ -2367,6 +2606,25 @@ class ProtocolNode:
             )
             del self.neighbor_table[rect]
             self.caretaker_rects.add(rect)
+        # 3. Expire stale neighbor workload statistics: an entry whose
+        #    heartbeats stopped (crash, departure, region re-granted
+        #    under a different rect) must not pin switch-candidate and
+        #    deflection decisions with its last-reported load forever.
+        #    Same timeout and clock-start discipline as the neighbor
+        #    sweep above.
+        for rect in list(self.neighbor_stats):
+            heard = self._neighbor_stats_at.get(rect)
+            if heard is None:
+                # Entry predating the timestamp ledger (e.g. installed
+                # by state transfer): start its clock now.
+                self._neighbor_stats_at[rect] = now
+                continue
+            if now - heard <= timeout:
+                continue
+            del self.neighbor_stats[rect]
+            self._neighbor_stats_at.pop(rect, None)
+            self.neighbor_pressure.pop(rect, None)
+            obs.inc("adapt.stats.expired")
 
     def _take_over_primary(self) -> None:
         """Dual-peer failover: activate the backup (Section 2.3)."""
@@ -2500,6 +2758,8 @@ class ProtocolNode:
                 secondary=given_away_peer,
             )
         self.neighbor_stats = {}
+        self._neighbor_stats_at = {}
+        self.neighbor_pressure = {}
         # The cache was learned from the old vantage point; entries may
         # now overlap or neighbor the new region.  Start fresh.
         self.shortcuts.clear()

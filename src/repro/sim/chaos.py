@@ -37,7 +37,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.geometry import Point, Rect
@@ -160,6 +160,17 @@ class ScenarioResult:
     #: publish retries -- a committed continuous query stranded by
     #: restructuring (must stay 0).
     lost_notifications: int = 0
+    #: Overload-plane tallies (the flash_crowd scenario; 0 elsewhere):
+    #: messages shed by ingress admission, forwarding decisions deflected
+    #: around saturated nodes, and control-class sheds (must stay 0 --
+    #: admission never touches membership/failover traffic).
+    sheds: int = 0
+    deflections: int = 0
+    control_sheds: int = 0
+    #: Largest per-node ingress queue depth observed during the storm,
+    #: and the bound it had to stay under (0 = not asserted).
+    peak_queue_depth: int = 0
+    queue_bound: int = 0
 
     def summary(self) -> str:
         verdict = "ok" if self.ok else "FAIL"
@@ -182,6 +193,11 @@ class ScenarioResult:
         if self.expected_notifications:
             delivered = self.expected_notifications - self.lost_notifications
             line += f" notify={delivered}/{self.expected_notifications}"
+        if self.sheds or self.deflections:
+            line += (
+                f" shed={self.sheds} deflect={self.deflections}"
+                f" peak_q={self.peak_queue_depth}/{self.queue_bound}"
+            )
         return line
 
 
@@ -216,7 +232,9 @@ class _Arena:
 
     BOUNDS = Rect(0.0, 0.0, 64.0, 64.0)
 
-    def __init__(self, config: ChaosConfig, scenario: str) -> None:
+    def __init__(
+        self, config: ChaosConfig, scenario: str, node_config: Any = None
+    ) -> None:
         # Protocol imports stay local so ``repro.sim`` never depends on
         # ``repro.protocol`` at import time (the dependency points the
         # other way everywhere else).
@@ -231,6 +249,7 @@ class _Arena:
             self.BOUNDS,
             seed=config.seed,
             drop_probability=config.drop_probability,
+            config=node_config,
         )
         self.auditor = self.cluster.attach_auditor(
             interval=config.audit_interval
@@ -821,6 +840,140 @@ def _scenario_churn_storm(
     )
 
 
+#: Per-node ingress queue-depth ceiling the flash_crowd scenario must
+#: stay under while the storm runs.  Deterministic for a given seed, so
+#: this is a regression bound, not a statistical one: with admission
+#: control on, the observed peak stays far below (the shed feedback
+#: starves the amplification the storm would otherwise feed).
+FLASH_CROWD_QUEUE_BOUND = 192
+
+#: Storm operations aimed at the crowd per traffic slice -- 10x the
+#: ambient slice's 4 updates.
+FLASH_CROWD_STORM_OPS = 40
+
+
+def _scenario_flash_crowd(
+    config: ChaosConfig, arena: Optional[_Arena] = None
+) -> ScenarioResult:
+    """A query storm drives 10x ambient load at one weak region.
+
+    The arena runs with the overload plane enabled
+    (``NodeConfig.overload_enabled``): the crowd centers on the weakest
+    live primary (smallest capacity, hence smallest admission budget),
+    so data-plane queries must shed while committed store objects,
+    control traffic and the invariant suite stay untouched.  The
+    verdict additionally asserts the overload contract: something was
+    shed, *no* control-class message was shed, and every node's ingress
+    queue depth stayed under :data:`FLASH_CROWD_QUEUE_BOUND`.  When an
+    outer campaign supplies its own arena (e.g. the pubsub campaign's),
+    the storm still runs but the overload contract is skipped -- that
+    arena's cluster has the plane disabled, which is precisely the
+    graceful-degradation ablation.
+    """
+    from repro.protocol import overload
+    from repro.protocol.node import NodeConfig
+    from repro.workload.hotspot import HotspotField
+
+    overload_on = arena is None
+    arena = arena if arena is not None else _Arena(
+        config,
+        "flash_crowd",
+        node_config=NodeConfig(overload_enabled=True),
+    )
+    arena.populate()
+    cluster = arena.cluster
+    network = cluster.network
+    # The crowd gathers over the weakest primary: smallest capacity =
+    # smallest admission budget, so this is the node the plane must
+    # protect.  Deterministic tie-break by address.
+    hot = min(
+        arena.live_primaries(),
+        key=lambda node: (
+            node.node.capacity, node.address.ip, node.address.port
+        ),
+    )
+    storm_rng = random.Random(f"{config.seed}:flash_crowd:storm")
+    field = HotspotField.flash_crowd(
+        arena.BOUNDS,
+        storm_rng,
+        center=hot.owned.rect.center,
+        burst_radius=max(1.0, min(hot.owned.rect.width,
+                                  hot.owned.rect.height) / 2.0),
+        intensity=10.0,
+        ambient=3,
+    )
+    # The bound covers the storm and recovery, not join-time churn.
+    network.reset_peak_in_flight()
+    arena.begin_faults()
+    slices = max(4, int(config.fault_duration / 10.0))
+    for index in range(slices):
+        live = sorted(
+            (
+                node
+                for node in cluster.nodes.values()
+                if node.alive and node.joined
+            ),
+            key=lambda node: (node.address.ip, node.address.port),
+        )
+        for op in range(FLASH_CROWD_STORM_OPS):
+            point = field.sample_point(storm_rng)
+            origin = storm_rng.choice(live)
+            if op % 2:
+                origin.send_to_point(point, "crowd")
+            else:
+                origin.store_lookup(
+                    Rect(
+                        max(arena.BOUNDS.x, point.x - 2.0),
+                        max(arena.BOUNDS.y, point.y - 2.0),
+                        4.0,
+                        4.0,
+                    )
+                )
+        arena.traffic_slice(config.fault_duration / slices)
+        if index == slices // 2 - 1:
+            # Mid-storm the crowd drifts (the epoch-migration knob):
+            # the hotspot the plane defends is a moving target.
+            field.migrate_epoch(storm_rng)
+    result = arena.verdict(
+        "flash_crowd",
+        f"10x storm at {hot.address} (capacity {hot.node.capacity:g}, "
+        f"rect {hot.owned.rect if hot.owned else 'moved'})",
+    )
+    nodes = list(cluster.nodes.values())
+    control_kinds = {
+        kind
+        for kind, priority in overload.PRIORITY_OF.items()
+        if priority in (overload.PRIORITY_CONTROL, overload.PRIORITY_ACK)
+    }
+    result.sheds = sum(node.sheds for node in nodes)
+    result.deflections = sum(node.deflections for node in nodes)
+    result.control_sheds = sum(
+        count
+        for node in nodes
+        for kind, count in node.shed_by_kind.items()
+        if kind in control_kinds
+    )
+    result.peak_queue_depth = network.max_peak_in_flight()
+    result.queue_bound = FLASH_CROWD_QUEUE_BOUND
+    if overload_on:
+        problems = []
+        if result.sheds == 0:
+            problems.append("storm provoked no shedding")
+        if result.control_sheds:
+            problems.append(
+                f"{result.control_sheds} control-class message(s) shed"
+            )
+        if result.peak_queue_depth > result.queue_bound:
+            problems.append(
+                f"peak queue depth {result.peak_queue_depth} exceeded "
+                f"bound {result.queue_bound}"
+            )
+        if problems:
+            result.ok = False
+            result.detail += "; " + "; ".join(problems)
+    return result
+
+
 #: Every scenario the campaign knows, in execution order.
 SCENARIOS: Dict[str, Callable[[ChaosConfig], ScenarioResult]] = {
     "asymmetric_partition": _scenario_asymmetric_partition,
@@ -829,6 +982,7 @@ SCENARIOS: Dict[str, Callable[[ChaosConfig], ScenarioResult]] = {
     "regional_outage": _scenario_regional_outage,
     "drop_latency_spike": _scenario_drop_latency_spike,
     "churn_storm": _scenario_churn_storm,
+    "flash_crowd": _scenario_flash_crowd,
 }
 
 

@@ -181,6 +181,7 @@ class SimNetwork:
         #: Scheduled-but-undelivered message counts per destination, the
         #: simulation's stand-in for an ingress socket queue depth.
         self._in_flight: Dict[NodeAddress, int] = {}
+        self._peak_in_flight: Dict[NodeAddress, int] = {}
 
     # ------------------------------------------------------------------
     # Membership
@@ -242,6 +243,23 @@ class SimNetwork:
         handed to its handler.
         """
         return self._in_flight.get(address, 0)
+
+    def peak_in_flight_to(self, address: NodeAddress) -> int:
+        """High-water mark of :meth:`in_flight_to` since the last reset.
+
+        The overload plane's bounded-queue evidence: admission control
+        keeps this below the node's budget plus the burst that was
+        already committed when the budget filled.
+        """
+        return self._peak_in_flight.get(address, 0)
+
+    def max_peak_in_flight(self) -> int:
+        """The largest per-endpoint queue-depth peak since the last reset."""
+        return max(self._peak_in_flight.values(), default=0)
+
+    def reset_peak_in_flight(self) -> None:
+        """Forget all queue-depth peaks (e.g. after join-time churn)."""
+        self._peak_in_flight.clear()
 
     # ------------------------------------------------------------------
     # Partitions
@@ -434,7 +452,10 @@ class SimNetwork:
             source_coord, destination_endpoint.coord, self.rng
         )
         delay += self.extra_latency + gray_delay
-        self._in_flight[destination] = self._in_flight.get(destination, 0) + 1
+        depth = self._in_flight.get(destination, 0) + 1
+        self._in_flight[destination] = depth
+        if depth > self._peak_in_flight.get(destination, 0):
+            self._peak_in_flight[destination] = depth
         self.scheduler.after(delay, lambda: self._deliver(message))
 
     def _drop(self, message: Message, reason: str) -> None:

@@ -129,6 +129,43 @@ def _subscription_lines(sample: Dict[str, Any]) -> List[str]:
     return lines
 
 
+def _overload_lines(sample: Dict[str, Any]) -> List[str]:
+    """The overload panel: backpressure, shedding, and deflections.
+
+    Like the subscription panel, every field read is a ``.get`` with a
+    zero default so samples predating the overload plane (or from a
+    cluster with it disabled) degrade to the idle line.
+    """
+    nodes = list(sample.get("nodes", ()))
+    sheds = sum(row.get("sheds", 0) for row in nodes)
+    nacked = sum(row.get("shed_received", 0) for row in nodes)
+    deflections = sum(row.get("deflections", 0) for row in nodes)
+    peak = max((row.get("pressure", 0.0) for row in nodes), default=0.0)
+    lines = [
+        f"  shed={sheds} shed-nacks-received={nacked} "
+        f"deflected={deflections} peak-pressure={peak:.2f}"
+    ]
+    if sheds == 0 and nacked == 0 and deflections == 0 and peak == 0.0:
+        lines.append("  (no overload observed)")
+        return lines
+    for row in nodes:
+        if not (
+            row.get("sheds", 0)
+            or row.get("shed_received", 0)
+            or row.get("deflections", 0)
+            or row.get("pressure", 0.0)
+        ):
+            continue
+        lines.append(
+            f"  {row.get('address', '?'):<18} "
+            f"pressure={row.get('pressure', 0.0):<5.2f} "
+            f"shed={row.get('sheds', 0):<5d} "
+            f"nacked={row.get('shed_received', 0):<5d} "
+            f"deflect={row.get('deflections', 0):d}"
+        )
+    return lines
+
+
 def _offender_lines(sample: Dict[str, Any]) -> List[str]:
     nodes = list(sample.get("nodes", ()))
     if not nodes:
@@ -194,6 +231,9 @@ def render_dashboard(
         "",
         "continuous queries",
         *_subscription_lines(sample),
+        "",
+        "overload",
+        *_overload_lines(sample),
         "",
         "node vitals",
         *_node_lines(sample),

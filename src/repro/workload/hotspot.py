@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.geometry import CellGrid, Circle, Point, Rect
 from repro.core.region import Region
@@ -114,6 +114,75 @@ class HotspotField:
             Hotspot.random(rng, bounds, radius_range) for _ in range(count)
         ]
         return cls(bounds, hotspots, cell_size=cell_size)
+
+    @classmethod
+    def flash_crowd(
+        cls,
+        bounds: Rect,
+        rng: random.Random,
+        center: Optional[Point] = None,
+        burst_radius: float = 2.0,
+        intensity: float = 10.0,
+        ambient: int = 3,
+        radius_range: Tuple[float, float] = DEFAULT_RADIUS_RANGE,
+        cell_size: float = DEFAULT_CELL_SIZE,
+    ) -> "HotspotField":
+        """A flash-crowd field: one burst drowning out the ambient spots.
+
+        Models a sudden regional event (a stadium letting out, breaking
+        news pinned to one place): ``int(intensity)`` co-located hot
+        spots of radius ``burst_radius`` stacked at ``center`` (drawn
+        uniformly when ``None``), over ``ambient`` ordinary random hot
+        spots.  Stacking identical circles multiplies the deposited
+        load, so the burst cell workload is ~``intensity``x a single
+        spot's -- the "10x ambient load at one region" knob of the
+        flash-crowd chaos scenario.  The burst spots migrate like any
+        others (:meth:`migrate_epoch`), which is the epoch-migration
+        knob: the crowd drifts instead of dissolving.
+        """
+        if intensity < 1:
+            raise ValueError(f"intensity must be >= 1, got {intensity}")
+        if burst_radius <= 0:
+            raise ValueError(
+                f"burst_radius must be > 0, got {burst_radius}"
+            )
+        if ambient < 0:
+            raise ValueError(f"ambient must be >= 0, got {ambient}")
+        if center is None:
+            center = Point(
+                rng.uniform(bounds.x, bounds.x2),
+                rng.uniform(bounds.y, bounds.y2),
+            )
+        burst = [
+            Hotspot(Circle(center, burst_radius))
+            for _ in range(int(intensity))
+        ]
+        scattered = [
+            Hotspot.random(rng, bounds, radius_range)
+            for _ in range(ambient)
+        ]
+        return cls(bounds, burst + scattered, cell_size=cell_size)
+
+    def sample_point(self, rng: random.Random) -> Point:
+        """Draw one query coordinate distributed like the field's load.
+
+        Picks a hot spot uniformly (so a stacked flash-crowd burst is
+        chosen in proportion to its multiplicity) and draws a point
+        inside its circle, clamped to the bounds; with no hot spots the
+        draw is uniform over the plane.  Drives storm traffic in the
+        flash-crowd scenario without consulting the cell grid.
+        """
+        bounds = self.bounds
+        if not self.hotspots:
+            return Point(
+                rng.uniform(bounds.x, bounds.x2),
+                rng.uniform(bounds.y, bounds.y2),
+            )
+        hotspot = rng.choice(self.hotspots)
+        heading = rng.uniform(0.0, 2.0 * math.pi)
+        distance = hotspot.radius * math.sqrt(rng.random())
+        point = hotspot.center.moved_toward(heading, distance)
+        return point.clamped(bounds.x, bounds.y, bounds.x2, bounds.y2)
 
     # ------------------------------------------------------------------
     # Workload queries

@@ -173,3 +173,49 @@ def test_cli_bench_writes_files(tmp_path, capsys, monkeypatch):
 
     micro = json.loads((tmp_path / "BENCH_micro_ops.json").read_text())
     assert micro["bench.overhead_ratio"]["mean"] == FAKE_OVERHEAD["ratio"]
+
+
+def test_run_overload_bench_populates_verdicts():
+    registry = MetricsRegistry()
+    bench.run_overload_bench(
+        registry, population=8, objects=8, recovery=160.0,
+        skip_overhead=True,
+    )
+    snapshot = json.loads(registry.to_json())
+    assert snapshot["overload.bench.ok"]["mean"] == 1.0
+    assert snapshot["overload.bench.violations"]["mean"] == 0
+    assert snapshot["overload.bench.lost_objects"]["mean"] == 0
+    assert snapshot["overload.bench.sheds"]["mean"] > 0
+    assert snapshot["overload.bench.control_sheds"]["mean"] == 0
+    assert snapshot["overload.bench.peak_queue"]["mean"] <= (
+        snapshot["overload.bench.queue_bound"]["mean"]
+    )
+    # --smoke mode: the wall-clock overhead probe is skipped entirely.
+    assert "overload.overhead.budget" not in snapshot
+
+
+def test_write_overload_bench_file_schema(tmp_path):
+    paths = bench.write_overload_bench_file(
+        tmp_path, population=8, objects=8, recovery=160.0,
+        skip_overhead=True,
+    )
+    assert [p.name for p in paths] == ["BENCH_overload.json"]
+    snapshot = json.loads(paths[0].read_text())
+    assert "_meta" in snapshot
+    for name, row in snapshot.items():
+        if name.startswith("_"):
+            continue
+        assert SCHEMA_KEYS <= set(row)
+
+
+def test_cli_bench_overload_smoke(tmp_path, capsys):
+    from repro.cli import main
+
+    code = main([
+        "bench", "overload", "--smoke", "--out", str(tmp_path),
+    ])
+    assert code == 0
+    assert (tmp_path / "BENCH_overload.json").exists()
+    assert not (tmp_path / "BENCH_micro_ops.json").exists()
+    out = capsys.readouterr().out
+    assert "BENCH_overload.json" in out

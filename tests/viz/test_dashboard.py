@@ -161,3 +161,38 @@ class TestSubscriptionPanel:
         assert "continuous queries" in page
         assert "(no continuous queries registered)" not in page
         assert "registered=" in page
+
+
+class TestOverloadPanel:
+    def test_idle_plane_renders_placeholder(self):
+        page = render_dashboard([_sample()])
+        assert "overload" in page
+        assert "(no overload observed)" in page
+
+    def test_active_nodes_get_rows(self):
+        sample = _sample(
+            nodes=[
+                _node_row(
+                    pressure=0.8, sheds=12, shed_received=0, deflections=2,
+                ),
+                _node_row(address="10.0.0.2:7000"),
+            ]
+        )
+        page = render_dashboard([sample])
+        assert (
+            "shed=12 shed-nacks-received=0 deflected=2 peak-pressure=0.80"
+            in page
+        )
+        assert "pressure=0.80" in page
+        # The idle node contributes no row of its own.
+        idle_rows = [
+            line for line in page.splitlines()
+            if "10.0.0.2:7000" in line and "pressure=" in line
+        ]
+        assert idle_rows == []
+
+    def test_samples_predating_the_plane_degrade_gracefully(self):
+        row = _node_row()
+        assert "sheds" not in row  # fixture predates the plane
+        page = render_dashboard([_sample(nodes=[row])])
+        assert "(no overload observed)" in page

@@ -126,3 +126,78 @@ class TestHotspotField:
         a = HotspotField.random(BOUNDS, count=4, rng=random.Random(3))
         b = HotspotField.random(BOUNDS, count=4, rng=random.Random(3))
         assert a.total_load == b.total_load
+
+
+class TestFlashCrowd:
+    def test_stacks_intensity_spots_plus_ambient(self, rng):
+        field = HotspotField.flash_crowd(
+            BOUNDS, rng, center=Point(20, 20), intensity=10.0, ambient=3
+        )
+        assert len(field.hotspots) == 13
+        burst = [h for h in field.hotspots if h.center == Point(20, 20)]
+        assert len(burst) == 10
+
+    def test_burst_load_scales_with_intensity(self, rng):
+        center = Point(32, 32)
+        single = HotspotField.flash_crowd(
+            BOUNDS, rng, center=center, burst_radius=3.0,
+            intensity=1.0, ambient=0,
+        )
+        stacked = HotspotField.flash_crowd(
+            BOUNDS, rng, center=center, burst_radius=3.0,
+            intensity=10.0, ambient=0,
+        )
+        probe = Rect(28, 28, 8, 8)
+        assert stacked.rect_load(probe) == pytest.approx(
+            10.0 * single.rect_load(probe)
+        )
+
+    def test_random_center_inside_bounds(self, rng):
+        for _ in range(20):
+            field = HotspotField.flash_crowd(BOUNDS, rng, ambient=0)
+            for hotspot in field.hotspots:
+                assert BOUNDS.covers(
+                    hotspot.center, closed_low_x=True, closed_low_y=True
+                )
+
+    def test_knob_validation(self, rng):
+        with pytest.raises(ValueError):
+            HotspotField.flash_crowd(BOUNDS, rng, intensity=0.5)
+        with pytest.raises(ValueError):
+            HotspotField.flash_crowd(BOUNDS, rng, burst_radius=0.0)
+        with pytest.raises(ValueError):
+            HotspotField.flash_crowd(BOUNDS, rng, ambient=-1)
+
+    def test_sample_point_concentrates_at_burst(self, rng):
+        center = Point(20, 20)
+        field = HotspotField.flash_crowd(
+            BOUNDS, rng, center=center, burst_radius=2.0, ambient=0
+        )
+        for _ in range(200):
+            point = field.sample_point(rng)
+            assert center.distance_to(point) <= 2.0 + 1e-9
+            assert BOUNDS.covers(point, closed_low_x=True, closed_low_y=True)
+
+    def test_sample_point_uniform_without_hotspots(self, rng):
+        field = HotspotField(BOUNDS, [])
+        for _ in range(50):
+            point = field.sample_point(rng)
+            assert BOUNDS.covers(point, closed_low_x=True, closed_low_y=True)
+
+    def test_burst_migrates_with_epoch(self):
+        rng = random.Random(5)
+        center = Point(32, 32)
+        field = HotspotField.flash_crowd(
+            BOUNDS, rng, center=center, burst_radius=2.0, ambient=0
+        )
+        field.migrate_epoch(rng)
+        moved = [h for h in field.hotspots if h.center != center]
+        assert moved  # the crowd drifted instead of dissolving
+
+    def test_deterministic_under_seed(self):
+        a = HotspotField.flash_crowd(BOUNDS, random.Random(4))
+        b = HotspotField.flash_crowd(BOUNDS, random.Random(4))
+        assert a.total_load == b.total_load
+        assert [h.center for h in a.hotspots] == [
+            h.center for h in b.hotspots
+        ]
